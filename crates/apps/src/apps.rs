@@ -1,0 +1,322 @@
+//! Deterministic server applications for the ST-TCP workloads.
+//!
+//! All applications satisfy the [`sttcp::app::Application`] contract:
+//! their output byte stream is a pure function of their input byte
+//! stream. Ticks only pace output, never change it.
+
+use bytes::Bytes;
+use simnet::time::SimTime;
+use sttcp::app::{AppAction, Application};
+
+use crate::pattern::pattern_chunk;
+
+/// A server-push streamer — the paper's "pie chart" GUI feed (Demo 1) and
+/// large-file server (Demo 3).
+///
+/// Protocol: the client sends a request line `GET <n>\n`; the server then
+/// streams `n` pattern bytes, paced at `chunk_per_tick` bytes per
+/// application tick (use a large chunk for an unpaced bulk transfer), and
+/// optionally closes when done.
+#[derive(Debug, Clone)]
+pub struct StreamApp {
+    /// Bytes written per application tick once a request is active.
+    chunk_per_tick: usize,
+    /// Close the connection after finishing the response.
+    close_when_done: bool,
+    /// Parsed request target (`None` until a full request line arrives).
+    requested: Option<u64>,
+    /// Bytes of the response emitted so far.
+    sent: u64,
+    /// Request-line accumulator.
+    line: Vec<u8>,
+    /// Total request bytes consumed (digest input).
+    consumed: u64,
+    finished: bool,
+}
+
+impl StreamApp {
+    /// Creates a streamer pacing `chunk_per_tick` bytes per tick.
+    pub fn new(chunk_per_tick: usize, close_when_done: bool) -> StreamApp {
+        StreamApp {
+            chunk_per_tick,
+            close_when_done,
+            requested: None,
+            sent: 0,
+            line: Vec::new(),
+            consumed: 0,
+            finished: false,
+        }
+    }
+
+    /// Bytes of response streamed so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn emit(&mut self) -> Vec<AppAction> {
+        let Some(total) = self.requested else {
+            return Vec::new();
+        };
+        if self.sent >= total {
+            if !self.finished {
+                self.finished = true;
+                if self.close_when_done {
+                    return vec![AppAction::Close];
+                }
+            }
+            return Vec::new();
+        }
+        let n = (total - self.sent).min(self.chunk_per_tick as u64) as usize;
+        let chunk = pattern_chunk(self.sent, n);
+        self.sent += n as u64;
+        let mut actions = vec![AppAction::Write(chunk)];
+        if self.sent >= total && self.close_when_done {
+            self.finished = true;
+            actions.push(AppAction::Close);
+        }
+        actions
+    }
+}
+
+impl Application for StreamApp {
+    fn on_data(&mut self, data: &[u8]) -> Vec<AppAction> {
+        self.consumed += data.len() as u64;
+        if self.requested.is_some() {
+            return Vec::new(); // trailing client bytes are ignored
+        }
+        for &b in data {
+            if b == b'\n' {
+                let line = std::mem::take(&mut self.line);
+                let text = String::from_utf8_lossy(&line);
+                let n = text
+                    .strip_prefix("GET ")
+                    .and_then(|s| s.trim().parse::<u64>().ok())
+                    .unwrap_or(0);
+                self.requested = Some(n);
+                // First chunk goes out with the request, the rest on ticks.
+                return self.emit();
+            }
+            self.line.push(b);
+        }
+        Vec::new()
+    }
+
+    fn on_tick(&mut self, _now: SimTime) -> Vec<AppAction> {
+        self.emit()
+    }
+
+    fn on_peer_close(&mut self) -> Vec<AppAction> {
+        vec![AppAction::Close]
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.consumed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(self.sent)
+            .wrapping_add(self.requested.unwrap_or(u64::MAX))
+    }
+}
+
+/// A request/response worker: consumes `\n`-terminated lines and answers
+/// each with a deterministic transformation (`<reversed-line>:<checksum>\n`).
+///
+/// Exercises interactive workloads (the lag detectors need request
+/// activity to observe).
+#[derive(Debug, Clone, Default)]
+pub struct ReqRespApp {
+    line: Vec<u8>,
+    requests: u64,
+    consumed: u64,
+}
+
+impl ReqRespApp {
+    /// Creates the worker.
+    pub fn new() -> ReqRespApp {
+        ReqRespApp::default()
+    }
+
+    /// Number of requests answered.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// The deterministic response to one request line (no trailing
+    /// newline in `line`).
+    pub fn response_for(line: &[u8]) -> Bytes {
+        let reversed: Vec<u8> = line.iter().rev().copied().collect();
+        let sum: u32 = line.iter().map(|&b| b as u32).sum();
+        let mut out = reversed;
+        out.extend_from_slice(format!(":{sum:08x}\n").as_bytes());
+        Bytes::from(out)
+    }
+}
+
+impl Application for ReqRespApp {
+    fn on_data(&mut self, data: &[u8]) -> Vec<AppAction> {
+        self.consumed += data.len() as u64;
+        let mut actions = Vec::new();
+        for &b in data {
+            if b == b'\n' {
+                let line = std::mem::take(&mut self.line);
+                self.requests += 1;
+                actions.push(AppAction::Write(Self::response_for(&line)));
+            } else {
+                self.line.push(b);
+            }
+        }
+        actions
+    }
+
+    fn on_peer_close(&mut self) -> Vec<AppAction> {
+        vec![AppAction::Close]
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.consumed
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(self.requests)
+    }
+}
+
+/// A sink: consumes everything, answers nothing (upload workloads).
+#[derive(Debug, Clone, Default)]
+pub struct SinkApp {
+    consumed: u64,
+}
+
+impl SinkApp {
+    /// Creates the sink.
+    pub fn new() -> SinkApp {
+        SinkApp::default()
+    }
+
+    /// Total bytes swallowed.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+}
+
+impl Application for SinkApp {
+    fn on_data(&mut self, data: &[u8]) -> Vec<AppAction> {
+        self.consumed += data.len() as u64;
+        Vec::new()
+    }
+
+    fn on_peer_close(&mut self) -> Vec<AppAction> {
+        vec![AppAction::Close]
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::verify_pattern;
+
+    fn drain_writes(actions: &[AppAction]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for a in actions {
+            if let AppAction::Write(b) = a {
+                out.extend_from_slice(b);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn stream_app_serves_request() {
+        let mut app = StreamApp::new(1_000, true);
+        let first = app.on_data(b"GET 2500\n");
+        let mut got = drain_writes(&first);
+        for _ in 0..5 {
+            got.extend(drain_writes(&app.on_tick(SimTime::ZERO)));
+        }
+        assert_eq!(got.len(), 2_500);
+        assert_eq!(verify_pattern(0, &got), None);
+        // Close arrives exactly once, at the end.
+        let closes = app.on_tick(SimTime::ZERO);
+        assert!(closes.is_empty(), "no duplicate close: {closes:?}");
+        assert_eq!(app.sent(), 2_500);
+    }
+
+    #[test]
+    fn stream_app_request_split_across_segments() {
+        let mut app = StreamApp::new(100, false);
+        assert!(app.on_data(b"GE").is_empty());
+        assert!(app.on_data(b"T 30").is_empty());
+        let out = drain_writes(&app.on_data(b"0\n"));
+        assert_eq!(out.len(), 100);
+        assert_eq!(app.requested, Some(300));
+    }
+
+    #[test]
+    fn stream_app_without_close_keeps_connection() {
+        let mut app = StreamApp::new(1_000, false);
+        let _ = app.on_data(b"GET 100\n");
+        let after = app.on_tick(SimTime::ZERO);
+        assert!(after.is_empty());
+    }
+
+    #[test]
+    fn stream_replicas_lockstep() {
+        let mut p = StreamApp::new(500, true);
+        let mut b = StreamApp::new(500, true);
+        assert_eq!(p.on_data(b"GET 1200\n"), b.on_data(b"GET 1200\n"));
+        for _ in 0..4 {
+            assert_eq!(p.on_tick(SimTime::ZERO), b.on_tick(SimTime::from_secs(5)));
+        }
+        assert_eq!(p.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn bad_request_streams_nothing() {
+        let mut app = StreamApp::new(100, true);
+        let actions = app.on_data(b"BOGUS\n");
+        // Requested parses to 0 ⇒ immediate close, no data.
+        assert_eq!(drain_writes(&actions).len(), 0);
+        assert!(actions.contains(&AppAction::Close));
+    }
+
+    #[test]
+    fn reqresp_transforms_lines() {
+        let mut app = ReqRespApp::new();
+        let out = drain_writes(&app.on_data(b"abc\nxyz\n"));
+        let expected: Vec<u8> = [
+            ReqRespApp::response_for(b"abc").to_vec(),
+            ReqRespApp::response_for(b"xyz").to_vec(),
+        ]
+        .concat();
+        assert_eq!(out, expected);
+        assert_eq!(app.requests(), 2);
+    }
+
+    #[test]
+    fn reqresp_partial_lines_buffer() {
+        let mut app = ReqRespApp::new();
+        assert!(app.on_data(b"hel").is_empty());
+        let out = drain_writes(&app.on_data(b"lo\n"));
+        assert_eq!(out, ReqRespApp::response_for(b"hello").to_vec());
+    }
+
+    #[test]
+    fn reqresp_replicas_lockstep() {
+        let mut p = ReqRespApp::new();
+        let mut b = ReqRespApp::new();
+        for chunk in [b"on".as_ref(), b"e\ntwo\n", b"three\n"] {
+            assert_eq!(p.on_data(chunk), b.on_data(chunk));
+        }
+        assert_eq!(p.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn sink_counts() {
+        let mut s = SinkApp::new();
+        assert!(s.on_data(b"12345").is_empty());
+        assert_eq!(s.consumed(), 5);
+        assert_eq!(s.state_digest(), 5);
+        assert_eq!(s.on_peer_close(), vec![AppAction::Close]);
+    }
+}

@@ -1,0 +1,58 @@
+//! # sttcp-apps — workloads, clients, and scenarios for ST-TCP
+//!
+//! Everything needed to *exercise* the [`sttcp`] core:
+//!
+//! * [`apps`] — deterministic server applications (streamer,
+//!   request/response worker, sink) satisfying ST-TCP's replica contract.
+//! * [`client`] — a verifying TCP client that checks every received byte
+//!   against the deterministic [`pattern`] and records a progress series
+//!   (the headless pie chart of the paper's Demo 1).
+//! * [`scenario`] — topology builders: the paper's Figure 2 setup
+//!   (client + primary + backup + switch + serial cable + multicast tap)
+//!   and the plain-TCP baselines, plus schedulable fault injections for
+//!   every Table 1 row.
+//! * [`plain`] — the non-fault-tolerant baseline server.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::rc::Rc;
+//! use simnet::time::SimTime;
+//! use sttcp_apps::apps::StreamApp;
+//! use sttcp_apps::client::ClientWorkload;
+//! use sttcp_apps::scenario::ScenarioBuilder;
+//!
+//! // A 64 KiB download that survives a primary crash at t = 1s.
+//! let mut s = ScenarioBuilder::new(
+//!     Rc::new(|| Box::new(StreamApp::new(4096, false)) as _),
+//!     ClientWorkload::Download { total: 64 * 1024 },
+//! )
+//! .seed(7)
+//! .build();
+//! s.crash_primary_at(SimTime::from_secs(1));
+//! s.world.run_until(SimTime::from_secs(20));
+//! assert!(s.client_finished());
+//! assert_eq!(s.client_log().integrity_violations, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod client;
+pub mod pattern;
+pub mod plain;
+pub mod scenario;
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::apps::{ReqRespApp, SinkApp, StreamApp};
+    pub use crate::client::{
+        ClientConfig, ClientLog, ClientWorkload, ReconnectPolicy, TcpClient,
+    };
+    pub use crate::pattern::{fill_pattern, pattern_byte, pattern_chunk, verify_pattern};
+    pub use crate::plain::{PlainServer, PlainServerConfig};
+    pub use crate::scenario::{
+        build_baseline, Addressing, AppMaker, BaselineScenario, Scenario, ScenarioBuilder,
+    };
+}

@@ -1,0 +1,612 @@
+//! Topology builders: the paper's experimental setup (Figure 2) in code.
+//!
+//! The standard ST-TCP scenario is: a client (doubling as the gateway),
+//! the primary, and the backup, all on one Ethernet switch; a serial
+//! null-modem cable between the servers; the service IP aliased on both
+//! servers; and a static ARP entry on the client mapping the service IP
+//! to a **multicast** Ethernet address so the switch floods every client
+//! frame to both servers — the tap.
+//!
+//! Builders also exist for the two baselines the paper compares against:
+//! a plain single server ("ST-TCP disabled", Demo 3) and a plain primary
+//! plus a plain hot standby that requires a client reconnect (Demo 1's
+//! contrast).
+
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use simnet::iplayer::IpInterface;
+use simnet::link::{LinkDir, LinkId, LinkParams, SwitchId};
+use simnet::mac::MacAddr;
+use simnet::node::{NicId, NodeId};
+use simnet::serial::{SerialId, SerialParams};
+use simnet::time::{SimDuration, SimTime};
+use simnet::world::World;
+
+use simtcp::conn::TcpConfig;
+use simtcp::socket::FourTuple;
+
+use sttcp::app::Application;
+use sttcp::config::{Role, StTcpConfig};
+use sttcp::heartbeat::conn_key;
+use sttcp::server::{AppCrashMode, ServerSetup, StTcpServer};
+
+use crate::client::{ClientConfig, ClientLog, ClientWorkload, ReconnectPolicy, TcpClient};
+use crate::plain::{PlainServer, PlainServerConfig};
+
+/// The fixed addressing plan of the standard topology.
+#[derive(Debug, Clone, Copy)]
+pub struct Addressing {
+    /// The client / gateway host.
+    pub client_ip: Ipv4Addr,
+    /// The primary's private address.
+    pub primary_ip: Ipv4Addr,
+    /// The backup's private address.
+    pub backup_ip: Ipv4Addr,
+    /// The shared service address.
+    pub service_ip: Ipv4Addr,
+    /// The service port.
+    pub service_port: u16,
+    /// The client's MAC.
+    pub client_mac: MacAddr,
+    /// The primary's MAC.
+    pub primary_mac: MacAddr,
+    /// The backup's MAC.
+    pub backup_mac: MacAddr,
+    /// The multicast Ethernet address the client maps the service IP to
+    /// (the paper's `multiEA`).
+    pub multi_ea: MacAddr,
+}
+
+impl Default for Addressing {
+    fn default() -> Self {
+        Addressing {
+            client_ip: Ipv4Addr::new(10, 0, 0, 1),
+            primary_ip: Ipv4Addr::new(10, 0, 0, 2),
+            backup_ip: Ipv4Addr::new(10, 0, 0, 3),
+            service_ip: Ipv4Addr::new(10, 0, 0, 100),
+            service_port: 80,
+            client_mac: MacAddr::unicast(1),
+            primary_mac: MacAddr::unicast(2),
+            backup_mac: MacAddr::unicast(3),
+            multi_ea: MacAddr::multicast(100),
+        }
+    }
+}
+
+/// A factory closure producing identical deterministic app replicas.
+pub type AppMaker = Rc<dyn Fn() -> Box<dyn Application>>;
+
+/// Builder for the standard ST-TCP scenario.
+pub struct ScenarioBuilder {
+    seed: u64,
+    sttcp: StTcpConfig,
+    tcp: TcpConfig,
+    app: AppMaker,
+    workload: ClientWorkload,
+    extra_clients: Vec<ClientWorkload>,
+    connect_at: SimDuration,
+    link: LinkParams,
+    serial: SerialParams,
+    addressing: Addressing,
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder with an app factory and a client workload.
+    pub fn new(app: AppMaker, workload: ClientWorkload) -> ScenarioBuilder {
+        ScenarioBuilder {
+            seed: 1,
+            sttcp: StTcpConfig::default(),
+            tcp: TcpConfig::default(),
+            app,
+            workload,
+            extra_clients: Vec::new(),
+            connect_at: SimDuration::from_millis(100),
+            link: LinkParams::lan(),
+            serial: SerialParams::rs232(),
+            addressing: Addressing::default(),
+        }
+    }
+
+    /// Adds additional client hosts, each with its own workload against
+    /// the same service (own IP `10.0.0.10+i`, own switch port). All
+    /// clients share the multicast-tap ARP entry, so the backup replicates
+    /// every connection; the heartbeat then carries one record per
+    /// connection.
+    pub fn extra_clients(mut self, workloads: Vec<ClientWorkload>) -> Self {
+        self.extra_clients = workloads;
+        self
+    }
+
+    /// Sets the world seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the ST-TCP configuration (heartbeat period, thresholds, …).
+    pub fn sttcp(mut self, cfg: StTcpConfig) -> Self {
+        self.sttcp = cfg;
+        self
+    }
+
+    /// Sets the TCP configuration used by servers and client.
+    pub fn tcp(mut self, cfg: TcpConfig) -> Self {
+        self.tcp = cfg;
+        self
+    }
+
+    /// Sets the Ethernet link parameters.
+    pub fn link(mut self, params: LinkParams) -> Self {
+        self.link = params;
+        self
+    }
+
+    /// Sets the serial channel parameters.
+    pub fn serial(mut self, params: SerialParams) -> Self {
+        self.serial = params;
+        self
+    }
+
+    /// Sets when (after start) the client connects.
+    pub fn connect_at(mut self, at: SimDuration) -> Self {
+        self.connect_at = at;
+        self
+    }
+
+    /// Wires the world and starts it.
+    pub fn build(self) -> Scenario {
+        let a = self.addressing;
+        let mut world = World::new(self.seed);
+
+        // Node ids are assigned densely in add order; the ServerSetups
+        // need them for STONITH, so fix the order up front.
+        let client_id = NodeId(0);
+        let primary_id = NodeId(1);
+        let backup_id = NodeId(2);
+
+        // --- client (gateway) ---
+        let mut client_iface = IpInterface::new(NicId(0), a.client_mac, a.client_ip);
+        // The tap: service IP resolves to the multicast EA.
+        client_iface.add_arp(a.service_ip, a.multi_ea);
+        client_iface.add_arp(a.primary_ip, a.primary_mac);
+        client_iface.add_arp(a.backup_ip, a.backup_mac);
+        let client_cfg = ClientConfig {
+            server: (a.service_ip, a.service_port),
+            local_port: 40_000,
+            workload: self.workload.clone(),
+            connect_at: self.connect_at,
+            reconnect: None,
+            tcp: self.tcp.clone(),
+            seed: self.seed ^ 0xc11e,
+        };
+        let client = TcpClient::new(client_cfg, client_iface);
+
+        // --- servers ---
+        let mk_server = |role: Role, my_ip, my_mac, peer_ip, peer_mac, peer_node, seed| {
+            let mut iface = IpInterface::new(NicId(0), my_mac, my_ip);
+            iface.add_alias(a.service_ip);
+            iface.add_arp(a.client_ip, a.client_mac);
+            iface.add_arp(peer_ip, peer_mac);
+            let setup = ServerSetup {
+                role,
+                sttcp: self.sttcp.clone(),
+                tcp: self.tcp.clone(),
+                service_ip: a.service_ip,
+                service_port: a.service_port,
+                private_ip: my_ip,
+                peer_private_ip: peer_ip,
+                peer_node,
+                gateway_ip: a.client_ip,
+                isn_salt: 0x5757_5757 ^ self.seed,
+                seed,
+            };
+            let app = self.app.clone();
+            StTcpServer::new(setup, iface, Box::new(move || app()))
+        };
+        let primary = mk_server(
+            Role::Primary,
+            a.primary_ip,
+            a.primary_mac,
+            a.backup_ip,
+            a.backup_mac,
+            backup_id,
+            self.seed ^ 0x9f1a,
+        );
+        let backup = mk_server(
+            Role::Backup,
+            a.backup_ip,
+            a.backup_mac,
+            a.primary_ip,
+            a.primary_mac,
+            primary_id,
+            self.seed ^ 0xbac0,
+        );
+
+        assert_eq!(world.add_node("client", Box::new(client)), client_id);
+        assert_eq!(world.add_node("primary", Box::new(primary)), primary_id);
+        assert_eq!(world.add_node("backup", Box::new(backup)), backup_id);
+
+        // Extra client hosts at 10.0.0.10+i.
+        let mut clients = vec![client_id];
+        let mut extra_macs = Vec::new();
+        for (i, workload) in self.extra_clients.iter().enumerate() {
+            let ip = Ipv4Addr::new(10, 0, 0, 10 + i as u8);
+            let mac = MacAddr::unicast(10 + i as u32);
+            let mut iface = IpInterface::new(NicId(0), mac, ip);
+            iface.add_arp(a.service_ip, a.multi_ea);
+            let cfg = ClientConfig {
+                server: (a.service_ip, a.service_port),
+                local_port: 40_000,
+                workload: workload.clone(),
+                connect_at: self.connect_at + SimDuration::from_millis(i as u64 + 1),
+                reconnect: None,
+                tcp: self.tcp.clone(),
+                seed: self.seed ^ (0xe0_00 + i as u64),
+            };
+            let id = world.add_node(&format!("client{}", i + 1), Box::new(TcpClient::new(cfg, iface)));
+            clients.push(id);
+            extra_macs.push((id, mac, ip));
+        }
+        // Servers must be able to answer every client (static ARP).
+        for (_, mac, ip) in &extra_macs {
+            for sid in [primary_id, backup_id] {
+                // The interface lives inside the server; patching ARP after
+                // construction needs a setter.
+                world
+                    .node_mut::<StTcpServer>(sid)
+                    .expect("server type")
+                    .add_arp(*ip, *mac);
+            }
+        }
+
+        let cn = world.add_nic(client_id, a.client_mac);
+        let pn = world.add_nic(primary_id, a.primary_mac);
+        let bn = world.add_nic(backup_id, a.backup_mac);
+        let switch = world.add_switch(3 + extra_macs.len());
+        let link_client = world.connect_to_switch(client_id, cn, switch, 0, self.link);
+        let link_primary = world.connect_to_switch(primary_id, pn, switch, 1, self.link);
+        let link_backup = world.connect_to_switch(backup_id, bn, switch, 2, self.link);
+        for (port_off, (id, mac, _)) in extra_macs.iter().enumerate() {
+            let nic = world.add_nic(*id, *mac);
+            world.connect_to_switch(*id, nic, switch, 3 + port_off, self.link);
+        }
+        let (serial, sp_primary, sp_backup) =
+            world.connect_serial(primary_id, backup_id, self.serial);
+        world
+            .node_mut::<StTcpServer>(primary_id)
+            .expect("primary type")
+            .set_serial_port(sp_primary);
+        world
+            .node_mut::<StTcpServer>(backup_id)
+            .expect("backup type")
+            .set_serial_port(sp_backup);
+
+        world.start();
+        Scenario {
+            world,
+            client: client_id,
+            clients,
+            primary: primary_id,
+            backup: backup_id,
+            switch,
+            link_client,
+            link_primary,
+            link_backup,
+            serial,
+            addressing: a,
+        }
+    }
+}
+
+/// A fully wired, started ST-TCP world.
+pub struct Scenario {
+    /// The simulation world.
+    pub world: World,
+    /// The client / gateway node.
+    pub client: NodeId,
+    /// All client nodes (the first is the gateway client).
+    pub clients: Vec<NodeId>,
+    /// The (initial) primary node.
+    pub primary: NodeId,
+    /// The (initial) backup node.
+    pub backup: NodeId,
+    /// The Ethernet switch.
+    pub switch: SwitchId,
+    /// Client ↔ switch link.
+    pub link_client: LinkId,
+    /// Primary ↔ switch link.
+    pub link_primary: LinkId,
+    /// Backup ↔ switch link.
+    pub link_backup: LinkId,
+    /// The serial null-modem channel.
+    pub serial: SerialId,
+    /// The addressing plan.
+    pub addressing: Addressing,
+}
+
+impl Scenario {
+    /// The (first) client's observation log.
+    pub fn client_log(&self) -> &ClientLog {
+        self.log_of(self.client)
+    }
+
+    /// The observation log of any client node.
+    pub fn log_of(&self, client: NodeId) -> &ClientLog {
+        self.world
+            .node::<TcpClient>(client)
+            .expect("client type")
+            .log()
+    }
+
+    /// True once the (first) client's workload completed.
+    pub fn client_finished(&self) -> bool {
+        self.finished(self.client)
+    }
+
+    /// True once the given client's workload completed.
+    pub fn finished(&self, client: NodeId) -> bool {
+        self.world
+            .node::<TcpClient>(client)
+            .expect("client type")
+            .is_finished()
+    }
+
+    /// Immutable access to a server node.
+    pub fn server(&self, node: NodeId) -> &StTcpServer {
+        self.world.node::<StTcpServer>(node).expect("server type")
+    }
+
+    /// The connection key of the client's first connection (for digest
+    /// and heartbeat assertions).
+    pub fn first_conn_key(&self) -> u32 {
+        conn_key(FourTuple {
+            local: (self.addressing.service_ip, self.addressing.service_port),
+            remote: (self.addressing.client_ip, 40_000),
+        })
+    }
+
+    /// Schedules a HW/OS crash of the primary (Table 1 row 1).
+    pub fn crash_primary_at(&mut self, at: SimTime) {
+        let n = self.primary;
+        self.world.schedule(at, move |w| w.crash_node(n));
+    }
+
+    /// Schedules a HW/OS crash of the backup.
+    pub fn crash_backup_at(&mut self, at: SimTime) {
+        let n = self.backup;
+        self.world.schedule(at, move |w| w.crash_node(n));
+    }
+
+    /// Schedules a NIC failure on one of the servers (Table 1 row 4).
+    pub fn fail_nic_at(&mut self, node: NodeId, at: SimTime) {
+        self.world
+            .schedule(at, move |w| w.fail_nic(node, NicId(0)));
+    }
+
+    /// Schedules an application crash on a server (Table 1 rows 2-3,
+    /// Demo 4).
+    pub fn crash_app_at(&mut self, node: NodeId, at: SimTime, mode: AppCrashMode) {
+        self.world.schedule(at, move |w| {
+            let now = w.now();
+            w.trace_world(format!("inject: app crash ({mode:?}) on n{}", node.0));
+            if let Some(server) = w.node_mut::<StTcpServer>(node) {
+                server.inject_app_crash(now, mode);
+            }
+        });
+    }
+
+    /// Schedules a serial-cable failure.
+    pub fn fail_serial_at(&mut self, at: SimTime) {
+        let s = self.serial;
+        self.world.schedule(at, move |w| w.fail_serial(s));
+    }
+
+    /// Schedules a loss burst toward the *primary*: the next `n` TCP
+    /// frames addressed to the service IP are dropped on the
+    /// switch→primary direction (Table 1 row 5's primary-side case —
+    /// handled by ordinary TCP retransmission, no ST-TCP action).
+    pub fn drop_primary_tap_at(&mut self, at: SimTime, n: u64) {
+        Self::drop_tap(
+            &mut self.world,
+            self.link_primary,
+            self.addressing.service_ip,
+            at,
+            n,
+        );
+    }
+
+    /// Schedules a loss burst on the backup's tap: the next `n` TCP
+    /// frames addressed to the service IP are dropped on the
+    /// switch→backup direction, while heartbeats keep flowing (Table 1
+    /// row 5).
+    pub fn drop_backup_tap_at(&mut self, at: SimTime, n: u64) {
+        Self::drop_tap(
+            &mut self.world,
+            self.link_backup,
+            self.addressing.service_ip,
+            at,
+            n,
+        );
+    }
+
+    /// Schedules a *time-boxed* outage toward the primary: every TCP frame
+    /// addressed to the service IP on the switch→primary direction is
+    /// dropped for `duration`, then delivery resumes. Ordinary client
+    /// retransmission repairs this without any ST-TCP action (Table 1 row
+    /// 5, primary side).
+    pub fn drop_primary_tap_for(&mut self, at: SimTime, duration: SimDuration) {
+        let link = self.link_primary;
+        let service_ip = self.addressing.service_ip;
+        self.world.schedule(at, move |w| {
+            w.set_link_filter(
+                link,
+                LinkDir::BtoA,
+                Some(Box::new(move |frame| {
+                    matches!(IpInterface::decap(frame),
+                             Some(pkt) if pkt.proto == simnet::ip::IpProto::Tcp
+                                 && pkt.dst == service_ip)
+                })),
+            );
+            w.schedule_in(duration, move |w| {
+                w.set_link_filter(link, LinkDir::BtoA, None);
+            });
+        });
+    }
+
+    fn drop_tap(world: &mut World, link: LinkId, service_ip: Ipv4Addr, at: SimTime, n: u64) {
+        world.schedule(at, move |w| {
+            let mut budget = n;
+            // `connect_to_switch` makes the node endpoint `a` and the
+            // switch endpoint `b`, so switch→server traffic travels B→A.
+            w.set_link_filter(
+                link,
+                LinkDir::BtoA,
+                Some(Box::new(move |frame| {
+                    if budget == 0 {
+                        return false;
+                    }
+                    let Some(pkt) = IpInterface::decap(frame) else {
+                        return false;
+                    };
+                    if pkt.proto == simnet::ip::IpProto::Tcp && pkt.dst == service_ip {
+                        budget -= 1;
+                        return true;
+                    }
+                    false
+                })),
+            );
+        });
+    }
+}
+
+/// A plain client↔server pair on a switch — "ST-TCP disabled" (Demo 3),
+/// optionally with a plain hot standby on its own address (Demo 1
+/// baseline).
+pub struct BaselineScenario {
+    /// The simulation world.
+    pub world: World,
+    /// The client node.
+    pub client: NodeId,
+    /// The plain primary node.
+    pub primary: NodeId,
+    /// The plain standby node, when built with one.
+    pub standby: Option<NodeId>,
+    /// Client ↔ switch link.
+    pub link_client: LinkId,
+    /// Primary ↔ switch link.
+    pub link_primary: LinkId,
+    /// The addressing plan.
+    pub addressing: Addressing,
+}
+
+impl BaselineScenario {
+    /// The client's observation log.
+    pub fn client_log(&self) -> &ClientLog {
+        self.world
+            .node::<TcpClient>(self.client)
+            .expect("client type")
+            .log()
+    }
+
+    /// True once the client's workload completed.
+    pub fn client_finished(&self) -> bool {
+        self.world
+            .node::<TcpClient>(self.client)
+            .expect("client type")
+            .is_finished()
+    }
+
+    /// Schedules a HW/OS crash of the primary.
+    pub fn crash_primary_at(&mut self, at: SimTime) {
+        let n = self.primary;
+        self.world.schedule(at, move |w| w.crash_node(n));
+    }
+}
+
+/// Builds the plain baseline: client + plain server, and optionally a
+/// plain standby on `10.0.0.4` that the client's reconnect policy fails
+/// over to.
+pub fn build_baseline(
+    seed: u64,
+    app: AppMaker,
+    workload: ClientWorkload,
+    tcp: TcpConfig,
+    with_standby: Option<ReconnectPolicy>,
+) -> BaselineScenario {
+    let a = Addressing::default();
+    let standby_ip = Ipv4Addr::new(10, 0, 0, 4);
+    let standby_mac = MacAddr::unicast(4);
+    let mut world = World::new(seed);
+
+    let mut client_iface = IpInterface::new(NicId(0), a.client_mac, a.client_ip);
+    // No multicast trick here: the service IP belongs to the primary alone.
+    client_iface.add_arp(a.service_ip, a.primary_mac);
+    client_iface.add_arp(standby_ip, standby_mac);
+    let client_cfg = ClientConfig {
+        server: (a.service_ip, a.service_port),
+        local_port: 40_000,
+        workload,
+        connect_at: SimDuration::from_millis(100),
+        reconnect: with_standby.clone(),
+        tcp: tcp.clone(),
+        seed: seed ^ 0xc11e,
+    };
+    let client_id = world.add_node("client", Box::new(TcpClient::new(client_cfg, client_iface)));
+
+    let mut primary_iface = IpInterface::new(NicId(0), a.primary_mac, a.primary_ip);
+    primary_iface.add_alias(a.service_ip);
+    primary_iface.add_arp(a.client_ip, a.client_mac);
+    let primary_cfg = PlainServerConfig {
+        port: a.service_port,
+        tcp: tcp.clone(),
+        seed: seed ^ 0x9147,
+        ..Default::default()
+    };
+    let app2 = app.clone();
+    let primary_id = world.add_node(
+        "plain-primary",
+        Box::new(PlainServer::new(
+            primary_cfg,
+            primary_iface,
+            Box::new(move || app2()),
+        )),
+    );
+
+    let standby_id = with_standby.is_some().then(|| {
+        let mut iface = IpInterface::new(NicId(0), standby_mac, standby_ip);
+        iface.add_arp(a.client_ip, a.client_mac);
+        let cfg = PlainServerConfig {
+            port: a.service_port,
+            tcp: tcp.clone(),
+            seed: seed ^ 0x57b1,
+            ..Default::default()
+        };
+        let app3 = app.clone();
+        world.add_node(
+            "plain-standby",
+            Box::new(PlainServer::new(cfg, iface, Box::new(move || app3()))),
+        )
+    });
+
+    let ports = if standby_id.is_some() { 3 } else { 2 };
+    let switch = world.add_switch(ports);
+    let cn = world.add_nic(client_id, a.client_mac);
+    let pn = world.add_nic(primary_id, a.primary_mac);
+    let link_client = world.connect_to_switch(client_id, cn, switch, 0, LinkParams::lan());
+    let link_primary = world.connect_to_switch(primary_id, pn, switch, 1, LinkParams::lan());
+    if let Some(sid) = standby_id {
+        let sn = world.add_nic(sid, standby_mac);
+        world.connect_to_switch(sid, sn, switch, 2, LinkParams::lan());
+    }
+    world.start();
+    BaselineScenario {
+        world,
+        client: client_id,
+        primary: primary_id,
+        standby: standby_id,
+        link_client,
+        link_primary,
+        addressing: a,
+    }
+}

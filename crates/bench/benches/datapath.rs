@@ -1,0 +1,141 @@
+//! TCP datapath microbenchmarks: buffer operations and whole-connection
+//! transfer cost. `pair_transfer_1mb` is the per-byte CPU cost of the TCP
+//! state machine itself; `sttcp` Demo 3's CPU-side overhead is bounded by
+//! running this path once more (on the backup) per client byte.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use simnet::time::SimTime;
+use simtcp::conn::{TcpConfig, TcpConn};
+use simtcp::seq::SeqNum;
+use simtcp::socket::FourTuple;
+use std::net::Ipv4Addr;
+
+fn tuple() -> FourTuple {
+    FourTuple {
+        local: (Ipv4Addr::new(10, 0, 0, 1), 40_000),
+        remote: (Ipv4Addr::new(10, 0, 0, 100), 80),
+    }
+}
+
+/// Establishes a connected conn pair by exchanging the handshake.
+fn established() -> (TcpConn, TcpConn) {
+    let now = SimTime::ZERO;
+    let mut client = TcpConn::client(TcpConfig::default(), tuple(), SeqNum(1_000), now);
+    let syn = client.poll_segment().unwrap();
+    let mut server = TcpConn::server_from_syn(
+        TcpConfig::default(),
+        tuple().flipped(),
+        SeqNum(2_000_000),
+        &syn,
+        now,
+    );
+    let synack = server.poll_segment().unwrap();
+    client.on_segment(now, &synack);
+    while let Some(s) = client.poll_segment() {
+        server.on_segment(now, &s);
+    }
+    (client, server)
+}
+
+/// Pumps both directions until quiet.
+fn pump(a: &mut TcpConn, b: &mut TcpConn, now: SimTime) {
+    loop {
+        let mut moved = false;
+        while let Some(s) = a.poll_segment() {
+            b.on_segment(now, &s);
+            moved = true;
+        }
+        while let Some(s) = b.poll_segment() {
+            a.on_segment(now, &s);
+            moved = true;
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_conn");
+    g.sample_size(20);
+    const MB: usize = 1024 * 1024;
+    g.throughput(Throughput::Bytes(MB as u64));
+    let chunk = vec![0x5Au8; 64 * 1024];
+    g.bench_function("pair_transfer_1mb", |b| {
+        b.iter_batched(
+            established,
+            |(mut client, mut server)| {
+                let now = SimTime::from_millis(1);
+                let mut sent = 0usize;
+                let mut received = 0usize;
+                while received < MB {
+                    if sent < MB {
+                        sent += client.send(now, &chunk[..chunk.len().min(MB - sent)]);
+                    }
+                    pump(&mut client, &mut server, now);
+                    received += server.recv(1 << 20).len();
+                    // Reading reopened the receive window; emit the window
+                    // update the driver (an endpoint, normally) would flush,
+                    // and let the sender react. Without this the manual pump
+                    // deadlocks at zero window (there are no timers here).
+                    server.fill_output(now);
+                    pump(&mut client, &mut server, now);
+                    client.fill_output(now);
+                }
+                (client, server)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_handshake(c: &mut Criterion) {
+    c.bench_function("tcp_conn/handshake", |b| b.iter(established));
+}
+
+fn bench_buffers(c: &mut Criterion) {
+    use simtcp::recvbuf::RecvBuffer;
+    use simtcp::sendbuf::SendBuffer;
+
+    let mut g = c.benchmark_group("buffers");
+    g.throughput(Throughput::Bytes(1460));
+    let data = vec![1u8; 1460];
+    g.bench_function("sendbuf_write_ack_cycle", |b| {
+        let mut sb = SendBuffer::new(256 * 1024);
+        let mut off = 0u64;
+        b.iter(|| {
+            let n = sb.write(&data);
+            off += n as u64;
+            let s = sb.slice(off - n as u64, 1460);
+            let _ = sb.ack_to(off);
+            s
+        })
+    });
+    g.bench_function("recvbuf_in_order_receive_read", |b| {
+        let mut rb = RecvBuffer::new(256 * 1024, None);
+        let mut off = 0i64;
+        b.iter(|| {
+            let o = rb.receive(off, &data, false);
+            off += 1460;
+            let _ = rb.read(1460);
+            o
+        })
+    });
+    g.bench_function("recvbuf_hold_receive_release", |b| {
+        let mut rb = RecvBuffer::new(256 * 1024, Some(1024 * 1024));
+        let mut off = 0i64;
+        b.iter(|| {
+            let o = rb.receive(off, &data, false);
+            off += 1460;
+            let _ = rb.read(1460);
+            rb.release_until(off as u64);
+            o
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_transfer, bench_handshake, bench_buffers);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! End-to-end simulation benchmarks.
+//!
+//! `overhead/*` is the CPU-side companion to Demo 3: the wall-clock cost
+//! of simulating the same transfer with and without ST-TCP (the ratio
+//! reflects the extra work of the tap + replica + heartbeats).
+//! `failover/*` runs a complete crash-detect-takeover cycle per heartbeat
+//! period — a macro benchmark of the whole machinery (Demo 2's harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sttcp_bench::experiments::{run_failover, run_overhead};
+
+use std::rc::Rc;
+
+use simnet::time::SimTime;
+use simtcp::conn::TcpConfig;
+use sttcp_apps::apps::StreamApp;
+use sttcp_apps::client::ClientWorkload;
+use sttcp_apps::scenario::{build_baseline, ScenarioBuilder};
+
+const TOTAL: u64 = 1024 * 1024;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(TOTAL));
+    g.bench_function("sttcp_1mb_transfer", |b| {
+        b.iter(|| {
+            let mut s = ScenarioBuilder::new(
+                Rc::new(|| Box::new(StreamApp::new(64 * 1024, false)) as _),
+                ClientWorkload::Download { total: TOTAL },
+            )
+            .seed(1)
+            .build();
+            s.world.run_until(SimTime::from_secs(60));
+            assert!(s.client_finished());
+            s.world.events_processed()
+        })
+    });
+    g.bench_function("plain_1mb_transfer", |b| {
+        b.iter(|| {
+            let mut s = build_baseline(
+                1,
+                Rc::new(|| Box::new(StreamApp::new(64 * 1024, false)) as _),
+                ClientWorkload::Download { total: TOTAL },
+                TcpConfig::default(),
+                None,
+            );
+            s.world.run_until(SimTime::from_secs(60));
+            assert!(s.client_finished());
+            s.world.events_processed()
+        })
+    });
+    g.finish();
+}
+
+fn bench_failover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failover");
+    g.sample_size(10);
+    for hb_ms in [200u64, 500, 1_000] {
+        g.bench_with_input(
+            BenchmarkId::new("crash_takeover_complete", hb_ms),
+            &hb_ms,
+            |b, &hb_ms| {
+                b.iter(|| {
+                    let r = run_failover(9, hb_ms, TOTAL, 700);
+                    assert!(r.transparent);
+                    r.client_stall
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_demo3_verification(c: &mut Criterion) {
+    // A small Demo 3 as a regression check inside the bench suite: the
+    // virtual-time overhead must stay negligible.
+    c.bench_function("overhead/run_overhead_2mb", |b| {
+        b.iter(|| {
+            let r = run_overhead(2, 2 * 1024 * 1024);
+            assert!(r.overhead.abs() < 0.05);
+            r.sttcp_time
+        })
+    });
+}
+
+criterion_group!(benches, bench_overhead, bench_failover, bench_demo3_verification);
+criterion_main!(benches);

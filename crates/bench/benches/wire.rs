@@ -1,0 +1,137 @@
+//! Wire-format microbenchmarks: the per-packet parse/emit costs that the
+//! virtual clock cannot see. These bound the CPU component of ST-TCP's
+//! failure-free overhead (Demo 3): the backup processes exactly one extra
+//! copy of the client→server stream plus the heartbeats.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+use simnet::frame::{EtherType, EthernetFrame};
+use simnet::ip::{IcmpMessage, IpProto, Ipv4Packet};
+use simnet::mac::MacAddr;
+
+use simtcp::segment::{TcpFlags, TcpSegment};
+use simtcp::seq::SeqNum;
+
+use sttcp::config::Role;
+use sttcp::heartbeat::{ConnHb, HbPayload};
+use sttcp::recover::CtrlMsg;
+
+fn ip(last: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, last)
+}
+
+fn bench_ethernet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ethernet");
+    let frame = EthernetFrame::new(
+        MacAddr::unicast(1),
+        MacAddr::multicast(100),
+        EtherType::Ipv4,
+        Bytes::from(vec![7u8; 1460]),
+    );
+    g.throughput(Throughput::Bytes(frame.wire_len() as u64));
+    g.bench_function("encode_1460", |b| b.iter(|| frame.encode()));
+    let wire = frame.encode();
+    g.bench_function("decode_1460", |b| {
+        b.iter(|| EthernetFrame::decode(&wire).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ipv4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipv4");
+    let pkt = Ipv4Packet::new(ip(1), ip(100), IpProto::Tcp, Bytes::from(vec![3u8; 1460]));
+    g.throughput(Throughput::Bytes(pkt.wire_len() as u64));
+    g.bench_function("encode_1460", |b| b.iter(|| pkt.encode()));
+    let wire = pkt.encode();
+    g.bench_function("decode_1460", |b| b.iter(|| Ipv4Packet::decode(&wire).unwrap()));
+    let icmp = IcmpMessage::EchoRequest { id: 7, seq: 3 };
+    g.bench_function("icmp_roundtrip", |b| {
+        b.iter(|| IcmpMessage::decode(&icmp.encode()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_tcp_segment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_segment");
+    for &len in &[0usize, 536, 1460] {
+        let seg = TcpSegment {
+            src_port: 80,
+            dst_port: 40_000,
+            seq: SeqNum(0x1234_5678),
+            ack: SeqNum(0x8765_4321),
+            flags: TcpFlags::ACK,
+            window: 65_000,
+            payload: Bytes::from(vec![0xAB; len]),
+        };
+        g.throughput(Throughput::Bytes(seg.wire_len() as u64));
+        g.bench_function(format!("encode_{len}"), |b| {
+            b.iter(|| seg.encode(ip(100), ip(1)))
+        });
+        let wire = seg.encode(ip(100), ip(1));
+        g.bench_function(format!("decode_{len}"), |b| {
+            b.iter(|| TcpSegment::decode(&wire, ip(100), ip(1)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_heartbeat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heartbeat");
+    for &conns in &[1usize, 10, 100] {
+        let hb = HbPayload {
+            seqno: 42,
+            role: Role::Backup,
+            conns: (0..conns)
+                .map(|i| ConnHb {
+                    key: i as u32,
+                    last_byte_received: 1_000_000 + i as u64,
+                    last_ack_received: 999_000,
+                    last_app_byte_written: 500_000,
+                    last_app_byte_read: 998_000,
+                    fin_generated: false,
+                    rst_generated: false,
+                    app_suspected: false,
+                })
+                .collect(),
+            ping: None,
+        };
+        g.throughput(Throughput::Bytes(hb.wire_len() as u64));
+        g.bench_function(format!("encode_{conns}conns"), |b| b.iter(|| hb.encode()));
+        let wire = hb.encode();
+        g.bench_function(format!("decode_{conns}conns"), |b| {
+            b.iter(|| HbPayload::decode(&wire).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_ctrl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery_ctrl");
+    let reply = CtrlMsg::FetchReply {
+        conn: 7,
+        from: 123_456,
+        data: Bytes::from(vec![5u8; 8 * 1024]),
+    };
+    g.throughput(Throughput::Bytes(8 * 1024));
+    g.bench_function("reply_roundtrip_8k", |b| {
+        b.iter_batched(
+            || reply.encode(),
+            |wire| CtrlMsg::decode(&wire).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ethernet,
+    bench_ipv4,
+    bench_tcp_segment,
+    bench_heartbeat,
+    bench_ctrl
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Regenerates **Demo 5**: NIC failures.
+//!
+//! Part 1 fails the primary's NIC, part 2 the backup's; each part runs
+//! with a chatty client (byte/ack-lag detection over the serial
+//! heartbeat) and with a silent client (gateway-ping detection).
+//!
+//! Run with: `cargo run -p sttcp-bench --bin demo5_nic_failure --release`
+
+use std::rc::Rc;
+
+use simnet::time::{SimDuration, SimTime};
+use sttcp::app::EchoApp;
+use sttcp::config::StTcpConfig;
+use sttcp::events::StTcpEvent;
+use sttcp_apps::client::ClientWorkload;
+use sttcp_apps::scenario::ScenarioBuilder;
+use sttcp_bench::report::Table;
+
+fn main() {
+    println!("Demo 5 — NIC failure detection and recovery\n");
+    let mut t = Table::new(vec![
+        "failed NIC", "client traffic", "symptom", "recovery", "detect", "client stream",
+    ]);
+    for (i, (fail_primary, quiet)) in [(true, false), (true, true), (false, false), (false, true)]
+        .iter()
+        .enumerate()
+    {
+        let workload = if *quiet {
+            ClientWorkload::Idle
+        } else {
+            ClientWorkload::EchoChat {
+                chunk: 1024,
+                period: SimDuration::from_millis(50),
+                count: 300,
+            }
+        };
+        let mut s = ScenarioBuilder::new(
+            Rc::new(|| Box::new(EchoApp::default()) as _),
+            workload,
+        )
+        .seed(50 + i as u64)
+        .sttcp(StTcpConfig {
+            app_max_lag_time: SimDuration::from_secs(1),
+            ..Default::default()
+        })
+        .build();
+        let inject = SimTime::from_secs(3);
+        let victim = if *fail_primary { s.primary } else { s.backup };
+        let detector = if *fail_primary { s.backup } else { s.primary };
+        s.fail_nic_at(victim, inject);
+        s.world.run_until(SimTime::from_secs(60));
+
+        let (symptom, det) = s
+            .server(detector)
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                StTcpEvent::PeerDeclaredFailed { reason, at } => {
+                    Some((reason.to_string(), at.saturating_since(inject)))
+                }
+                _ => None,
+            })
+            .unwrap_or(("none".into(), SimDuration::ZERO));
+        let recovery = if s.server(s.backup).took_over_at().is_some() {
+            "backup took over"
+        } else {
+            "primary non-FT"
+        };
+        let log = s.client_log();
+        let stream = if *quiet {
+            "idle".to_string()
+        } else if s.client_finished() && log.integrity_violations == 0 && log.resets == 0 {
+            "intact".to_string()
+        } else {
+            "DISRUPTED".to_string()
+        };
+        t.row(vec![
+            if *fail_primary { "primary" } else { "backup" }.to_string(),
+            if *quiet { "silent (ping path)" } else { "chatty (lag path)" }.to_string(),
+            symptom,
+            recovery.to_string(),
+            det.to_string(),
+            stream,
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "the serial heartbeat keeps the servers talking through the IP outage;\n\
+         lag comparison handles chatty clients and the gateway-ping exchange\n\
+         assigns blame when the client is silent — per paper §4.3."
+    );
+}

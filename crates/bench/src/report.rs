@@ -1,0 +1,188 @@
+//! Plain-text table and series rendering for experiment output.
+//!
+//! Every experiment binary prints through these helpers so the harness
+//! output has one consistent, diffable shape (EXPERIMENTS.md records it
+//! verbatim).
+
+/// A simple left-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+            }
+            s
+        };
+        let sep = {
+            let mut s = String::from("|");
+            for w in &widths {
+                s.push_str(&format!("{}|", "-".repeat(w + 2)));
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Renders a `(x, y)` series as an ASCII sparkline block, `rows` lines
+/// tall, for quick visual inspection of progress curves.
+pub fn render_series(points: &[(f64, f64)], width: usize, rows: usize) -> String {
+    if points.is_empty() || width == 0 || rows == 0 {
+        return String::new();
+    }
+    let (x_min, x_max) = points
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| {
+            (lo.min(x), hi.max(x))
+        });
+    let (y_min, y_max) = points
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        });
+    let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+    let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+    // Bin by x, keeping the max y per bin.
+    let mut bins: Vec<Option<f64>> = vec![None; width];
+    for &(x, y) in points {
+        let i = (((x - x_min) / x_span) * (width as f64 - 1.0)).round() as usize;
+        let e = &mut bins[i.min(width - 1)];
+        *e = Some(e.map_or(y, |v: f64| v.max(y)));
+    }
+    let mut grid = vec![vec![' '; width]; rows];
+    let mut last = None;
+    for (i, b) in bins.iter().enumerate() {
+        let y = match b.or(last) {
+            Some(y) => y,
+            None => continue,
+        };
+        last = Some(y);
+        let r = (((y - y_min) / y_span) * (rows as f64 - 1.0)).round() as usize;
+        let r = rows - 1 - r.min(rows - 1);
+        grid[r][i] = '*';
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a signed percentage with two decimals.
+pub fn pct(fraction: f64) -> String {
+    format!("{:+.2}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines are equally wide.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("alpha"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        Table::new(vec!["a", "b"]).row(vec!["only one"]);
+    }
+
+    #[test]
+    fn series_renders_monotone_curve() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64)).collect();
+        let s = render_series(&pts, 40, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 8);
+        // Rising curve: the top row has stars only to the right of the
+        // bottom row's stars.
+        let first_star = |l: &str| l.find('*');
+        let top = first_star(lines[0]).unwrap();
+        let bottom = first_star(lines[7]).unwrap();
+        assert!(top > bottom);
+    }
+
+    #[test]
+    fn series_degenerate_inputs() {
+        assert_eq!(render_series(&[], 10, 4), "");
+        let flat = vec![(0.0, 5.0), (1.0, 5.0)];
+        let s = render_series(&flat, 10, 2);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0123), "+1.23%");
+        assert_eq!(pct(-0.5), "-50.00%");
+    }
+}

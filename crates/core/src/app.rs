@@ -1,0 +1,149 @@
+//! The deterministic application interface.
+//!
+//! ST-TCP's core assumption (§2) is that the server application is
+//! deterministic: fed the same input TCP stream, the primary's application
+//! and the backup's replica go through the same states and produce the
+//! same bytes. This trait makes that contract explicit: an
+//! [`Application`]'s *output byte stream* must be a pure function of its
+//! *input byte stream* (and its own deterministic internals). Tick
+//! callbacks may pace output differently on the two servers, but the byte
+//! sequence must be identical — [`Application::state_digest`] lets tests
+//! verify replicas are in lockstep.
+
+use bytes::Bytes;
+use simnet::time::SimTime;
+
+/// An action an application asks the server to perform on its connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppAction {
+    /// Write bytes to the connection.
+    Write(Bytes),
+    /// Close the connection gracefully (generates a FIN, subject to
+    /// ST-TCP arbitration).
+    Close,
+    /// Abort the connection (generates an RST, subject to arbitration).
+    Abort,
+}
+
+/// A per-connection deterministic application instance.
+///
+/// All methods return the actions to apply, in order.
+pub trait Application: 'static {
+    /// Called when the connection is established.
+    fn on_open(&mut self) -> Vec<AppAction> {
+        Vec::new()
+    }
+
+    /// Called with newly received in-order client bytes.
+    fn on_data(&mut self, data: &[u8]) -> Vec<AppAction>;
+
+    /// Called periodically (the server's `app_tick`); used by paced
+    /// streaming applications. Output *content* must remain a
+    /// deterministic function of the input stream.
+    fn on_tick(&mut self, now: SimTime) -> Vec<AppAction> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// Called when the client closes its sending side.
+    fn on_peer_close(&mut self) -> Vec<AppAction> {
+        Vec::new()
+    }
+
+    /// A digest of the application's logical state, used by tests to
+    /// assert primary/backup lockstep. Must depend only on the consumed
+    /// input and emitted output, never on timing.
+    fn state_digest(&self) -> u64 {
+        0
+    }
+}
+
+/// Creates per-connection [`Application`] instances for a server.
+pub trait AppFactory: 'static {
+    /// Creates the application instance for a newly accepted connection.
+    fn create(&mut self) -> Box<dyn Application>;
+}
+
+impl<F> AppFactory for F
+where
+    F: FnMut() -> Box<dyn Application> + 'static,
+{
+    fn create(&mut self) -> Box<dyn Application> {
+        self()
+    }
+}
+
+/// A trivial echo application: returns every byte it receives.
+///
+/// Useful as a default workload and in doctests.
+///
+/// # Examples
+///
+/// ```
+/// use sttcp::app::{Application, AppAction, EchoApp};
+///
+/// let mut app = EchoApp::default();
+/// let actions = app.on_data(b"hi");
+/// assert_eq!(actions, vec![AppAction::Write(bytes::Bytes::from_static(b"hi"))]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct EchoApp {
+    bytes_seen: u64,
+}
+
+impl Application for EchoApp {
+    fn on_data(&mut self, data: &[u8]) -> Vec<AppAction> {
+        self.bytes_seen += data.len() as u64;
+        vec![AppAction::Write(Bytes::copy_from_slice(data))]
+    }
+
+    fn on_peer_close(&mut self) -> Vec<AppAction> {
+        vec![AppAction::Close]
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.bytes_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_echoes() {
+        let mut app = EchoApp::default();
+        assert_eq!(
+            app.on_data(b"abc"),
+            vec![AppAction::Write(Bytes::from_static(b"abc"))]
+        );
+        assert_eq!(app.state_digest(), 3);
+        assert_eq!(app.on_peer_close(), vec![AppAction::Close]);
+    }
+
+    #[test]
+    fn closure_factory_works() {
+        let mut factory: Box<dyn AppFactory> =
+            Box::new(|| Box::new(EchoApp::default()) as Box<dyn Application>);
+        let mut a = factory.create();
+        let mut b = factory.create();
+        // Independent instances.
+        let _ = a.on_data(b"xx");
+        assert_eq!(a.state_digest(), 2);
+        assert_eq!(b.state_digest(), 0);
+        let _ = b.on_open();
+        assert_eq!(b.on_tick(SimTime::ZERO), Vec::new());
+    }
+
+    #[test]
+    fn replicas_in_lockstep_given_same_input() {
+        let mut p = EchoApp::default();
+        let mut b = EchoApp::default();
+        for chunk in [b"one".as_ref(), b"two", b"three"] {
+            let ap = p.on_data(chunk);
+            let ab = b.on_data(chunk);
+            assert_eq!(ap, ab);
+        }
+        assert_eq!(p.state_digest(), b.state_digest());
+    }
+}

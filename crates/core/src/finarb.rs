@@ -1,0 +1,328 @@
+//! FIN/RST arbitration — the `MaxDelayFIN` protocol (§4.2.2).
+//!
+//! When an application crash is cleaned up by the OS, the socket closes
+//! and TCP generates a FIN (or RST) — indistinguishable, at the transport
+//! layer, from a legitimate close. ST-TCP arbitrates:
+//!
+//! * **Both servers generate a FIN** → normal closure; send immediately.
+//! * **Client already sent its FIN** → our FIN answers it; send
+//!   immediately.
+//! * **Only this server generates a FIN** → hold it for `MaxDelayFIN`;
+//!   during the hold the scenario is identical to a no-cleanup crash and
+//!   the lag detector gets its chance. If nothing is detected, assume the
+//!   local behaviour is correct and release.
+//! * **Only the peer generates a FIN** (primary's view) → wait up to
+//!   `MaxDelayFIN` for the lag detector to condemn the backup; if it
+//!   never does, declare the backup failed anyway and go
+//!   non-fault-tolerant (the paper deliberately never fails over on a
+//!   primary-side FIN, since the FIN-less server may be the broken one).
+//!
+//! The backup's arbiter is passive: its FINs are swallowed by egress
+//! suppression regardless, and the primary drives all mismatch verdicts.
+//! For the arbitration to resolve crash cases before the deadline, the
+//! configuration must keep `app_max_lag_time < max_delay_fin` (the
+//! default config does).
+
+use simnet::time::{SimDuration, SimTime};
+
+use crate::config::Role;
+use crate::events::FinReleaseReason;
+
+/// An action the server must carry out in response to arbitration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbAction {
+    /// Gate the connection's FIN/RST at the egress shim.
+    HoldFin,
+    /// Open the gate (and force a retransmission so the FIN goes out now).
+    ReleaseFin(FinReleaseReason),
+    /// The one-sided-FIN deadline expired against the peer: declare it
+    /// failed (primary only).
+    DeclarePeerFailed,
+}
+
+/// Per-connection FIN/RST arbitration state.
+#[derive(Debug, Clone)]
+pub struct FinArbiter {
+    role: Role,
+    max_delay: SimDuration,
+    local_fin: bool,
+    peer_fin: bool,
+    client_fin: bool,
+    holding: bool,
+    /// Deadline for a locally held FIN.
+    hold_deadline: Option<SimTime>,
+    /// Deadline for a peer-only FIN (primary condemns the backup at
+    /// expiry).
+    mismatch_deadline: Option<SimTime>,
+    resolved: bool,
+}
+
+impl FinArbiter {
+    /// Creates an arbiter for one connection.
+    pub fn new(role: Role, max_delay: SimDuration) -> FinArbiter {
+        FinArbiter {
+            role,
+            max_delay,
+            local_fin: false,
+            peer_fin: false,
+            client_fin: false,
+            holding: false,
+            hold_deadline: None,
+            mismatch_deadline: None,
+            resolved: false,
+        }
+    }
+
+    /// True while a locally generated FIN/RST is being held.
+    pub fn is_holding(&self) -> bool {
+        self.holding
+    }
+
+    /// The local application (or its OS cleanup) is about to close/abort
+    /// the connection. Returns the gate decision. Call *before* the
+    /// close/abort is issued to TCP so the gate is in place first.
+    pub fn on_local_close(&mut self, now: SimTime) -> ArbAction {
+        self.local_fin = true;
+        self.mismatch_deadline = None; // both sides have FINs now
+        if self.resolved {
+            return ArbAction::ReleaseFin(FinReleaseReason::PeerFailed);
+        }
+        if self.role == Role::Backup {
+            // Egress suppression swallows the FIN regardless; nothing to
+            // arbitrate locally. Mark holding so takeover knows to release.
+            self.holding = true;
+            return ArbAction::HoldFin;
+        }
+        if self.peer_fin {
+            self.resolved = true;
+            return ArbAction::ReleaseFin(FinReleaseReason::PeerAlsoFin);
+        }
+        if self.client_fin {
+            self.resolved = true;
+            return ArbAction::ReleaseFin(FinReleaseReason::ClientClosedFirst);
+        }
+        self.holding = true;
+        self.hold_deadline = Some(now + self.max_delay);
+        ArbAction::HoldFin
+    }
+
+    /// The client's FIN arrived. A held local FIN may now go out
+    /// immediately (paper: "the primary always immediately sends out a FIN
+    /// if it has already received a FIN from the client").
+    pub fn note_client_fin(&mut self, _now: SimTime) -> Option<ArbAction> {
+        self.client_fin = true;
+        if self.holding && self.role == Role::Primary && !self.resolved {
+            self.release(FinReleaseReason::ClientClosedFirst)
+        } else {
+            None
+        }
+    }
+
+    /// A heartbeat reported the peer's FIN/RST state.
+    pub fn on_peer_hb(&mut self, now: SimTime, peer_fin: bool) -> Option<ArbAction> {
+        if !peer_fin || self.resolved {
+            self.peer_fin = peer_fin || self.peer_fin;
+            return None;
+        }
+        let first_news = !self.peer_fin;
+        self.peer_fin = true;
+        if self.holding && self.role == Role::Primary {
+            return self.release(FinReleaseReason::PeerAlsoFin);
+        }
+        // Peer-only FIN: the primary arms the mismatch deadline.
+        if first_news
+            && !self.local_fin
+            && self.role == Role::Primary
+            && self.mismatch_deadline.is_none()
+        {
+            self.mismatch_deadline = Some(now + self.max_delay);
+        }
+        None
+    }
+
+    /// Periodic deadline evaluation.
+    pub fn on_check(&mut self, now: SimTime) -> Option<ArbAction> {
+        if self.resolved {
+            return None;
+        }
+        if let Some(d) = self.hold_deadline {
+            if now >= d && self.role == Role::Primary {
+                return self.release(FinReleaseReason::DelayExpired);
+            }
+        }
+        if let Some(d) = self.mismatch_deadline {
+            if now >= d && self.role == Role::Primary && !self.local_fin {
+                self.resolved = true;
+                self.mismatch_deadline = None;
+                return Some(ArbAction::DeclarePeerFailed);
+            }
+        }
+        None
+    }
+
+    /// The peer has been declared failed by some detector; any held FIN
+    /// belongs to the surviving, presumed-correct server and goes out.
+    pub fn on_peer_failed(&mut self) -> Option<ArbAction> {
+        self.mismatch_deadline = None;
+        if self.holding && !self.resolved {
+            self.release(FinReleaseReason::PeerFailed)
+        } else {
+            self.resolved = true;
+            None
+        }
+    }
+
+    /// Role promotion at takeover: the backup becomes the (non-FT)
+    /// primary; a FIN it was sitting on is now legitimate output.
+    pub fn on_takeover(&mut self) -> Option<ArbAction> {
+        self.role = Role::Primary;
+        self.on_peer_failed()
+    }
+
+    fn release(&mut self, reason: FinReleaseReason) -> Option<ArbAction> {
+        self.holding = false;
+        self.hold_deadline = None;
+        self.resolved = true;
+        Some(ArbAction::ReleaseFin(reason))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn arb(role: Role) -> FinArbiter {
+        FinArbiter::new(role, SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn normal_closure_both_fins_releases_immediately() {
+        let mut a = arb(Role::Primary);
+        assert_eq!(a.on_peer_hb(t(0), true), None);
+        assert_eq!(
+            a.on_local_close(t(10)),
+            ArbAction::ReleaseFin(FinReleaseReason::PeerAlsoFin)
+        );
+        assert!(!a.is_holding());
+    }
+
+    #[test]
+    fn client_closed_first_no_delay() {
+        let mut a = arb(Role::Primary);
+        assert_eq!(a.note_client_fin(t(0)), None);
+        assert_eq!(
+            a.on_local_close(t(5)),
+            ArbAction::ReleaseFin(FinReleaseReason::ClientClosedFirst)
+        );
+    }
+
+    #[test]
+    fn lone_primary_fin_held_then_released_on_peer_hb() {
+        let mut a = arb(Role::Primary);
+        assert_eq!(a.on_local_close(t(0)), ArbAction::HoldFin);
+        assert!(a.is_holding());
+        // Peer's FIN shows up a heartbeat later: normal close after all.
+        assert_eq!(
+            a.on_peer_hb(t(200), true),
+            Some(ArbAction::ReleaseFin(FinReleaseReason::PeerAlsoFin))
+        );
+        assert!(!a.is_holding());
+    }
+
+    #[test]
+    fn lone_primary_fin_released_at_deadline() {
+        let mut a = arb(Role::Primary);
+        let _ = a.on_local_close(t(0));
+        assert_eq!(a.on_check(t(59_999)), None);
+        assert_eq!(
+            a.on_check(t(60_000)),
+            Some(ArbAction::ReleaseFin(FinReleaseReason::DelayExpired))
+        );
+        // Only once.
+        assert_eq!(a.on_check(t(70_000)), None);
+    }
+
+    #[test]
+    fn lone_primary_fin_released_when_client_fin_arrives_later() {
+        let mut a = arb(Role::Primary);
+        let _ = a.on_local_close(t(0));
+        assert_eq!(
+            a.note_client_fin(t(100)),
+            Some(ArbAction::ReleaseFin(FinReleaseReason::ClientClosedFirst))
+        );
+    }
+
+    #[test]
+    fn peer_only_fin_condemns_backup_at_deadline() {
+        let mut a = arb(Role::Primary);
+        assert_eq!(a.on_peer_hb(t(0), true), None);
+        assert_eq!(a.on_check(t(59_999)), None);
+        assert_eq!(a.on_check(t(60_000)), Some(ArbAction::DeclarePeerFailed));
+        assert_eq!(a.on_check(t(61_000)), None, "verdict issued once");
+    }
+
+    #[test]
+    fn peer_only_fin_then_local_close_cancels_mismatch() {
+        let mut a = arb(Role::Primary);
+        let _ = a.on_peer_hb(t(0), true);
+        assert_eq!(
+            a.on_local_close(t(100)),
+            ArbAction::ReleaseFin(FinReleaseReason::PeerAlsoFin)
+        );
+        assert_eq!(a.on_check(t(100_000)), None);
+    }
+
+    #[test]
+    fn held_fin_released_when_peer_declared_failed() {
+        let mut a = arb(Role::Primary);
+        let _ = a.on_local_close(t(0));
+        assert_eq!(
+            a.on_peer_failed(),
+            Some(ArbAction::ReleaseFin(FinReleaseReason::PeerFailed))
+        );
+    }
+
+    #[test]
+    fn backup_fin_is_held_passively() {
+        let mut a = arb(Role::Backup);
+        assert_eq!(a.on_local_close(t(0)), ArbAction::HoldFin);
+        // No deadline on the backup: nothing happens at any time.
+        assert_eq!(a.on_check(t(1_000_000)), None);
+        // Takeover promotes and releases.
+        assert_eq!(
+            a.on_takeover(),
+            Some(ArbAction::ReleaseFin(FinReleaseReason::PeerFailed))
+        );
+    }
+
+    #[test]
+    fn backup_without_fin_takeover_is_quiet() {
+        let mut a = arb(Role::Backup);
+        assert_eq!(a.on_takeover(), None);
+        assert_eq!(a.on_check(t(1_000_000)), None);
+    }
+
+    #[test]
+    fn repeated_peer_hb_fin_does_not_rearm_mismatch() {
+        let mut a = arb(Role::Primary);
+        let _ = a.on_peer_hb(t(0), true);
+        let _ = a.on_peer_hb(t(10_000), true);
+        // Deadline anchored at first news (t=0), so fires at 60s not 70s.
+        assert_eq!(a.on_check(t(60_000)), Some(ArbAction::DeclarePeerFailed));
+    }
+
+    #[test]
+    fn close_after_resolution_passes_through() {
+        let mut a = arb(Role::Primary);
+        let _ = a.on_peer_hb(t(0), true);
+        let _ = a.on_check(t(60_000)); // peer condemned
+        assert_eq!(
+            a.on_local_close(t(61_000)),
+            ArbAction::ReleaseFin(FinReleaseReason::PeerFailed)
+        );
+    }
+}

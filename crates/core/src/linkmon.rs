@@ -1,0 +1,97 @@
+//! Per-link heartbeat liveness monitoring.
+//!
+//! One [`LinkMonitor`] per heartbeat link (IP and serial). A link is
+//! *alive* while heartbeats keep arriving within the timeout; the
+//! combination of the two monitors drives the paper's failure taxonomy:
+//! both dead ⇒ peer crashed (Table 1 row 1); IP dead + serial alive ⇒
+//! local network failure (row 4); both alive ⇒ use the heartbeat contents
+//! (rows 2, 3, 5).
+
+use simnet::time::{SimDuration, SimTime};
+
+/// Liveness tracker for one heartbeat link.
+#[derive(Debug, Clone)]
+pub struct LinkMonitor {
+    timeout: SimDuration,
+    last_rx: Option<SimTime>,
+    started_at: SimTime,
+}
+
+impl LinkMonitor {
+    /// Creates a monitor. Until the first heartbeat arrives, the link is
+    /// given `timeout` of grace from `started_at`.
+    pub fn new(timeout: SimDuration, started_at: SimTime) -> LinkMonitor {
+        LinkMonitor {
+            timeout,
+            last_rx: None,
+            started_at,
+        }
+    }
+
+    /// Records a heartbeat arrival.
+    pub fn on_heartbeat(&mut self, now: SimTime) {
+        self.last_rx = Some(now);
+    }
+
+    /// The last heartbeat arrival, if any.
+    pub fn last_rx(&self) -> Option<SimTime> {
+        self.last_rx
+    }
+
+    /// True while the link is considered alive at `now`.
+    pub fn is_alive(&self, now: SimTime) -> bool {
+        let anchor = self.last_rx.unwrap_or(self.started_at);
+        now.saturating_since(anchor) < self.timeout
+    }
+
+    /// When the link will be declared dead if no further heartbeat
+    /// arrives.
+    pub fn deadline(&self) -> SimTime {
+        let anchor = self.last_rx.unwrap_or(self.started_at);
+        anchor + self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn alive_within_timeout() {
+        let mut m = LinkMonitor::new(SimDuration::from_millis(600), t(0));
+        m.on_heartbeat(t(100));
+        assert!(m.is_alive(t(100)));
+        assert!(m.is_alive(t(699)));
+        assert!(!m.is_alive(t(700)));
+    }
+
+    #[test]
+    fn grace_period_before_first_heartbeat() {
+        let m = LinkMonitor::new(SimDuration::from_millis(600), t(1_000));
+        assert!(m.is_alive(t(1_000)));
+        assert!(m.is_alive(t(1_599)));
+        assert!(!m.is_alive(t(1_600)));
+        assert_eq!(m.last_rx(), None);
+    }
+
+    #[test]
+    fn recovery_after_outage() {
+        let mut m = LinkMonitor::new(SimDuration::from_millis(600), t(0));
+        m.on_heartbeat(t(100));
+        assert!(!m.is_alive(t(800)));
+        m.on_heartbeat(t(900));
+        assert!(m.is_alive(t(1_000)));
+    }
+
+    #[test]
+    fn deadline_tracks_last_rx() {
+        let mut m = LinkMonitor::new(SimDuration::from_millis(600), t(0));
+        assert_eq!(m.deadline(), t(600));
+        m.on_heartbeat(t(250));
+        assert_eq!(m.deadline(), t(850));
+    }
+}

@@ -1,0 +1,347 @@
+//! The local-network (NIC/cable) failure detector (§4.3).
+//!
+//! Engaged only in the signature condition of Table 1 row 4: the IP-link
+//! heartbeat is dead while the serial-link heartbeat is alive. Three
+//! mechanisms, in the paper's order of preference:
+//!
+//! 1. **Client-byte lag** — if the client is sending, the server whose NIC
+//!    died stops receiving; compare `LastByteReceived` across the serial
+//!    heartbeat.
+//! 2. **Client-ack lag** — for server-push workloads the client sends only
+//!    ACKs; compare `LastAckReceived`. Catches a dead *backup* NIC but not
+//!    a dead *primary* NIC (no data reaches the client, so nobody gets
+//!    ACKs).
+//! 3. **Gateway ping** — both servers ping the gateway and exchange the
+//!    results over the serial heartbeat; the server whose pings keep
+//!    failing while its peer's succeed is the one with the dead NIC.
+
+use simnet::time::{SimDuration, SimTime};
+
+use crate::events::FailureReason;
+use crate::heartbeat::PingReport;
+
+/// Aggregated observations for one detector evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetObservation {
+    /// Sum of `LastByteReceived` over this server's connections.
+    pub my_bytes: u64,
+    /// Sum of the peer's `LastByteReceived` (from the serial heartbeat).
+    pub peer_bytes: u64,
+    /// Sum of `LastAckReceived` over this server's connections.
+    pub my_acks: u64,
+    /// Sum of the peer's `LastAckReceived`.
+    pub peer_acks: u64,
+    /// This server's own gateway-ping campaign state.
+    pub my_ping: Option<PingReport>,
+    /// The peer's ping report from the serial heartbeat.
+    pub peer_ping: Option<PingReport>,
+}
+
+/// Lag state with heartbeat-staleness tolerance: the byte threshold must
+/// persist for a confirmation window, and the time criterion ages the
+/// oldest position the peer has not yet matched (see
+/// [`crate::applag`] for the full rationale — the serial heartbeat has
+/// the same staleness as the IP one).
+#[derive(Debug, Clone, Default)]
+struct NetLagTrack {
+    peer_last: u64,
+    peer_progress_at: Option<SimTime>,
+    watermarks: std::collections::VecDeque<(u64, SimTime)>,
+}
+
+impl NetLagTrack {
+    fn update(
+        &mut self,
+        now: SimTime,
+        mine: u64,
+        peers: u64,
+        max_bytes: u64,
+        max_time: SimDuration,
+        confirm: SimDuration,
+    ) -> bool {
+        if peers > self.peer_last || self.peer_progress_at.is_none() {
+            self.peer_last = peers;
+            self.peer_progress_at = Some(now);
+        }
+        match self.watermarks.back() {
+            Some(&(pos, _)) if pos >= mine => {}
+            _ if mine > peers => self.watermarks.push_back((mine, now)),
+            _ => {}
+        }
+        while self
+            .watermarks
+            .front()
+            .is_some_and(|&(pos, _)| peers >= pos)
+        {
+            self.watermarks.pop_front();
+        }
+        if peers >= mine {
+            return false;
+        }
+        let peer_stalled = self
+            .peer_progress_at
+            .is_some_and(|at| now.saturating_since(at) >= confirm);
+        if mine - peers >= max_bytes && peer_stalled {
+            return true;
+        }
+        self.watermarks
+            .front()
+            .is_some_and(|&(_, when)| now.saturating_since(when) >= max_time)
+    }
+}
+
+/// Local-network failure detector. One per server (aggregated across
+/// connections).
+#[derive(Debug, Clone)]
+pub struct NetFailureDetector {
+    lag_bytes: u64,
+    lag_time: SimDuration,
+    confirm: SimDuration,
+    ping_fail_threshold: u32,
+    byte_lag: NetLagTrack,
+    ack_lag: NetLagTrack,
+}
+
+impl NetFailureDetector {
+    /// Creates a detector with the byte/time lag thresholds, the
+    /// staleness-confirmation window (must exceed the heartbeat period),
+    /// and the consecutive-ping-failure threshold.
+    pub fn new(
+        lag_bytes: u64,
+        lag_time: SimDuration,
+        confirm: SimDuration,
+        ping_fail_threshold: u32,
+    ) -> Self {
+        NetFailureDetector {
+            lag_bytes,
+            lag_time,
+            confirm,
+            ping_fail_threshold,
+            byte_lag: NetLagTrack::default(),
+            ack_lag: NetLagTrack::default(),
+        }
+    }
+
+    /// Evaluates one observation. **Only call while the IP heartbeat is
+    /// dead and the serial heartbeat is alive** — outside that condition
+    /// the verdicts are meaningless; call [`NetFailureDetector::reset`]
+    /// instead.
+    pub fn check(&mut self, now: SimTime, obs: &NetObservation) -> Option<FailureReason> {
+        if self.byte_lag.update(
+            now,
+            obs.my_bytes,
+            obs.peer_bytes,
+            self.lag_bytes,
+            self.lag_time,
+            self.confirm,
+        ) {
+            return Some(FailureReason::NetByteLag);
+        }
+        if self.ack_lag.update(
+            now,
+            obs.my_acks,
+            obs.peer_acks,
+            self.lag_bytes,
+            self.lag_time,
+            self.confirm,
+        ) {
+            return Some(FailureReason::NetAckLag);
+        }
+        if let (Some(mine), Some(peers)) = (obs.my_ping, obs.peer_ping) {
+            if peers.consecutive_failures >= self.ping_fail_threshold
+                && mine.consecutive_failures == 0
+                && mine.attempts > 0
+            {
+                return Some(FailureReason::NetPingFail);
+            }
+        }
+        None
+    }
+
+    /// Clears lag history (call whenever the engagement condition stops
+    /// holding).
+    pub fn reset(&mut self) {
+        self.byte_lag = NetLagTrack::default();
+        self.ack_lag = NetLagTrack::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn det() -> NetFailureDetector {
+        NetFailureDetector::new(
+            1_000,
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(200),
+            3,
+        )
+    }
+
+    fn obs() -> NetObservation {
+        NetObservation::default()
+    }
+
+    #[test]
+    fn quiet_network_no_verdict() {
+        let mut d = det();
+        assert_eq!(d.check(t(0), &obs()), None);
+    }
+
+    #[test]
+    fn big_byte_lag_fires_after_confirmation() {
+        let mut d = det();
+        let o = NetObservation {
+            my_bytes: 5_000,
+            peer_bytes: 100,
+            ..obs()
+        };
+        assert_eq!(d.check(t(0), &o), None);
+        assert_eq!(d.check(t(200), &o), Some(FailureReason::NetByteLag));
+    }
+
+    #[test]
+    fn small_byte_lag_needs_time() {
+        let mut d = det();
+        let o = NetObservation {
+            my_bytes: 500,
+            peer_bytes: 100,
+            ..obs()
+        };
+        assert_eq!(d.check(t(0), &o), None);
+        assert_eq!(d.check(t(499), &o), None);
+        assert_eq!(d.check(t(500), &o), Some(FailureReason::NetByteLag));
+    }
+
+    #[test]
+    fn ack_lag_detected_for_server_push() {
+        let mut d = det();
+        let o = NetObservation {
+            my_acks: 100_000,
+            peer_acks: 50_000,
+            ..obs()
+        };
+        assert_eq!(d.check(t(0), &o), None);
+        assert_eq!(d.check(t(200), &o), Some(FailureReason::NetAckLag));
+    }
+
+    #[test]
+    fn heartbeat_sawtooth_never_fires() {
+        let mut d = det();
+        let mut mine = 0u64;
+        let mut peers = 0u64;
+        for ms in (0..3_000u64).step_by(50) {
+            mine += 50_000;
+            if ms % 150 == 0 {
+                peers = mine;
+            }
+            let o = NetObservation {
+                my_bytes: mine,
+                peer_bytes: peers,
+                ..obs()
+            };
+            assert_eq!(d.check(t(ms), &o), None, "false positive at {ms}ms");
+        }
+    }
+
+    #[test]
+    fn peer_ahead_is_never_a_peer_failure() {
+        let mut d = det();
+        let o = NetObservation {
+            my_bytes: 100,
+            peer_bytes: 9_999,
+            my_acks: 0,
+            peer_acks: 9_999,
+            ..obs()
+        };
+        for ms in (0..5_000).step_by(100) {
+            assert_eq!(d.check(t(ms), &o), None);
+        }
+    }
+
+    #[test]
+    fn ping_mismatch_condemns_peer() {
+        let mut d = det();
+        let o = NetObservation {
+            my_ping: Some(PingReport {
+                consecutive_failures: 0,
+                attempts: 5,
+            }),
+            peer_ping: Some(PingReport {
+                consecutive_failures: 3,
+                attempts: 5,
+            }),
+            ..obs()
+        };
+        assert_eq!(d.check(t(0), &o), Some(FailureReason::NetPingFail));
+    }
+
+    #[test]
+    fn ping_needs_local_success_evidence() {
+        let mut d = det();
+        // Both failing: the gateway may be down; no verdict.
+        let both = NetObservation {
+            my_ping: Some(PingReport {
+                consecutive_failures: 3,
+                attempts: 5,
+            }),
+            peer_ping: Some(PingReport {
+                consecutive_failures: 3,
+                attempts: 5,
+            }),
+            ..obs()
+        };
+        assert_eq!(d.check(t(0), &both), None);
+        // No local attempts yet: not enough evidence.
+        let unproven = NetObservation {
+            my_ping: Some(PingReport {
+                consecutive_failures: 0,
+                attempts: 0,
+            }),
+            peer_ping: Some(PingReport {
+                consecutive_failures: 5,
+                attempts: 5,
+            }),
+            ..obs()
+        };
+        assert_eq!(d.check(t(0), &unproven), None);
+    }
+
+    #[test]
+    fn catching_up_resets_clock() {
+        let mut d = det();
+        let lag = NetObservation {
+            my_bytes: 500,
+            peer_bytes: 100,
+            ..obs()
+        };
+        assert_eq!(d.check(t(0), &lag), None);
+        let caught = NetObservation {
+            my_bytes: 500,
+            peer_bytes: 500,
+            ..obs()
+        };
+        assert_eq!(d.check(t(400), &caught), None);
+        assert_eq!(d.check(t(600), &lag), None, "clock restarted");
+        assert_eq!(d.check(t(1_100), &lag), Some(FailureReason::NetByteLag));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut d = det();
+        let lag = NetObservation {
+            my_bytes: 500,
+            peer_bytes: 100,
+            ..obs()
+        };
+        let _ = d.check(t(0), &lag);
+        d.reset();
+        assert_eq!(d.check(t(499), &lag), None);
+        assert_eq!(d.check(t(999), &lag), Some(FailureReason::NetByteLag));
+    }
+}

@@ -1,0 +1,167 @@
+//! Missed-byte recovery between backup and primary (§4.3, Table 1 row 5).
+//!
+//! A temporary network failure (NIC buffer overflow, switch loss) can
+//! drop client segments on the *tap* path to the backup even though the
+//! primary received and acknowledged them. The client will never
+//! retransmit those bytes, so the backup fetches them from the primary's
+//! extended receive buffer over the server-to-server IP channel.
+//!
+//! The wire format here is the control protocol those fetches ride on.
+//! If the primary crashes while bytes are still missing, the backup has
+//! no source for them and the failure is unrecoverable (the paper's
+//! output-commit caveat; a logger would be needed — out of scope, as in
+//! the paper).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use core::fmt;
+
+/// A control message on the server-to-server channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Backup → primary: "send me stream bytes of connection `conn`
+    /// starting at `from`, at most `max`".
+    FetchRequest {
+        /// Connection key ([`crate::heartbeat::conn_key`]).
+        conn: u32,
+        /// First missing stream offset.
+        from: u64,
+        /// Maximum bytes wanted.
+        max: u32,
+    },
+    /// Primary → backup: the requested bytes (possibly fewer than asked,
+    /// empty if the range is not retained).
+    FetchReply {
+        /// Connection key.
+        conn: u32,
+        /// Stream offset of the first byte in `data`.
+        from: u64,
+        /// The recovered bytes.
+        data: Bytes,
+    },
+}
+
+/// Error returned when decoding a control message fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtrlDecodeError;
+
+impl fmt::Display for CtrlDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed recovery control message")
+    }
+}
+
+impl std::error::Error for CtrlDecodeError {}
+
+impl CtrlMsg {
+    /// Serializes the message.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            CtrlMsg::FetchRequest { conn, from, max } => {
+                let mut b = BytesMut::with_capacity(17);
+                b.put_u8(1);
+                b.put_u32(*conn);
+                b.put_u64(*from);
+                b.put_u32(*max);
+                b.freeze()
+            }
+            CtrlMsg::FetchReply { conn, from, data } => {
+                let mut b = BytesMut::with_capacity(13 + data.len());
+                b.put_u8(2);
+                b.put_u32(*conn);
+                b.put_u64(*from);
+                b.put_slice(data);
+                b.freeze()
+            }
+        }
+    }
+
+    /// Parses a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlDecodeError`] on truncation or an unknown type byte.
+    pub fn decode(wire: &[u8]) -> Result<CtrlMsg, CtrlDecodeError> {
+        if wire.is_empty() {
+            return Err(CtrlDecodeError);
+        }
+        let rd32 = |p: usize| u32::from_be_bytes([wire[p], wire[p + 1], wire[p + 2], wire[p + 3]]);
+        let rd64 = |p: usize| {
+            u64::from_be_bytes([
+                wire[p],
+                wire[p + 1],
+                wire[p + 2],
+                wire[p + 3],
+                wire[p + 4],
+                wire[p + 5],
+                wire[p + 6],
+                wire[p + 7],
+            ])
+        };
+        match wire[0] {
+            1 => {
+                if wire.len() < 17 {
+                    return Err(CtrlDecodeError);
+                }
+                Ok(CtrlMsg::FetchRequest {
+                    conn: rd32(1),
+                    from: rd64(5),
+                    max: rd32(13),
+                })
+            }
+            2 => {
+                if wire.len() < 13 {
+                    return Err(CtrlDecodeError);
+                }
+                Ok(CtrlMsg::FetchReply {
+                    conn: rd32(1),
+                    from: rd64(5),
+                    data: Bytes::copy_from_slice(&wire[13..]),
+                })
+            }
+            _ => Err(CtrlDecodeError),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let m = CtrlMsg::FetchRequest {
+            conn: 0xdead_beef,
+            from: 123_456_789_012,
+            max: 8_192,
+        };
+        assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let m = CtrlMsg::FetchReply {
+            conn: 7,
+            from: 42,
+            data: Bytes::from_static(b"recovered bytes"),
+        };
+        assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_reply_roundtrip() {
+        let m = CtrlMsg::FetchReply {
+            conn: 7,
+            from: 42,
+            data: Bytes::new(),
+        };
+        assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(CtrlMsg::decode(&[]), Err(CtrlDecodeError));
+        assert_eq!(CtrlMsg::decode(&[9, 0, 0]), Err(CtrlDecodeError));
+        assert_eq!(CtrlMsg::decode(&[1, 0, 0, 0]), Err(CtrlDecodeError));
+        assert_eq!(CtrlMsg::decode(&[2, 0]), Err(CtrlDecodeError));
+    }
+}

@@ -1,0 +1,1394 @@
+//! The ST-TCP server node: ties the TCP stack, the replica application,
+//! the heartbeat engine, every failure detector, and recovery together.
+//!
+//! One [`StTcpServer`] instance runs on each of the two server hosts; the
+//! [`crate::config::Role`] decides its behaviour:
+//!
+//! * The **primary** serves clients normally, holds received client bytes
+//!   in the extended receive buffer until the backup confirms them, sends
+//!   heartbeats on both links, arbitrates FINs, answers missed-byte fetch
+//!   requests, and — if the backup fails — STONITHs it and continues
+//!   non-fault-tolerant.
+//! * The **backup** accepts the same (tapped) client segments with the
+//!   same deterministic ISN, runs the replica application, suppresses all
+//!   egress, tracks the primary through heartbeats, fetches bytes it
+//!   missed, and — if the primary fails — powers it down and takes over
+//!   the client connections in place.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use simnet::frame::EthernetFrame;
+use simnet::ip::{IpProto, Ipv4Packet};
+use simnet::iplayer::IpInterface;
+use simnet::node::{NicId, Node, NodeCtx, NodeId, SerialPortId, TimerId, TimerToken};
+use simnet::time::{SimDuration, SimTime};
+
+use simtcp::conn::{TcpConfig, TcpState};
+use simtcp::endpoint::{
+    EgressMode, EndpointConfig, FinGate, IsnPolicy, ListenConfig, RstPolicy, TcpEndpoint,
+};
+use simtcp::socket::{SocketEvent, SocketId};
+
+use crate::app::{AppAction, AppFactory, Application};
+use crate::applag::AppLagDetector;
+use crate::config::{Role, StTcpConfig};
+use crate::events::{FailureReason, HbLink, StTcpEvent};
+use crate::finarb::{ArbAction, FinArbiter};
+use crate::heartbeat::{conn_key, unwrap_u32_near, ConnHb, HbPayload, PingReport};
+use crate::linkmon::LinkMonitor;
+use crate::netdetect::{NetFailureDetector, NetObservation};
+use crate::recover::CtrlMsg;
+
+/// The IP protocol number carrying the server-to-server recovery channel.
+pub const CTRL_PROTO: IpProto = IpProto::Other(254);
+
+const TOKEN_HB: TimerToken = TimerToken(1);
+const TOKEN_CHECK: TimerToken = TimerToken(2);
+const TOKEN_TCP: TimerToken = TimerToken(3);
+const TOKEN_APP_TICK: TimerToken = TimerToken(4);
+const TOKEN_PING: TimerToken = TimerToken(5);
+const TOKEN_TAKEOVER: TimerToken = TimerToken(6);
+
+/// Static wiring for one ST-TCP server instance.
+#[derive(Debug, Clone)]
+pub struct ServerSetup {
+    /// Initial role.
+    pub role: Role,
+    /// ST-TCP tunables.
+    pub sttcp: StTcpConfig,
+    /// Base TCP tuning (the primary's accepted connections additionally
+    /// get the extended receive buffer).
+    pub tcp: TcpConfig,
+    /// The shared service address clients connect to (an alias on both
+    /// servers).
+    pub service_ip: Ipv4Addr,
+    /// The service port.
+    pub service_port: u16,
+    /// This server's own address (heartbeat + recovery channel).
+    pub private_ip: Ipv4Addr,
+    /// The peer server's own address.
+    pub peer_private_ip: Ipv4Addr,
+    /// The peer's node id, for STONITH.
+    pub peer_node: NodeId,
+    /// The gateway pinged during IP-heartbeat outages (the client host in
+    /// the paper's setup).
+    pub gateway_ip: Ipv4Addr,
+    /// Shared ISN salt — must match on both servers.
+    pub isn_salt: u64,
+    /// Seed for this server's private randomness.
+    pub seed: u64,
+}
+
+/// How an application crash is injected (Demo 4's two scenarios, plus the
+/// RST variant of OS cleanup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppCrashMode {
+    /// The application stops reading and writing but the socket stays
+    /// open; no FIN is generated (§4.2.1).
+    SilentNoCleanup,
+    /// The OS cleans up and closes the socket: a FIN is generated
+    /// (§4.2.2).
+    CleanupFin,
+    /// The OS cleanup aborts the socket: an RST is generated.
+    CleanupRst,
+}
+
+/// Per-connection control state.
+struct ConnCtl {
+    key: u32,
+    app: Box<dyn Application>,
+    app_alive: bool,
+    applag: AppLagDetector,
+    finarb: FinArbiter,
+    pending_out: Vec<Bytes>,
+    last_fetch_at: Option<SimTime>,
+    recovering: bool,
+    closed: bool,
+    /// Post-takeover: when a persistent receive hole was first seen.
+    hole_since: Option<SimTime>,
+    /// A local close/abort has already gone through arbitration.
+    close_issued: bool,
+    /// Last time the (live) application showed a sign of life — any
+    /// callback into it returning. Feeds the optional watchdog.
+    last_sign_of_life: SimTime,
+}
+
+/// Peer-side per-connection view, unwrapped to 64 bits.
+#[derive(Debug, Clone, Copy, Default)]
+struct PeerConn {
+    last_byte_received: u64,
+    last_ack_received: u64,
+    last_app_byte_written: u64,
+    last_app_byte_read: u64,
+    fin_or_rst: bool,
+    /// The peer's watchdog self-reported its application failed (sticky).
+    app_suspected: bool,
+}
+
+/// Gateway-ping campaign state.
+#[derive(Debug, Clone, Copy, Default)]
+struct PingCampaign {
+    active: bool,
+    id: u16,
+    seq: u16,
+    awaiting: Option<u16>,
+    consecutive_failures: u32,
+    attempts: u32,
+}
+
+impl PingCampaign {
+    fn report(&self) -> PingReport {
+        PingReport {
+            consecutive_failures: self.consecutive_failures,
+            attempts: self.attempts,
+        }
+    }
+}
+
+/// The ST-TCP server node. See the [module docs](self).
+pub struct StTcpServer {
+    setup: ServerSetup,
+    iface: IpInterface,
+    serial_port: SerialPortId,
+    tcp: TcpEndpoint,
+    app_factory: Box<dyn AppFactory>,
+    app_crashed: bool,
+
+    role: Role,
+    ft_mode: bool,
+    peer_alive: bool,
+
+    conns: BTreeMap<SocketId, ConnCtl>,
+    by_key: BTreeMap<u32, SocketId>,
+    peer_conns: BTreeMap<u32, PeerConn>,
+
+    ip_mon: LinkMonitor,
+    serial_mon: LinkMonitor,
+    ip_was_alive: bool,
+    serial_was_alive: bool,
+
+    net_detect: NetFailureDetector,
+    ping: PingCampaign,
+    peer_ping: Option<PingReport>,
+
+    hb_seq: u32,
+    took_over: bool,
+    tcp_timer: Option<(TimerId, SimTime)>,
+    events: Vec<StTcpEvent>,
+    powered_off: bool,
+    started_at: SimTime,
+}
+
+impl std::fmt::Debug for StTcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StTcpServer")
+            .field("role", &self.role)
+            .field("ft_mode", &self.ft_mode)
+            .field("conns", &self.conns.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StTcpServer {
+    /// Creates a server. `iface` must already carry the service-IP alias
+    /// and the static ARP entries for the client, the peer, and the
+    /// gateway; `serial_port` is the null-modem port to the peer (settable
+    /// later via [`StTcpServer::set_serial_port`]).
+    pub fn new(
+        setup: ServerSetup,
+        iface: IpInterface,
+        app_factory: Box<dyn AppFactory>,
+    ) -> StTcpServer {
+        let hb_timeout = setup.sttcp.hb_timeout();
+        let tcp_cfg = EndpointConfig {
+            tcp: setup.tcp.clone(),
+            isn: IsnPolicy::Deterministic {
+                salt: setup.isn_salt,
+            },
+            // The backup must never answer stray segments; the primary
+            // behaves like a normal host.
+            rst_policy: match setup.role {
+                Role::Primary => RstPolicy::Send,
+                Role::Backup => RstPolicy::Silent,
+            },
+            seed: setup.seed,
+        };
+        let role = setup.role;
+        let net_detect = NetFailureDetector::new(
+            setup.sttcp.net_lag_bytes,
+            setup.sttcp.net_lag_time,
+            setup.sttcp.effective_lag_confirm(),
+            setup.sttcp.ping_fail_threshold,
+        );
+        StTcpServer {
+            ping: PingCampaign {
+                id: (setup.seed & 0xffff) as u16,
+                ..Default::default()
+            },
+            tcp: TcpEndpoint::new(tcp_cfg),
+            iface,
+            serial_port: SerialPortId(0),
+            app_factory,
+            app_crashed: false,
+            role,
+            ft_mode: true,
+            peer_alive: true,
+            conns: BTreeMap::new(),
+            by_key: BTreeMap::new(),
+            peer_conns: BTreeMap::new(),
+            ip_mon: LinkMonitor::new(hb_timeout, SimTime::ZERO),
+            serial_mon: LinkMonitor::new(hb_timeout, SimTime::ZERO),
+            ip_was_alive: true,
+            serial_was_alive: true,
+            net_detect,
+            peer_ping: None,
+            hb_seq: 0,
+            took_over: false,
+            tcp_timer: None,
+            events: Vec::new(),
+            powered_off: false,
+            started_at: SimTime::ZERO,
+            setup,
+        }
+    }
+
+    /// Sets the serial port wired to the peer (assigned by the topology
+    /// builder after node construction).
+    pub fn set_serial_port(&mut self, port: SerialPortId) {
+        self.serial_port = port;
+    }
+
+    /// Adds a static ARP entry (topology builders registering additional
+    /// clients after construction).
+    pub fn add_arp(&mut self, addr: Ipv4Addr, mac: simnet::mac::MacAddr) {
+        self.iface.add_arp(addr, mac);
+    }
+
+    /// True when the optional watchdog suspects the local replica on this
+    /// connection: no sign of life for `watchdog_timeout`, with the
+    /// connection still nominally open.
+    fn watchdog_suspects(&self, now: SimTime, sock: SocketId) -> bool {
+        let Some(timeout) = self.setup.sttcp.watchdog_timeout else {
+            return false;
+        };
+        let Some(ctl) = self.conns.get(&sock) else {
+            return false;
+        };
+        !ctl.closed
+            && !ctl.close_issued
+            && now.saturating_since(ctl.last_sign_of_life) >= timeout
+    }
+
+    fn touch_sign_of_life(&mut self, now: SimTime, sock: SocketId) {
+        if let Some(ctl) = self.conns.get_mut(&sock) {
+            if ctl.app_alive {
+                ctl.last_sign_of_life = now;
+            }
+        }
+    }
+
+    // ----- public introspection -------------------------------------------
+
+    /// The server's current role (a backup becomes `Primary` at takeover).
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// True while the server still believes its peer is alive and is
+    /// operating fault-tolerant.
+    pub fn ft_mode(&self) -> bool {
+        self.ft_mode
+    }
+
+    /// The protocol event log.
+    pub fn events(&self) -> &[StTcpEvent] {
+        &self.events
+    }
+
+    /// When this server took over, if it did.
+    pub fn took_over_at(&self) -> Option<SimTime> {
+        self.events.iter().find_map(|e| match e {
+            StTcpEvent::TookOver { at } => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// The underlying TCP endpoint (tests and harnesses).
+    pub fn endpoint(&self) -> &TcpEndpoint {
+        &self.tcp
+    }
+
+    /// Application state digest for a connection key (replica-lockstep
+    /// assertions).
+    pub fn app_digest(&self, key: u32) -> Option<u64> {
+        let sock = self.by_key.get(&key)?;
+        self.conns.get(sock).map(|c| c.app.state_digest())
+    }
+
+    /// Connection keys currently known.
+    pub fn conn_keys(&self) -> Vec<u32> {
+        self.by_key.keys().copied().collect()
+    }
+
+    /// True if the node observed a power-off.
+    pub fn was_powered_off(&self) -> bool {
+        self.powered_off
+    }
+
+    // ----- failure injection ------------------------------------------------
+
+    /// Crashes the replica application on this server (Demo 4). Applies to
+    /// every current connection and to all future ones.
+    ///
+    /// State changes are immediate; any resulting FIN/RST leaves with the
+    /// next timer-driven flush (bounded by `app_tick`).
+    pub fn inject_app_crash(&mut self, now: SimTime, mode: AppCrashMode) {
+        self.app_crashed = true;
+        let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+        for sock in socks {
+            let Some(ctl) = self.conns.get_mut(&sock) else {
+                continue;
+            };
+            if ctl.closed {
+                continue;
+            }
+            ctl.app_alive = false;
+            match mode {
+                AppCrashMode::SilentNoCleanup => {}
+                AppCrashMode::CleanupFin => {
+                    ctl.close_issued = true;
+                    let action = ctl.finarb.on_local_close(now);
+                    let key = ctl.key;
+                    self.apply_gate_action(now, sock, key, action);
+                    self.tcp.close(now, sock);
+                }
+                AppCrashMode::CleanupRst => {
+                    ctl.close_issued = true;
+                    let action = ctl.finarb.on_local_close(now);
+                    let key = ctl.key;
+                    self.apply_gate_action(now, sock, key, action);
+                    self.tcp.abort(now, sock);
+                }
+            }
+        }
+    }
+
+    // ----- internal: TCP event handling ------------------------------------
+
+    /// Drains endpoint events, returning whether anything happened.
+    fn drain_tcp_events(&mut self, now: SimTime) -> bool {
+        let mut any = false;
+        while let Some((sock, ev)) = self.tcp.poll_event() {
+            any = true;
+            match ev {
+                SocketEvent::Accepted => self.on_accepted(now, sock),
+                SocketEvent::Connected => {}
+                SocketEvent::DataReadable => self.on_readable(now, sock),
+                SocketEvent::PeerFin => self.on_client_fin(now, sock),
+                SocketEvent::Reset | SocketEvent::Closed => {
+                    if let Some(ctl) = self.conns.get_mut(&sock) {
+                        ctl.closed = true;
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    fn on_accepted(&mut self, now: SimTime, sock: SocketId) {
+        let Some(conn) = self.tcp.conn(sock) else {
+            return;
+        };
+        let key = conn_key(conn.tuple());
+        let mut app = self.app_factory.create();
+        let app_alive = !self.app_crashed;
+        let open_actions = if app_alive { app.on_open() } else { Vec::new() };
+        self.by_key.insert(key, sock);
+        self.conns.insert(
+            sock,
+            ConnCtl {
+                key,
+                app,
+                app_alive,
+                applag: AppLagDetector::new(
+                    self.setup.sttcp.app_max_lag_bytes,
+                    self.setup.sttcp.app_max_lag_time,
+                    self.setup.sttcp.effective_lag_confirm(),
+                ),
+                finarb: FinArbiter::new(self.role, self.setup.sttcp.max_delay_fin),
+                pending_out: Vec::new(),
+                last_fetch_at: None,
+                recovering: false,
+                closed: false,
+                close_issued: false,
+                hole_since: None,
+                last_sign_of_life: now,
+            },
+        );
+        self.apply_app_actions(now, sock, open_actions);
+    }
+
+    fn on_readable(&mut self, now: SimTime, sock: SocketId) {
+        loop {
+            let alive = self.conns.get(&sock).map(|c| c.app_alive).unwrap_or(false);
+            if !alive {
+                // A crashed application never reads: bytes pile up in the
+                // TCP receive buffer exactly as in §4.2.1.
+                return;
+            }
+            let data = self.tcp.recv(sock, 64 * 1024);
+            if data.is_empty() {
+                return;
+            }
+            let actions = match self.conns.get_mut(&sock) {
+                Some(ctl) => ctl.app.on_data(&data),
+                None => return,
+            };
+            self.touch_sign_of_life(now, sock);
+            self.apply_app_actions(now, sock, actions);
+        }
+    }
+
+    fn on_client_fin(&mut self, now: SimTime, sock: SocketId) {
+        let Some(ctl) = self.conns.get_mut(&sock) else {
+            return;
+        };
+        let key = ctl.key;
+        let arb = ctl.finarb.note_client_fin(now);
+        let alive = ctl.app_alive;
+        if let Some(action) = arb {
+            self.apply_gate_action(now, sock, key, action);
+        }
+        if alive {
+            let actions = match self.conns.get_mut(&sock) {
+                Some(c) => c.app.on_peer_close(),
+                None => return,
+            };
+            self.apply_app_actions(now, sock, actions);
+        }
+    }
+
+    fn apply_app_actions(&mut self, now: SimTime, sock: SocketId, actions: Vec<AppAction>) {
+        for action in actions {
+            match action {
+                AppAction::Write(bytes) => {
+                    if let Some(ctl) = self.conns.get_mut(&sock) {
+                        ctl.pending_out.push(bytes);
+                    }
+                }
+                AppAction::Close => {
+                    let arb = match self.conns.get_mut(&sock) {
+                        Some(ctl) if !ctl.close_issued => {
+                            ctl.close_issued = true;
+                            Some(ctl.finarb.on_local_close(now))
+                        }
+                        Some(_) => None,
+                        None => continue,
+                    };
+                    if let Some(arb) = arb {
+                        let key = self.conns.get(&sock).map(|c| c.key).unwrap_or(0);
+                        self.apply_gate_action(now, sock, key, arb);
+                    }
+                    self.flush_pending(now, sock);
+                    self.tcp.close(now, sock);
+                }
+                AppAction::Abort => {
+                    let arb = match self.conns.get_mut(&sock) {
+                        Some(ctl) if !ctl.close_issued => {
+                            ctl.close_issued = true;
+                            Some(ctl.finarb.on_local_close(now))
+                        }
+                        Some(_) => None,
+                        None => continue,
+                    };
+                    if let Some(arb) = arb {
+                        let key = self.conns.get(&sock).map(|c| c.key).unwrap_or(0);
+                        self.apply_gate_action(now, sock, key, arb);
+                    }
+                    self.tcp.abort(now, sock);
+                }
+            }
+        }
+        self.flush_pending(now, sock);
+    }
+
+    fn flush_pending(&mut self, now: SimTime, sock: SocketId) {
+        loop {
+            let Some(front) = self
+                .conns
+                .get_mut(&sock)
+                .and_then(|c| c.pending_out.first().cloned())
+            else {
+                return;
+            };
+            let n = self.tcp.send(now, sock, &front);
+            let Some(ctl) = self.conns.get_mut(&sock) else {
+                return;
+            };
+            if n == 0 {
+                return; // send buffer full; retry on a later tick
+            }
+            if n == front.len() {
+                ctl.pending_out.remove(0);
+            } else {
+                ctl.pending_out[0] = front.slice(n..);
+                return;
+            }
+        }
+    }
+
+    /// Applies a FIN-arbitration gate action (but not `DeclarePeerFailed`,
+    /// which the caller must route through the verdict path).
+    fn apply_gate_action(&mut self, now: SimTime, sock: SocketId, key: u32, action: ArbAction) {
+        match action {
+            ArbAction::HoldFin => {
+                self.tcp.set_fin_gate(sock, FinGate::Hold);
+                self.events.push(StTcpEvent::FinHeld { conn: key, at: now });
+            }
+            ArbAction::ReleaseFin(reason) => {
+                self.tcp.release_fin(now, sock);
+                self.events.push(StTcpEvent::FinReleased {
+                    conn: key,
+                    reason,
+                    at: now,
+                });
+            }
+            ArbAction::DeclarePeerFailed => {
+                // Routed by the caller; reaching here is a logic error we
+                // surface loudly in debug builds and ignore in release.
+                debug_assert!(false, "DeclarePeerFailed must go through verdicts");
+            }
+        }
+    }
+
+    // ----- internal: heartbeats ---------------------------------------------
+
+    fn build_heartbeat(&self, now: SimTime) -> HbPayload {
+        let mut conns = Vec::with_capacity(self.by_key.len());
+        for (&key, &sock) in &self.by_key {
+            let Some(conn) = self.tcp.conn(sock) else {
+                continue;
+            };
+            conns.push(ConnHb {
+                key,
+                last_byte_received: conn.bytes_received(),
+                last_ack_received: conn.last_ack_received(),
+                last_app_byte_written: conn.app_bytes_written(),
+                last_app_byte_read: conn.app_bytes_read(),
+                fin_generated: conn.fin_generated(),
+                rst_generated: conn.rst_generated(),
+                app_suspected: self.watchdog_suspects(now, sock),
+            });
+        }
+        HbPayload {
+            seqno: self.hb_seq,
+            role: self.role,
+            conns,
+            ping: self.ping.active.then(|| self.ping.report()),
+        }
+    }
+
+    fn send_heartbeats(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.hb_seq = self.hb_seq.wrapping_add(1);
+        let hb = self.build_heartbeat(ctx.now());
+        let wire = hb.encode();
+        if let Some(frame) = self.iface.frame_to(
+            self.setup.peer_private_ip,
+            IpProto::Heartbeat,
+            wire.clone(),
+        ) {
+            ctx.send_frame(self.iface.nic, frame);
+        }
+        ctx.send_serial(self.serial_port, wire);
+    }
+
+    fn handle_heartbeat(&mut self, now: SimTime, hb: &HbPayload, link: HbLink) {
+        match link {
+            HbLink::Ip => self.ip_mon.on_heartbeat(now),
+            HbLink::Serial => self.serial_mon.on_heartbeat(now),
+        }
+        self.peer_ping = hb.ping;
+        let mut arb_actions: Vec<(SocketId, u32, ArbAction)> = Vec::new();
+        for c in &hb.conns {
+            let entry = self.peer_conns.entry(c.key).or_default();
+            entry.last_byte_received =
+                unwrap_u32_near(c.last_byte_received as u32, entry.last_byte_received);
+            entry.last_ack_received =
+                unwrap_u32_near(c.last_ack_received as u32, entry.last_ack_received);
+            entry.last_app_byte_written =
+                unwrap_u32_near(c.last_app_byte_written as u32, entry.last_app_byte_written);
+            entry.last_app_byte_read =
+                unwrap_u32_near(c.last_app_byte_read as u32, entry.last_app_byte_read);
+            entry.fin_or_rst |= c.fin_generated || c.rst_generated;
+            entry.app_suspected |= c.app_suspected;
+            let fin_or_rst = entry.fin_or_rst;
+            let lbr = entry.last_byte_received;
+
+            if let Some(&sock) = self.by_key.get(&c.key) {
+                if let Some(ctl) = self.conns.get_mut(&sock) {
+                    if let Some(a) = ctl.finarb.on_peer_hb(now, fin_or_rst) {
+                        arb_actions.push((sock, c.key, a));
+                    }
+                }
+                // The primary releases held bytes the backup has confirmed.
+                if self.role == Role::Primary {
+                    if let Some(conn) = self.tcp.conn_mut(sock) {
+                        conn.release_hold_until(lbr);
+                    }
+                }
+            }
+        }
+        for (sock, key, action) in arb_actions {
+            self.apply_gate_action(now, sock, key, action);
+        }
+    }
+
+    // ----- internal: verdicts and recovery actions ---------------------------
+
+    fn declare_peer_failed(&mut self, ctx: &mut NodeCtx<'_>, reason: FailureReason) {
+        if !self.ft_mode {
+            return;
+        }
+        let now = ctx.now();
+        self.ft_mode = false;
+        self.peer_alive = false;
+        self.events
+            .push(StTcpEvent::PeerDeclaredFailed { reason, at: now });
+        ctx.trace(format!("{}: peer declared failed: {reason}", self.role));
+        // STONITH before touching the connection (no dual-active).
+        ctx.power_off(self.setup.peer_node, self.setup.sttcp.stonith_delay);
+        self.events.push(StTcpEvent::StonithIssued { at: now });
+
+        match self.role {
+            Role::Backup => {
+                // Complete the takeover only after the peer is provably
+                // silent (power controller latency).
+                ctx.set_timer(self.setup.sttcp.stonith_delay, TOKEN_TAKEOVER);
+            }
+            Role::Primary => {
+                self.events.push(StTcpEvent::WentNonFt { reason, at: now });
+                ctx.trace("primary: running non-fault-tolerant".to_string());
+                let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+                for sock in socks {
+                    let (key, action) = match self.conns.get_mut(&sock) {
+                        Some(ctl) => (ctl.key, ctl.finarb.on_peer_failed()),
+                        None => continue,
+                    };
+                    if let Some(a) = action {
+                        self.apply_gate_action(now, sock, key, a);
+                    }
+                    // The extended receive buffer has no consumer anymore.
+                    if let Some(conn) = self.tcp.conn_mut(sock) {
+                        conn.release_hold_until(u64::MAX);
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_takeover(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        self.role = Role::Primary;
+        self.took_over = true;
+        self.events.push(StTcpEvent::TookOver { at: now });
+        ctx.trace("backup: taking over client connections".to_string());
+        // From now on this host speaks for the service: orphan segments
+        // (e.g. for a connection reset as unrecoverable) get ordinary
+        // RSTs instead of shadow silence.
+        self.tcp.set_rst_policy(RstPolicy::Send);
+        // Future connections are served openly, without the hold buffer
+        // (no backup to feed).
+        self.tcp.listen(
+            self.setup.service_port,
+            ListenConfig {
+                tcp: self.setup.tcp.clone(),
+                egress: EgressMode::Normal,
+            },
+        );
+        let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+        for sock in socks {
+            self.tcp.set_egress(sock, EgressMode::Normal);
+            let (key, action) = match self.conns.get_mut(&sock) {
+                Some(ctl) => (ctl.key, ctl.finarb.on_takeover()),
+                None => continue,
+            };
+            // The paper's output-commit caveat: if the dead primary had
+            // received-and-acked client bytes this backup never got, those
+            // bytes exist nowhere anymore. Without a logger the connection
+            // cannot be continued correctly; reset it rather than hang the
+            // client forever ("ST-TCP treats this failure as
+            // unrecoverable", §4.3).
+            let gap = self.peer_conns.get(&key).and_then(|peer| {
+                let mine = self.tcp.conn(sock)?.bytes_received();
+                (peer.last_byte_received > mine).then_some(mine)
+            });
+            if let Some(missing_from) = gap {
+                self.events.push(StTcpEvent::UnrecoverableGap {
+                    conn: key,
+                    missing_from,
+                    at: now,
+                });
+                ctx.trace(format!(
+                    "takeover: conn {key:08x} unrecoverable (gap from {missing_from}); resetting"
+                ));
+                self.tcp.set_fin_gate(sock, FinGate::Open);
+                self.tcp.abort(now, sock);
+                if let Some(ctl) = self.conns.get_mut(&sock) {
+                    ctl.closed = true;
+                }
+                continue;
+            }
+            if let Some(a) = action {
+                self.apply_gate_action(now, sock, key, a);
+            } else {
+                self.tcp.set_fin_gate(sock, FinGate::Open);
+            }
+            // Everything between snd.una and the cursor was generated but
+            // suppressed — never on the wire. Rewind and stream it afresh
+            // (ack-clocked), rather than dribbling it out one
+            // retransmission per RTO.
+            if let Some(conn) = self.tcp.conn_mut(sock) {
+                if !matches!(conn.state(), TcpState::Closed) {
+                    conn.rewind_unacked(now);
+                }
+            }
+        }
+        self.flush(ctx);
+    }
+
+    fn run_checks(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+
+        // Link liveness edges.
+        let ip_alive = self.ip_mon.is_alive(now);
+        let serial_alive = self.serial_mon.is_alive(now);
+        if ip_alive != self.ip_was_alive {
+            self.events.push(if ip_alive {
+                StTcpEvent::HbLinkUp {
+                    link: HbLink::Ip,
+                    at: now,
+                }
+            } else {
+                StTcpEvent::HbLinkDown {
+                    link: HbLink::Ip,
+                    at: now,
+                }
+            });
+            self.ip_was_alive = ip_alive;
+        }
+        if serial_alive != self.serial_was_alive {
+            self.events.push(if serial_alive {
+                StTcpEvent::HbLinkUp {
+                    link: HbLink::Serial,
+                    at: now,
+                }
+            } else {
+                StTcpEvent::HbLinkDown {
+                    link: HbLink::Serial,
+                    at: now,
+                }
+            });
+            self.serial_was_alive = serial_alive;
+        }
+
+        // Post-takeover output-commit check (§4.3): a receive hole with
+        // client data stranded beyond it that the client never refills —
+        // because the dead primary already acked those bytes — makes the
+        // connection unrecoverable. Detect it by hole persistence; a
+        // repairable hole is refilled by a client retransmission well
+        // within `gap_giveup`.
+        if self.took_over {
+            let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+            for sock in socks {
+                let stranded = self
+                    .tcp
+                    .conn(sock)
+                    .map(|c| c.ooo_bytes() > 0 && !matches!(c.state(), TcpState::Closed))
+                    .unwrap_or(false);
+                let Some(ctl) = self.conns.get_mut(&sock) else {
+                    continue;
+                };
+                if ctl.closed || !stranded {
+                    ctl.hole_since = None;
+                    continue;
+                }
+                let since = *ctl.hole_since.get_or_insert(now);
+                if now.saturating_since(since) >= self.setup.sttcp.gap_giveup {
+                    let key = ctl.key;
+                    let missing_from = self.tcp.conn(sock).map(|c| c.bytes_received()).unwrap_or(0);
+                    self.events.push(StTcpEvent::UnrecoverableGap {
+                        conn: key,
+                        missing_from,
+                        at: now,
+                    });
+                    ctx.trace(format!(
+                        "post-takeover: conn {key:08x} hole at {missing_from} never refilled; resetting"
+                    ));
+                    self.tcp.set_fin_gate(sock, FinGate::Open);
+                    self.tcp.abort(now, sock);
+                    if let Some(ctl) = self.conns.get_mut(&sock) {
+                        ctl.closed = true;
+                    }
+                }
+            }
+        }
+
+        if !self.ft_mode {
+            return;
+        }
+
+        // Row 1: both heartbeat links dead ⇒ the peer host is gone.
+        if !ip_alive && !serial_alive {
+            self.declare_peer_failed(ctx, FailureReason::HbBothLinksDown);
+            return;
+        }
+
+        // Row 4: IP heartbeat dead, serial alive ⇒ local network failure
+        // somewhere; figure out whose.
+        if !ip_alive && serial_alive {
+            if !self.ping.active {
+                self.ping.active = true;
+                self.ping.awaiting = None;
+                self.ping.consecutive_failures = 0;
+                self.ping.attempts = 0;
+                ctx.set_timer(SimDuration::ZERO, TOKEN_PING);
+            }
+            let obs = self.net_observation();
+            if let Some(reason) = self.net_detect.check(now, &obs) {
+                self.declare_peer_failed(ctx, reason);
+                return;
+            }
+        } else {
+            if self.ping.active {
+                self.ping.active = false;
+            }
+            self.net_detect.reset();
+        }
+
+        // Rows 2/3 compare application positions against the peer's
+        // heartbeat, which is only meaningful while heartbeats are
+        // *fresh*: a dead host's last heartbeat frozen in time must be
+        // handled by the liveness detector (row 1), not misread as an
+        // application crash.
+        let hb_staleness = {
+            let last = match (self.ip_mon.last_rx(), self.serial_mon.last_rx()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            last.map(|t| now.saturating_since(t))
+        };
+        let hb_fresh = hb_staleness.is_some_and(|s| {
+            s <= self.setup.sttcp.hb_period + self.setup.sttcp.check_period * 2
+        });
+
+        let mut verdict: Option<FailureReason> = None;
+        let mut arb_actions: Vec<(SocketId, u32, ArbAction)> = Vec::new();
+        let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+        for sock in socks {
+            let Some(ctl) = self.conns.get_mut(&sock) else {
+                continue;
+            };
+            if ctl.closed {
+                continue;
+            }
+            let key = ctl.key;
+            // FIN arbitration deadlines.
+            if let Some(a) = ctl.finarb.on_check(now) {
+                if a == ArbAction::DeclarePeerFailed {
+                    verdict = verdict.or(Some(FailureReason::FinMismatchTimeout));
+                } else {
+                    arb_actions.push((sock, key, a));
+                }
+            }
+            // Application-lag detection (rows 2/3) presumes the network is
+            // healthy — with the IP heartbeat down, any app lag is a
+            // symptom of the network failure and blame is assigned by the
+            // row-4 detectors above instead. Also needs this connection in
+            // the peer's heartbeat.
+            if !ip_alive {
+                if let Some(ctl) = self.conns.get_mut(&sock) {
+                    ctl.applag.reset();
+                }
+                continue;
+            }
+            if !hb_fresh {
+                continue; // stale evidence: let the liveness detector rule
+            }
+            if let Some(peer) = self.peer_conns.get(&key).copied() {
+                let (my_read, my_written) = match self.tcp.conn(sock) {
+                    Some(c) => (c.app_bytes_read(), c.app_bytes_written()),
+                    None => continue,
+                };
+                if let Some(ctl) = self.conns.get_mut(&sock) {
+                    if let Some(reason) = ctl.applag.check(
+                        now,
+                        my_read,
+                        my_written,
+                        peer.last_app_byte_read,
+                        peer.last_app_byte_written,
+                    ) {
+                        verdict = verdict.or(Some(reason));
+                    }
+                }
+            }
+        }
+        for (sock, key, action) in arb_actions {
+            self.apply_gate_action(now, sock, key, action);
+        }
+        if let Some(reason) = verdict {
+            self.declare_peer_failed(ctx, reason);
+            return;
+        }
+
+        // §4.2.2 extension: the peer's own watchdog reported its replica
+        // dead. A self-report is actionable even on an idle connection —
+        // exactly the case the transport-layer detectors cannot see.
+        if self
+            .peer_conns
+            .values()
+            .any(|p| p.app_suspected)
+        {
+            self.declare_peer_failed(ctx, FailureReason::WatchdogReport);
+            return;
+        }
+
+        // Row 5 escalation: the primary's hold buffer overflowed — the
+        // backup cannot catch up.
+        if self.role == Role::Primary {
+            let overflow = self
+                .by_key
+                .values()
+                .filter_map(|&s| self.tcp.conn(s))
+                .any(|c| c.hold_overflow());
+            if overflow {
+                self.declare_peer_failed(ctx, FailureReason::HoldOverflow);
+                return;
+            }
+        }
+
+        // Row 5: the backup fetches bytes it missed.
+        if self.role == Role::Backup {
+            self.run_recovery(ctx);
+        }
+    }
+
+    fn net_observation(&self) -> NetObservation {
+        let mut obs = NetObservation {
+            my_ping: self.ping.active.then(|| self.ping.report()),
+            peer_ping: self.peer_ping,
+            ..Default::default()
+        };
+        for (&key, &sock) in &self.by_key {
+            let Some(conn) = self.tcp.conn(sock) else {
+                continue;
+            };
+            let Some(peer) = self.peer_conns.get(&key) else {
+                continue;
+            };
+            obs.my_bytes += conn.bytes_received();
+            obs.peer_bytes += peer.last_byte_received;
+            obs.my_acks += conn.last_ack_received();
+            obs.peer_acks += peer.last_ack_received;
+        }
+        obs
+    }
+
+    fn run_recovery(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        let mut requests = Vec::new();
+        for (&key, &sock) in &self.by_key {
+            let Some(conn) = self.tcp.conn(sock) else {
+                continue;
+            };
+            let Some(peer) = self.peer_conns.get(&key) else {
+                continue;
+            };
+            let mine = conn.bytes_received();
+            if peer.last_byte_received <= mine {
+                if let Some(ctl) = self.conns.get_mut(&sock) {
+                    if ctl.recovering {
+                        ctl.recovering = false;
+                        self.events.push(StTcpEvent::RecoveryCompleted {
+                            conn: key,
+                            through: mine,
+                            at: now,
+                        });
+                    }
+                }
+                continue;
+            }
+            let Some(ctl) = self.conns.get_mut(&sock) else {
+                continue;
+            };
+            let due = ctl
+                .last_fetch_at
+                .map(|t| now.saturating_since(t) >= self.setup.sttcp.recovery_interval)
+                .unwrap_or(true);
+            if !due {
+                continue;
+            }
+            ctl.last_fetch_at = Some(now);
+            if !ctl.recovering {
+                ctl.recovering = true;
+                self.events.push(StTcpEvent::RecoveryRequested {
+                    conn: key,
+                    from: mine,
+                    at: now,
+                });
+            }
+            requests.push(CtrlMsg::FetchRequest {
+                conn: key,
+                from: mine,
+                max: self.setup.sttcp.recovery_chunk as u32,
+            });
+        }
+        for req in requests {
+            self.send_ctrl(ctx, &req);
+        }
+    }
+
+    fn send_ctrl(&self, ctx: &mut NodeCtx<'_>, msg: &CtrlMsg) {
+        if let Some(frame) =
+            self.iface
+                .frame_to(self.setup.peer_private_ip, CTRL_PROTO, msg.encode())
+        {
+            ctx.send_frame(self.iface.nic, frame);
+        }
+    }
+
+    fn handle_ctrl(&mut self, ctx: &mut NodeCtx<'_>, msg: &CtrlMsg) {
+        let now = ctx.now();
+        match msg {
+            CtrlMsg::FetchRequest { conn, from, max } => {
+                let Some(&sock) = self.by_key.get(conn) else {
+                    return;
+                };
+                let data = self
+                    .tcp
+                    .conn(sock)
+                    .and_then(|c| c.fetch_held(*from, *max as usize))
+                    .unwrap_or_default();
+                let reply = CtrlMsg::FetchReply {
+                    conn: *conn,
+                    from: *from,
+                    data,
+                };
+                self.send_ctrl(ctx, &reply);
+            }
+            CtrlMsg::FetchReply { conn, from, data } => {
+                if data.is_empty() {
+                    return;
+                }
+                let Some(&sock) = self.by_key.get(conn) else {
+                    return;
+                };
+                self.tcp.inject_in_order(sock, *from, data);
+                let _ = now;
+            }
+        }
+    }
+
+    // ----- internal: I/O plumbing ---------------------------------------------
+
+    fn flush(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        loop {
+            let had_events = self.drain_tcp_events(now);
+            // Acknowledgments may have freed send-buffer space: drain any
+            // application output that was blocked on it.
+            let blocked: Vec<SocketId> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| !c.pending_out.is_empty())
+                .map(|(&s, _)| s)
+                .collect();
+            for sock in blocked {
+                self.flush_pending(now, sock);
+            }
+            let pkts = self.tcp.poll_packets(now);
+            if !had_events && pkts.is_empty() {
+                break;
+            }
+            for pkt in pkts {
+                if let Some(frame) = self.iface.encap(&pkt) {
+                    ctx.send_frame(self.iface.nic, frame);
+                }
+            }
+        }
+        // Re-arm the TCP deadline timer if it moved.
+        let want = self.tcp.next_deadline();
+        match (want, self.tcp_timer) {
+            (Some(d), Some((_, at))) if d == at => {}
+            (Some(d), prev) => {
+                if let Some((id, _)) = prev {
+                    ctx.cancel_timer(id);
+                }
+                let delay = d.saturating_since(now);
+                let id = ctx.set_timer(delay, TOKEN_TCP);
+                self.tcp_timer = Some((id, d));
+            }
+            (None, Some((id, _))) => {
+                ctx.cancel_timer(id);
+                self.tcp_timer = None;
+            }
+            (None, None) => {}
+        }
+    }
+
+    fn handle_ip_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: &Ipv4Packet) {
+        let now = ctx.now();
+        match pkt.proto {
+            IpProto::Icmp => {
+                if let Some((id, seq)) = self.iface.handle_icmp(ctx, pkt) {
+                    if self.ping.active && id == self.ping.id && Some(seq) == self.ping.awaiting {
+                        self.ping.awaiting = None;
+                        self.ping.consecutive_failures = 0;
+                    }
+                }
+            }
+            IpProto::Heartbeat if pkt.dst == self.setup.private_ip => {
+                if let Ok(hb) = HbPayload::decode(&pkt.payload) {
+                    self.handle_heartbeat(now, &hb, HbLink::Ip);
+                }
+            }
+            p if p == CTRL_PROTO && pkt.dst == self.setup.private_ip => {
+                if let Ok(msg) = CtrlMsg::decode(&pkt.payload) {
+                    self.handle_ctrl(ctx, &msg);
+                }
+            }
+            IpProto::Tcp
+                if pkt.dst == self.setup.service_ip || pkt.dst == self.setup.private_ip =>
+            {
+                self.tcp.on_packet(now, pkt);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Node for StTcpServer {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        self.started_at = now;
+        let hb_timeout = self.setup.sttcp.hb_timeout();
+        self.ip_mon = LinkMonitor::new(hb_timeout, now);
+        self.serial_mon = LinkMonitor::new(hb_timeout, now);
+
+        // The primary's accepted connections carry the extended receive
+        // buffer; the backup accepts in suppressed mode.
+        let mut accept_tcp = self.setup.tcp.clone();
+        let egress = match self.role {
+            Role::Primary => {
+                accept_tcp.hold_buf = Some(self.setup.sttcp.hold_buf);
+                EgressMode::Normal
+            }
+            Role::Backup => EgressMode::Suppress,
+        };
+        self.tcp.listen(
+            self.setup.service_port,
+            ListenConfig {
+                tcp: accept_tcp,
+                egress,
+            },
+        );
+
+        self.send_heartbeats(ctx);
+        ctx.set_timer(self.setup.sttcp.hb_period, TOKEN_HB);
+        ctx.set_timer(self.setup.sttcp.check_period, TOKEN_CHECK);
+        ctx.set_timer(self.setup.sttcp.app_tick, TOKEN_APP_TICK);
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, _nic: NicId, frame: EthernetFrame) {
+        if let Some(pkt) = IpInterface::decap(&frame) {
+            self.handle_ip_packet(ctx, &pkt);
+        }
+        self.flush(ctx);
+    }
+
+    fn on_serial(&mut self, ctx: &mut NodeCtx<'_>, _port: SerialPortId, data: Bytes) {
+        let now = ctx.now();
+        if let Ok(hb) = HbPayload::decode(&data) {
+            self.handle_heartbeat(now, &hb, HbLink::Serial);
+        }
+        self.flush(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
+        match token {
+            TOKEN_HB => {
+                if self.ft_mode {
+                    self.send_heartbeats(ctx);
+                }
+                ctx.set_timer(self.setup.sttcp.hb_period, TOKEN_HB);
+            }
+            TOKEN_CHECK => {
+                self.run_checks(ctx);
+                // Opportunistically drain app output that was blocked on a
+                // full send buffer.
+                let now = ctx.now();
+                let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+                for sock in socks {
+                    self.flush_pending(now, sock);
+                }
+                ctx.set_timer(self.setup.sttcp.check_period, TOKEN_CHECK);
+            }
+            TOKEN_TCP => {
+                self.tcp_timer = None;
+                self.tcp.on_time(ctx.now());
+            }
+            TOKEN_APP_TICK => {
+                let now = ctx.now();
+                let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+                for sock in socks {
+                    let actions = match self.conns.get_mut(&sock) {
+                        Some(ctl) if ctl.app_alive && !ctl.closed => ctl.app.on_tick(now),
+                        _ => continue,
+                    };
+                    self.touch_sign_of_life(now, sock);
+                    self.apply_app_actions(now, sock, actions);
+                }
+                ctx.set_timer(self.setup.sttcp.app_tick, TOKEN_APP_TICK);
+            }
+            TOKEN_PING if self.ping.active => {
+                {
+                    if self.ping.awaiting.is_some() {
+                        self.ping.consecutive_failures += 1;
+                    }
+                    self.ping.seq = self.ping.seq.wrapping_add(1);
+                    self.ping.attempts += 1;
+                    self.ping.awaiting = Some(self.ping.seq);
+                    let _ = self
+                        .iface
+                        .send_ping(ctx, self.setup.gateway_ip, self.ping.id, self.ping.seq);
+                    ctx.set_timer(self.setup.sttcp.ping_interval, TOKEN_PING);
+                }
+            }
+            TOKEN_TAKEOVER => {
+                self.complete_takeover(ctx);
+            }
+            _ => {}
+        }
+        self.flush(ctx);
+    }
+
+    fn on_power_off(&mut self) {
+        self.powered_off = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::EchoApp;
+    use simnet::mac::MacAddr;
+
+    fn setup(role: Role) -> ServerSetup {
+        ServerSetup {
+            role,
+            sttcp: StTcpConfig::default(),
+            tcp: TcpConfig::default(),
+            service_ip: Ipv4Addr::new(10, 0, 0, 100),
+            service_port: 80,
+            private_ip: Ipv4Addr::new(10, 0, 0, 2),
+            peer_private_ip: Ipv4Addr::new(10, 0, 0, 3),
+            peer_node: NodeId(9),
+            gateway_ip: Ipv4Addr::new(10, 0, 0, 1),
+            isn_salt: 42,
+            seed: 7,
+        }
+    }
+
+    fn server(role: Role) -> StTcpServer {
+        let s = setup(role);
+        let mut iface = IpInterface::new(NicId(0), MacAddr::unicast(2), s.private_ip);
+        iface.add_alias(s.service_ip);
+        iface.add_arp(s.peer_private_ip, MacAddr::unicast(3));
+        iface.add_arp(s.gateway_ip, MacAddr::unicast(1));
+        StTcpServer::new(
+            s,
+            iface,
+            Box::new(|| Box::new(EchoApp::default()) as Box<dyn Application>),
+        )
+    }
+
+    #[test]
+    fn constructs_with_expected_initial_state() {
+        let s = server(Role::Backup);
+        assert_eq!(s.role(), Role::Backup);
+        assert!(s.ft_mode());
+        assert!(s.events().is_empty());
+        assert_eq!(s.took_over_at(), None);
+        assert!(s.conn_keys().is_empty());
+        assert!(!s.was_powered_off());
+        assert!(format!("{s:?}").contains("backup") || format!("{s:?}").contains("Backup"));
+    }
+
+    #[test]
+    fn heartbeat_payload_reflects_role_and_ping_state() {
+        let mut s = server(Role::Primary);
+        let hb = s.build_heartbeat(SimTime::ZERO);
+        assert_eq!(hb.role, Role::Primary);
+        assert!(hb.conns.is_empty());
+        assert_eq!(hb.ping, None);
+        s.ping.active = true;
+        s.ping.consecutive_failures = 2;
+        let hb2 = s.build_heartbeat(SimTime::ZERO);
+        assert_eq!(hb2.ping.unwrap().consecutive_failures, 2);
+    }
+
+    #[test]
+    fn handle_heartbeat_updates_monitors_and_peer_state() {
+        let mut s = server(Role::Primary);
+        let t = SimTime::from_millis(100);
+        let hb = HbPayload {
+            seqno: 1,
+            role: Role::Backup,
+            conns: vec![ConnHb {
+                key: 0xabc,
+                last_byte_received: 1_000,
+                last_ack_received: 900,
+                last_app_byte_written: 800,
+                last_app_byte_read: 950,
+                fin_generated: false,
+                rst_generated: false,
+                app_suspected: false,
+            }],
+            ping: None,
+        };
+        s.handle_heartbeat(t, &hb, HbLink::Serial);
+        assert_eq!(s.serial_mon.last_rx(), Some(t));
+        assert_eq!(s.ip_mon.last_rx(), None);
+        let p = s.peer_conns.get(&0xabc).unwrap();
+        assert_eq!(p.last_byte_received, 1_000);
+        assert_eq!(p.last_app_byte_read, 950);
+    }
+
+    #[test]
+    fn peer_fin_flag_is_sticky() {
+        let mut s = server(Role::Primary);
+        let hb_fin = HbPayload {
+            seqno: 1,
+            role: Role::Backup,
+            conns: vec![ConnHb {
+                key: 1,
+                fin_generated: true,
+                ..Default::default()
+            }],
+            ping: None,
+        };
+        let hb_nofin = HbPayload {
+            seqno: 2,
+            role: Role::Backup,
+            conns: vec![ConnHb {
+                key: 1,
+                ..Default::default()
+            }],
+            ping: None,
+        };
+        s.handle_heartbeat(SimTime::from_millis(1), &hb_fin, HbLink::Ip);
+        s.handle_heartbeat(SimTime::from_millis(2), &hb_nofin, HbLink::Ip);
+        assert!(s.peer_conns.get(&1).unwrap().fin_or_rst);
+    }
+}

@@ -1,0 +1,234 @@
+//! Property-based tests for ST-TCP core components: heartbeat wire
+//! format, counter unwrapping, detector soundness (no false positives on
+//! healthy-but-stale observations; guaranteed detection of frozen peers),
+//! and FIN-arbitration safety.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use simnet::time::{SimDuration, SimTime};
+
+use sttcp::applag::AppLagDetector;
+use sttcp::config::Role;
+use sttcp::events::FailureReason;
+use sttcp::finarb::{ArbAction, FinArbiter};
+use sttcp::heartbeat::{unwrap_u32_near, ConnHb, HbPayload, PingReport};
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+fn arb_conn_hb() -> impl Strategy<Value = ConnHb> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(key, lbr, lar, labw, labr, fin, rst, wd)| ConnHb {
+            key,
+            last_byte_received: lbr as u64,
+            last_ack_received: lar as u64,
+            last_app_byte_written: labw as u64,
+            last_app_byte_read: labr as u64,
+            fin_generated: fin,
+            rst_generated: rst,
+            app_suspected: wd,
+        })
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Heartbeat wire format
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn heartbeat_roundtrips(
+        seqno: u32,
+        primary: bool,
+        conns in vec(arb_conn_hb(), 0..50),
+        ping in proptest::option::of((any::<u32>(), any::<u32>())),
+    ) {
+        let hb = HbPayload {
+            seqno,
+            role: if primary { Role::Primary } else { Role::Backup },
+            conns,
+            ping: ping.map(|(f, a)| PingReport {
+                consecutive_failures: f,
+                attempts: a,
+            }),
+        };
+        let wire = hb.encode();
+        prop_assert_eq!(wire.len(), hb.wire_len());
+        prop_assert_eq!(HbPayload::decode(&wire).unwrap(), hb);
+    }
+
+    #[test]
+    fn heartbeat_truncation_always_rejected(
+        conns in vec(arb_conn_hb(), 0..10),
+        cut in 1usize..40,
+    ) {
+        let hb = HbPayload { seqno: 1, role: Role::Primary, conns, ping: None };
+        let wire = hb.encode();
+        let cut = cut.min(wire.len());
+        if cut > 0 {
+            prop_assert!(HbPayload::decode(&wire[..wire.len() - cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn unwrap_recovers_any_value_within_half_space(
+        true_val in 0u64..(1u64 << 45),
+        skew in -(1i64 << 30)..(1i64 << 30),
+    ) {
+        let near = (true_val as i64 + skew).max(0) as u64;
+        prop_assert_eq!(unwrap_u32_near(true_val as u32, near), true_val);
+    }
+
+    // ------------------------------------------------------------------
+    // Application-lag detector soundness
+    // ------------------------------------------------------------------
+
+    /// A healthy peer whose positions refresh on every heartbeat is never
+    /// condemned, at any data rate, heartbeat period, or check period.
+    #[test]
+    fn healthy_peer_never_condemned(
+        rate_per_ms in 0u64..10_000,
+        hb_ms in 50u64..1_000,
+        check_ms in 10u64..100,
+        run_ms in 2_000u64..8_000,
+    ) {
+        // Mirror the server's effective confirmation window.
+        let confirm = SimDuration::from_millis(500)
+            .max(SimDuration::from_millis(hb_ms * 2 + check_ms));
+        let mut det = AppLagDetector::new(64 * 1024, SimDuration::from_secs(2), confirm);
+        let mut peer_reported = 0u64;
+        let mut next_hb = 0u64;
+        let mut ms = 0u64;
+        while ms < run_ms {
+            let my_pos = ms * rate_per_ms;
+            if ms >= next_hb {
+                // Peer is healthy: its position at HB time equals ours.
+                peer_reported = my_pos;
+                next_hb += hb_ms;
+            }
+            let verdict = det.check(t(ms), my_pos, my_pos, peer_reported, peer_reported);
+            prop_assert_eq!(verdict, None, "false positive at {}ms", ms);
+            ms += check_ms;
+        }
+    }
+
+    /// A frozen peer (crashed application) is always condemned within
+    /// max(AppMaxLagTime, confirm) + one heartbeat of slack, provided the
+    /// local side keeps making progress.
+    #[test]
+    fn frozen_peer_always_condemned(
+        rate_per_ms in 100u64..10_000,
+        hb_ms in 50u64..500,
+        freeze_at_ms in 500u64..2_000,
+    ) {
+        let check_ms = 50u64;
+        let confirm = SimDuration::from_millis(500)
+            .max(SimDuration::from_millis(hb_ms * 2 + check_ms));
+        let max_time = SimDuration::from_secs(2);
+        let mut det = AppLagDetector::new(64 * 1024, max_time, confirm);
+        let mut peer_reported = 0u64;
+        let mut next_hb = 0u64;
+        let freeze_pos = freeze_at_ms * rate_per_ms;
+        let mut fired_at = None;
+        let mut ms = 0u64;
+        while ms < freeze_at_ms + 10_000 {
+            let my_pos = ms * rate_per_ms;
+            if ms >= next_hb {
+                peer_reported = my_pos.min(freeze_pos);
+                next_hb += hb_ms;
+            }
+            if det
+                .check(t(ms), my_pos, my_pos, peer_reported, peer_reported)
+                .is_some()
+            {
+                fired_at = Some(ms);
+                break;
+            }
+            ms += check_ms;
+        }
+        let fired_at = fired_at.expect("frozen peer must be condemned");
+        prop_assert!(fired_at >= freeze_at_ms, "condemned before the freeze");
+        let bound = freeze_at_ms
+            + max_time.as_millis().max(confirm.as_millis())
+            + hb_ms
+            + 2 * check_ms;
+        prop_assert!(
+            fired_at <= bound,
+            "detection at {}ms exceeds bound {}ms",
+            fired_at,
+            bound
+        );
+    }
+
+    /// The reason is AppLagBytes when the byte threshold is crossed with
+    /// a stalled peer, AppLagTime otherwise — and only those two reasons
+    /// ever come out of the detector.
+    #[test]
+    fn detector_reasons_are_in_range(
+        observations in vec((0u64..1_000_000, 0u64..1_000_000), 1..50),
+    ) {
+        let mut det = AppLagDetector::new(
+            10_000,
+            SimDuration::from_millis(700),
+            SimDuration::from_millis(300),
+        );
+        for (i, (mine, peers)) in observations.into_iter().enumerate() {
+            if let Some(r) = det.check(t(i as u64 * 100), mine, mine, peers, peers) {
+                prop_assert!(matches!(
+                    r,
+                    FailureReason::AppLagBytes | FailureReason::AppLagTime
+                ));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FIN arbitration safety
+    // ------------------------------------------------------------------
+
+    /// Whatever the event order, a primary-side arbiter (a) never issues
+    /// DeclarePeerFailed once the local side has closed too, and (b)
+    /// releases a held FIN at most once.
+    #[test]
+    fn finarb_safety_under_arbitrary_event_orders(events in vec(0u8..5, 1..30)) {
+        let mut arb = FinArbiter::new(Role::Primary, SimDuration::from_secs(10));
+        let mut releases = 0;
+        let mut verdicts = 0;
+        let mut local_closed = false;
+        let mut clock = 0u64;
+        for e in events {
+            clock += 500;
+            let action = match e {
+                0 => {
+                    if local_closed { continue; }
+                    local_closed = true;
+                    Some(arb.on_local_close(t(clock)))
+                }
+                1 => arb.on_peer_hb(t(clock), true),
+                2 => arb.note_client_fin(t(clock)),
+                3 => arb.on_check(t(clock + 60_000)), // deadlines long past
+                _ => arb.on_peer_failed(),
+            };
+            match action {
+                Some(ArbAction::ReleaseFin(_)) => releases += 1,
+                Some(ArbAction::DeclarePeerFailed) => {
+                    verdicts += 1;
+                    prop_assert!(!local_closed, "verdict after local close");
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(releases <= 1, "FIN released {releases} times");
+        prop_assert!(verdicts <= 1, "peer condemned {verdicts} times");
+    }
+}

@@ -1,0 +1,164 @@
+//! The deterministic event queue.
+//!
+//! Events are ordered by `(time, insertion sequence)`. The sequence number
+//! guarantees that simultaneous events dequeue in exactly the order they
+//! were scheduled, which makes entire simulation runs bit-reproducible.
+
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::frame::EthernetFrame;
+use crate::link::{LinkDir, LinkId};
+use crate::node::{NodeId, TimerId, TimerToken};
+use crate::serial::{SerialDir, SerialId};
+use crate::time::SimTime;
+
+/// A simulation event.
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// A frame finishes propagating along a link.
+    LinkArrival {
+        link: LinkId,
+        dir: LinkDir,
+        frame: EthernetFrame,
+    },
+    /// A serial message finishes propagating along a channel.
+    SerialArrival {
+        serial: SerialId,
+        dir: SerialDir,
+        data: Bytes,
+    },
+    /// A node timer fires. `epoch` must match the node's current power
+    /// epoch; timers armed before a power cycle are discarded.
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        token: TimerToken,
+        epoch: u64,
+    },
+    /// The power controller cuts power to a node.
+    PowerOff { node: NodeId },
+    /// The power controller restores power to a node.
+    PowerOn { node: NodeId },
+    /// A scripted callback (fault injection, workload step) runs against
+    /// the whole world.
+    Script { id: u64 },
+}
+
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A min-queue of events ordered by `(time, insertion order)`.
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Queued>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> EventQueue {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Queued { at, seq, ev });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        self.heap.pop().map(|q| (q.at, q.ev))
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|q| q.at)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(n: usize) -> Ev {
+        Ev::Timer {
+            node: NodeId(n),
+            id: TimerId(n as u64),
+            token: TimerToken(0),
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(3), timer(3));
+        q.push(SimTime::from_millis(1), timer(1));
+        q.push(SimTime::from_millis(2), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_millis())
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for n in 0..10 {
+            q.push(t, timer(n));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, ev)| match ev {
+                Ev::Timer { node, .. } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_millis(7), timer(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.len(), 1);
+        let _ = q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Fault injection.
+//!
+//! Exposes every failure class from the paper's Table 1 as a first-class,
+//! schedulable operation on the [`World`]:
+//!
+//! | Paper failure                  | Injection call |
+//! |--------------------------------|----------------|
+//! | HW/OS crash                    | [`World::crash_node`] |
+//! | Application crash (±cleanup)   | injected at the app layer (`sttcp-apps`) |
+//! | NIC failure                    | [`World::fail_nic`] |
+//! | Cable failure                  | [`World::cut_link`] |
+//! | Temporary network failure      | [`World::set_link_loss`], [`World::drop_window`], [`World::drop_next`] |
+//! | Serial-cable failure           | [`World::fail_serial`] |
+//!
+//! All of these can be invoked immediately or scheduled at a virtual time
+//! via [`World::schedule`]. Each records a world trace line so tests can
+//! assert on injection order.
+
+use crate::link::{DropFilter, LinkDir, LinkId};
+use crate::node::{NicId, NodeId};
+use crate::serial::SerialId;
+use crate::time::SimTime;
+use crate::world::World;
+
+impl World {
+    /// Crashes a node at the hardware/OS level: it immediately loses power
+    /// and stops sending, receiving, and processing. This is the paper's
+    /// "HW/OS crash failure" (Table 1, row 1) and is also what the STONITH
+    /// power-down performs.
+    pub fn crash_node(&mut self, node: NodeId) {
+        let name = self.node_name(node).to_string();
+        self.trace_world(format!("inject: crash {name}"));
+        self.force_power_off(node);
+    }
+
+    /// Restores power to a crashed/powered-off node (cold boot). The node
+    /// receives [`crate::node::Node::on_power_on`].
+    pub fn restore_node(&mut self, node: NodeId) {
+        let name = self.node_name(node).to_string();
+        self.trace_world(format!("inject: power on {name}"));
+        self.force_power_on(node);
+    }
+
+    /// Schedules power restoration for `node` after `delay` (a repair
+    /// action arriving some time after a crash).
+    pub fn power_on_after(&mut self, node: NodeId, delay: crate::time::SimDuration) {
+        let at = self.now() + delay;
+        self.push_event(at, crate::event::Ev::PowerOn { node });
+    }
+
+    /// Fails a NIC: frames in either direction are silently dropped from
+    /// now on (Table 1, row 4).
+    pub fn fail_nic(&mut self, node: NodeId, nic: NicId) {
+        let name = self.node_name(node).to_string();
+        self.trace_world(format!("inject: fail nic{} on {name}", nic.0));
+        self.nodes[node.0].nics[nic.0].up = false;
+    }
+
+    /// Restores a failed NIC.
+    pub fn restore_nic(&mut self, node: NodeId, nic: NicId) {
+        let name = self.node_name(node).to_string();
+        self.trace_world(format!("inject: restore nic{} on {name}", nic.0));
+        self.nodes[node.0].nics[nic.0].up = true;
+    }
+
+    /// Cuts a cable: the link drops all frames in both directions.
+    pub fn cut_link(&mut self, link: LinkId) {
+        self.trace_world(format!("inject: cut link {}", link.0));
+        self.link_mut(link).set_down(true);
+    }
+
+    /// Restores a cut cable.
+    pub fn restore_link(&mut self, link: LinkId) {
+        self.trace_world(format!("inject: restore link {}", link.0));
+        self.link_mut(link).set_down(false);
+    }
+
+    /// Sets a probabilistic per-frame loss rate on one direction of a link
+    /// (temporary network failure, Table 1 row 5).
+    pub fn set_link_loss(&mut self, link: LinkId, dir: LinkDir, prob: f64) {
+        self.trace_world(format!("inject: loss {prob} on link {} {dir}", link.0));
+        self.link_mut(link).set_loss(dir, prob);
+    }
+
+    /// Drops every frame on one direction of a link until `until`.
+    pub fn drop_window(&mut self, link: LinkId, dir: LinkDir, until: SimTime) {
+        self.trace_world(format!(
+            "inject: drop window on link {} {dir} until {until}",
+            link.0
+        ));
+        self.link_mut(link).set_drop_window(dir, until);
+    }
+
+    /// Drops the next `n` frames on one direction of a link.
+    pub fn drop_next(&mut self, link: LinkId, dir: LinkDir, n: u64) {
+        self.trace_world(format!("inject: drop next {n} on link {} {dir}", link.0));
+        self.link_mut(link).set_drop_next(dir, n);
+    }
+
+    /// Installs a targeted drop filter on one direction of a link; frames
+    /// for which the filter returns `true` are dropped. Pass `None` to
+    /// clear. Lets tests lose, say, only TCP data frames while heartbeats
+    /// survive.
+    pub fn set_link_filter(&mut self, link: LinkId, dir: LinkDir, filter: Option<DropFilter>) {
+        self.trace_world(format!("inject: filter on link {} {dir}", link.0));
+        self.link_mut(link).set_filter(dir, filter);
+    }
+
+    /// Fails a serial channel (null-modem cable unplugged).
+    pub fn fail_serial(&mut self, serial: SerialId) {
+        self.trace_world(format!("inject: fail serial {}", serial.0));
+        self.serial_mut(serial).set_down(true);
+    }
+
+    /// Restores a failed serial channel.
+    pub fn restore_serial(&mut self, serial: SerialId) {
+        self.trace_world(format!("inject: restore serial {}", serial.0));
+        self.serial_mut(serial).set_down(false);
+    }
+
+    /// Immediately powers a node off (no event-queue round trip). Used by
+    /// `crash_node` and directly by tests.
+    pub fn force_power_off(&mut self, node: NodeId) {
+        self.do_power_off(node);
+    }
+
+    /// Immediately powers a node on (cold boot); the node receives
+    /// [`crate::node::Node::on_power_on`].
+    pub fn force_power_on(&mut self, node: NodeId) {
+        self.do_power_on(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{EtherType, EthernetFrame};
+    use crate::link::LinkParams;
+    use crate::mac::MacAddr;
+    use crate::node::{Node, NodeCtx, TimerToken};
+    use crate::time::{SimDuration, SimTime};
+    use bytes::Bytes;
+
+    /// Sends one frame per millisecond; counts what it receives.
+    struct Pulser {
+        me: MacAddr,
+        peer: MacAddr,
+        sent: u32,
+        received: u32,
+        powered_off_seen: bool,
+    }
+
+    impl Pulser {
+        fn new(me: MacAddr, peer: MacAddr) -> Pulser {
+            Pulser {
+                me,
+                peer,
+                sent: 0,
+                received: 0,
+                powered_off_seen: false,
+            }
+        }
+    }
+
+    impl Node for Pulser {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+        }
+        fn on_frame(&mut self, _: &mut NodeCtx<'_>, _: crate::node::NicId, _: EthernetFrame) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _: TimerToken) {
+            self.sent += 1;
+            ctx.send_frame(
+                crate::node::NicId(0),
+                EthernetFrame::new(self.me, self.peer, EtherType::Ipv4, Bytes::new()),
+            );
+            ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+        }
+        fn on_power_off(&mut self) {
+            self.powered_off_seen = true;
+        }
+    }
+
+    fn pulsing_pair() -> (World, NodeId, NodeId, LinkId) {
+        let mut w = World::new(7);
+        let ma = MacAddr::unicast(1);
+        let mb = MacAddr::unicast(2);
+        let a = w.add_node("a", Box::new(Pulser::new(ma, mb)));
+        let b = w.add_node("b", Box::new(Pulser::new(mb, ma)));
+        let na = w.add_nic(a, ma);
+        let nb = w.add_nic(b, mb);
+        let l = w.connect_nodes((a, na), (b, nb), LinkParams::ideal());
+        (w, a, b, l)
+    }
+
+    #[test]
+    fn crash_stops_a_node_cold() {
+        let (mut w, a, b, _) = pulsing_pair();
+        w.start();
+        w.run_until(SimTime::from_millis(10));
+        let before = w.node::<Pulser>(b).unwrap().received;
+        assert!(before > 0);
+        w.crash_node(a);
+        w.run_until(SimTime::from_millis(30));
+        let after = w.node::<Pulser>(b).unwrap().received;
+        assert_eq!(after, before, "crashed node kept transmitting");
+        assert!(w.node::<Pulser>(a).unwrap().powered_off_seen);
+        assert!(w.trace().first_containing("inject: crash a").is_some());
+    }
+
+    #[test]
+    fn restore_node_reboots() {
+        let (mut w, a, _b, _) = pulsing_pair();
+        w.start();
+        w.run_until(SimTime::from_millis(5));
+        w.crash_node(a);
+        assert!(!w.is_powered(a));
+        w.restore_node(a);
+        assert!(w.is_powered(a));
+        // Double restore is a no-op.
+        w.restore_node(a);
+        assert!(w.is_powered(a));
+    }
+
+    #[test]
+    fn nic_failure_blocks_both_directions() {
+        let (mut w, a, b, _) = pulsing_pair();
+        w.start();
+        w.run_until(SimTime::from_millis(10));
+        w.fail_nic(a, crate::node::NicId(0));
+        let a_rx = w.node::<Pulser>(a).unwrap().received;
+        let b_rx = w.node::<Pulser>(b).unwrap().received;
+        w.run_until(SimTime::from_millis(30));
+        assert_eq!(w.node::<Pulser>(a).unwrap().received, a_rx);
+        assert_eq!(w.node::<Pulser>(b).unwrap().received, b_rx);
+        // But the node itself keeps running (its timers fire).
+        assert!(w.node::<Pulser>(a).unwrap().sent > 10);
+        w.restore_nic(a, crate::node::NicId(0));
+        w.run_until(SimTime::from_millis(40));
+        assert!(w.node::<Pulser>(b).unwrap().received > b_rx);
+    }
+
+    #[test]
+    fn cut_and_restore_link() {
+        let (mut w, _a, b, l) = pulsing_pair();
+        w.start();
+        w.run_until(SimTime::from_millis(10));
+        w.cut_link(l);
+        let rx = w.node::<Pulser>(b).unwrap().received;
+        w.run_until(SimTime::from_millis(20));
+        assert_eq!(w.node::<Pulser>(b).unwrap().received, rx);
+        w.restore_link(l);
+        w.run_until(SimTime::from_millis(30));
+        assert!(w.node::<Pulser>(b).unwrap().received > rx);
+    }
+
+    #[test]
+    fn drop_window_and_drop_next() {
+        let (mut w, _a, b, l) = pulsing_pair();
+        w.start();
+        // Drop everything a→b for the first 10ms: ~10 frames lost.
+        w.drop_window(l, LinkDir::AtoB, SimTime::from_millis(10));
+        w.run_until(SimTime::from_millis(20));
+        let got = w.node::<Pulser>(b).unwrap().received;
+        assert!((8..=12).contains(&got), "got {got}");
+        w.drop_next(l, LinkDir::AtoB, 3);
+        w.run_until(SimTime::from_millis(26));
+        let got2 = w.node::<Pulser>(b).unwrap().received;
+        assert!(got2 >= got + 2 && got2 <= got + 4, "got2 {got2}");
+    }
+
+    #[test]
+    fn scheduled_injection_happens_at_time() {
+        let (mut w, a, b, _) = pulsing_pair();
+        w.start();
+        w.schedule(SimTime::from_millis(15), move |w| w.crash_node(a));
+        w.run_until(SimTime::from_millis(40));
+        let rx = w.node::<Pulser>(b).unwrap().received;
+        assert!((13..=16).contains(&rx), "rx {rx}");
+        let rec = w.trace().first_containing("inject: crash").unwrap();
+        assert_eq!(rec.time, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn filter_injection_targets_specific_frames() {
+        let (mut w, _a, b, l) = pulsing_pair();
+        w.start();
+        w.run_until(SimTime::from_millis(5));
+        let rx = w.node::<Pulser>(b).unwrap().received;
+        // Drop everything (all frames match).
+        w.set_link_filter(l, LinkDir::AtoB, Some(Box::new(|_| true)));
+        w.run_until(SimTime::from_millis(10));
+        assert_eq!(w.node::<Pulser>(b).unwrap().received, rx);
+        w.set_link_filter(l, LinkDir::AtoB, None);
+        w.run_until(SimTime::from_millis(15));
+        assert!(w.node::<Pulser>(b).unwrap().received > rx);
+    }
+}

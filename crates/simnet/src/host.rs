@@ -1,0 +1,104 @@
+//! Per-host hardware state: NICs, serial ports, and power.
+//!
+//! Kept separate from node *logic* (the [`crate::node::Node`]
+//! implementation) so that hardware failures — NIC down, power cut — can
+//! be injected without the logic's cooperation, exactly like the paper's
+//! failure model where the OS/application does not get a say in whether
+//! its NIC just died.
+
+use crate::link::LinkId;
+use crate::mac::MacAddr;
+use crate::serial::SerialId;
+
+/// Hardware state of one NIC.
+#[derive(Debug, Clone)]
+pub struct NicState {
+    /// The NIC's MAC address.
+    pub mac: MacAddr,
+    /// Whether the NIC is functioning. A downed NIC neither sends nor
+    /// receives.
+    pub up: bool,
+    /// The link the NIC is cabled to, if any.
+    pub link: Option<LinkId>,
+}
+
+impl NicState {
+    pub(crate) fn new(mac: MacAddr) -> NicState {
+        NicState {
+            mac,
+            up: true,
+            link: None,
+        }
+    }
+}
+
+/// Hardware + logic slot for one node, owned by the world.
+pub(crate) struct NodeSlot {
+    /// Human-readable name for traces ("primary", "client", …).
+    pub name: String,
+    /// Node logic; `None` only transiently during dispatch.
+    pub logic: Option<Box<dyn crate::node::Node>>,
+    /// NICs, indexed by [`crate::node::NicId`].
+    pub nics: Vec<NicState>,
+    /// Serial channels, indexed by [`crate::node::SerialPortId`].
+    pub serial_ports: Vec<Option<SerialId>>,
+    /// Whether the host has power. A powered-off host receives no events.
+    pub powered: bool,
+    /// Incremented on every power-off so that timers armed in a previous
+    /// power epoch never fire after a reboot.
+    pub epoch: u64,
+}
+
+impl NodeSlot {
+    pub(crate) fn new(name: String, logic: Box<dyn crate::node::Node>) -> NodeSlot {
+        NodeSlot {
+            name,
+            logic: Some(logic),
+            nics: Vec::new(),
+            serial_ports: Vec::new(),
+            powered: true,
+            epoch: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeSlot")
+            .field("name", &self.name)
+            .field("nics", &self.nics)
+            .field("serial_ports", &self.serial_ports)
+            .field("powered", &self.powered)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeCtx, TimerToken};
+
+    struct Dummy;
+    impl crate::node::Node for Dummy {
+        fn on_frame(&mut self, _: &mut NodeCtx<'_>, _: crate::node::NicId, _: crate::frame::EthernetFrame) {}
+        fn on_timer(&mut self, _: &mut NodeCtx<'_>, _: TimerToken) {}
+    }
+
+    #[test]
+    fn new_nic_is_up_and_unattached() {
+        let nic = NicState::new(MacAddr::unicast(1));
+        assert!(nic.up);
+        assert_eq!(nic.link, None);
+        assert_eq!(nic.mac, MacAddr::unicast(1));
+    }
+
+    #[test]
+    fn new_slot_is_powered_with_logic() {
+        let slot = NodeSlot::new("x".into(), Box::new(Dummy));
+        assert!(slot.powered);
+        assert!(slot.logic.is_some());
+        assert_eq!(slot.epoch, 0);
+        assert!(format!("{slot:?}").contains("powered"));
+    }
+}

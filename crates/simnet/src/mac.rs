@@ -1,0 +1,183 @@
+//! Ethernet MAC addresses.
+//!
+//! ST-TCP's client-side transparency trick relies on a **multicast**
+//! Ethernet address: the gateway's static ARP entry maps the service IP to
+//! a multicast MAC (the paper's `multiEA`), so the switch delivers every
+//! client frame to both the primary and the backup. This module models MAC
+//! addresses including the multicast (group) bit semantics.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// A 48-bit Ethernet MAC address.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::mac::MacAddr;
+///
+/// let m: MacAddr = "02:00:00:00:00:01".parse()?;
+/// assert!(!m.is_multicast());
+/// assert!(MacAddr::BROADCAST.is_multicast());
+/// # Ok::<(), simnet::mac::ParseMacError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+/// Error returned when parsing a textual MAC address fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError;
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax")
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl MacAddr {
+    /// The all-ones broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// The all-zero address, used as a "not yet assigned" placeholder.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Creates a locally-administered unicast address from a small index.
+    ///
+    /// Handy for assigning NIC addresses in test topologies: index `n`
+    /// becomes `02:00:00:xx:xx:xx`.
+    pub const fn unicast(n: u32) -> MacAddr {
+        let b = n.to_be_bytes();
+        MacAddr([0x02, 0x00, b[1], b[2], b[3], 0x00])
+    }
+
+    /// Creates a multicast (group-bit set) address from a small index:
+    /// `03:00:00:xx:xx:xx`. This is the kind of address the paper's
+    /// `multiEA` uses so the switch floods client frames to both servers.
+    pub const fn multicast(n: u32) -> MacAddr {
+        let b = n.to_be_bytes();
+        MacAddr([0x03, 0x00, b[1], b[2], b[3], 0x00])
+    }
+
+    /// True if the group (multicast) bit — the least-significant bit of the
+    /// first octet — is set. Broadcast is a special case of multicast.
+    pub const fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True if this is the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+
+    /// True if this is a unicast address (group bit clear).
+    pub const fn is_unicast(self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// The raw six octets.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for octet in octets.iter_mut() {
+            let part = parts.next().ok_or(ParseMacError)?;
+            if part.len() != 2 {
+                return Err(ParseMacError);
+            }
+            *octet = u8::from_str_radix(part, 16).map_err(|_| ParseMacError)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseMacError);
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unicast_constructor_is_unicast() {
+        for n in [0u32, 1, 77, 0x00ff_ffff] {
+            let m = MacAddr::unicast(n);
+            assert!(m.is_unicast(), "{m} should be unicast");
+            assert!(!m.is_broadcast());
+        }
+    }
+
+    #[test]
+    fn multicast_constructor_is_multicast() {
+        for n in [0u32, 5, 1000] {
+            let m = MacAddr::multicast(n);
+            assert!(m.is_multicast(), "{m} should be multicast");
+            assert!(!m.is_broadcast());
+        }
+    }
+
+    #[test]
+    fn distinct_indices_distinct_addresses() {
+        assert_ne!(MacAddr::unicast(1), MacAddr::unicast(2));
+        assert_ne!(MacAddr::multicast(1), MacAddr::multicast(2));
+        assert_ne!(MacAddr::unicast(1), MacAddr::multicast(1));
+    }
+
+    #[test]
+    fn broadcast_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::BROADCAST.is_unicast());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let m = MacAddr([0x02, 0x1a, 0xff, 0x00, 0x3c, 0x01]);
+        let s = m.to_string();
+        assert_eq!(s, "02:1a:ff:00:3c:01");
+        let parsed: MacAddr = s.parse().unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("02:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("02:00:00:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("02:00:00:00:00:zz".parse::<MacAddr>().is_err());
+        assert!("0200:00:00:00:00".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn octets_accessor() {
+        let m = MacAddr::unicast(0x0003_0405);
+        assert_eq!(m.octets(), m.0);
+        let from: MacAddr = [1, 2, 3, 4, 5, 6].into();
+        assert_eq!(from.octets(), [1, 2, 3, 4, 5, 6]);
+    }
+}

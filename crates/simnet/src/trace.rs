@@ -1,0 +1,115 @@
+//! Simulation tracing.
+//!
+//! Nodes and the fault-injection layer record human-readable trace lines
+//! with timestamps. Tests assert on them ("backup detected HB failure on
+//! both links"), and the experiment harness prints them to narrate demos.
+
+use core::fmt;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// One recorded trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time at which the line was recorded.
+    pub time: SimTime,
+    /// The node that recorded it, if any (fault injection records `None`).
+    pub node: Option<NodeId>,
+    /// The message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "[{} {}] {}", self.time, n, self.message),
+            None => write!(f, "[{} world] {}", self.time, self.message),
+        }
+    }
+}
+
+/// An append-only log of [`TraceRecord`]s.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&mut self, time: SimTime, node: Option<NodeId>, message: impl Into<String>) {
+        self.records.push(TraceRecord {
+            time,
+            node,
+            message: message.into(),
+        });
+    }
+
+    /// All records in insertion order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Iterates over records whose message contains `needle`.
+    pub fn containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.message.contains(needle))
+    }
+
+    /// The first record whose message contains `needle`, if any.
+    pub fn first_containing(&self, needle: &str) -> Option<&TraceRecord> {
+        self.records.iter().find(|r| r.message.contains(needle))
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records have been made.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.record(SimTime::from_millis(1), Some(NodeId(0)), "hello world");
+        t.record(SimTime::from_millis(2), None, "fault injected");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.containing("fault").count(), 1);
+        assert_eq!(
+            t.first_containing("hello").unwrap().time,
+            SimTime::from_millis(1)
+        );
+        assert!(t.first_containing("nope").is_none());
+    }
+
+    #[test]
+    fn display_includes_time_and_origin() {
+        let r = TraceRecord {
+            time: SimTime::from_millis(5),
+            node: Some(NodeId(2)),
+            message: "msg".into(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("n2"));
+        assert!(s.contains("msg"));
+        let w = TraceRecord {
+            time: SimTime::ZERO,
+            node: None,
+            message: "m".into(),
+        };
+        assert!(w.to_string().contains("world"));
+    }
+}

@@ -1,0 +1,858 @@
+//! The per-host TCP endpoint: demultiplexing, listeners, timers, and the
+//! ST-TCP egress shim.
+//!
+//! A [`TcpEndpoint`] owns every connection on a host and converts between
+//! IP packets and per-connection segments. It is where ST-TCP's hooks
+//! live:
+//!
+//! * **ISN policy** — the backup must produce the *same* initial sequence
+//!   number as the primary for each connection, so both servers run the
+//!   [`IsnPolicy::Deterministic`] policy (a keyed hash of the four-tuple),
+//!   realizing the paper's "the backup changes its initial sequence number
+//!   to match that of the primary" without extra messaging.
+//! * **Egress suppression** — the backup generates every segment a normal
+//!   server would, but its endpoint drops them at the shim
+//!   ([`EgressMode::Suppress`]); on takeover the mode flips to
+//!   [`EgressMode::Normal`] and the connection picks up mid-stream.
+//! * **FIN gate** — for the paper's `MaxDelayFIN` arbitration, a
+//!   connection's FIN segments can be held at the shim
+//!   ([`FinGate::Hold`]) while data continues to flow, then released or
+//!   left to die with the server.
+
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use simnet::ip::{IpProto, Ipv4Packet};
+use simnet::rng::SimRng;
+use simnet::time::SimTime;
+
+use crate::conn::{ConnEvent, TcpConfig, TcpConn, TcpState};
+use crate::segment::{TcpFlags, TcpSegment};
+use crate::seq::SeqNum;
+use crate::socket::{FourTuple, SocketEvent, SocketId};
+
+/// How initial sequence numbers are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsnPolicy {
+    /// Seeded-random ISNs (ordinary hosts).
+    Random,
+    /// A keyed hash of the connection four-tuple: two endpoints configured
+    /// with the same salt derive the same ISN for the same connection —
+    /// the ST-TCP primary/backup configuration.
+    Deterministic {
+        /// Shared key; both servers must agree on it.
+        salt: u64,
+    },
+    /// A fixed ISN (tests only).
+    Fixed(SeqNum),
+}
+
+/// What to do with segments addressed to no known connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RstPolicy {
+    /// Answer with an RST (ordinary hosts).
+    Send,
+    /// Stay silent (the ST-TCP backup must never betray its presence).
+    Silent,
+}
+
+/// Per-connection egress behaviour at the shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EgressMode {
+    /// Segments leave the host normally.
+    Normal,
+    /// Segments are generated, counted, and dropped (the ST-TCP backup).
+    Suppress,
+}
+
+/// Per-connection FIN/RST handling at the shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinGate {
+    /// FIN/RST segments pass through.
+    Open,
+    /// FIN- or RST-flagged segments are held (dropped and counted); data
+    /// segments still pass. Used by the `MaxDelayFIN` protocol, which the
+    /// paper applies to both close (FIN) and abort (RST) events.
+    Hold,
+}
+
+/// Endpoint-level configuration.
+#[derive(Debug, Clone)]
+pub struct EndpointConfig {
+    /// Per-connection TCP tuning for actively opened sockets.
+    pub tcp: TcpConfig,
+    /// ISN selection policy.
+    pub isn: IsnPolicy,
+    /// Behaviour toward unknown segments.
+    pub rst_policy: RstPolicy,
+    /// Seed for the endpoint's private RNG (random ISNs, ephemeral ports).
+    pub seed: u64,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        EndpointConfig {
+            tcp: TcpConfig::default(),
+            isn: IsnPolicy::Random,
+            rst_policy: RstPolicy::Send,
+            seed: 0,
+        }
+    }
+}
+
+/// Configuration applied to connections accepted by a listener.
+#[derive(Debug, Clone)]
+pub struct ListenConfig {
+    /// TCP tuning for accepted connections (e.g. the primary enables the
+    /// hold buffer here).
+    pub tcp: TcpConfig,
+    /// Egress mode for accepted connections.
+    pub egress: EgressMode,
+}
+
+impl Default for ListenConfig {
+    fn default() -> Self {
+        ListenConfig {
+            tcp: TcpConfig::default(),
+            egress: EgressMode::Normal,
+        }
+    }
+}
+
+/// Shim counters for one connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShimStats {
+    /// Segments dropped by [`EgressMode::Suppress`].
+    pub suppressed: u64,
+    /// FIN segments held by [`FinGate::Hold`].
+    pub fins_held: u64,
+}
+
+#[derive(Debug)]
+struct ConnEntry {
+    conn: TcpConn,
+    egress: EgressMode,
+    fin_gate: FinGate,
+    shim: ShimStats,
+}
+
+/// A host's TCP stack. See the [module docs](self).
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    cfg: EndpointConfig,
+    rng: SimRng,
+    listeners: BTreeMap<u16, ListenConfig>,
+    socks: BTreeMap<SocketId, ConnEntry>,
+    by_tuple: BTreeMap<FourTuple, SocketId>,
+    next_id: u64,
+    events: VecDeque<(SocketId, SocketEvent)>,
+    raw_out: VecDeque<(FourTuple, TcpSegment)>,
+}
+
+impl TcpEndpoint {
+    /// Creates an endpoint.
+    pub fn new(cfg: EndpointConfig) -> TcpEndpoint {
+        let rng = SimRng::seed_from(cfg.seed);
+        TcpEndpoint {
+            cfg,
+            rng,
+            listeners: BTreeMap::new(),
+            socks: BTreeMap::new(),
+            by_tuple: BTreeMap::new(),
+            next_id: 0,
+            events: VecDeque::new(),
+            raw_out: VecDeque::new(),
+        }
+    }
+
+    // ----- listeners and opens ------------------------------------------
+
+    /// Starts listening on `port` with the given accept-time config.
+    pub fn listen(&mut self, port: u16, config: ListenConfig) {
+        self.listeners.insert(port, config);
+    }
+
+    /// Stops listening on `port` (existing connections unaffected).
+    pub fn unlisten(&mut self, port: u16) {
+        self.listeners.remove(&port);
+    }
+
+    /// Actively opens a connection. Returns the new socket id.
+    pub fn connect(
+        &mut self,
+        now: SimTime,
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+    ) -> SocketId {
+        let tuple = FourTuple { local, remote };
+        let iss = self.pick_isn(tuple);
+        let conn = TcpConn::client(self.cfg.tcp.clone(), tuple, iss, now);
+        self.install(conn, EgressMode::Normal)
+    }
+
+    fn pick_isn(&mut self, tuple: FourTuple) -> SeqNum {
+        match self.cfg.isn {
+            IsnPolicy::Random => SeqNum(self.rng.next_u32()),
+            IsnPolicy::Fixed(isn) => isn,
+            IsnPolicy::Deterministic { salt } => SeqNum(deterministic_isn(tuple, salt)),
+        }
+    }
+
+    fn install(&mut self, conn: TcpConn, egress: EgressMode) -> SocketId {
+        let id = SocketId(self.next_id);
+        self.next_id += 1;
+        self.by_tuple.insert(conn.tuple(), id);
+        self.socks.insert(
+            id,
+            ConnEntry {
+                conn,
+                egress,
+                fin_gate: FinGate::Open,
+                shim: ShimStats::default(),
+            },
+        );
+        id
+    }
+
+    // ----- packet path ------------------------------------------------
+
+    /// Processes an inbound IP packet carrying TCP. Non-TCP packets and
+    /// undecodable segments are ignored (the caller routes ICMP etc.).
+    pub fn on_packet(&mut self, now: SimTime, pkt: &Ipv4Packet) {
+        if pkt.proto != IpProto::Tcp {
+            return;
+        }
+        let Ok(seg) = TcpSegment::decode(&pkt.payload, pkt.src, pkt.dst) else {
+            return;
+        };
+        let tuple = FourTuple {
+            local: (pkt.dst, seg.dst_port),
+            remote: (pkt.src, seg.src_port),
+        };
+        if let Some(&id) = self.by_tuple.get(&tuple) {
+            if let Some(entry) = self.socks.get_mut(&id) {
+                entry.conn.on_segment(now, &seg);
+                self.collect_events(id);
+                return;
+            }
+        }
+        // No connection: maybe a listener?
+        if seg.flags.syn && !seg.flags.ack {
+            if let Some(lc) = self.listeners.get(&seg.dst_port).cloned() {
+                let iss = self.pick_isn(tuple);
+                let conn = TcpConn::server_from_syn(lc.tcp.clone(), tuple, iss, &seg, now);
+                let id = self.install(conn, lc.egress);
+                self.events.push_back((id, SocketEvent::Accepted));
+                return;
+            }
+        }
+        // Unknown segment: RST policy.
+        if self.cfg.rst_policy == RstPolicy::Send && !seg.flags.rst {
+            let rst = make_rst_for(&seg);
+            self.raw_out.push_back((tuple, rst));
+        }
+    }
+
+    /// Fires all timers due at `now`.
+    pub fn on_time(&mut self, now: SimTime) {
+        let ids: Vec<SocketId> = self
+            .socks
+            .iter()
+            .filter(|(_, e)| e.conn.next_deadline().is_some_and(|d| d <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            if let Some(entry) = self.socks.get_mut(&id) {
+                entry.conn.on_timer(now);
+            }
+            self.collect_events(id);
+        }
+    }
+
+    /// The earliest timer deadline across all connections.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.socks
+            .values()
+            .filter_map(|e| e.conn.next_deadline())
+            .min()
+    }
+
+    /// Drains all pending outbound segments as IP packets, applying the
+    /// egress shim (suppression, FIN gating).
+    pub fn poll_packets(&mut self, _now: SimTime) -> Vec<Ipv4Packet> {
+        let mut out = Vec::new();
+        while let Some((tuple, seg)) = self.raw_out.pop_front() {
+            out.push(wrap(tuple, &seg));
+        }
+        for (&id, entry) in self.socks.iter_mut() {
+            while let Some(seg) = entry.conn.poll_segment() {
+                match entry.egress {
+                    EgressMode::Suppress => {
+                        entry.shim.suppressed += 1;
+                        continue;
+                    }
+                    EgressMode::Normal => {}
+                }
+                if entry.fin_gate == FinGate::Hold && (seg.flags.fin || seg.flags.rst) {
+                    entry.shim.fins_held += 1;
+                    continue;
+                }
+                out.push(wrap(entry.conn.tuple(), &seg));
+            }
+            let _ = id;
+        }
+        out
+    }
+
+    /// Drains the next application event.
+    pub fn poll_event(&mut self) -> Option<(SocketId, SocketEvent)> {
+        self.events.pop_front()
+    }
+
+    fn collect_events(&mut self, id: SocketId) {
+        let Some(entry) = self.socks.get_mut(&id) else {
+            return;
+        };
+        while let Some(ev) = entry.conn.poll_event() {
+            let sev = match ev {
+                ConnEvent::Connected => SocketEvent::Connected,
+                ConnEvent::DataReadable => SocketEvent::DataReadable,
+                ConnEvent::PeerFin => SocketEvent::PeerFin,
+                ConnEvent::Reset => SocketEvent::Reset,
+                ConnEvent::Closed => SocketEvent::Closed,
+            };
+            self.events.push_back((id, sev));
+        }
+        // Fully closed connections release their tuple so a new connection
+        // with the same endpoints can be accepted later — unless the FIN
+        // gate is holding: a connection whose FIN/RST is being withheld
+        // must keep absorbing the peer's segments silently (answering them
+        // with fresh RSTs would leak the very event the gate suppresses).
+        if entry.conn.state() == TcpState::Closed && entry.fin_gate == FinGate::Open {
+            let tuple = entry.conn.tuple();
+            if self.by_tuple.get(&tuple) == Some(&id) {
+                self.by_tuple.remove(&tuple);
+            }
+        }
+    }
+
+    // ----- application API ------------------------------------------------
+
+    /// Writes data on a socket; returns bytes accepted.
+    pub fn send(&mut self, now: SimTime, id: SocketId, data: &[u8]) -> usize {
+        let n = match self.socks.get_mut(&id) {
+            Some(e) => e.conn.send(now, data),
+            None => 0,
+        };
+        self.collect_events(id);
+        n
+    }
+
+    /// Reads up to `max` in-order bytes from a socket.
+    pub fn recv(&mut self, id: SocketId, max: usize) -> Bytes {
+        match self.socks.get_mut(&id) {
+            Some(e) => e.conn.recv(max),
+            None => Bytes::new(),
+        }
+    }
+
+    /// Closes the sending side of a socket.
+    pub fn close(&mut self, now: SimTime, id: SocketId) {
+        if let Some(e) = self.socks.get_mut(&id) {
+            e.conn.close(now);
+        }
+        self.collect_events(id);
+    }
+
+    /// Aborts a socket with an RST.
+    pub fn abort(&mut self, now: SimTime, id: SocketId) {
+        if let Some(e) = self.socks.get_mut(&id) {
+            e.conn.abort(now);
+        }
+        self.collect_events(id);
+    }
+
+    // ----- introspection and ST-TCP control --------------------------------
+
+    /// Immutable access to a socket's connection state machine.
+    pub fn conn(&self, id: SocketId) -> Option<&TcpConn> {
+        self.socks.get(&id).map(|e| &e.conn)
+    }
+
+    /// Mutable access to a socket's connection (ST-TCP hold/injection
+    /// control).
+    pub fn conn_mut(&mut self, id: SocketId) -> Option<&mut TcpConn> {
+        self.socks.get_mut(&id).map(|e| &mut e.conn)
+    }
+
+    /// Looks up the socket for a four-tuple.
+    pub fn socket_by_tuple(&self, tuple: FourTuple) -> Option<SocketId> {
+        self.by_tuple.get(&tuple).copied()
+    }
+
+    /// All live socket ids, in creation order.
+    pub fn sockets(&self) -> Vec<SocketId> {
+        self.socks.keys().copied().collect()
+    }
+
+    /// Sets the egress mode of a socket (takeover flips the backup's
+    /// client connections from `Suppress` to `Normal`).
+    pub fn set_egress(&mut self, id: SocketId, mode: EgressMode) {
+        if let Some(e) = self.socks.get_mut(&id) {
+            e.egress = mode;
+        }
+    }
+
+    /// The egress mode of a socket.
+    pub fn egress(&self, id: SocketId) -> Option<EgressMode> {
+        self.socks.get(&id).map(|e| e.egress)
+    }
+
+    /// Sets the FIN gate of a socket.
+    pub fn set_fin_gate(&mut self, id: SocketId, gate: FinGate) {
+        if let Some(e) = self.socks.get_mut(&id) {
+            e.fin_gate = gate;
+        }
+    }
+
+    /// Opens a held FIN gate and forces an immediate retransmission so the
+    /// FIN actually goes out now rather than at the next backed-off RTO.
+    pub fn release_fin(&mut self, now: SimTime, id: SocketId) {
+        if let Some(e) = self.socks.get_mut(&id) {
+            e.fin_gate = FinGate::Open;
+            if e.conn.fin_generated() {
+                e.conn.force_retransmit(now);
+            }
+        }
+        self.collect_events(id);
+    }
+
+    /// Shim counters for a socket.
+    pub fn shim_stats(&self, id: SocketId) -> Option<ShimStats> {
+        self.socks.get(&id).map(|e| e.shim)
+    }
+
+    /// Changes the policy toward segments addressed to no known
+    /// connection. The ST-TCP backup runs `Silent` while shadowing and
+    /// flips to `Send` at takeover, when it must behave like an ordinary
+    /// host (including resetting orphaned connections).
+    pub fn set_rst_policy(&mut self, policy: RstPolicy) {
+        self.cfg.rst_policy = policy;
+    }
+
+    /// Injects in-order bytes into a socket's receive path (ST-TCP
+    /// missed-byte recovery), delivering any resulting events.
+    pub fn inject_in_order(&mut self, id: SocketId, off: u64, data: &[u8]) {
+        if let Some(e) = self.socks.get_mut(&id) {
+            e.conn.inject_in_order(off, data);
+        }
+        self.collect_events(id);
+    }
+}
+
+fn wrap(tuple: FourTuple, seg: &TcpSegment) -> Ipv4Packet {
+    Ipv4Packet::new(
+        tuple.local.0,
+        tuple.remote.0,
+        IpProto::Tcp,
+        seg.encode(tuple.local.0, tuple.remote.0),
+    )
+}
+
+/// Builds the RST answering an unexpected segment (RFC 793 reset
+/// generation, simplified).
+fn make_rst_for(seg: &TcpSegment) -> TcpSegment {
+    let (seq, ack, ack_flag) = if seg.flags.ack {
+        (seg.ack, SeqNum(0), false)
+    } else {
+        (SeqNum(0), seg.seq + seg.seq_len(), true)
+    };
+    TcpSegment {
+        src_port: seg.dst_port,
+        dst_port: seg.src_port,
+        seq,
+        ack,
+        flags: TcpFlags {
+            rst: true,
+            ack: ack_flag,
+            ..Default::default()
+        },
+        window: 0,
+        payload: Bytes::new(),
+    }
+}
+
+/// FNV-1a over the four-tuple and salt: a keyed, deterministic ISN that
+/// both ST-TCP servers derive identically.
+fn deterministic_isn(tuple: FourTuple, salt: u64) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in salt.to_be_bytes() {
+        eat(b);
+    }
+    for b in tuple.local.0.octets() {
+        eat(b);
+    }
+    for b in tuple.local.1.to_be_bytes() {
+        eat(b);
+    }
+    for b in tuple.remote.0.octets() {
+        eat(b);
+    }
+    for b in tuple.remote.1.to_be_bytes() {
+        eat(b);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::TcpState;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    /// Two endpoints wired back-to-back through a lossless instant pipe.
+    struct Net {
+        a: TcpEndpoint,
+        b: TcpEndpoint,
+        now: SimTime,
+    }
+
+    impl Net {
+        fn new() -> Net {
+            Net {
+                a: TcpEndpoint::new(EndpointConfig {
+                    seed: 1,
+                    ..Default::default()
+                }),
+                b: TcpEndpoint::new(EndpointConfig {
+                    seed: 2,
+                    ..Default::default()
+                }),
+                now: SimTime::ZERO,
+            }
+        }
+
+        fn pump(&mut self) {
+            loop {
+                let pa = self.a.poll_packets(self.now);
+                let pb = self.b.poll_packets(self.now);
+                if pa.is_empty() && pb.is_empty() {
+                    break;
+                }
+                for p in pa {
+                    self.b.on_packet(self.now, &p);
+                }
+                for p in pb {
+                    self.a.on_packet(self.now, &p);
+                }
+            }
+        }
+
+        fn advance(&mut self, to: SimTime) {
+            self.now = to;
+            self.a.on_time(to);
+            self.b.on_time(to);
+            self.pump();
+        }
+    }
+
+    fn connected_pair() -> (Net, SocketId, SocketId) {
+        let mut n = Net::new();
+        n.b.listen(80, ListenConfig::default());
+        let ca = n.a.connect(n.now, (ip(1), 40_000), (ip(2), 80));
+        n.pump();
+        let mut server_sock = None;
+        while let Some((id, ev)) = n.b.poll_event() {
+            if ev == SocketEvent::Accepted {
+                server_sock = Some(id);
+            }
+        }
+        let sb = server_sock.expect("accept event");
+        assert_eq!(n.a.conn(ca).unwrap().state(), TcpState::Established);
+        assert_eq!(n.b.conn(sb).unwrap().state(), TcpState::Established);
+        (n, ca, sb)
+    }
+
+    #[test]
+    fn connect_accept_and_transfer() {
+        let (mut n, ca, sb) = connected_pair();
+        assert_eq!(n.a.send(n.now, ca, b"ping"), 4);
+        n.pump();
+        assert_eq!(n.b.recv(sb, 100).as_ref(), b"ping");
+        assert_eq!(n.b.send(n.now, sb, b"pong!"), 5);
+        n.pump();
+        assert_eq!(n.a.recv(ca, 100).as_ref(), b"pong!");
+    }
+
+    #[test]
+    fn events_flow_through_endpoint() {
+        let (mut n, ca, sb) = connected_pair();
+        let _ = n.a.send(n.now, ca, b"x");
+        n.pump();
+        let evs: Vec<SocketEvent> = std::iter::from_fn(|| n.b.poll_event())
+            .map(|(id, ev)| {
+                assert_eq!(id, sb);
+                ev
+            })
+            .collect();
+        assert!(evs.contains(&SocketEvent::DataReadable));
+    }
+
+    #[test]
+    fn unknown_segment_gets_rst_when_policy_send() {
+        let mut n = Net::new();
+        // No listener on b.
+        let ca = n.a.connect(n.now, (ip(1), 40_000), (ip(2), 80));
+        n.pump();
+        assert_eq!(n.a.conn(ca).unwrap().state(), TcpState::Closed);
+        let evs: Vec<SocketEvent> =
+            std::iter::from_fn(|| n.a.poll_event()).map(|(_, e)| e).collect();
+        assert!(evs.contains(&SocketEvent::Reset));
+    }
+
+    #[test]
+    fn silent_policy_sends_nothing() {
+        let mut n = Net::new();
+        n.b = TcpEndpoint::new(EndpointConfig {
+            rst_policy: RstPolicy::Silent,
+            seed: 2,
+            ..Default::default()
+        });
+        let ca = n.a.connect(n.now, (ip(1), 40_000), (ip(2), 80));
+        n.pump();
+        // The SYN goes unanswered: client still in SYN-SENT.
+        assert_eq!(n.a.conn(ca).unwrap().state(), TcpState::SynSent);
+    }
+
+    #[test]
+    fn deterministic_isn_matches_across_endpoints() {
+        let tuple = FourTuple {
+            local: (ip(100), 80),
+            remote: (ip(1), 40_000),
+        };
+        assert_eq!(deterministic_isn(tuple, 7), deterministic_isn(tuple, 7));
+        assert_ne!(deterministic_isn(tuple, 7), deterministic_isn(tuple, 8));
+        let other = FourTuple {
+            local: (ip(100), 80),
+            remote: (ip(1), 40_001),
+        };
+        assert_ne!(deterministic_isn(tuple, 7), deterministic_isn(other, 7));
+    }
+
+    #[test]
+    fn two_listeners_with_deterministic_isn_accept_identically() {
+        // The ST-TCP property: primary and backup accept the same SYN and
+        // produce the same ISS.
+        let mk = || {
+            let mut e = TcpEndpoint::new(EndpointConfig {
+                isn: IsnPolicy::Deterministic { salt: 99 },
+                rst_policy: RstPolicy::Silent,
+                seed: 5,
+                ..Default::default()
+            });
+            e.listen(80, ListenConfig::default());
+            e
+        };
+        let mut primary = mk();
+        let mut backup = mk();
+        let mut client = TcpEndpoint::new(EndpointConfig {
+            seed: 9,
+            ..Default::default()
+        });
+        let _ = client.connect(SimTime::ZERO, (ip(1), 40_000), (ip(100), 80));
+        let syn_pkt = &client.poll_packets(SimTime::ZERO)[0];
+        primary.on_packet(SimTime::ZERO, syn_pkt);
+        backup.on_packet(SimTime::ZERO, syn_pkt);
+        let ps = primary.sockets()[0];
+        let bs = backup.sockets()[0];
+        assert_eq!(
+            primary.conn(ps).unwrap().isn(),
+            backup.conn(bs).unwrap().isn()
+        );
+    }
+
+    #[test]
+    fn suppressed_egress_emits_nothing_but_counts() {
+        let mut n = Net::new();
+        n.b.listen(
+            80,
+            ListenConfig {
+                egress: EgressMode::Suppress,
+                ..Default::default()
+            },
+        );
+        let ca = n.a.connect(n.now, (ip(1), 40_000), (ip(2), 80));
+        n.pump();
+        // The SYN-ACK was suppressed: the client is still in SYN-SENT.
+        assert_eq!(n.a.conn(ca).unwrap().state(), TcpState::SynSent);
+        let sb = n.b.sockets()[0];
+        assert!(n.b.shim_stats(sb).unwrap().suppressed >= 1);
+    }
+
+    #[test]
+    fn unsuppressing_lets_connection_complete() {
+        let mut n = Net::new();
+        n.b.listen(
+            80,
+            ListenConfig {
+                egress: EgressMode::Suppress,
+                ..Default::default()
+            },
+        );
+        let ca = n.a.connect(n.now, (ip(1), 40_000), (ip(2), 80));
+        n.pump();
+        let sb = n.b.sockets()[0];
+        assert_eq!(n.b.egress(sb), Some(EgressMode::Suppress));
+        n.b.set_egress(sb, EgressMode::Normal);
+        // Client retransmits its SYN; this time the SYN-ACK flows.
+        let d = n.a.next_deadline().unwrap();
+        n.advance(d);
+        assert_eq!(n.a.conn(ca).unwrap().state(), TcpState::Established);
+    }
+
+    #[test]
+    fn fin_gate_holds_fin_but_passes_data() {
+        let (mut n, ca, sb) = connected_pair();
+        n.a.set_fin_gate(ca, FinGate::Hold);
+        let _ = n.a.send(n.now, ca, b"last data");
+        n.a.close(n.now, ca);
+        n.pump();
+        // Data arrived…
+        assert_eq!(n.b.recv(sb, 100).as_ref(), b"last data");
+        // …but no FIN was seen by the server.
+        assert!(!n.b.conn(sb).unwrap().peer_fin_received());
+        assert!(n.a.shim_stats(ca).unwrap().fins_held >= 1);
+        // Releasing the gate delivers the FIN promptly.
+        n.a.release_fin(n.now, ca);
+        n.pump();
+        assert!(n.b.conn(sb).unwrap().peer_fin_received());
+    }
+
+    #[test]
+    fn timers_drive_retransmission_through_endpoint() {
+        let (mut n, ca, sb) = connected_pair();
+        let _ = n.a.send(n.now, ca, b"will be lost");
+        // Drop the data packet on the floor.
+        let _ = n.a.poll_packets(n.now);
+        assert_eq!(n.b.recv(sb, 100).len(), 0);
+        let d = n.a.next_deadline().unwrap();
+        n.advance(d);
+        assert_eq!(n.b.recv(sb, 100).as_ref(), b"will be lost");
+    }
+
+    #[test]
+    fn closed_connection_frees_tuple_for_reuse() {
+        let (mut n, ca, _sb) = connected_pair();
+        n.a.abort(n.now, ca);
+        n.pump();
+        assert_eq!(n.a.socket_by_tuple(FourTuple {
+            local: (ip(1), 40_000),
+            remote: (ip(2), 80),
+        }), None);
+    }
+
+    #[test]
+    fn many_concurrent_connections_demux_correctly() {
+        let mut n = Net::new();
+        n.b.listen(80, ListenConfig::default());
+        let mut socks = Vec::new();
+        for i in 0..8u16 {
+            socks.push(n.a.connect(n.now, (ip(1), 41_000 + i), (ip(2), 80)));
+        }
+        n.pump();
+        // Each client socket established; each gets its own echo lane.
+        for (i, &sock) in socks.iter().enumerate() {
+            assert_eq!(n.a.conn(sock).unwrap().state(), TcpState::Established);
+            let msg = format!("hello-{i}");
+            let _ = n.a.send(n.now, sock, msg.as_bytes());
+        }
+        n.pump();
+        // Server got 8 distinct connections with the right bytes.
+        let server_socks = n.b.sockets();
+        assert_eq!(server_socks.len(), 8);
+        let mut seen: Vec<String> = server_socks
+            .iter()
+            .map(|&s| String::from_utf8_lossy(&n.b.recv(s, 100)).into_owned())
+            .collect();
+        seen.sort();
+        let mut expected: Vec<String> = (0..8).map(|i| format!("hello-{i}")).collect();
+        expected.sort();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn unlisten_stops_new_accepts_keeps_existing() {
+        let (mut n, ca, sb) = connected_pair();
+        n.b.unlisten(80);
+        // Existing connection still works.
+        let _ = n.a.send(n.now, ca, b"still alive");
+        n.pump();
+        assert_eq!(n.b.recv(sb, 100).as_ref(), b"still alive");
+        // New connection attempts are refused.
+        let c2 = n.a.connect(n.now, (ip(1), 40_001), (ip(2), 80));
+        n.pump();
+        assert_eq!(n.a.conn(c2).unwrap().state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn deadline_aggregation_takes_minimum() {
+        let (mut n, ca, _sb) = connected_pair();
+        // One connection with an armed retransmission timer.
+        let _ = n.a.send(n.now, ca, b"x");
+        let d1 = n.a.next_deadline().expect("rtx armed");
+        // A second connection arms a SYN timer (never answered).
+        let _ = n.a.connect(n.now, (ip(1), 40_007), (ip(9), 80));
+        let d2 = n.a.next_deadline().expect("two timers now");
+        assert!(d2 <= d1);
+    }
+
+    #[test]
+    fn set_rst_policy_flips_behaviour() {
+        let mut n = Net::new();
+        n.b = TcpEndpoint::new(EndpointConfig {
+            rst_policy: RstPolicy::Silent,
+            seed: 2,
+            ..Default::default()
+        });
+        let ca = n.a.connect(n.now, (ip(1), 40_000), (ip(2), 80));
+        n.pump();
+        assert_eq!(n.a.conn(ca).unwrap().state(), TcpState::SynSent);
+        // Flip to Send: the next retransmitted SYN gets refused.
+        n.b.set_rst_policy(RstPolicy::Send);
+        let d = n.a.next_deadline().unwrap();
+        n.advance(d);
+        assert_eq!(n.a.conn(ca).unwrap().state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn rst_for_ackless_segment_acks_it() {
+        let seg = TcpSegment {
+            src_port: 1,
+            dst_port: 2,
+            seq: SeqNum(100),
+            ack: SeqNum(0),
+            flags: TcpFlags::SYN,
+            window: 0,
+            payload: Bytes::new(),
+        };
+        let rst = make_rst_for(&seg);
+        assert!(rst.flags.rst && rst.flags.ack);
+        assert_eq!(rst.ack, SeqNum(101));
+        let seg2 = TcpSegment {
+            flags: TcpFlags::ACK,
+            ack: SeqNum(555),
+            ..seg
+        };
+        let rst2 = make_rst_for(&seg2);
+        assert!(rst2.flags.rst && !rst2.flags.ack);
+        assert_eq!(rst2.seq, SeqNum(555));
+    }
+}

@@ -1,0 +1,456 @@
+//! The TCP receive buffer, with out-of-order reassembly and the ST-TCP
+//! *receive hold* extension.
+//!
+//! Plain TCP may discard a byte as soon as the application has read it.
+//! ST-TCP's primary may not: it must keep every in-order byte until the
+//! backup confirms receipt (via the heartbeat's `LastByteReceived`), so it
+//! can re-supply bytes the backup missed (paper §4.3, Table 1 row 5). The
+//! buffer therefore tracks two consumption cursors — the application's
+//! `read_pos` and ST-TCP's `release_pos` — and only discards below both.
+//! When the hold region exceeds its capacity, ST-TCP is informed (the
+//! paper's "additional receive buffer space fills up ⇒ backup considered
+//! failed"); flow control toward the client is *not* affected, matching
+//! the paper's use of extra buffer space rather than window shrinkage.
+
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Outcome of offering segment payload to the receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReceiveOutcome {
+    /// Bytes newly added in-order (advanced `nxt` by this much).
+    pub newly_in_order: u64,
+    /// True if any part of the payload was stored (in-order or not); false
+    /// means the segment was entirely duplicate or outside the window.
+    pub accepted: bool,
+}
+
+/// A reassembling receive buffer with an optional hold region.
+#[derive(Debug, Clone)]
+pub struct RecvBuffer {
+    /// Contiguous received bytes covering stream offsets `[low, nxt)`.
+    store: VecDeque<u8>,
+    /// Lowest retained offset: `min(read_pos, release_pos)`.
+    low: u64,
+    /// Application read cursor.
+    read_pos: u64,
+    /// ST-TCP hold-release cursor (`== nxt` when the hold is disabled).
+    release_pos: u64,
+    /// Next expected in-order offset (receive-next).
+    nxt: u64,
+    /// Out-of-order segments keyed by their start offset.
+    ooo: BTreeMap<u64, Bytes>,
+    /// Application receive-buffer capacity (drives the advertised window).
+    app_capacity: usize,
+    /// Hold capacity; `None` disables the hold (plain TCP).
+    hold_capacity: Option<usize>,
+    /// Stream offset of the peer's FIN, once seen.
+    fin_offset: Option<u64>,
+}
+
+impl RecvBuffer {
+    /// Creates a buffer with the given application capacity and optional
+    /// ST-TCP hold capacity.
+    pub fn new(app_capacity: usize, hold_capacity: Option<usize>) -> RecvBuffer {
+        RecvBuffer {
+            store: VecDeque::new(),
+            low: 0,
+            read_pos: 0,
+            release_pos: 0,
+            nxt: 0,
+            ooo: BTreeMap::new(),
+            app_capacity,
+            hold_capacity,
+            fin_offset: None,
+        }
+    }
+
+    /// Next expected in-order stream offset. This is the paper's
+    /// `LastByteReceived` heartbeat field (as a count of contiguous bytes).
+    pub fn nxt(&self) -> u64 {
+        self.nxt
+    }
+
+    /// The application's read cursor — the paper's `LastAppByteRead`.
+    pub fn read_pos(&self) -> u64 {
+        self.read_pos
+    }
+
+    /// The hold-release cursor.
+    pub fn release_pos(&self) -> u64 {
+        self.release_pos
+    }
+
+    /// Bytes ready for the application to read.
+    pub fn readable(&self) -> usize {
+        (self.nxt - self.read_pos) as usize
+    }
+
+    /// The advertised receive window: application capacity minus unread
+    /// in-order bytes. The hold region does not shrink the window.
+    pub fn window(&self) -> usize {
+        self.app_capacity.saturating_sub(self.readable())
+    }
+
+    /// Bytes currently held for the backup (acked to the peer but not yet
+    /// released by ST-TCP). Zero when the hold is disabled.
+    pub fn hold_used(&self) -> usize {
+        (self.nxt - self.release_pos) as usize
+    }
+
+    /// True when the hold region has exceeded its capacity — the signal
+    /// that makes the primary declare the backup failed.
+    pub fn hold_overflow(&self) -> bool {
+        match self.hold_capacity {
+            Some(cap) => self.hold_used() > cap,
+            None => false,
+        }
+    }
+
+    /// Bytes currently parked out-of-order (data beyond a receive hole).
+    /// Overlapping segments may be double-counted; callers use this as a
+    /// boolean-ish "is there data stranded behind a hole" signal.
+    pub fn ooo_bytes(&self) -> usize {
+        self.ooo.values().map(|b| b.len()).sum()
+    }
+
+    /// The stream offset of the peer's FIN, if one has been received.
+    pub fn fin_offset(&self) -> Option<u64> {
+        self.fin_offset
+    }
+
+    /// True once all data up to the peer's FIN has been received in order.
+    pub fn fin_reached(&self) -> bool {
+        self.fin_offset == Some(self.nxt)
+    }
+
+    /// Offers segment payload starting at signed stream offset `off`
+    /// (negative offsets arise from old retransmissions reaching back
+    /// before the current window; the overlap is trimmed). `fin` marks a
+    /// FIN occupying the offset just past the payload.
+    pub fn receive(&mut self, off: i64, data: &[u8], fin: bool) -> ReceiveOutcome {
+        let mut outcome = ReceiveOutcome::default();
+
+        // The FIN occupies the offset just past the payload as originally
+        // sent, independent of any trimming below.
+        if fin {
+            let fin_pos = (off + data.len() as i64).max(0) as u64;
+            match self.fin_offset {
+                None => self.fin_offset = Some(fin_pos),
+                Some(existing) => debug_assert_eq!(existing, fin_pos, "peer moved its FIN"),
+            }
+        }
+
+        // Trim the part that precedes data we already have.
+        let (start, data) = if off < self.nxt as i64 {
+            let skip = (self.nxt as i64 - off) as usize;
+            if skip >= data.len() {
+                (self.nxt, &data[0..0])
+            } else {
+                (self.nxt, &data[skip..])
+            }
+        } else {
+            (off as u64, data)
+        };
+
+        // Enforce the receive window: never buffer beyond what we
+        // advertised (in-order capacity above read_pos).
+        let window_end = self.read_pos + self.app_capacity as u64;
+        let data = if start >= window_end {
+            &data[0..0]
+        } else {
+            let room = (window_end - start) as usize;
+            &data[..data.len().min(room)]
+        };
+
+        if !data.is_empty() {
+            if start == self.nxt {
+                self.store.extend(data);
+                self.nxt += data.len() as u64;
+                outcome.newly_in_order += data.len() as u64;
+                outcome.accepted = true;
+                self.drain_ooo(&mut outcome);
+            } else {
+                // Out of order: keep it (possibly overlapping; trimmed when
+                // drained).
+                outcome.accepted = true;
+                self.ooo
+                    .entry(start)
+                    .or_insert_with(|| Bytes::copy_from_slice(data));
+            }
+        }
+
+        if self.hold_capacity.is_none() {
+            self.release_pos = self.nxt;
+        }
+        self.compact();
+        outcome
+    }
+
+    fn drain_ooo(&mut self, outcome: &mut ReceiveOutcome) {
+        while let Some((&start, _)) = self.ooo.range(..=self.nxt).next() {
+            let seg = self.ooo.remove(&start).expect("key just observed");
+            let end = start + seg.len() as u64;
+            if end > self.nxt {
+                let skip = (self.nxt - start) as usize;
+                let tail = &seg[skip..];
+                self.store.extend(tail);
+                self.nxt += tail.len() as u64;
+                outcome.newly_in_order += tail.len() as u64;
+            }
+            // Fully-duplicate entries are simply dropped.
+        }
+    }
+
+    /// Reads up to `max` bytes for the application.
+    pub fn read(&mut self, max: usize) -> Bytes {
+        let n = self.readable().min(max);
+        let start = (self.read_pos - self.low) as usize;
+        let mut v = Vec::with_capacity(n);
+        for i in start..start + n {
+            v.push(self.store[i]);
+        }
+        self.read_pos += n as u64;
+        self.compact();
+        Bytes::from(v)
+    }
+
+    /// Releases held bytes below `upto` (the backup has confirmed them).
+    /// Clamped to `[release_pos, nxt]`. No-op when the hold is disabled.
+    pub fn release_until(&mut self, upto: u64) {
+        if self.hold_capacity.is_none() {
+            return;
+        }
+        let upto = upto.clamp(self.release_pos, self.nxt);
+        self.release_pos = upto;
+        self.compact();
+    }
+
+    /// Copies up to `max` held/stored bytes starting at offset `off`, for
+    /// re-supplying a backup that missed them.
+    ///
+    /// Returns `None` if `off` is below the retained range (already
+    /// discarded — the paper's unrecoverable case) or beyond `nxt`.
+    pub fn fetch(&self, off: u64, max: usize) -> Option<Bytes> {
+        if off < self.low || off >= self.nxt {
+            return None;
+        }
+        let start = (off - self.low) as usize;
+        let len = ((self.nxt - off) as usize).min(max);
+        let mut v = Vec::with_capacity(len);
+        for i in start..start + len {
+            v.push(self.store[i]);
+        }
+        Some(Bytes::from(v))
+    }
+
+    fn compact(&mut self) {
+        let new_low = self.read_pos.min(self.release_pos);
+        let drop = (new_low - self.low) as usize;
+        if drop > 0 {
+            self.store.drain(..drop);
+            self.low = new_low;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain() -> RecvBuffer {
+        RecvBuffer::new(1024, None)
+    }
+
+    fn holding(cap: usize) -> RecvBuffer {
+        RecvBuffer::new(1024, Some(cap))
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut b = plain();
+        let o = b.receive(0, b"hello", false);
+        assert_eq!(o.newly_in_order, 5);
+        assert!(o.accepted);
+        assert_eq!(b.nxt(), 5);
+        assert_eq!(b.read(100).as_ref(), b"hello");
+        assert_eq!(b.readable(), 0);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let mut b = plain();
+        let o = b.receive(5, b"world", false);
+        assert_eq!(o.newly_in_order, 0);
+        assert!(o.accepted);
+        assert_eq!(b.nxt(), 0);
+        let o = b.receive(0, b"hello", false);
+        assert_eq!(o.newly_in_order, 10);
+        assert_eq!(b.read(100).as_ref(), b"helloworld");
+    }
+
+    #[test]
+    fn overlapping_retransmission_trimmed() {
+        let mut b = plain();
+        let _ = b.receive(0, b"abcde", false);
+        // Retransmission covering [2, 8).
+        let o = b.receive(2, b"cdefgh", false);
+        assert_eq!(o.newly_in_order, 3);
+        assert_eq!(b.read(100).as_ref(), b"abcdefgh");
+    }
+
+    #[test]
+    fn fully_duplicate_segment_rejected() {
+        let mut b = plain();
+        let _ = b.receive(0, b"abcde", false);
+        let o = b.receive(0, b"abc", false);
+        assert_eq!(o.newly_in_order, 0);
+        assert!(!o.accepted);
+    }
+
+    #[test]
+    fn negative_offset_old_data() {
+        let mut b = plain();
+        let _ = b.receive(0, b"abcde", false);
+        let _ = b.read(100);
+        // A very old retransmission stretching before offset 0 cannot
+        // happen in real TCP, but the API must be robust to off < nxt.
+        let o = b.receive(3, b"defgh", false);
+        assert_eq!(o.newly_in_order, 3);
+        assert_eq!(b.read(100).as_ref(), b"fgh");
+    }
+
+    #[test]
+    fn window_shrinks_with_unread_data() {
+        let mut b = RecvBuffer::new(10, None);
+        assert_eq!(b.window(), 10);
+        let _ = b.receive(0, b"abcdef", false);
+        assert_eq!(b.window(), 4);
+        let _ = b.read(3);
+        assert_eq!(b.window(), 7);
+    }
+
+    #[test]
+    fn data_beyond_window_is_clamped() {
+        let mut b = RecvBuffer::new(4, None);
+        let o = b.receive(0, b"abcdefgh", false);
+        assert_eq!(o.newly_in_order, 4);
+        assert_eq!(b.nxt(), 4);
+        // Entirely outside the window: nothing stored.
+        let o = b.receive(100, b"zz", false);
+        assert!(!o.accepted);
+    }
+
+    #[test]
+    fn fin_position_tracked_and_reached() {
+        let mut b = plain();
+        let _ = b.receive(0, b"abc", true);
+        assert_eq!(b.fin_offset(), Some(3));
+        assert!(b.fin_reached());
+    }
+
+    #[test]
+    fn fin_with_missing_data_not_reached() {
+        let mut b = plain();
+        let _ = b.receive(3, b"def", true);
+        assert_eq!(b.fin_offset(), Some(6));
+        assert!(!b.fin_reached());
+        let _ = b.receive(0, b"abc", false);
+        assert!(b.fin_reached());
+    }
+
+    #[test]
+    fn bare_fin_after_data() {
+        let mut b = plain();
+        let _ = b.receive(0, b"abc", false);
+        let _ = b.receive(3, b"", true);
+        assert_eq!(b.fin_offset(), Some(3));
+        assert!(b.fin_reached());
+    }
+
+    #[test]
+    fn hold_retains_read_bytes() {
+        let mut b = holding(100);
+        let _ = b.receive(0, b"abcdefgh", false);
+        let _ = b.read(8);
+        // App has read everything, but the hold still has it.
+        assert_eq!(b.hold_used(), 8);
+        assert_eq!(b.fetch(0, 100).unwrap().as_ref(), b"abcdefgh");
+        assert_eq!(b.fetch(4, 2).unwrap().as_ref(), b"ef");
+        b.release_until(5);
+        assert_eq!(b.hold_used(), 3);
+        assert!(b.fetch(0, 10).is_none(), "released bytes are gone");
+        assert_eq!(b.fetch(5, 10).unwrap().as_ref(), b"fgh");
+    }
+
+    #[test]
+    fn plain_buffer_has_no_hold() {
+        let mut b = plain();
+        let _ = b.receive(0, b"abcdefgh", false);
+        let _ = b.read(8);
+        assert_eq!(b.hold_used(), 0);
+        assert!(!b.hold_overflow());
+        assert!(b.fetch(0, 8).is_none(), "bytes discarded after read");
+    }
+
+    #[test]
+    fn hold_overflow_signals() {
+        let mut b = holding(4);
+        let _ = b.receive(0, b"abcdefgh", false);
+        assert_eq!(b.hold_used(), 8);
+        assert!(b.hold_overflow());
+        b.release_until(6);
+        assert!(!b.hold_overflow());
+    }
+
+    #[test]
+    fn hold_does_not_shrink_window() {
+        let mut b = RecvBuffer::new(10, Some(100));
+        let _ = b.receive(0, b"abcdef", false);
+        let _ = b.read(6);
+        // 6 bytes held, but the app buffer is empty ⇒ full window.
+        assert_eq!(b.hold_used(), 6);
+        assert_eq!(b.window(), 10);
+    }
+
+    #[test]
+    fn release_clamps() {
+        let mut b = holding(100);
+        let _ = b.receive(0, b"abcd", false);
+        b.release_until(100);
+        assert_eq!(b.release_pos(), 4);
+        b.release_until(2); // going backwards is ignored
+        assert_eq!(b.release_pos(), 4);
+    }
+
+    #[test]
+    fn fetch_bounds() {
+        let mut b = holding(100);
+        let _ = b.receive(0, b"abcd", false);
+        assert!(b.fetch(4, 1).is_none(), "at nxt");
+        assert!(b.fetch(100, 1).is_none(), "beyond nxt");
+        assert_eq!(b.fetch(3, 100).unwrap().as_ref(), b"d");
+    }
+
+    #[test]
+    fn unread_bytes_survive_release() {
+        // Bytes released by ST-TCP but not yet read by the app must stay.
+        let mut b = holding(100);
+        let _ = b.receive(0, b"abcdefgh", false);
+        b.release_until(8);
+        assert_eq!(b.read(100).as_ref(), b"abcdefgh");
+    }
+
+    #[test]
+    fn interleaved_read_release_discard() {
+        let mut b = holding(100);
+        let _ = b.receive(0, b"0123456789", false);
+        let _ = b.read(4); // read_pos = 4
+        b.release_until(7); // release_pos = 7, low = 4
+        assert_eq!(b.fetch(7, 100).unwrap().as_ref(), b"789");
+        assert_eq!(b.read(100).as_ref(), b"456789"); // read_pos = 10
+        b.release_until(10);
+        assert_eq!(b.hold_used(), 0);
+        assert!(b.fetch(9, 1).is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! The TCP send buffer.
+//!
+//! Operates in 64-bit *stream offset* space (offset 0 = first payload
+//! byte); the connection layer converts to and from 32-bit wire sequence
+//! numbers. The buffer retains every byte from the lowest unacknowledged
+//! offset to the application's write position, serving both first
+//! transmissions and retransmissions.
+
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// A byte-stream send buffer with retransmission support.
+///
+/// Tracks three positions: `una` (lowest unacknowledged), the caller's
+/// transmission cursor (kept by the connection), and `written` (the
+/// application's write position). `ST-TCP` reads `written` as the paper's
+/// `LastAppByteWritten` heartbeat field.
+#[derive(Debug, Clone)]
+pub struct SendBuffer {
+    /// Bytes covering stream offsets `[una, written)`.
+    data: VecDeque<u8>,
+    una: u64,
+    written: u64,
+    capacity: usize,
+    fin_queued: bool,
+}
+
+impl SendBuffer {
+    /// Creates an empty buffer that accepts up to `capacity` un-acked
+    /// bytes.
+    pub fn new(capacity: usize) -> SendBuffer {
+        SendBuffer {
+            data: VecDeque::new(),
+            una: 0,
+            written: 0,
+            capacity,
+            fin_queued: false,
+        }
+    }
+
+    /// The lowest unacknowledged stream offset.
+    pub fn una(&self) -> u64 {
+        self.una
+    }
+
+    /// The application's write position (total bytes ever written). This
+    /// is the paper's `LastAppByteWritten`.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Bytes currently buffered (written but not yet acked).
+    pub fn buffered(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Free space for application writes.
+    pub fn free_space(&self) -> usize {
+        self.capacity - self.data.len()
+    }
+
+    /// True once the application has closed its sending side.
+    pub fn fin_queued(&self) -> bool {
+        self.fin_queued
+    }
+
+    /// The stream offset the FIN occupies (one past the last data byte),
+    /// if the sending side has been closed.
+    pub fn fin_offset(&self) -> Option<u64> {
+        self.fin_queued.then_some(self.written)
+    }
+
+    /// Appends application data, limited by free space. Returns the number
+    /// of bytes accepted (0 after the sending side is closed).
+    pub fn write(&mut self, buf: &[u8]) -> usize {
+        if self.fin_queued {
+            return 0;
+        }
+        let n = buf.len().min(self.free_space());
+        self.data.extend(&buf[..n]);
+        self.written += n as u64;
+        n
+    }
+
+    /// Closes the sending side: no further writes are accepted and a FIN
+    /// occupies the offset just past the last written byte. Idempotent.
+    pub fn queue_fin(&mut self) {
+        self.fin_queued = true;
+    }
+
+    /// Bytes available at or beyond `from` (i.e. not yet transmitted when
+    /// `from` is the send cursor).
+    pub fn available_from(&self, from: u64) -> usize {
+        debug_assert!(from >= self.una && from <= self.written);
+        (self.written - from) as usize
+    }
+
+    /// Copies up to `max` bytes starting at stream offset `off`.
+    ///
+    /// Used for both first transmission and retransmission; returns an
+    /// empty value when `off` is at or past the write position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is below `una` (those bytes have been acked and
+    /// discarded — asking for them is a connection-layer bug).
+    pub fn slice(&self, off: u64, max: usize) -> Bytes {
+        assert!(off >= self.una, "offset {off} below una {}", self.una);
+        if off >= self.written {
+            return Bytes::new();
+        }
+        let start = (off - self.una) as usize;
+        let len = ((self.written - off) as usize).min(max);
+        let mut v = Vec::with_capacity(len);
+        for i in start..start + len {
+            v.push(self.data[i]);
+        }
+        Bytes::from(v)
+    }
+
+    /// Acknowledges everything below stream offset `upto`, discarding it.
+    /// Returns the number of newly acknowledged bytes. Offsets at or below
+    /// the current `una`, or beyond `written`, are clamped.
+    pub fn ack_to(&mut self, upto: u64) -> u64 {
+        let upto = upto.clamp(self.una, self.written);
+        let n = upto - self.una;
+        self.data.drain(..n as usize);
+        self.una = upto;
+        n
+    }
+
+    /// True when every written byte has been acknowledged (FIN sequencing
+    /// is tracked by the connection, not here).
+    pub fn all_acked(&self) -> bool {
+        self.una == self.written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_slice() {
+        let mut b = SendBuffer::new(100);
+        assert_eq!(b.write(b"hello world"), 11);
+        assert_eq!(b.written(), 11);
+        assert_eq!(b.slice(0, 5).as_ref(), b"hello");
+        assert_eq!(b.slice(6, 100).as_ref(), b"world");
+        assert_eq!(b.slice(11, 10).len(), 0);
+    }
+
+    #[test]
+    fn capacity_limits_writes() {
+        let mut b = SendBuffer::new(8);
+        assert_eq!(b.write(b"0123456789"), 8);
+        assert_eq!(b.free_space(), 0);
+        assert_eq!(b.write(b"x"), 0);
+        let _ = b.ack_to(4);
+        assert_eq!(b.free_space(), 4);
+        assert_eq!(b.write(b"abcdef"), 4);
+        assert_eq!(b.slice(8, 10).as_ref(), b"abcd");
+    }
+
+    #[test]
+    fn ack_trims_and_counts() {
+        let mut b = SendBuffer::new(100);
+        let _ = b.write(b"abcdefgh");
+        assert_eq!(b.ack_to(3), 3);
+        assert_eq!(b.una(), 3);
+        assert_eq!(b.buffered(), 5);
+        // Duplicate / old ack is a no-op.
+        assert_eq!(b.ack_to(2), 0);
+        assert_eq!(b.una(), 3);
+        // Ack beyond written clamps.
+        assert_eq!(b.ack_to(100), 5);
+        assert!(b.all_acked());
+    }
+
+    #[test]
+    fn retransmission_slice_after_partial_ack() {
+        let mut b = SendBuffer::new(100);
+        let _ = b.write(b"abcdefgh");
+        let _ = b.ack_to(2);
+        assert_eq!(b.slice(2, 3).as_ref(), b"cde");
+        assert_eq!(b.slice(5, 100).as_ref(), b"fgh");
+    }
+
+    #[test]
+    #[should_panic(expected = "below una")]
+    fn slicing_acked_bytes_panics() {
+        let mut b = SendBuffer::new(100);
+        let _ = b.write(b"abcd");
+        let _ = b.ack_to(2);
+        let _ = b.slice(1, 1);
+    }
+
+    #[test]
+    fn fin_blocks_further_writes() {
+        let mut b = SendBuffer::new(100);
+        let _ = b.write(b"done");
+        assert!(!b.fin_queued());
+        assert_eq!(b.fin_offset(), None);
+        b.queue_fin();
+        assert!(b.fin_queued());
+        assert_eq!(b.fin_offset(), Some(4));
+        assert_eq!(b.write(b"more"), 0);
+        assert_eq!(b.written(), 4);
+        b.queue_fin(); // idempotent
+        assert_eq!(b.fin_offset(), Some(4));
+    }
+
+    #[test]
+    fn available_from_cursor() {
+        let mut b = SendBuffer::new(100);
+        let _ = b.write(b"0123456789");
+        assert_eq!(b.available_from(0), 10);
+        assert_eq!(b.available_from(7), 3);
+        assert_eq!(b.available_from(10), 0);
+    }
+
+    #[test]
+    fn large_stream_offsets() {
+        let mut b = SendBuffer::new(1 << 16);
+        let chunk = vec![0xAB; 1 << 14];
+        let mut total = 0u64;
+        for _ in 0..1000 {
+            let n = b.write(&chunk);
+            total += n as u64;
+            let _ = b.ack_to(b.written());
+        }
+        assert_eq!(b.una(), total);
+        assert!(b.all_acked());
+    }
+}

@@ -1,0 +1,100 @@
+//! Socket-level types shared between connections and the endpoint.
+
+use core::fmt;
+use std::net::Ipv4Addr;
+
+/// The four-tuple identifying a TCP connection, from the local endpoint's
+/// point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FourTuple {
+    /// Local (address, port).
+    pub local: (Ipv4Addr, u16),
+    /// Remote (address, port).
+    pub remote: (Ipv4Addr, u16),
+}
+
+impl FourTuple {
+    /// The same connection as seen from the other end.
+    pub fn flipped(self) -> FourTuple {
+        FourTuple {
+            local: self.remote,
+            remote: self.local,
+        }
+    }
+}
+
+impl fmt::Display for FourTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}<->{}:{}",
+            self.local.0, self.local.1, self.remote.0, self.remote.1
+        )
+    }
+}
+
+/// Identifies a socket within one [`crate::endpoint::TcpEndpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SocketId(pub u64);
+
+impl fmt::Display for SocketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Events delivered to the application by the endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketEvent {
+    /// A listener accepted a new connection (the event's socket id is the
+    /// new connection's).
+    Accepted,
+    /// The handshake completed on a socket this endpoint opened.
+    Connected,
+    /// New in-order data is available to read.
+    DataReadable,
+    /// The peer closed its sending side.
+    PeerFin,
+    /// The connection was reset.
+    Reset,
+    /// The connection is fully closed.
+    Closed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_roundtrips() {
+        let t = FourTuple {
+            local: (Ipv4Addr::new(10, 0, 0, 1), 1234),
+            remote: (Ipv4Addr::new(10, 0, 0, 2), 80),
+        };
+        assert_eq!(t.flipped().flipped(), t);
+        assert_eq!(t.flipped().local, t.remote);
+    }
+
+    #[test]
+    fn tuple_is_ordered_for_deterministic_maps() {
+        let a = FourTuple {
+            local: (Ipv4Addr::new(10, 0, 0, 1), 1),
+            remote: (Ipv4Addr::new(10, 0, 0, 2), 80),
+        };
+        let b = FourTuple {
+            local: (Ipv4Addr::new(10, 0, 0, 1), 2),
+            remote: (Ipv4Addr::new(10, 0, 0, 2), 80),
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = FourTuple {
+            local: (Ipv4Addr::new(10, 0, 0, 1), 1234),
+            remote: (Ipv4Addr::new(10, 0, 0, 2), 80),
+        };
+        assert_eq!(t.to_string(), "10.0.0.1:1234<->10.0.0.2:80");
+        assert_eq!(SocketId(3).to_string(), "s3");
+    }
+}

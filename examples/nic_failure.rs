@@ -1,0 +1,77 @@
+//! Demo 5 as an example: NIC failures at the primary and at the backup.
+//!
+//! With only the IP heartbeat dead (the serial heartbeat survives), the
+//! servers must figure out *whose* network died: by comparing client
+//! bytes received, client ACKs received, or — when the client is silent —
+//! by pinging the gateway and exchanging the results over the serial
+//! cable.
+//!
+//! Run with: `cargo run --example nic_failure`
+
+use std::rc::Rc;
+
+use simnet::time::{SimDuration, SimTime};
+use sttcp::app::EchoApp;
+use sttcp::config::StTcpConfig;
+use sttcp::server::StTcpServer;
+use sttcp_apps::client::ClientWorkload;
+use sttcp_apps::scenario::ScenarioBuilder;
+
+fn run(fail_primary: bool, quiet_client: bool) {
+    let workload = if quiet_client {
+        ClientWorkload::Idle
+    } else {
+        ClientWorkload::EchoChat {
+            chunk: 1024,
+            period: SimDuration::from_millis(50),
+            count: 150,
+        }
+    };
+    let mut s = ScenarioBuilder::new(
+        Rc::new(|| Box::new(EchoApp::default()) as _),
+        workload,
+    )
+    .seed(5)
+    .sttcp(StTcpConfig {
+        app_max_lag_time: SimDuration::from_secs(1),
+        ..Default::default()
+    })
+    .build();
+
+    let victim = if fail_primary { s.primary } else { s.backup };
+    s.fail_nic_at(victim, SimTime::from_secs(2));
+    s.world.run_until(SimTime::from_secs(40));
+
+    println!(
+        "--- NIC failure at {} ({} client) ---",
+        if fail_primary { "PRIMARY" } else { "BACKUP" },
+        if quiet_client { "quiet" } else { "chatty" },
+    );
+    for node in [s.primary, s.backup] {
+        let server = s.world.node::<StTcpServer>(node).expect("server");
+        let name = s.world.node_name(node).to_string();
+        for ev in server.events() {
+            println!("  [{name}] {ev}");
+        }
+    }
+    if !quiet_client {
+        let log = s.client_log();
+        println!(
+            "  client: finished={} roundtrips={} resets={}",
+            s.client_finished(),
+            log.echo_roundtrips,
+            log.resets
+        );
+        assert!(s.client_finished());
+        assert_eq!(log.integrity_violations, 0);
+    }
+    println!();
+}
+
+fn main() {
+    println!("ST-TCP local-network failure handling (paper Demo 5)\n");
+    run(true, false);  // primary NIC dies; byte/ack-lag detection
+    run(false, false); // backup NIC dies; primary continues non-FT
+    run(true, true);   // primary NIC dies with a silent client; ping path
+    println!("all NIC failures were localized and recovered per Table 1 row 4.");
+}

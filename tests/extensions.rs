@@ -1,0 +1,242 @@
+//! Integration tests for capabilities beyond the paper's headline demos:
+//! multiple simultaneous client connections, the §4.2.2 watchdog
+//! extension, and the §4.3 output-commit (unrecoverable gap) caveat.
+
+use std::rc::Rc;
+
+use simnet::time::{SimDuration, SimTime};
+
+use sttcp::app::EchoApp;
+use sttcp::config::{Role, StTcpConfig};
+use sttcp::events::{FailureReason, StTcpEvent};
+use sttcp::server::AppCrashMode;
+
+use sttcp_apps::apps::StreamApp;
+use sttcp_apps::client::ClientWorkload;
+use sttcp_apps::scenario::{AppMaker, ScenarioBuilder};
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+fn stream_app(chunk: usize) -> AppMaker {
+    Rc::new(move || Box::new(StreamApp::new(chunk, false)) as _)
+}
+
+fn echo_app() -> AppMaker {
+    Rc::new(|| Box::new(EchoApp::default()) as _)
+}
+
+// ---------------------------------------------------------------------
+// Multiple clients
+// ---------------------------------------------------------------------
+
+#[test]
+fn three_clients_all_served_failure_free() {
+    // One server application type serves every client, so all workloads
+    // speak the streamer's protocol.
+    let mut s = ScenarioBuilder::new(stream_app(4096), ClientWorkload::Download {
+        total: 128 * 1024,
+    })
+    .extra_clients(vec![
+        ClientWorkload::Download { total: 64 * 1024 },
+        ClientWorkload::Download { total: 96 * 1024 },
+    ])
+    .seed(201)
+    .build();
+    s.world.run_until(t(15_000));
+    for &c in s.clients.clone().iter() {
+        assert!(s.finished(c), "client {c:?} unfinished: {:?}", s.log_of(c));
+        assert_eq!(s.log_of(c).integrity_violations, 0);
+    }
+    // The heartbeat carries one record per connection on both servers.
+    assert_eq!(s.server(s.primary).conn_keys().len(), 3);
+    assert_eq!(s.server(s.backup).conn_keys().len(), 3);
+    // Replica lockstep on every connection.
+    for key in s.server(s.primary).conn_keys() {
+        assert_eq!(
+            s.server(s.primary).app_digest(key),
+            s.server(s.backup).app_digest(key),
+            "replica divergence on conn {key:08x}"
+        );
+    }
+}
+
+#[test]
+fn three_clients_survive_primary_crash_together() {
+    let mut s = ScenarioBuilder::new(stream_app(4096), ClientWorkload::Download {
+        total: 512 * 1024,
+    })
+    .extra_clients(vec![
+        ClientWorkload::Download { total: 512 * 1024 },
+        ClientWorkload::Download { total: 384 * 1024 },
+    ])
+    .seed(202)
+    .build();
+    s.crash_primary_at(t(800));
+    s.world.run_until(t(60_000));
+    assert!(s.server(s.backup).took_over_at().is_some());
+    for &c in s.clients.clone().iter() {
+        let log = s.log_of(c);
+        assert!(s.finished(c), "client {c:?} unfinished: {log:?}");
+        assert_eq!(log.integrity_violations, 0, "client {c:?} corrupted");
+        assert_eq!(log.resets, 0, "client {c:?} reset");
+        assert_eq!(log.connects.len(), 1, "client {c:?} reconnected");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog extension (§4.2.2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn watchdog_detects_app_crash_on_idle_connection() {
+    // The case the paper admits the transport layer cannot see: the
+    // primary's application dies while the connection is completely idle.
+    let cfg = StTcpConfig {
+        watchdog_timeout: Some(SimDuration::from_millis(500)),
+        ..Default::default()
+    };
+    let mut s = ScenarioBuilder::new(echo_app(), ClientWorkload::Idle)
+        .seed(210)
+        .sttcp(cfg)
+        .build();
+    s.crash_app_at(s.primary, t(2_000), AppCrashMode::SilentNoCleanup);
+    s.world.run_until(t(20_000));
+    let reason = s.server(s.backup).events().iter().find_map(|e| match e {
+        StTcpEvent::PeerDeclaredFailed { reason, at } => Some((*reason, *at)),
+        _ => None,
+    });
+    let (reason, at) = reason.expect("watchdog should have caught the idle crash");
+    assert_eq!(reason, FailureReason::WatchdogReport);
+    // Detection: watchdog timeout + heartbeat + check slop.
+    assert!(at > t(2_500) && at < t(4_000), "detected at {at}");
+    assert!(s.server(s.backup).took_over_at().is_some());
+    assert!(!s.world.is_powered(s.primary));
+}
+
+#[test]
+fn without_watchdog_idle_app_crash_stays_undetected() {
+    // The paper's admitted limitation, reproduced: no traffic, no FIN, no
+    // watchdog ⇒ nothing at the transport layer ever notices.
+    let mut s = ScenarioBuilder::new(echo_app(), ClientWorkload::Idle)
+        .seed(211)
+        .build();
+    s.crash_app_at(s.primary, t(2_000), AppCrashMode::SilentNoCleanup);
+    s.world.run_until(t(30_000));
+    let verdicts = s
+        .server(s.backup)
+        .events()
+        .iter()
+        .any(|e| matches!(e, StTcpEvent::PeerDeclaredFailed { .. }));
+    assert!(!verdicts, "idle crash should be invisible without a watchdog");
+    assert!(s.server(s.primary).ft_mode());
+}
+
+#[test]
+fn watchdog_never_fires_on_healthy_idle_pair() {
+    let cfg = StTcpConfig {
+        watchdog_timeout: Some(SimDuration::from_millis(500)),
+        ..Default::default()
+    };
+    let mut s = ScenarioBuilder::new(echo_app(), ClientWorkload::Idle)
+        .seed(212)
+        .sttcp(cfg)
+        .build();
+    s.world.run_until(t(30_000));
+    for node in [s.primary, s.backup] {
+        assert!(
+            s.server(node).events().iter().all(|e| !matches!(
+                e,
+                StTcpEvent::PeerDeclaredFailed { .. }
+            )),
+            "false watchdog verdict on {node:?}: {:?}",
+            s.server(node).events()
+        );
+    }
+    assert!(s.server(s.primary).ft_mode());
+    assert!(s.server(s.backup).ft_mode());
+}
+
+#[test]
+fn watchdog_accelerates_detection_under_traffic_too() {
+    let cfg = StTcpConfig {
+        watchdog_timeout: Some(SimDuration::from_millis(300)),
+        // Make the lag detectors slow so the watchdog visibly wins.
+        app_max_lag_time: SimDuration::from_secs(10),
+        app_max_lag_bytes: 64 * 1024 * 1024,
+        ..Default::default()
+    };
+    let mut s = ScenarioBuilder::new(
+        echo_app(),
+        ClientWorkload::EchoChat {
+            chunk: 512,
+            period: SimDuration::from_millis(50),
+            count: 300,
+        },
+    )
+    .seed(213)
+    .sttcp(cfg)
+    .build();
+    s.crash_app_at(s.primary, t(2_000), AppCrashMode::SilentNoCleanup);
+    s.world.run_until(t(60_000));
+    let reason = s.server(s.backup).events().iter().find_map(|e| match e {
+        StTcpEvent::PeerDeclaredFailed { reason, at } => Some((*reason, *at)),
+        _ => None,
+    });
+    let (reason, at) = reason.expect("detected");
+    assert_eq!(reason, FailureReason::WatchdogReport);
+    assert!(at < t(4_000), "watchdog should beat the 10s lag timer, fired {at}");
+    assert!(s.client_finished());
+    assert_eq!(s.client_log().resets, 0);
+}
+
+// ---------------------------------------------------------------------
+// Output-commit caveat (§4.3): unrecoverable gap at takeover
+// ---------------------------------------------------------------------
+
+#[test]
+fn primary_crash_during_recovery_resets_connection_not_hangs() {
+    let cfg = StTcpConfig {
+        // Keep the backup from (re-)fetching before the crash lands, and
+        // shorten the post-takeover hole deadline for test speed.
+        recovery_interval: SimDuration::from_secs(600),
+        gap_giveup: SimDuration::from_secs(2),
+        ..Default::default()
+    };
+    let mut s = ScenarioBuilder::new(
+        echo_app(),
+        ClientWorkload::EchoChat {
+            chunk: 1024,
+            period: SimDuration::from_millis(50),
+            count: 300,
+        },
+    )
+    .seed(220)
+    .sttcp(cfg)
+    .build();
+    // The backup misses bytes the primary acks…
+    s.drop_backup_tap_at(t(2_000), 10);
+    // …and the primary dies moments later — before any recovery round.
+    s.crash_primary_at(t(2_150));
+    s.world.run_until(t(30_000));
+
+    let backup = s.server(s.backup);
+    assert!(backup.took_over_at().is_some());
+    let unrecoverable = backup
+        .events()
+        .iter()
+        .any(|e| matches!(e, StTcpEvent::UnrecoverableGap { .. }));
+    assert!(
+        unrecoverable,
+        "gap not flagged: {:?}",
+        backup.events()
+    );
+    // The client is *reset* (the honest unrecoverable outcome the paper
+    // describes), not stranded on a silent, permanently stalled
+    // connection.
+    let log = s.client_log();
+    assert_eq!(log.resets, 1, "client should see exactly one reset: {log:?}");
+    assert_eq!(log.integrity_violations, 0);
+    assert_eq!(s.server(s.backup).role(), Role::Primary);
+}

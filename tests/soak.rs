@@ -1,0 +1,170 @@
+//! Randomized soak tests: seeded fault schedules over the full topology.
+//!
+//! Each case draws a workload, a failure class, and an injection time
+//! from a seeded RNG, runs the complete scenario, and checks the
+//! *invariants* that must hold regardless of what was drawn:
+//!
+//! 1. the client's byte stream is never corrupted,
+//! 2. the client never needs a reconnect (single connection),
+//! 3. after any takeover the old primary is powered off (no dual-active),
+//! 4. at most one server declares the other failed per run,
+//! 5. with no failure injected, nobody is ever declared failed.
+
+use std::rc::Rc;
+
+use simnet::rng::SimRng;
+use simnet::time::{SimDuration, SimTime};
+
+use sttcp::app::EchoApp;
+use sttcp::config::StTcpConfig;
+use sttcp::events::StTcpEvent;
+use sttcp::server::AppCrashMode;
+
+use sttcp_apps::apps::{ReqRespApp, StreamApp};
+use sttcp_apps::client::ClientWorkload;
+use sttcp_apps::scenario::{AppMaker, ScenarioBuilder};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Fault {
+    None,
+    CrashPrimary,
+    CrashBackup,
+    AppCrashPrimary(AppCrashMode),
+    AppCrashBackup(AppCrashMode),
+    NicPrimary,
+    NicBackup,
+    TapLoss(u64),
+}
+
+fn draw_fault(rng: &mut SimRng) -> Fault {
+    match rng.index(10) {
+        0 => Fault::None,
+        1 => Fault::CrashPrimary,
+        2 => Fault::CrashBackup,
+        3 => Fault::AppCrashPrimary(AppCrashMode::SilentNoCleanup),
+        4 => Fault::AppCrashPrimary(AppCrashMode::CleanupFin),
+        5 => Fault::AppCrashBackup(AppCrashMode::SilentNoCleanup),
+        6 => Fault::AppCrashBackup(AppCrashMode::CleanupFin),
+        7 => Fault::NicPrimary,
+        8 => Fault::NicBackup,
+        _ => Fault::TapLoss(1 + rng.range_u64(1, 30)),
+    }
+}
+
+fn run_case(seed: u64) {
+    let mut rng = SimRng::seed_from(seed);
+
+    // Draw a workload.
+    let (app, workload): (AppMaker, ClientWorkload) = match rng.index(3) {
+        0 => (
+            Rc::new(|| Box::new(StreamApp::new(4096, false)) as _),
+            ClientWorkload::Download {
+                total: 64 * 1024 + rng.range_u64(0, 512 * 1024),
+            },
+        ),
+        1 => (
+            Rc::new(|| Box::new(EchoApp::default()) as _),
+            ClientWorkload::EchoChat {
+                chunk: 256 + rng.index(1024),
+                period: SimDuration::from_millis(20 + rng.range_u64(0, 80)),
+                count: 60 + rng.next_u32() % 100,
+            },
+        ),
+        _ => (
+            Rc::new(|| Box::new(ReqRespApp::new()) as _),
+            ClientWorkload::Idle,
+        ),
+    };
+
+    let fault = draw_fault(&mut rng);
+    let inject_ms = 500 + rng.range_u64(0, 2_500);
+    let hb_ms = [200u64, 500][rng.index(2)];
+
+    let cfg = StTcpConfig {
+        app_max_lag_time: SimDuration::from_secs(1),
+        max_delay_fin: SimDuration::from_secs(5),
+        ..StTcpConfig::with_hb_period(SimDuration::from_millis(hb_ms))
+    };
+    let mut s = ScenarioBuilder::new(app, workload.clone())
+        .seed(seed)
+        .sttcp(cfg)
+        .build();
+
+    let at = SimTime::from_millis(inject_ms);
+    match fault {
+        Fault::None => {}
+        Fault::CrashPrimary => s.crash_primary_at(at),
+        Fault::CrashBackup => s.crash_backup_at(at),
+        Fault::AppCrashPrimary(mode) => s.crash_app_at(s.primary, at, mode),
+        Fault::AppCrashBackup(mode) => s.crash_app_at(s.backup, at, mode),
+        Fault::NicPrimary => {
+            let p = s.primary;
+            s.fail_nic_at(p, at);
+        }
+        Fault::NicBackup => {
+            let b = s.backup;
+            s.fail_nic_at(b, at);
+        }
+        Fault::TapLoss(n) => s.drop_backup_tap_at(at, n),
+    }
+
+    s.world.run_until(SimTime::from_secs(120));
+
+    let log = s.client_log();
+    let ctx = format!("seed {seed}, fault {fault:?}, workload {workload:?}, hb {hb_ms}ms");
+
+    // Invariant 1 & 2: stream integrity, single connection, no resets.
+    assert_eq!(log.integrity_violations, 0, "corruption: {ctx}");
+    assert_eq!(log.resets, 0, "client reset: {ctx}");
+    assert!(log.connects.len() <= 1, "client reconnected: {ctx}");
+    // Workloads with a defined end must complete (Idle has none).
+    if !matches!(workload, ClientWorkload::Idle) {
+        assert!(s.client_finished(), "workload incomplete: {ctx}\n{log:?}");
+    }
+
+    // Invariant 3: no dual-active.
+    let b_took = s.server(s.backup).took_over_at().is_some();
+    if b_took {
+        assert!(!s.world.is_powered(s.primary), "dual active: {ctx}");
+    }
+
+    // Invariant 4: at most one side issued a verdict.
+    let verdicts = [s.primary, s.backup]
+        .iter()
+        .filter(|&&n| {
+            s.server(n)
+                .events()
+                .iter()
+                .any(|e| matches!(e, StTcpEvent::PeerDeclaredFailed { .. }))
+        })
+        .count();
+    assert!(verdicts <= 1, "mutual condemnation: {ctx}");
+
+    // Invariant 5: clean runs stay clean (tap loss is recoverable and
+    // must not trigger verdicts either).
+    if matches!(fault, Fault::None | Fault::TapLoss(_)) {
+        assert_eq!(verdicts, 0, "false positive: {ctx}");
+        assert!(s.server(s.primary).ft_mode(), "lost ft mode: {ctx}");
+    }
+}
+
+#[test]
+fn soak_seeds_0_to_19() {
+    for seed in 0..20 {
+        run_case(seed);
+    }
+}
+
+#[test]
+fn soak_seeds_20_to_39() {
+    for seed in 20..40 {
+        run_case(seed);
+    }
+}
+
+#[test]
+fn soak_seeds_40_to_59() {
+    for seed in 40..60 {
+        run_case(seed);
+    }
+}
