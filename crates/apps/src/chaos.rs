@@ -1,0 +1,1101 @@
+//! The chaos engine: multi-fault schedules, seeded generation, a run
+//! harness wired to the invariant checker, and a shrinking reproducer.
+//!
+//! A [`FaultSchedule`] is a serializable list of timed fault and restore
+//! actions over the full `simnet` fault surface — node crash/reboot, NIC
+//! failure, cable cut, loss burst, frame corruption, serial failure,
+//! application crash. Schedules print as one line
+//! (`@500 crash primary; @700 serial-fail`) and parse back exactly, so a
+//! failing case is a paste-able reproducer.
+//!
+//! [`run_chaos_case`] executes a schedule against the standard topology
+//! with a verifying download workload and judges the run with
+//! [`sttcp::invariant::check`]: the [`Expectation`] is derived from the
+//! schedule alone, conservatively, so a violation is always a real
+//! protocol bug. [`shrink_schedule`] then minimizes a violating schedule
+//! by greedy action removal followed by timestamp snapping — replay is
+//! bit-for-bit deterministic, so the shrunk schedule still fails for the
+//! same reason.
+
+use std::fmt;
+use std::rc::Rc;
+use std::str::FromStr;
+
+use simnet::link::{LinkDir, LinkId};
+use simnet::node::{NicId, NodeId};
+use simnet::rng::SimRng;
+use simnet::time::{SimDuration, SimTime};
+
+use sttcp::config::{Role, StTcpConfig};
+use sttcp::events::StTcpEvent;
+use sttcp::invariant::{self, ClientView, Expectation, Outcome, ServerView, Violation};
+use sttcp::server::{AppCrashMode, StTcpServer};
+
+use crate::apps::StreamApp;
+use crate::client::ClientWorkload;
+use crate::scenario::{Scenario, ScenarioBuilder};
+
+/// Which server a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The configured primary.
+    Primary,
+    /// The configured backup.
+    Backup,
+}
+
+impl Side {
+    /// The Ethernet link belonging to this side.
+    pub fn link(self) -> LinkSel {
+        match self {
+            Side::Primary => LinkSel::Primary,
+            Side::Backup => LinkSel::Backup,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Primary => write!(f, "primary"),
+            Side::Backup => write!(f, "backup"),
+        }
+    }
+}
+
+/// Which switch link a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkSel {
+    /// Client ↔ switch (the client host doubles as the gateway).
+    Client,
+    /// Primary ↔ switch.
+    Primary,
+    /// Backup ↔ switch.
+    Backup,
+}
+
+impl fmt::Display for LinkSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkSel::Client => write!(f, "client"),
+            LinkSel::Primary => write!(f, "primary"),
+            LinkSel::Backup => write!(f, "backup"),
+        }
+    }
+}
+
+/// One injectable fault or restore action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosAction {
+    /// HW/OS crash: immediate power loss (Table 1 row 1).
+    Crash(Side),
+    /// Power a crashed node back on. It reboots as a passive cold
+    /// standby (state lost), never as a second active server.
+    Reboot(Side),
+    /// NIC failure on a server (Table 1 row 4).
+    NicDown(Side),
+    /// NIC repair.
+    NicUp(Side),
+    /// Cable cut on a switch link.
+    LinkCut(LinkSel),
+    /// Cable repair.
+    LinkRestore(LinkSel),
+    /// Probabilistic frame loss (percent, both directions) on a link.
+    LinkLoss(LinkSel, u8),
+    /// End of a loss episode.
+    LinkLossEnd(LinkSel),
+    /// Drop the next `n` service-bound TCP frames on the backup's tap
+    /// (Table 1 row 5 — absorbed by missed-byte recovery).
+    DropTap(u32),
+    /// Flip one bit in each of the next `n` frames delivered toward the
+    /// selected node. Checksums must turn this into loss, never action.
+    CorruptFrames(LinkSel, u32),
+    /// Serial (null-modem) cable failure.
+    SerialFail,
+    /// Serial cable repair.
+    SerialRestore,
+    /// Application crash on a server (Table 1 rows 2-3).
+    AppCrash(Side, AppCrashMode),
+}
+
+/// A fault action with its injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimedAction {
+    /// Virtual milliseconds after world start.
+    pub at_ms: u64,
+    /// What to inject.
+    pub action: ChaosAction,
+}
+
+impl fmt::Display for TimedAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} ", self.at_ms)?;
+        match self.action {
+            ChaosAction::Crash(s) => write!(f, "crash {s}"),
+            ChaosAction::Reboot(s) => write!(f, "reboot {s}"),
+            ChaosAction::NicDown(s) => write!(f, "nic-down {s}"),
+            ChaosAction::NicUp(s) => write!(f, "nic-up {s}"),
+            ChaosAction::LinkCut(l) => write!(f, "cut {l}"),
+            ChaosAction::LinkRestore(l) => write!(f, "restore {l}"),
+            ChaosAction::LinkLoss(l, pct) => write!(f, "loss {l} {pct}"),
+            ChaosAction::LinkLossEnd(l) => write!(f, "loss-end {l}"),
+            ChaosAction::DropTap(n) => write!(f, "drop-tap {n}"),
+            ChaosAction::CorruptFrames(l, n) => write!(f, "corrupt {l} {n}"),
+            ChaosAction::SerialFail => write!(f, "serial-fail"),
+            ChaosAction::SerialRestore => write!(f, "serial-restore"),
+            ChaosAction::AppCrash(s, mode) => {
+                let m = match mode {
+                    AppCrashMode::SilentNoCleanup => "silent",
+                    AppCrashMode::CleanupFin => "fin",
+                    AppCrashMode::CleanupRst => "rst",
+                };
+                write!(f, "app-crash {s} {m}")
+            }
+        }
+    }
+}
+
+/// Error from parsing a schedule string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleParseError(String);
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+fn parse_side(s: &str) -> Result<Side, ScheduleParseError> {
+    match s {
+        "primary" => Ok(Side::Primary),
+        "backup" => Ok(Side::Backup),
+        _ => Err(ScheduleParseError(format!("unknown side {s:?}"))),
+    }
+}
+
+fn parse_link(s: &str) -> Result<LinkSel, ScheduleParseError> {
+    match s {
+        "client" => Ok(LinkSel::Client),
+        "primary" => Ok(LinkSel::Primary),
+        "backup" => Ok(LinkSel::Backup),
+        _ => Err(ScheduleParseError(format!("unknown link {s:?}"))),
+    }
+}
+
+fn parse_num<T: FromStr>(s: &str) -> Result<T, ScheduleParseError> {
+    s.parse()
+        .map_err(|_| ScheduleParseError(format!("bad number {s:?}")))
+}
+
+impl FromStr for TimedAction {
+    type Err = ScheduleParseError;
+
+    fn from_str(s: &str) -> Result<TimedAction, ScheduleParseError> {
+        let mut words = s.split_whitespace();
+        let at = words
+            .next()
+            .ok_or_else(|| ScheduleParseError("empty action".into()))?;
+        let at_ms: u64 = at
+            .strip_prefix('@')
+            .ok_or_else(|| ScheduleParseError(format!("expected @<ms>, got {at:?}")))
+            .and_then(parse_num)?;
+        let verb = words
+            .next()
+            .ok_or_else(|| ScheduleParseError(format!("missing verb after {at:?}")))?;
+        let mut arg = || {
+            words
+                .next()
+                .ok_or_else(|| ScheduleParseError(format!("verb {verb:?} needs an argument")))
+        };
+        let action = match verb {
+            "crash" => ChaosAction::Crash(parse_side(arg()?)?),
+            "reboot" => ChaosAction::Reboot(parse_side(arg()?)?),
+            "nic-down" => ChaosAction::NicDown(parse_side(arg()?)?),
+            "nic-up" => ChaosAction::NicUp(parse_side(arg()?)?),
+            "cut" => ChaosAction::LinkCut(parse_link(arg()?)?),
+            "restore" => ChaosAction::LinkRestore(parse_link(arg()?)?),
+            "loss" => ChaosAction::LinkLoss(parse_link(arg()?)?, parse_num(arg()?)?),
+            "loss-end" => ChaosAction::LinkLossEnd(parse_link(arg()?)?),
+            "drop-tap" => ChaosAction::DropTap(parse_num(arg()?)?),
+            "corrupt" => ChaosAction::CorruptFrames(parse_link(arg()?)?, parse_num(arg()?)?),
+            "serial-fail" => ChaosAction::SerialFail,
+            "serial-restore" => ChaosAction::SerialRestore,
+            "app-crash" => {
+                let side = parse_side(arg()?)?;
+                let mode = match arg()? {
+                    "silent" => AppCrashMode::SilentNoCleanup,
+                    "fin" => AppCrashMode::CleanupFin,
+                    "rst" => AppCrashMode::CleanupRst,
+                    m => return Err(ScheduleParseError(format!("unknown crash mode {m:?}"))),
+                };
+                ChaosAction::AppCrash(side, mode)
+            }
+            _ => return Err(ScheduleParseError(format!("unknown verb {verb:?}"))),
+        };
+        if let Some(extra) = words.next() {
+            return Err(ScheduleParseError(format!("trailing token {extra:?}")));
+        }
+        Ok(TimedAction { at_ms, action })
+    }
+}
+
+/// A serializable, replayable multi-fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    /// The actions, sorted by injection time.
+    pub actions: Vec<TimedAction>,
+}
+
+impl fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.actions.is_empty() {
+            return write!(f, "(no faults)");
+        }
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FaultSchedule {
+    type Err = ScheduleParseError;
+
+    fn from_str(s: &str) -> Result<FaultSchedule, ScheduleParseError> {
+        let mut sched = FaultSchedule::default();
+        for part in s.split([';', '\n']) {
+            let part = part.trim();
+            if part.is_empty() || part == "(no faults)" {
+                continue;
+            }
+            sched.actions.push(part.parse()?);
+        }
+        sched.sort();
+        Ok(sched)
+    }
+}
+
+impl FaultSchedule {
+    /// Adds an action, keeping time order.
+    pub fn push(&mut self, at_ms: u64, action: ChaosAction) {
+        self.actions.push(TimedAction { at_ms, action });
+        self.sort();
+    }
+
+    /// Restores time order (stable, so same-time actions keep their
+    /// relative order).
+    pub fn sort(&mut self) {
+        self.actions.sort_by_key(|a| a.at_ms);
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Schedules every action into a built scenario's world.
+    pub fn apply(&self, s: &mut Scenario) {
+        for ta in &self.actions {
+            let at = SimTime::from_millis(ta.at_ms);
+            let node = |side: Side| -> NodeId {
+                match side {
+                    Side::Primary => s.primary,
+                    Side::Backup => s.backup,
+                }
+            };
+            let link = |sel: LinkSel| -> LinkId {
+                match sel {
+                    LinkSel::Client => s.link_client,
+                    LinkSel::Primary => s.link_primary,
+                    LinkSel::Backup => s.link_backup,
+                }
+            };
+            match ta.action {
+                ChaosAction::Crash(side) => {
+                    let n = node(side);
+                    s.world.schedule(at, move |w| w.crash_node(n));
+                }
+                ChaosAction::Reboot(side) => {
+                    let n = node(side);
+                    s.world.schedule(at, move |w| {
+                        if !w.is_powered(n) {
+                            w.restore_node(n);
+                        }
+                    });
+                }
+                ChaosAction::NicDown(side) => {
+                    let n = node(side);
+                    s.world.schedule(at, move |w| w.fail_nic(n, NicId(0)));
+                }
+                ChaosAction::NicUp(side) => {
+                    let n = node(side);
+                    s.world.schedule(at, move |w| w.restore_nic(n, NicId(0)));
+                }
+                ChaosAction::LinkCut(sel) => {
+                    let l = link(sel);
+                    s.world.schedule(at, move |w| w.cut_link(l));
+                }
+                ChaosAction::LinkRestore(sel) => {
+                    let l = link(sel);
+                    s.world.schedule(at, move |w| w.restore_link(l));
+                }
+                ChaosAction::LinkLoss(sel, pct) => {
+                    let l = link(sel);
+                    let p = f64::from(pct.min(100)) / 100.0;
+                    s.world.schedule(at, move |w| {
+                        w.set_link_loss(l, LinkDir::AtoB, p);
+                        w.set_link_loss(l, LinkDir::BtoA, p);
+                    });
+                }
+                ChaosAction::LinkLossEnd(sel) => {
+                    let l = link(sel);
+                    s.world.schedule(at, move |w| {
+                        w.set_link_loss(l, LinkDir::AtoB, 0.0);
+                        w.set_link_loss(l, LinkDir::BtoA, 0.0);
+                    });
+                }
+                ChaosAction::DropTap(n) => {
+                    s.drop_backup_tap_at(at, u64::from(n));
+                }
+                ChaosAction::CorruptFrames(sel, n) => {
+                    let l = link(sel);
+                    s.world.schedule(at, move |w| {
+                        w.corrupt_frames(l, LinkDir::BtoA, u64::from(n))
+                    });
+                }
+                ChaosAction::SerialFail => {
+                    let ser = s.serial;
+                    s.world.schedule(at, move |w| w.fail_serial(ser));
+                }
+                ChaosAction::SerialRestore => {
+                    let ser = s.serial;
+                    s.world.schedule(at, move |w| w.restore_serial(ser));
+                }
+                ChaosAction::AppCrash(side, mode) => {
+                    s.crash_app_at(node(side), at, mode);
+                }
+            }
+        }
+    }
+
+    /// Derives what this schedule makes legitimately possible — the
+    /// [`Expectation`] fed to the invariant checker. Deliberately
+    /// conservative toward "possible": an over-strict expectation would
+    /// report legitimate runs as violations, an over-lax one merely
+    /// checks less.
+    pub fn expectation(&self) -> Expectation {
+        use ChaosAction::*;
+
+        // Loss bursts that recovery absorbs without any verdict. Beyond
+        // this the primary's extended receive buffer may overflow and
+        // escalation is legitimate.
+        const QUIET_BURST: u32 = 30;
+
+        // Could a correct detector have been provoked into a verdict?
+        // Corruption of *any* size counts: a corruption budget is a frame
+        // count, not a time window, so when traffic is sparse a handful of
+        // corrupted (CRC-dropped) frames can swallow seconds' worth of
+        // consecutive heartbeats or gateway pings — exactly what a real
+        // blackout looks like to a correct detector.
+        let verdicts_possible = self.actions.iter().any(|a| match a.action {
+            Crash(_) | AppCrash(..) | NicDown(_) | NicUp(_) | LinkCut(_) | LinkRestore(_)
+            | LinkLoss(..) | LinkLossEnd(_) | Reboot(_) | CorruptFrames(..) => true,
+            DropTap(n) => n > QUIET_BURST,
+            SerialFail | SerialRestore => false,
+        });
+
+        // Could a side have ended up dead — crashed by the schedule, or
+        // condemned and STONITHed by its peer after an impairment?
+        let impaired = |side: Side| {
+            self.actions.iter().any(|a| match a.action {
+                Crash(s) | AppCrash(s, _) | NicDown(s) => s == side,
+                LinkCut(l) | LinkLoss(l, _) => l == side.link(),
+                _ => false,
+            })
+        };
+
+        // Serial dead while the servers' IP heartbeat path is also
+        // breakable: both sides may (correctly) condemn each other.
+        let split_brain = self.actions.iter().any(|a| matches!(a.action, SerialFail))
+            && self.actions.iter().any(|a| {
+                matches!(
+                    a.action,
+                    NicDown(_)
+                        | LinkCut(LinkSel::Primary | LinkSel::Backup)
+                        | LinkLoss(LinkSel::Primary | LinkSel::Backup, _)
+                )
+            });
+
+        // Client path state at end of schedule (order matters).
+        let mut client_cut = false;
+        let mut lossy_at_end = false;
+        for a in &self.actions {
+            match a.action {
+                LinkCut(LinkSel::Client) => client_cut = true,
+                LinkRestore(LinkSel::Client) => client_cut = false,
+                LinkLoss(..) => lossy_at_end = true,
+                LinkLossEnd(_) => lossy_at_end = false,
+                _ => {}
+            }
+        }
+
+        // Budgeted corruption (and probabilistic loss) on the request
+        // path interacts with RTO backoff: every retransmission of the
+        // same segment can eat one budget unit while the RTO doubles, so
+        // even a small burst can legally stall the client past any
+        // finite horizon. Completion cannot be demanded.
+        let request_path_unreliable = self.actions.iter().any(|a| {
+            matches!(
+                a.action,
+                CorruptFrames(LinkSel::Client | LinkSel::Primary, _)
+                    | LinkLoss(LinkSel::Client | LinkSel::Primary, _)
+            )
+        });
+
+        // Bytes the primary acked can be lost to the backup forever only
+        // if the tap was impaired *and* a takeover was possible. The
+        // primary can die by direct impairment, or by STONITH from a
+        // backup whose view of the primary's heartbeats went dark —
+        // corruption or loss toward the backup eats the primary's IP
+        // heartbeats, and under sparse traffic a frame budget is an
+        // unbounded blackout in time.
+        let tap_impaired = self.actions.iter().any(|a| {
+            matches!(
+                a.action,
+                DropTap(_)
+                    | CorruptFrames(LinkSel::Backup, _)
+                    | LinkLoss(LinkSel::Backup, _)
+                    | LinkCut(LinkSel::Backup)
+                    | NicDown(Side::Backup)
+            )
+        });
+        let primary_may_die = impaired(Side::Primary)
+            || self.actions.iter().any(|a| {
+                matches!(
+                    a.action,
+                    CorruptFrames(LinkSel::Backup, _) | LinkLoss(LinkSel::Backup, _)
+                )
+            });
+        let unrecoverable_gap_possible = tap_impaired && primary_may_die;
+
+        let service_may_be_lost = (impaired(Side::Primary) && impaired(Side::Backup))
+            || split_brain
+            || client_cut
+            || request_path_unreliable
+            // A loss episode never switched off can stall TCP past any
+            // horizon; don't demand completion.
+            || lossy_at_end
+            // After a takeover the backup's own link *is* the client's
+            // path to the service, so a drop/corruption budget installed
+            // on the tap now starves client traffic instead — and the
+            // client's RTO backoff can stretch a small frame budget past
+            // any finite horizon. With the primary able to die, a tap
+            // impairment forfeits the completion guarantee.
+            || (tap_impaired && primary_may_die);
+
+        let abortive_close_possible = self
+            .actions
+            .iter()
+            .any(|a| matches!(a.action, AppCrash(_, AppCrashMode::CleanupRst)));
+
+        // Stalls are boundable only when nothing can hold the client's
+        // TCP in RTO backoff for schedule-dependent lengths of time. A
+        // tap impairment plus a dead primary qualifies too: the tap
+        // budget lands on the client's path to the new active server and
+        // drains at RTO pace, not wall-clock pace.
+        let unbounded_stall = self.actions.iter().any(|a| {
+            matches!(
+                a.action,
+                LinkLoss(..) | CorruptFrames(..) | LinkCut(LinkSel::Client)
+            )
+        }) || (tap_impaired && primary_may_die);
+        let max_stall = if unbounded_stall {
+            None
+        } else {
+            // Worst bounded path: detection (heartbeat timeout or app-lag
+            // confirmation) + STONITH + takeover + client RTO backoff
+            // accumulated while the service was silent.
+            Some(SimDuration::from_secs(15))
+        };
+
+        Expectation {
+            service_may_be_lost,
+            unrecoverable_gap_possible,
+            abortive_close_possible,
+            verdicts_possible,
+            max_stall,
+        }
+    }
+
+    /// Generates a coherent seeded schedule of 1–4 faults. Same seed,
+    /// same schedule.
+    pub fn generate(seed: u64) -> FaultSchedule {
+        Self::generate_with(seed, 1, 4)
+    }
+
+    /// Generates a single-fault schedule (plus any paired restore).
+    pub fn generate_single(seed: u64) -> FaultSchedule {
+        Self::generate_with(seed, 1, 1)
+    }
+
+    /// Generates a double-fault schedule: a first fault (restored where
+    /// the fault class allows it) followed by a second, independent
+    /// fault — the classic "failure during repair" shape.
+    pub fn generate_double(seed: u64) -> FaultSchedule {
+        Self::generate_with(seed, 2, 2)
+    }
+
+    /// Seeded generation with a fault-count range (paired restores ride
+    /// along and don't count).
+    pub fn generate_with(seed: u64, min_faults: usize, max_faults: usize) -> FaultSchedule {
+        let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC4A05);
+        let n = min_faults + rng.index(max_faults - min_faults + 1);
+        let mut sched = FaultSchedule::default();
+        let mut crashed = [false; 2];
+        let mut app_crashed = [false; 2];
+        let mut nic_down = [false; 2];
+        let mut cut = [false; 3];
+        let mut serial_failed = false;
+
+        // Fault times cluster where the protocol is most fragile: the
+        // connection handshake (the client connects at t = 100 ms), the
+        // steady transfer, and the late/FIN window.
+        let pick_time = |rng: &mut SimRng| -> u64 {
+            match rng.index(10) {
+                0..=2 => 60 + rng.range_u64(0, 190),    // handshake
+                3..=7 => 250 + rng.range_u64(0, 3_750), // steady state
+                _ => 4_000 + rng.range_u64(0, 4_000),   // late / FIN
+            }
+        };
+        let side_of = |i: usize| if i == 0 { Side::Primary } else { Side::Backup };
+        let link_of = |i: usize| match i {
+            0 => LinkSel::Client,
+            1 => LinkSel::Primary,
+            _ => LinkSel::Backup,
+        };
+
+        for _ in 0..n {
+            let t = pick_time(&mut rng);
+            match rng.index(8) {
+                0 => {
+                    // HW/OS crash; sometimes with a later reboot (which
+                    // must stay a passive cold standby).
+                    let i = rng.index(2);
+                    let i = if crashed[i] { 1 - i } else { i };
+                    if crashed[i] {
+                        sched.push(t, ChaosAction::DropTap(1 + rng.index(QUIET_TAP) as u32));
+                        continue;
+                    }
+                    crashed[i] = true;
+                    sched.push(t, ChaosAction::Crash(side_of(i)));
+                    if rng.chance(0.4) {
+                        let dt = 300 + rng.range_u64(0, 2_000);
+                        sched.push(t + dt, ChaosAction::Reboot(side_of(i)));
+                    }
+                }
+                1 => {
+                    let i = rng.index(2);
+                    if app_crashed[i] || crashed[i] {
+                        sched.push(t, ChaosAction::SerialFail);
+                        serial_failed = true;
+                        continue;
+                    }
+                    app_crashed[i] = true;
+                    let mode = [
+                        AppCrashMode::SilentNoCleanup,
+                        AppCrashMode::CleanupFin,
+                        AppCrashMode::CleanupRst,
+                    ][rng.index(3)];
+                    sched.push(t, ChaosAction::AppCrash(side_of(i), mode));
+                }
+                2 => {
+                    let i = rng.index(2);
+                    if nic_down[i] {
+                        sched.push(t, ChaosAction::NicUp(side_of(i)));
+                        nic_down[i] = false;
+                        continue;
+                    }
+                    nic_down[i] = true;
+                    sched.push(t, ChaosAction::NicDown(side_of(i)));
+                    if rng.chance(0.5) {
+                        let dt = 400 + rng.range_u64(0, 2_500);
+                        sched.push(t + dt, ChaosAction::NicUp(side_of(i)));
+                        nic_down[i] = false;
+                    }
+                }
+                3 => {
+                    let i = rng.index(3);
+                    if cut[i] {
+                        sched.push(t, ChaosAction::LinkRestore(link_of(i)));
+                        cut[i] = false;
+                        continue;
+                    }
+                    cut[i] = true;
+                    sched.push(t, ChaosAction::LinkCut(link_of(i)));
+                    if rng.chance(0.6) {
+                        let dt = 400 + rng.range_u64(0, 2_500);
+                        sched.push(t + dt, ChaosAction::LinkRestore(link_of(i)));
+                        cut[i] = false;
+                    }
+                }
+                4 => {
+                    // Loss episodes always end: unbounded loss proves
+                    // nothing a cut doesn't, and only blurs expectations.
+                    let l = link_of(rng.index(3));
+                    let pct = 10 + rng.index(51) as u8;
+                    sched.push(t, ChaosAction::LinkLoss(l, pct));
+                    let dt = 200 + rng.range_u64(0, 1_300);
+                    sched.push(t + dt, ChaosAction::LinkLossEnd(l));
+                }
+                5 => {
+                    sched.push(t, ChaosAction::DropTap(1 + rng.index(QUIET_TAP) as u32));
+                }
+                6 => {
+                    let l = link_of(rng.index(3));
+                    sched.push(t, ChaosAction::CorruptFrames(l, 1 + rng.index(12) as u32));
+                }
+                _ => {
+                    if serial_failed {
+                        sched.push(t, ChaosAction::SerialRestore);
+                        serial_failed = false;
+                    } else {
+                        serial_failed = true;
+                        sched.push(t, ChaosAction::SerialFail);
+                        if rng.chance(0.5) {
+                            let dt = 500 + rng.range_u64(0, 3_000);
+                            sched.push(t + dt, ChaosAction::SerialRestore);
+                            serial_failed = false;
+                        }
+                    }
+                }
+            }
+        }
+        sched.sort();
+        sched
+    }
+}
+
+/// Largest tap burst recovery must absorb silently (see
+/// [`FaultSchedule::expectation`]).
+const QUIET_TAP: usize = 30;
+
+/// Knobs for one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Download size the verifying client requests.
+    pub total_bytes: u64,
+    /// Virtual-time horizon for the run.
+    pub horizon: SimDuration,
+    /// Dump the world trace to stderr after the run (debugging).
+    pub trace: bool,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> ChaosOptions {
+        ChaosOptions {
+            total_bytes: 192 * 1024,
+            horizon: SimDuration::from_secs(40),
+            trace: false,
+        }
+    }
+}
+
+impl ChaosOptions {
+    /// Smaller/faster settings for smoke sweeps (CI).
+    pub fn quick() -> ChaosOptions {
+        ChaosOptions {
+            total_bytes: 48 * 1024,
+            horizon: SimDuration::from_secs(25),
+            ..ChaosOptions::default()
+        }
+    }
+}
+
+/// Everything a chaos run produced, for classification and reproduction.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The checker's classification.
+    pub outcome: Outcome,
+    /// Violated invariants (empty unless `outcome` is `Violation`).
+    pub violations: Vec<Violation>,
+    /// The client as the checker saw it.
+    pub client: ClientView,
+    /// The primary's event log.
+    pub primary_events: Vec<StTcpEvent>,
+    /// The backup's event log.
+    pub backup_events: Vec<StTcpEvent>,
+}
+
+impl ChaosReport {
+    /// A stable digest of everything observable — two runs of the same
+    /// `(seed, schedule)` must produce equal fingerprints (deterministic
+    /// replay is what makes shrinking sound).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(format!("{:?}", self.outcome).as_bytes());
+        eat(format!("{:?}", self.violations).as_bytes());
+        eat(format!("{:?}", self.client).as_bytes());
+        eat(format!("{:?}", self.primary_events).as_bytes());
+        eat(format!("{:?}", self.backup_events).as_bytes());
+        h
+    }
+}
+
+fn chaos_config() -> StTcpConfig {
+    StTcpConfig {
+        app_max_lag_time: SimDuration::from_secs(1),
+        max_delay_fin: SimDuration::from_secs(5),
+        ..StTcpConfig::default()
+    }
+}
+
+/// When the world powered this node off, reconstructed from the schedule
+/// (explicit crashes) and the peer's STONITH log.
+fn powered_off_at(
+    schedule: &FaultSchedule,
+    side: Side,
+    me: &StTcpServer,
+    peer_events: &[StTcpEvent],
+) -> Option<SimTime> {
+    if !me.was_powered_off() {
+        return None;
+    }
+    let scheduled = schedule
+        .actions
+        .iter()
+        .filter(|a| matches!(a.action, ChaosAction::Crash(s) if s == side))
+        .map(|a| SimTime::from_millis(a.at_ms))
+        .min();
+    let stonithed = peer_events.iter().find_map(|e| match e {
+        StTcpEvent::StonithIssued { at } => Some(*at),
+        _ => None,
+    });
+    match (scheduled, stonithed) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Runs one chaos case: standard topology, verifying download workload,
+/// the given schedule, then the invariant checker. Fully deterministic in
+/// `(seed, schedule, opts)`.
+pub fn run_chaos_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) -> ChaosReport {
+    let mut s = ScenarioBuilder::new(
+        Rc::new(|| Box::new(StreamApp::new(4096, false)) as _),
+        ClientWorkload::Download {
+            total: opts.total_bytes,
+        },
+    )
+    .seed(seed)
+    .sttcp(chaos_config())
+    .build();
+
+    schedule.apply(&mut s);
+    let end = SimTime::ZERO + opts.horizon;
+    s.world.run_until(end);
+
+    if opts.trace {
+        for r in s.world.trace().records() {
+            eprintln!("{r}");
+        }
+    }
+
+    let primary = s.server(s.primary);
+    let backup = s.server(s.backup);
+    let p_events = primary.events().to_vec();
+    let b_events = backup.events().to_vec();
+
+    let view = |srv: &StTcpServer, side: Side, peer_events: &[StTcpEvent], role: Role| ServerView {
+        configured_role: role,
+        events: srv.events().to_vec(),
+        powered_off_at: powered_off_at(schedule, side, srv, peer_events),
+        cold_standby: srv.cold_standby(),
+        active_at_end: srv.is_active(),
+    };
+    let p_view = view(primary, Side::Primary, &b_events, Role::Primary);
+    let b_view = view(backup, Side::Backup, &p_events, Role::Backup);
+
+    let log = s.client_log();
+    let from = log
+        .connects
+        .first()
+        .copied()
+        .unwrap_or(SimTime::from_millis(100));
+    let to = log.finished_at.unwrap_or(end);
+    let client = ClientView {
+        bytes_ok: log.total_received,
+        integrity_violations: log.integrity_violations,
+        resets: u64::from(log.resets),
+        finished: s.client_finished(),
+        longest_stall: log.longest_stall(from, to),
+    };
+
+    let report = invariant::check(&p_view, &b_view, &client, &schedule.expectation());
+    ChaosReport {
+        outcome: report.outcome,
+        violations: report.violations,
+        client,
+        primary_events: p_events,
+        backup_events: b_events,
+    }
+}
+
+/// Result of shrinking a violating schedule.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized schedule (still violating, unless the input never
+    /// violated in the first place).
+    pub schedule: FaultSchedule,
+    /// Chaos runs spent shrinking.
+    pub runs: usize,
+}
+
+/// Greedy delta-debugging over an arbitrary "still failing" predicate:
+/// drop actions one at a time to a fixpoint, then snap surviving
+/// timestamps to coarser values (1000/500/250/100 ms) where the failure
+/// persists.
+pub fn shrink_with(
+    schedule: &FaultSchedule,
+    mut still_fails: impl FnMut(&FaultSchedule) -> bool,
+) -> (FaultSchedule, usize) {
+    let mut runs = 0;
+    let mut fails = |s: &FaultSchedule, runs: &mut usize| {
+        *runs += 1;
+        still_fails(s)
+    };
+    let mut cur = schedule.clone();
+    if !fails(&cur, &mut runs) {
+        return (cur, runs);
+    }
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < cur.actions.len() {
+            let mut cand = cur.clone();
+            cand.actions.remove(i);
+            if fails(&cand, &mut runs) {
+                cur = cand;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    for snap in [1_000u64, 500, 250, 100] {
+        for i in 0..cur.actions.len() {
+            let orig = cur.actions[i].at_ms;
+            let snapped = (orig / snap) * snap;
+            if snapped == orig || snapped == 0 {
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand.actions[i].at_ms = snapped;
+            cand.sort();
+            if fails(&cand, &mut runs) {
+                cur = cand;
+            }
+        }
+    }
+    (cur, runs)
+}
+
+/// Shrinks a schedule that violates an invariant under `(seed, opts)` to
+/// a minimal reproducer. Deterministic replay makes every probe reliable.
+pub fn shrink_schedule(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) -> ShrinkResult {
+    let (schedule, runs) = shrink_with(schedule, |cand| {
+        run_chaos_case(seed, cand, opts).outcome == Outcome::Violation
+    });
+    ShrinkResult { schedule, runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_display_parse_roundtrip() {
+        let text = "@500 crash primary; @900 reboot primary; @300 nic-down backup; \
+                    @700 nic-up backup; @100 cut client; @200 restore client; \
+                    @400 loss backup 30; @900 loss-end backup; @150 drop-tap 12; \
+                    @250 corrupt primary 5; @600 serial-fail; @2000 serial-restore; \
+                    @2500 app-crash primary rst; @2600 app-crash backup silent; \
+                    @2700 app-crash backup fin";
+        let sched: FaultSchedule = text.parse().unwrap();
+        assert_eq!(sched.len(), 15);
+        let reparsed: FaultSchedule = sched.to_string().parse().unwrap();
+        assert_eq!(reparsed, sched);
+        // Sorted by time.
+        assert!(sched.actions.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    }
+
+    #[test]
+    fn empty_schedule_roundtrip() {
+        let sched = FaultSchedule::default();
+        assert_eq!(sched.to_string(), "(no faults)");
+        let parsed: FaultSchedule = sched.to_string().parse().unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn bad_schedules_rejected() {
+        for bad in [
+            "500 crash primary",
+            "@x crash primary",
+            "@500 explode primary",
+            "@500 crash",
+            "@500 crash gateway",
+            "@500 loss primary",
+            "@500 crash primary extra",
+            "@500 app-crash primary kaboom",
+        ] {
+            assert!(bad.parse::<FaultSchedule>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = FaultSchedule::generate(7);
+        let b = FaultSchedule::generate(7);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let differs = (0..20).any(|s| FaultSchedule::generate(s) != a);
+        assert!(differs);
+    }
+
+    #[test]
+    fn generated_schedules_roundtrip_and_stay_coherent() {
+        for seed in 0..200 {
+            let sched = FaultSchedule::generate(seed);
+            let reparsed: FaultSchedule = sched.to_string().parse().unwrap();
+            assert_eq!(reparsed, sched, "seed {seed}");
+            // Coherence: reboots only after a crash of the same side.
+            for (i, a) in sched.actions.iter().enumerate() {
+                if let ChaosAction::Reboot(side) = a.action {
+                    assert!(
+                        sched.actions[..i]
+                            .iter()
+                            .any(|p| p.action == ChaosAction::Crash(side)),
+                        "seed {seed}: reboot of never-crashed {side}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_rules() {
+        let strict: FaultSchedule = "@300 drop-tap 10".parse().unwrap();
+        let e = strict.expectation();
+        assert!(!e.verdicts_possible);
+        assert!(!e.service_may_be_lost);
+        assert!(!e.unrecoverable_gap_possible);
+        assert!(e.max_stall.is_some());
+
+        // Even a small corruption budget may legitimately provoke a
+        // verdict: frame counts are not time windows, and under sparse
+        // traffic a few eaten heartbeats look exactly like a blackout.
+        let corrupt: FaultSchedule = "@300 corrupt backup 8".parse().unwrap();
+        let e = corrupt.expectation();
+        assert!(e.verdicts_possible, "corruption can eat heartbeats");
+        assert!(e.max_stall.is_none(), "corruption can stall via RTO");
+        // Corruption toward the backup is both a tap risk and a
+        // primary-death risk (the backup may condemn a dark primary).
+        assert!(e.unrecoverable_gap_possible);
+        assert!(e.service_may_be_lost);
+
+        let crash: FaultSchedule = "@500 crash primary".parse().unwrap();
+        let e = crash.expectation();
+        assert!(e.verdicts_possible);
+        assert!(!e.service_may_be_lost);
+
+        let double: FaultSchedule = "@500 crash primary; @900 crash backup".parse().unwrap();
+        assert!(double.expectation().service_may_be_lost);
+
+        let split: FaultSchedule = "@500 serial-fail; @600 cut primary".parse().unwrap();
+        assert!(split.expectation().service_may_be_lost);
+
+        let gap: FaultSchedule = "@300 drop-tap 10; @500 crash primary".parse().unwrap();
+        assert!(gap.expectation().unrecoverable_gap_possible);
+
+        let rst: FaultSchedule = "@500 app-crash primary rst".parse().unwrap();
+        assert!(rst.expectation().abortive_close_possible);
+
+        let serial_only: FaultSchedule = "@500 serial-fail".parse().unwrap();
+        let e = serial_only.expectation();
+        assert!(
+            !e.verdicts_possible,
+            "a serial failure alone must never provoke a verdict"
+        );
+
+        // Serial dead + corruption toward a server: that server sees both
+        // heartbeat links dark and may correctly condemn its peer.
+        let deaf: FaultSchedule = "@500 serial-fail; @600 corrupt primary 5".parse().unwrap();
+        assert!(deaf.expectation().verdicts_possible);
+
+        // A deaf backup can STONITH the primary, so tap corruption then
+        // becomes both a gap risk and a client-path risk.
+        let deaf_backup: FaultSchedule = "@500 serial-fail; @600 corrupt backup 5".parse().unwrap();
+        let e = deaf_backup.expectation();
+        assert!(e.verdicts_possible);
+        assert!(e.unrecoverable_gap_possible);
+        assert!(e.service_may_be_lost);
+
+        // Tap drop plus a dead primary: after takeover the tap filter
+        // starves the client's path to the new active server, so
+        // completion cannot be demanded.
+        let tap_then_dead: FaultSchedule = "@100 cut primary; @200 drop-tap 16".parse().unwrap();
+        assert!(tap_then_dead.expectation().service_may_be_lost);
+    }
+
+    #[test]
+    fn shrink_with_reduces_to_relevant_core() {
+        let sched: FaultSchedule = "@100 drop-tap 3; @500 crash primary; @700 serial-fail; \
+                                    @900 nic-down backup; @1100 corrupt client 2"
+            .parse()
+            .unwrap();
+        // Synthetic failure: needs the crash and the serial failure.
+        let (min, runs) = shrink_with(&sched, |s| {
+            let crash = s
+                .actions
+                .iter()
+                .any(|a| a.action == ChaosAction::Crash(Side::Primary));
+            let serial = s
+                .actions
+                .iter()
+                .any(|a| a.action == ChaosAction::SerialFail);
+            crash && serial
+        });
+        assert_eq!(min.len(), 2, "shrunk to {min}");
+        assert!(runs > 2);
+        // Time snapping kicked in: 700 → 500 (multiple of 500), 500 stays.
+        assert_eq!(min.actions[0].at_ms, 500);
+        assert_eq!(min.actions[1].at_ms, 500);
+    }
+
+    #[test]
+    fn shrink_with_leaves_passing_schedule_alone() {
+        let sched: FaultSchedule = "@500 crash primary".parse().unwrap();
+        let (out, runs) = shrink_with(&sched, |_| false);
+        assert_eq!(out, sched);
+        assert_eq!(runs, 1);
+    }
+}

@@ -17,8 +17,8 @@ use bytes::Bytes;
 use std::net::Ipv4Addr;
 
 use simnet::frame::EthernetFrame;
-use simnet::iplayer::IpInterface;
 use simnet::ip::IpProto;
+use simnet::iplayer::IpInterface;
 use simnet::node::{NicId, Node, NodeCtx, SerialPortId, TimerId, TimerToken};
 use simnet::time::{SimDuration, SimTime};
 
@@ -210,10 +210,7 @@ impl TcpClient {
             }
             _ => self.cfg.server,
         };
-        let local = (
-            self.iface.addr(),
-            self.cfg.local_port + self.attempts,
-        );
+        let local = (self.iface.addr(), self.cfg.local_port + self.attempts);
         self.attempts += 1;
         let sock = self.tcp.connect(now, local, target);
         self.sock = Some(sock);

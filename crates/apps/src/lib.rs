@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod chaos;
 pub mod client;
 pub mod pattern;
 pub mod plain;
@@ -47,9 +48,11 @@ pub mod scenario;
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
     pub use crate::apps::{ReqRespApp, SinkApp, StreamApp};
-    pub use crate::client::{
-        ClientConfig, ClientLog, ClientWorkload, ReconnectPolicy, TcpClient,
+    pub use crate::chaos::{
+        run_chaos_case, shrink_schedule, ChaosAction, ChaosOptions, ChaosReport, FaultSchedule,
+        LinkSel, ShrinkResult, Side, TimedAction,
     };
+    pub use crate::client::{ClientConfig, ClientLog, ClientWorkload, ReconnectPolicy, TcpClient};
     pub use crate::pattern::{fill_pattern, pattern_byte, pattern_chunk, verify_pattern};
     pub use crate::plain::{PlainServer, PlainServerConfig};
     pub use crate::scenario::{

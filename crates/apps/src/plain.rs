@@ -13,8 +13,8 @@ use bytes::Bytes;
 use std::collections::BTreeMap;
 
 use simnet::frame::EthernetFrame;
-use simnet::iplayer::IpInterface;
 use simnet::ip::IpProto;
+use simnet::iplayer::IpInterface;
 use simnet::node::{NicId, Node, NodeCtx, TimerId, TimerToken};
 use simnet::time::{SimDuration, SimTime};
 

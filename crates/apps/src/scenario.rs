@@ -244,7 +244,10 @@ impl ScenarioBuilder {
                 tcp: self.tcp.clone(),
                 seed: self.seed ^ (0xe0_00 + i as u64),
             };
-            let id = world.add_node(&format!("client{}", i + 1), Box::new(TcpClient::new(cfg, iface)));
+            let id = world.add_node(
+                &format!("client{}", i + 1),
+                Box::new(TcpClient::new(cfg, iface)),
+            );
             clients.push(id);
             extra_macs.push((id, mac, ip));
         }
@@ -380,8 +383,7 @@ impl Scenario {
 
     /// Schedules a NIC failure on one of the servers (Table 1 row 4).
     pub fn fail_nic_at(&mut self, node: NodeId, at: SimTime) {
-        self.world
-            .schedule(at, move |w| w.fail_nic(node, NicId(0)));
+        self.world.schedule(at, move |w| w.fail_nic(node, NicId(0)));
     }
 
     /// Schedules an application crash on a server (Table 1 rows 2-3,

@@ -85,5 +85,10 @@ fn bench_demo3_verification(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_overhead, bench_failover, bench_demo3_verification);
+criterion_group!(
+    benches,
+    bench_overhead,
+    bench_failover,
+    bench_demo3_verification
+);
 criterion_main!(benches);

@@ -46,7 +46,9 @@ fn bench_ipv4(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(pkt.wire_len() as u64));
     g.bench_function("encode_1460", |b| b.iter(|| pkt.encode()));
     let wire = pkt.encode();
-    g.bench_function("decode_1460", |b| b.iter(|| Ipv4Packet::decode(&wire).unwrap()));
+    g.bench_function("decode_1460", |b| {
+        b.iter(|| Ipv4Packet::decode(&wire).unwrap())
+    });
     let icmp = IcmpMessage::EchoRequest { id: 7, seq: 3 };
     g.bench_function("icmp_roundtrip", |b| {
         b.iter(|| IcmpMessage::decode(&icmp.encode()).unwrap())

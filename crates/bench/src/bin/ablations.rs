@@ -52,7 +52,10 @@ fn cfg() -> StTcpConfig {
 fn dual_link_ablation() {
     println!("--- ablation 1: dual vs single heartbeat link (backup NIC fails) ---\n");
     let mut table = Table::new(vec![
-        "HB links", "who was condemned", "client outcome", "servers left powered",
+        "HB links",
+        "who was condemned",
+        "client outcome",
+        "servers left powered",
     ]);
     for single_link in [false, true] {
         let mut s = ScenarioBuilder::new(echo_app(), chat())
@@ -83,14 +86,23 @@ fn dual_link_ablation() {
         let outcome = if s.client_finished() && log.resets == 0 {
             "served".to_string()
         } else {
-            format!("DISRUPTED (resets={}, finished={})", log.resets, s.client_finished())
+            format!(
+                "DISRUPTED (resets={}, finished={})",
+                log.resets,
+                s.client_finished()
+            )
         };
         let powered = [s.primary, s.backup]
             .iter()
             .filter(|&&n| s.world.is_powered(n))
             .count();
         table.row(vec![
-            if single_link { "IP only" } else { "IP + serial" }.to_string(),
+            if single_link {
+                "IP only"
+            } else {
+                "IP + serial"
+            }
+            .to_string(),
             who.to_string(),
             outcome,
             powered.to_string(),
@@ -107,7 +119,10 @@ fn dual_link_ablation() {
 fn hb_timeout_ablation() {
     println!("--- ablation 2: heartbeat timeout multiplier on a lossy IP link ---\n");
     let mut table = Table::new(vec![
-        "timeout (periods)", "IP HB loss", "verdict under loss (healthy pair)", "crash detection",
+        "timeout (periods)",
+        "IP HB loss",
+        "verdict under loss (healthy pair)",
+        "crash detection",
     ]);
     for periods in [2u32, 3, 5] {
         for loss in [0.0f64, 0.3] {
@@ -146,9 +161,7 @@ fn hb_timeout_ablation() {
             s2.crash_primary_at(t(2_000));
             s2.world.run_until(t(30_000));
             let det = s2.server(s2.backup).events().iter().find_map(|e| match e {
-                StTcpEvent::PeerDeclaredFailed { at, .. } => {
-                    Some(at.saturating_since(t(2_000)))
-                }
+                StTcpEvent::PeerDeclaredFailed { at, .. } => Some(at.saturating_since(t(2_000))),
                 _ => None,
             });
             table.row(vec![
@@ -175,7 +188,11 @@ fn hb_timeout_ablation() {
 fn hold_buffer_ablation() {
     println!("--- ablation 3: hold-buffer capacity vs recoverable burst size ---\n");
     let mut table = Table::new(vec![
-        "hold buffer", "tap-loss burst", "recovered", "backup condemned", "client",
+        "hold buffer",
+        "tap-loss burst",
+        "recovered",
+        "backup condemned",
+        "client",
     ]);
     for hold in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
         for burst in [10u64, 100] {

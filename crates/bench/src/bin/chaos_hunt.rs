@@ -1,0 +1,189 @@
+//! Chaos hunt: sweep seeded multi-fault schedules against the invariant
+//! checker, shrink any violation to a minimal reproducer, and print it
+//! in paste-able form.
+//!
+//! Run with: `cargo run -p sttcp-bench --bin chaos_hunt --release`
+//!
+//! Options:
+//! * `--seeds N`      number of seeds to sweep (default 200)
+//! * `--start N`      first seed (default 0)
+//! * `--quick`        smaller download + shorter horizon (CI smoke)
+//! * `--double`       double-fault schedules (failure during repair)
+//! * `--seed N`       run exactly one seed, verbosely
+//! * `--schedule S`   replay a schedule string (with `--seed`'s seed)
+//! * `--verbose`      print every case, not just violations
+//! * `--trace`        dump the world trace to stderr (single-case mode)
+//!
+//! Exit status is 1 if any invariant violation was found.
+
+use std::process::ExitCode;
+
+use sttcp::invariant::Outcome;
+use sttcp_apps::chaos::{run_chaos_case, shrink_schedule, ChaosOptions, FaultSchedule};
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    quick: bool,
+    double: bool,
+    one_seed: Option<u64>,
+    schedule: Option<String>,
+    verbose: bool,
+    trace: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 200,
+        start: 0,
+        quick: false,
+        double: false,
+        one_seed: None,
+        schedule: None,
+        verbose: false,
+        trace: false,
+    };
+    fn die(msg: &str) -> ! {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: chaos_hunt [--seeds N] [--start N] [--quick] [--double] \
+             [--seed N [--schedule \"...\"]] [--verbose] [--trace]"
+        );
+        std::process::exit(2);
+    }
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        let num = |name: &str, v: String| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("{name}: {v:?} is not a number")))
+        };
+        match a.as_str() {
+            "--seeds" => args.seeds = num("--seeds", val("--seeds")),
+            "--start" => args.start = num("--start", val("--start")),
+            "--quick" => args.quick = true,
+            "--double" => args.double = true,
+            "--seed" => args.one_seed = Some(num("--seed", val("--seed"))),
+            "--schedule" => args.schedule = Some(val("--schedule")),
+            "--verbose" => args.verbose = true,
+            "--trace" => args.trace = true,
+            other => die(&format!("unknown option {other:?}")),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut opts = if args.quick {
+        ChaosOptions::quick()
+    } else {
+        ChaosOptions::default()
+    };
+    opts.trace = args.trace;
+
+    // Single-case mode: replay one seed (and optionally a pasted
+    // schedule) with full detail.
+    if args.one_seed.is_some() || args.schedule.is_some() {
+        let seed = args.one_seed.unwrap_or(0);
+        let schedule = match &args.schedule {
+            Some(s) => s.parse::<FaultSchedule>().unwrap_or_else(|e| {
+                eprintln!("--schedule: {e}");
+                std::process::exit(2);
+            }),
+            None if args.double => FaultSchedule::generate_double(seed),
+            None => FaultSchedule::generate(seed),
+        };
+        println!("seed {seed}: {schedule}");
+        let report = run_chaos_case(seed, &schedule, &opts);
+        println!("outcome: {}", report.outcome);
+        println!("client: {:?}", report.client);
+        for e in &report.primary_events {
+            println!("  primary: {e}");
+        }
+        for e in &report.backup_events {
+            println!("  backup:  {e}");
+        }
+        for v in &report.violations {
+            println!("VIOLATION [{}]: {}", v.invariant, v.detail);
+        }
+        return if report.outcome == Outcome::Violation {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    // Sweep mode.
+    let kind = if args.double {
+        "double-fault"
+    } else {
+        "multi-fault"
+    };
+    println!(
+        "chaos hunt: {} seeds {}..{} ({kind}{})",
+        args.seeds,
+        args.start,
+        args.start + args.seeds,
+        if args.quick { ", quick" } else { "" },
+    );
+
+    let mut clean = 0u64;
+    let mut recovered = 0u64;
+    let mut detected = 0u64;
+    let mut lost = 0u64;
+    let mut violated: Vec<u64> = Vec::new();
+
+    for seed in args.start..args.start + args.seeds {
+        let schedule = if args.double {
+            FaultSchedule::generate_double(seed)
+        } else {
+            FaultSchedule::generate(seed)
+        };
+        let report = run_chaos_case(seed, &schedule, &opts);
+        if args.verbose || report.outcome == Outcome::Violation {
+            println!("seed {seed}: {} — {schedule}", report.outcome);
+        }
+        match report.outcome {
+            Outcome::Clean => clean += 1,
+            Outcome::Recovered => recovered += 1,
+            Outcome::DetectedUnrecoverable => detected += 1,
+            Outcome::ServiceLost => lost += 1,
+            Outcome::Violation => {
+                violated.push(seed);
+                for v in &report.violations {
+                    println!("  [{}] {}", v.invariant, v.detail);
+                }
+                println!("  shrinking...");
+                let shrunk = shrink_schedule(seed, &schedule, &opts);
+                println!(
+                    "  minimal reproducer ({} actions, {} probe runs):",
+                    shrunk.schedule.len(),
+                    shrunk.runs
+                );
+                println!(
+                    "    cargo run -p sttcp-bench --bin chaos_hunt -- \\\n      \
+                     --seed {seed} --schedule \"{}\"",
+                    shrunk.schedule
+                );
+            }
+        }
+    }
+
+    println!();
+    println!("clean                    {clean:>6}");
+    println!("recovered                {recovered:>6}");
+    println!("detected-unrecoverable   {detected:>6}");
+    println!("service-lost             {lost:>6}");
+    println!("VIOLATIONS               {:>6}", violated.len());
+    if violated.is_empty() {
+        println!("\nno invariant violations — every run within its fault envelope");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nviolating seeds: {violated:?}");
+        ExitCode::from(1)
+    }
+}

@@ -17,9 +17,7 @@ fn main() {
 
     println!("Demo 1 — client-transparent seamless failover\n");
     let r = run_failover(1, 200, TOTAL, CRASH_MS);
-    println!(
-        "ST-TCP client progress (x: time, y: bytes; primary crashed at t={CRASH_MS}ms):\n"
-    );
+    println!("ST-TCP client progress (x: time, y: bytes; primary crashed at t={CRASH_MS}ms):\n");
     print!("{}", render_series(&r.progress, 72, 12));
     println!();
 

@@ -20,7 +20,10 @@ fn main() {
     let runs = run_hb_sweep(TRIALS, TOTAL);
 
     let mut t = Table::new(vec![
-        "HB period", "detection min/avg/max", "takeover avg", "client stall min/avg/max",
+        "HB period",
+        "detection min/avg/max",
+        "takeover avg",
+        "client stall min/avg/max",
         "restart component avg",
     ]);
     for &hb in &[200u64, 500, 1_000] {
@@ -60,7 +63,10 @@ fn main() {
     // the stall exceeds detection by the client's backed-off RTO gap.
     println!("client-push workload (client retransmission paces the restart):\n");
     let mut t2 = Table::new(vec![
-        "HB period", "detection", "client stall", "restart component (client RTO backoff)",
+        "HB period",
+        "detection",
+        "client stall",
+        "restart component (client RTO backoff)",
     ]);
     for &hb in &[200u64, 500, 1_000] {
         let (det, stall, _rt) = run_failover_push(7, hb, 2_000);

@@ -28,7 +28,13 @@ fn main() {
         ("backup", AppCrashMode::CleanupFin),
     ];
     let mut t = Table::new(vec![
-        "crash site", "mode", "FIN/RST held?", "symptom", "recovery", "detect", "client",
+        "crash site",
+        "mode",
+        "FIN/RST held?",
+        "symptom",
+        "recovery",
+        "detect",
+        "client",
     ]);
     for (i, (loc, mode)) in cases.iter().enumerate() {
         let mut s = ScenarioBuilder::new(
@@ -47,8 +53,16 @@ fn main() {
         })
         .build();
         let inject = SimTime::from_secs(3);
-        let victim = if *loc == "primary" { s.primary } else { s.backup };
-        let detector = if *loc == "primary" { s.backup } else { s.primary };
+        let victim = if *loc == "primary" {
+            s.primary
+        } else {
+            s.backup
+        };
+        let detector = if *loc == "primary" {
+            s.backup
+        } else {
+            s.primary
+        };
         s.crash_app_at(victim, inject, *mode);
         s.world.run_until(SimTime::from_secs(90));
 
@@ -86,7 +100,11 @@ fn main() {
             symptom,
             recovery.to_string(),
             det.to_string(),
-            if ok { "intact".into() } else { "DISRUPTED".to_string() },
+            if ok {
+                "intact".into()
+            } else {
+                "DISRUPTED".to_string()
+            },
         ]);
     }
     println!("{t}");

@@ -19,7 +19,12 @@ use sttcp_bench::report::Table;
 fn main() {
     println!("Demo 5 — NIC failure detection and recovery\n");
     let mut t = Table::new(vec![
-        "failed NIC", "client traffic", "symptom", "recovery", "detect", "client stream",
+        "failed NIC",
+        "client traffic",
+        "symptom",
+        "recovery",
+        "detect",
+        "client stream",
     ]);
     for (i, (fail_primary, quiet)) in [(true, false), (true, true), (false, false), (false, true)]
         .iter()
@@ -34,16 +39,13 @@ fn main() {
                 count: 300,
             }
         };
-        let mut s = ScenarioBuilder::new(
-            Rc::new(|| Box::new(EchoApp::default()) as _),
-            workload,
-        )
-        .seed(50 + i as u64)
-        .sttcp(StTcpConfig {
-            app_max_lag_time: SimDuration::from_secs(1),
-            ..Default::default()
-        })
-        .build();
+        let mut s = ScenarioBuilder::new(Rc::new(|| Box::new(EchoApp::default()) as _), workload)
+            .seed(50 + i as u64)
+            .sttcp(StTcpConfig {
+                app_max_lag_time: SimDuration::from_secs(1),
+                ..Default::default()
+            })
+            .build();
         let inject = SimTime::from_secs(3);
         let victim = if *fail_primary { s.primary } else { s.backup };
         let detector = if *fail_primary { s.backup } else { s.primary };
@@ -76,7 +78,12 @@ fn main() {
         };
         t.row(vec![
             if *fail_primary { "primary" } else { "backup" }.to_string(),
-            if *quiet { "silent (ping path)" } else { "chatty (lag path)" }.to_string(),
+            if *quiet {
+                "silent (ping path)"
+            } else {
+                "chatty (lag path)"
+            }
+            .to_string(),
             symptom,
             recovery.to_string(),
             det.to_string(),

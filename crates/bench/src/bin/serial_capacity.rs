@@ -15,7 +15,11 @@ use sttcp_bench::report::Table;
 fn main() {
     println!("§3 — serial heartbeat link capacity (RS-232, 115.2 kbps, 8N1)\n");
     let mut t = Table::new(vec![
-        "HB period", "bytes/conn", "kbit/s per conn", "max connections", "link utilization",
+        "HB period",
+        "bytes/conn",
+        "kbit/s per conn",
+        "max connections",
+        "link utilization",
     ]);
     for hb_ms in [100u64, 200, 500, 1_000] {
         let c = run_serial_capacity(hb_ms);
@@ -35,6 +39,8 @@ fn main() {
          carries one extra flag byte). Beyond that, the paper recommends a\n\
          crossover-Ethernet secondary link, which `SerialParams::crossover_ethernet()`\n\
          models at 100 Mbit/s.",
-        c200.bytes_per_conn, c200.bits_per_sec_per_conn / 1_000.0, c200.max_conns
+        c200.bytes_per_conn,
+        c200.bits_per_sec_per_conn / 1_000.0,
+        c200.max_conns
     );
 }

@@ -12,8 +12,13 @@ fn main() {
     println!("ST-TCP Table 1 — single failure scenarios (reproduced)\n");
     let rows = run_table1_matrix(1_000);
     let mut table = Table::new(vec![
-        "row", "location", "failure injected", "symptom observed", "recovery action",
-        "detect", "client",
+        "row",
+        "location",
+        "failure injected",
+        "symptom observed",
+        "recovery action",
+        "detect",
+        "client",
     ]);
     for r in &rows {
         table.row(vec![
@@ -35,6 +40,10 @@ fn main() {
         "client stream intact in {}/{} scenarios{}",
         rows.iter().filter(|r| r.client_ok).count(),
         rows.len(),
-        if all_ok { " — all single failures masked" } else { "" }
+        if all_ok {
+            " — all single failures masked"
+        } else {
+            ""
+        }
     );
 }

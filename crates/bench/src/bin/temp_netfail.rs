@@ -14,7 +14,12 @@ use sttcp_bench::report::Table;
 fn main() {
     println!("§4.3 — temporary network failure at the backup tap\n");
     let mut t = Table::new(vec![
-        "burst (frames)", "hold buffer", "recovery", "recovery time", "verdict", "client",
+        "burst (frames)",
+        "hold buffer",
+        "recovery",
+        "recovery time",
+        "verdict",
+        "client",
     ]);
     for (i, burst) in [5u64, 20, 60].iter().enumerate() {
         let r = run_temp_netfail(60 + i as u64, *burst, false);

@@ -93,8 +93,7 @@ pub fn run_failover(seed: u64, hb_ms: u64, total: u64, crash_ms: u64) -> Failove
         .sttcp(cfg)
         .build();
     s.crash_primary_at(t(crash_ms));
-    s.world
-        .run_until(t(crash_ms + 60_000 + total / 100));
+    s.world.run_until(t(crash_ms + 60_000 + total / 100));
     let log = s.client_log();
     let crash = t(crash_ms);
     let end = log.finished_at.unwrap_or(s.world.now());
@@ -235,7 +234,11 @@ pub fn run_overhead(seed: u64, total: u64) -> OverheadRun {
     s.world.run_until(deadline);
     assert!(s.client_finished(), "sttcp transfer incomplete");
     let connect = s.client_log().connects[0];
-    let sttcp_time = s.client_log().finished_at.unwrap().saturating_since(connect);
+    let sttcp_time = s
+        .client_log()
+        .finished_at
+        .unwrap()
+        .saturating_since(connect);
     let sttcp_client_frames = s.world.link(s.link_client).stats(LinkDir::BtoA).delivered;
     let hb = s.world.serial(s.serial);
     let hb_serial_bytes =
@@ -252,7 +255,11 @@ pub fn run_overhead(seed: u64, total: u64) -> OverheadRun {
     b.world.run_until(deadline);
     assert!(b.client_finished(), "plain transfer incomplete");
     let connect = b.client_log().connects[0];
-    let plain_time = b.client_log().finished_at.unwrap().saturating_since(connect);
+    let plain_time = b
+        .client_log()
+        .finished_at
+        .unwrap()
+        .saturating_since(connect);
     let plain_client_frames = b.world.link(b.link_client).stats(LinkDir::BtoA).delivered;
 
     let overhead = (sttcp_time.as_micros() as f64 - plain_time.as_micros() as f64)
@@ -312,7 +319,11 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
         let p = s.server(s.primary);
         if b.took_over_at().is_some() {
             "backup took over; primary shut down".into()
-        } else if p.events().iter().any(|e| matches!(e, StTcpEvent::WentNonFt { .. })) {
+        } else if p
+            .events()
+            .iter()
+            .any(|e| matches!(e, StTcpEvent::WentNonFt { .. }))
+        {
             "primary non-fault-tolerant; backup shut down".into()
         } else if b
             .events()
@@ -326,10 +337,7 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
     };
     let symptom_of = |s: &Scenario, detector_node: NodeId| -> (String, Option<SimDuration>) {
         match detection_of(s, detector_node) {
-            Some((reason, at)) => (
-                reason.to_string(),
-                Some(at.saturating_since(t(inject_at))),
-            ),
+            Some((reason, at)) => (reason.to_string(), Some(at.saturating_since(t(inject_at)))),
             None => ("no failure declared".into(), None),
         }
     };
@@ -378,14 +386,26 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             .seed(seed + bump)
             .sttcp(fast_cfg(200))
             .build();
-        let victim = if loc == "primary" { s.primary } else { s.backup };
-        let detector = if loc == "primary" { s.backup } else { s.primary };
+        let victim = if loc == "primary" {
+            s.primary
+        } else {
+            s.backup
+        };
+        let detector = if loc == "primary" {
+            s.backup
+        } else {
+            s.primary
+        };
         s.crash_app_at(victim, t(inject_at), AppCrashMode::SilentNoCleanup);
         let s = finish(s);
         let (symptom, det) = symptom_of(&s, detector);
         rows.push(Table1Row {
             row: 2,
-            location: if loc == "primary" { "primary" } else { "backup" },
+            location: if loc == "primary" {
+                "primary"
+            } else {
+                "backup"
+            },
             failure: "app crash, no FIN/RST".into(),
             symptom,
             recovery: recovery_of(&s),
@@ -400,8 +420,16 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             .seed(seed + bump)
             .sttcp(fast_cfg(200))
             .build();
-        let victim = if loc == "primary" { s.primary } else { s.backup };
-        let detector = if loc == "primary" { s.backup } else { s.primary };
+        let victim = if loc == "primary" {
+            s.primary
+        } else {
+            s.backup
+        };
+        let detector = if loc == "primary" {
+            s.backup
+        } else {
+            s.primary
+        };
         s.crash_app_at(victim, t(inject_at), AppCrashMode::CleanupFin);
         let s = finish(s);
         let (symptom, det) = symptom_of(&s, detector);
@@ -412,7 +440,11 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             .any(|e| matches!(e, StTcpEvent::FinHeld { .. }));
         rows.push(Table1Row {
             row: 3,
-            location: if loc == "primary" { "primary" } else { "backup" },
+            location: if loc == "primary" {
+                "primary"
+            } else {
+                "backup"
+            },
             failure: format!(
                 "app crash, FIN generated{}",
                 if held { " (held)" } else { "" }
@@ -430,14 +462,26 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             .seed(seed + bump)
             .sttcp(fast_cfg(200))
             .build();
-        let victim = if loc == "primary" { s.primary } else { s.backup };
-        let detector = if loc == "primary" { s.backup } else { s.primary };
+        let victim = if loc == "primary" {
+            s.primary
+        } else {
+            s.backup
+        };
+        let detector = if loc == "primary" {
+            s.backup
+        } else {
+            s.primary
+        };
         s.fail_nic_at(victim, t(inject_at));
         let s = finish(s);
         let (symptom, det) = symptom_of(&s, detector);
         rows.push(Table1Row {
             row: 4,
-            location: if loc == "primary" { "primary" } else { "backup" },
+            location: if loc == "primary" {
+                "primary"
+            } else {
+                "backup"
+            },
             failure: "NIC failure".into(),
             symptom,
             recovery: recovery_of(&s),
@@ -559,10 +603,8 @@ pub fn run_serial_capacity(hb_ms: u64) -> SerialCapacity {
     }
     let per_conn_bits = (HB_CONN_LEN as f64) * 10.0; // 8N1 framing
     let bits_per_sec_per_conn = per_conn_bits / period.as_secs_f64();
-    let utilization_at_max = chan
-        .serialization_time(wire_len(max_conns))
-        .as_secs_f64()
-        / period.as_secs_f64();
+    let utilization_at_max =
+        chan.serialization_time(wire_len(max_conns)).as_secs_f64() / period.as_secs_f64();
     SerialCapacity {
         hb_period: period,
         bytes_per_conn: HB_CONN_LEN,

@@ -114,8 +114,9 @@ impl fmt::Display for HbDecodeError {
 
 impl std::error::Error for HbDecodeError {}
 
-/// Fixed header length of the heartbeat wire format.
-pub const HB_HEADER_LEN: usize = 8;
+/// Fixed header length of the heartbeat wire format (includes the
+/// CRC-32 at bytes 8..12).
+pub const HB_HEADER_LEN: usize = 12;
 /// Wire length of one per-connection record.
 pub const HB_CONN_LEN: usize = 21;
 /// Wire length of the optional ping report.
@@ -124,8 +125,12 @@ pub const HB_PING_LEN: usize = 8;
 impl HbPayload {
     /// Serializes the heartbeat.
     ///
-    /// Layout: `seqno:4 | role:1 | flags:1 | conn_count:2 |
+    /// Layout: `seqno:4 | role:1 | flags:1 | conn_count:2 | crc:4 |
     /// [key:4 lbr:4 lar:4 labw:4 labr:4 flags:1]* | [fails:4 attempts:4]?`
+    ///
+    /// The CRC-32 covers the whole message with the CRC field itself
+    /// zeroed; both heartbeat links can corrupt frames in flight and a
+    /// heartbeat acted on corruptly could trigger a spurious failover.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(self.wire_len());
         b.put_u32(self.seqno);
@@ -135,6 +140,7 @@ impl HbPayload {
         });
         b.put_u8(self.ping.is_some() as u8);
         b.put_u16(self.conns.len() as u16);
+        b.put_u32(0); // CRC placeholder, patched below.
         for c in &self.conns {
             b.put_u32(c.key);
             b.put_u32(c.last_byte_received as u32);
@@ -151,6 +157,8 @@ impl HbPayload {
             b.put_u32(p.consecutive_failures);
             b.put_u32(p.attempts);
         }
+        let crc = crate::wire::crc32(&b);
+        b[8..12].copy_from_slice(&crc.to_be_bytes());
         b.freeze()
     }
 
@@ -167,7 +175,8 @@ impl HbPayload {
     ///
     /// # Errors
     ///
-    /// Returns [`HbDecodeError`] on truncation or a bad role byte.
+    /// Returns [`HbDecodeError`] on truncation, trailing garbage, a bad
+    /// role byte, or a CRC mismatch. Total: never panics, any input.
     pub fn decode(wire: &[u8]) -> Result<HbPayload, HbDecodeError> {
         if wire.len() < HB_HEADER_LEN {
             return Err(HbDecodeError);
@@ -185,7 +194,15 @@ impl HbPayload {
         };
         let n = u16::from_be_bytes([wire[6], wire[7]]) as usize;
         let need = HB_HEADER_LEN + n * HB_CONN_LEN + if has_ping { HB_PING_LEN } else { 0 };
-        if wire.len() < need {
+        // Exact length: a message is one datagram, so trailing bytes mean
+        // corruption (a mangled conn_count would otherwise mis-frame).
+        if wire.len() != need {
+            return Err(HbDecodeError);
+        }
+        let stored_crc = u32::from_be_bytes([wire[8], wire[9], wire[10], wire[11]]);
+        let mut zeroed = wire.to_vec();
+        zeroed[8..12].fill(0);
+        if crate::wire::crc32(&zeroed) != stored_crc {
             return Err(HbDecodeError);
         }
         let mut conns = Vec::with_capacity(n);
@@ -305,6 +322,29 @@ mod tests {
     fn bad_role_rejected() {
         let mut wire = sample().encode().to_vec();
         wire[4] = 9;
+        assert_eq!(HbPayload::decode(&wire), Err(HbDecodeError));
+    }
+
+    #[test]
+    fn every_single_bit_flip_rejected() {
+        // The chaos engine flips one payload bit in flight; no such
+        // corruption may survive decoding as a valid heartbeat.
+        let wire = sample().encode().to_vec();
+        for bit in 0..wire.len() * 8 {
+            let mut flipped = wire.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(
+                HbPayload::decode(&flipped),
+                Err(HbDecodeError),
+                "flipping bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut wire = sample().encode().to_vec();
+        wire.push(0);
         assert_eq!(HbPayload::decode(&wire), Err(HbDecodeError));
     }
 

@@ -1,0 +1,639 @@
+//! First-class invariant checking over chaos runs.
+//!
+//! A chaos run (see the `sttcp-apps` crate's `chaos` module) executes a
+//! client workload against the server pair while a fault schedule fires.
+//! Afterwards this module judges the run: it takes the two servers'
+//! [`StTcpEvent`] logs plus the client's transcript, and an
+//! [`Expectation`] derived from the schedule (what *could* legitimately
+//! have happened given the injected faults), and checks the properties
+//! ST-TCP promises regardless of fault timing:
+//!
+//! 1. **Byte-stream integrity** — the client never observes wrong bytes.
+//!    TCP checksums plus missed-byte recovery make this unconditional.
+//! 2. **No dual-active** — at most one server ever speaks for the
+//!    service. Checked both directly (end-of-run activity) and causally:
+//!    a takeover must be preceded by a STONITH from the taker or by the
+//!    peer's own death.
+//! 3. **At most one failure verdict** — a server declares its peer
+//!    failed at most once, takes over at most once, fires STONITH at
+//!    most once.
+//! 4. **Bounded post-detection stall** — when the service is expected to
+//!    survive, the client's longest outage is bounded (detection +
+//!    takeover + retransmission, with allowance from the caller).
+//! 5. **Unrecoverable ⇒ explicitly detected** — if the service is
+//!    expected up but the client did not finish, the failure must be
+//!    announced (a reset or a logged [`StTcpEvent::UnrecoverableGap`]),
+//!    never a silent hang.
+//! 6. **No false positives** — a schedule that injects nothing the
+//!    detectors should react to (empty, or finite tap-side drops that
+//!    recovery absorbs) must produce no verdict at all.
+//!
+//! The checker is deliberately *conservative*: the [`Expectation`] says
+//! what is possible, not what must happen, so a legitimate-but-unlucky
+//! run never reports a violation. Anything it does report is a real
+//! protocol bug — the chaos harness then shrinks the schedule that
+//! exposed it.
+
+use core::fmt;
+
+use simnet::time::{SimDuration, SimTime};
+
+use crate::config::Role;
+use crate::events::StTcpEvent;
+
+/// What the invariant checker knows about one server after a run.
+#[derive(Debug, Clone)]
+pub struct ServerView {
+    /// The role the server was configured with at start.
+    pub configured_role: Role,
+    /// The server's protocol event log.
+    pub events: Vec<StTcpEvent>,
+    /// When the *world* powered this node off (crash or STONITH), if it
+    /// ever did. Taken from the simulation, not the node's own belief.
+    pub powered_off_at: Option<SimTime>,
+    /// True if the server ended the run as a cold standby (rebooted,
+    /// state lost, passive).
+    pub cold_standby: bool,
+    /// True if the server ended the run able to emit client-visible
+    /// traffic (powered, not cold, acting primary).
+    pub active_at_end: bool,
+}
+
+/// What the invariant checker knows about the client after a run.
+#[derive(Debug, Clone, Default)]
+pub struct ClientView {
+    /// Bytes verified correct against the expected stream.
+    pub bytes_ok: u64,
+    /// Bytes that contradicted the expected stream. Must be zero, always.
+    pub integrity_violations: u64,
+    /// Connection resets the client observed.
+    pub resets: u64,
+    /// True if the workload ran to its planned completion.
+    pub finished: bool,
+    /// The longest gap between consecutive client-visible progress
+    /// events.
+    pub longest_stall: SimDuration,
+}
+
+/// What the fault schedule makes legitimately possible. Derived from the
+/// schedule alone (see `sttcp-apps::chaos::Expectation` computation) —
+/// conservative toward "possible".
+#[derive(Debug, Clone)]
+pub struct Expectation {
+    /// Some fault could have made the pair lose all service (for
+    /// example, both servers crashed, or the surviving server's client
+    /// path was cut). When false, the client finishing is mandatory.
+    pub service_may_be_lost: bool,
+    /// Client bytes acked by the primary may have been lost to the
+    /// backup forever (tap loss or corruption combined with a primary
+    /// crash): an [`StTcpEvent::UnrecoverableGap`] reset is legitimate.
+    pub unrecoverable_gap_possible: bool,
+    /// An application crash with RST cleanup was injected: the client
+    /// may see an abortive close.
+    pub abortive_close_possible: bool,
+    /// Failure verdicts are legitimate (some injected fault could make a
+    /// correct detector fire). When false — empty or tap-only-drop
+    /// schedules — any verdict is a false positive.
+    pub verdicts_possible: bool,
+    /// Bound on [`ClientView::longest_stall`] when the run otherwise
+    /// succeeds; `None` disables the check (schedules whose loss bursts
+    /// can stall the client arbitrarily via RTO backoff).
+    pub max_stall: Option<SimDuration>,
+}
+
+impl Expectation {
+    /// Expectation for a run with no faults at all: everything strict.
+    pub fn fault_free(max_stall: SimDuration) -> Expectation {
+        Expectation {
+            service_may_be_lost: false,
+            unrecoverable_gap_possible: false,
+            abortive_close_possible: false,
+            verdicts_possible: false,
+            max_stall: Some(max_stall),
+        }
+    }
+}
+
+/// Classification of a finished chaos run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// No fault observable by the client, no verdict fired.
+    Clean,
+    /// A failure was detected and masked; the client finished.
+    Recovered,
+    /// A failure was detected but could not be masked; the client was
+    /// told explicitly (reset / unrecoverable-gap). Legitimate per the
+    /// paper's output-commit caveat.
+    DetectedUnrecoverable,
+    /// The schedule destroyed all service (for example, both servers
+    /// down) — the client could not finish, as expected.
+    ServiceLost,
+    /// An invariant was violated: a protocol bug.
+    Violation,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Outcome::Clean => "clean",
+            Outcome::Recovered => "recovered",
+            Outcome::DetectedUnrecoverable => "detected-unrecoverable",
+            Outcome::ServiceLost => "service-lost",
+            Outcome::Violation => "VIOLATION",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable name of the invariant (e.g. `"no-dual-active"`).
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// The checker's verdict on a run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Overall classification.
+    pub outcome: Outcome,
+    /// Every violated invariant (empty unless `outcome` is
+    /// [`Outcome::Violation`]).
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// True when no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn count_events(events: &[StTcpEvent], mut pred: impl FnMut(&StTcpEvent) -> bool) -> usize {
+    events.iter().filter(|e| pred(e)).count()
+}
+
+fn first_time(events: &[StTcpEvent], mut pred: impl FnMut(&StTcpEvent) -> bool) -> Option<SimTime> {
+    events.iter().find(|e| pred(e)).map(|e| e.at())
+}
+
+/// Checks every invariant over one finished run.
+///
+/// `primary` and `backup` are the servers as *configured* at start (the
+/// backup may well have become primary during the run).
+pub fn check(
+    primary: &ServerView,
+    backup: &ServerView,
+    client: &ClientView,
+    exp: &Expectation,
+) -> Report {
+    let mut violations = Vec::new();
+
+    // 1. Byte-stream integrity: unconditional. Corruption, loss, and
+    // takeover may slow or reset the client but may never hand it wrong
+    // bytes.
+    if client.integrity_violations > 0 {
+        violations.push(Violation {
+            invariant: "byte-stream-integrity",
+            detail: format!(
+                "client verified {} bytes but saw {} contradicting its expected stream",
+                client.bytes_ok, client.integrity_violations
+            ),
+        });
+    }
+
+    // 2a. No dual-active, direct form.
+    if primary.active_at_end && backup.active_at_end {
+        violations.push(Violation {
+            invariant: "no-dual-active",
+            detail: "both servers ended the run active for the service IP".to_string(),
+        });
+    }
+
+    // 2b. No dual-active, causal form: STONITH (or the peer's prior
+    // death) precedes every takeover.
+    for (me, peer, label) in [(backup, primary, "backup"), (primary, backup, "primary")] {
+        let Some(took_at) = first_time(&me.events, |e| matches!(e, StTcpEvent::TookOver { .. }))
+        else {
+            continue;
+        };
+        let stonith_at = first_time(&me.events, |e| {
+            matches!(e, StTcpEvent::StonithIssued { .. })
+        });
+        let stonith_ok = stonith_at.is_some_and(|t| t <= took_at);
+        let peer_dead_first = peer.powered_off_at.is_some_and(|t| t <= took_at);
+        if !stonith_ok && !peer_dead_first {
+            violations.push(Violation {
+                invariant: "stonith-precedes-takeover",
+                detail: format!(
+                    "{label} took over at {took_at} without first issuing STONITH \
+                     (stonith: {stonith_at:?}) or its peer being down \
+                     (peer off: {:?})",
+                    peer.powered_off_at
+                ),
+            });
+        }
+    }
+
+    // 3. At most one failure verdict / takeover / STONITH per server.
+    for (sv, label) in [(primary, "primary"), (backup, "backup")] {
+        for (what, n) in [
+            (
+                "peer-declared-failed",
+                count_events(&sv.events, |e| {
+                    matches!(e, StTcpEvent::PeerDeclaredFailed { .. })
+                }),
+            ),
+            (
+                "took-over",
+                count_events(&sv.events, |e| matches!(e, StTcpEvent::TookOver { .. })),
+            ),
+            (
+                "stonith-issued",
+                count_events(&sv.events, |e| {
+                    matches!(e, StTcpEvent::StonithIssued { .. })
+                }),
+            ),
+        ] {
+            if n > 1 {
+                violations.push(Violation {
+                    invariant: "at-most-one-verdict",
+                    detail: format!("{label} logged {what} {n} times"),
+                });
+            }
+        }
+    }
+
+    // 4. False positives: with no verdict-provoking fault injected, no
+    // verdict may fire and the client must finish untouched.
+    if !exp.verdicts_possible {
+        for (sv, label) in [(primary, "primary"), (backup, "backup")] {
+            let verdicts = count_events(&sv.events, |e| {
+                matches!(
+                    e,
+                    StTcpEvent::PeerDeclaredFailed { .. }
+                        | StTcpEvent::WentNonFt { .. }
+                        | StTcpEvent::TookOver { .. }
+                        | StTcpEvent::StonithIssued { .. }
+                )
+            });
+            if verdicts > 0 {
+                violations.push(Violation {
+                    invariant: "no-false-positive",
+                    detail: format!(
+                        "{label} fired {verdicts} verdict event(s) though the schedule \
+                         injected nothing a correct detector reacts to"
+                    ),
+                });
+            }
+        }
+        if client.resets > 0 {
+            violations.push(Violation {
+                invariant: "no-false-positive",
+                detail: format!(
+                    "client saw {} reset(s) under a verdict-free schedule",
+                    client.resets
+                ),
+            });
+        }
+    }
+
+    // 5. Unrecoverable ⇒ explicitly detected, never silent. If service
+    // was expected to survive and the client did not finish, someone
+    // must have said so out loud.
+    if !exp.service_may_be_lost && !client.finished {
+        let announced = client.resets > 0
+            || primary
+                .events
+                .iter()
+                .chain(backup.events.iter())
+                .any(|e| matches!(e, StTcpEvent::UnrecoverableGap { .. }));
+        if !announced {
+            violations.push(Violation {
+                invariant: "no-silent-failure",
+                detail: "service was expected to survive, yet the client neither finished \
+                         nor was reset — it was left hanging silently"
+                    .to_string(),
+            });
+        } else if !exp.unrecoverable_gap_possible && !exp.abortive_close_possible {
+            violations.push(Violation {
+                invariant: "unrecoverable-only-when-possible",
+                detail: "client was reset although the schedule permits no data-loss or \
+                         abortive-close path"
+                    .to_string(),
+            });
+        }
+    }
+
+    // 6. Bounded post-detection stall, only for runs that completed.
+    if let Some(bound) = exp.max_stall {
+        if client.finished && client.longest_stall > bound {
+            violations.push(Violation {
+                invariant: "bounded-stall",
+                detail: format!("client stalled {} (bound {})", client.longest_stall, bound),
+            });
+        }
+    }
+
+    let any_verdict = |sv: &ServerView| {
+        sv.events.iter().any(|e| {
+            matches!(
+                e,
+                StTcpEvent::PeerDeclaredFailed { .. }
+                    | StTcpEvent::WentNonFt { .. }
+                    | StTcpEvent::TookOver { .. }
+            )
+        })
+    };
+    let any_unrecoverable = primary
+        .events
+        .iter()
+        .chain(backup.events.iter())
+        .any(|e| matches!(e, StTcpEvent::UnrecoverableGap { .. }));
+
+    let outcome = if !violations.is_empty() {
+        Outcome::Violation
+    } else if !client.finished {
+        if any_unrecoverable || client.resets > 0 {
+            Outcome::DetectedUnrecoverable
+        } else {
+            Outcome::ServiceLost
+        }
+    } else if any_unrecoverable {
+        Outcome::DetectedUnrecoverable
+    } else if any_verdict(primary) || any_verdict(backup) {
+        Outcome::Recovered
+    } else {
+        Outcome::Clean
+    };
+
+    Report {
+        outcome,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{FailureReason, HbLink};
+
+    fn server(role: Role) -> ServerView {
+        ServerView {
+            configured_role: role,
+            events: Vec::new(),
+            powered_off_at: None,
+            cold_standby: false,
+            active_at_end: role == Role::Primary,
+        }
+    }
+
+    fn ok_client() -> ClientView {
+        ClientView {
+            bytes_ok: 1_000_000,
+            integrity_violations: 0,
+            resets: 0,
+            finished: true,
+            longest_stall: SimDuration::from_millis(120),
+        }
+    }
+
+    fn strict() -> Expectation {
+        Expectation::fault_free(SimDuration::from_secs(2))
+    }
+
+    fn crashy() -> Expectation {
+        Expectation {
+            service_may_be_lost: false,
+            unrecoverable_gap_possible: false,
+            abortive_close_possible: false,
+            verdicts_possible: true,
+            max_stall: Some(SimDuration::from_secs(5)),
+        }
+    }
+
+    #[test]
+    fn clean_run_is_clean() {
+        let r = check(
+            &server(Role::Primary),
+            &server(Role::Backup),
+            &ok_client(),
+            &strict(),
+        );
+        assert!(r.ok());
+        assert_eq!(r.outcome, Outcome::Clean);
+    }
+
+    #[test]
+    fn integrity_violation_always_fires() {
+        let mut c = ok_client();
+        c.integrity_violations = 3;
+        let r = check(&server(Role::Primary), &server(Role::Backup), &c, &crashy());
+        assert_eq!(r.outcome, Outcome::Violation);
+        assert_eq!(r.violations[0].invariant, "byte-stream-integrity");
+    }
+
+    #[test]
+    fn dual_active_detected() {
+        let p = server(Role::Primary);
+        let mut b = server(Role::Backup);
+        b.active_at_end = true;
+        let r = check(&p, &b, &ok_client(), &crashy());
+        assert_eq!(r.outcome, Outcome::Violation);
+        assert!(r.violations.iter().any(|v| v.invariant == "no-dual-active"));
+    }
+
+    #[test]
+    fn takeover_without_stonith_or_dead_peer_is_violation() {
+        let p = server(Role::Primary);
+        let mut b = server(Role::Backup);
+        b.events = vec![
+            StTcpEvent::PeerDeclaredFailed {
+                reason: FailureReason::HbBothLinksDown,
+                at: SimTime::from_millis(700),
+            },
+            StTcpEvent::TookOver {
+                at: SimTime::from_millis(720),
+            },
+        ];
+        let r = check(&p, &b, &ok_client(), &crashy());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "stonith-precedes-takeover"));
+    }
+
+    #[test]
+    fn proper_takeover_with_stonith_is_recovered() {
+        let mut p = server(Role::Primary);
+        p.powered_off_at = Some(SimTime::from_millis(500));
+        p.active_at_end = false;
+        let mut b = server(Role::Backup);
+        b.events = vec![
+            StTcpEvent::PeerDeclaredFailed {
+                reason: FailureReason::HbBothLinksDown,
+                at: SimTime::from_millis(1100),
+            },
+            StTcpEvent::StonithIssued {
+                at: SimTime::from_millis(1120),
+            },
+            StTcpEvent::TookOver {
+                at: SimTime::from_millis(1125),
+            },
+        ];
+        b.active_at_end = true;
+        let r = check(&p, &b, &ok_client(), &crashy());
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.outcome, Outcome::Recovered);
+    }
+
+    #[test]
+    fn takeover_after_peer_crash_without_stonith_is_fine() {
+        // The peer was already down (world crashed it); STONITH of a dead
+        // node is optional.
+        let mut p = server(Role::Primary);
+        p.powered_off_at = Some(SimTime::from_millis(300));
+        p.active_at_end = false;
+        let mut b = server(Role::Backup);
+        b.events = vec![StTcpEvent::TookOver {
+            at: SimTime::from_millis(900),
+        }];
+        b.active_at_end = true;
+        let r = check(&p, &b, &ok_client(), &crashy());
+        assert!(r.ok(), "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn double_verdict_is_violation() {
+        let mut p = server(Role::Primary);
+        p.events = vec![
+            StTcpEvent::PeerDeclaredFailed {
+                reason: FailureReason::AppLagTime,
+                at: SimTime::from_millis(100),
+            },
+            StTcpEvent::PeerDeclaredFailed {
+                reason: FailureReason::HbBothLinksDown,
+                at: SimTime::from_millis(200),
+            },
+        ];
+        let r = check(&p, &server(Role::Backup), &ok_client(), &crashy());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "at-most-one-verdict"));
+    }
+
+    #[test]
+    fn false_positive_detected_on_benign_schedule() {
+        let mut p = server(Role::Primary);
+        p.events = vec![StTcpEvent::WentNonFt {
+            reason: FailureReason::HbBothLinksDown,
+            at: SimTime::from_millis(650),
+        }];
+        let r = check(&p, &server(Role::Backup), &ok_client(), &strict());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "no-false-positive"));
+        // The same events under a crashy schedule are fine.
+        let r2 = check(&p, &server(Role::Backup), &ok_client(), &crashy());
+        assert!(r2.ok());
+        assert_eq!(r2.outcome, Outcome::Recovered);
+    }
+
+    #[test]
+    fn silent_hang_is_violation_but_announced_reset_is_not() {
+        let mut c = ok_client();
+        c.finished = false;
+        let r = check(&server(Role::Primary), &server(Role::Backup), &c, &crashy());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "no-silent-failure"));
+
+        // Announced via UnrecoverableGap on the backup: legitimate if the
+        // schedule makes a gap possible.
+        let mut exp = crashy();
+        exp.unrecoverable_gap_possible = true;
+        let mut b = server(Role::Backup);
+        b.events = vec![StTcpEvent::UnrecoverableGap {
+            conn: 1,
+            missing_from: 4_096,
+            at: SimTime::from_millis(800),
+        }];
+        let mut c2 = ok_client();
+        c2.finished = false;
+        c2.resets = 1;
+        let r2 = check(&server(Role::Primary), &b, &c2, &exp);
+        assert!(r2.ok(), "violations: {:?}", r2.violations);
+        assert_eq!(r2.outcome, Outcome::DetectedUnrecoverable);
+    }
+
+    #[test]
+    fn reset_without_any_loss_path_is_violation() {
+        let mut c = ok_client();
+        c.finished = false;
+        c.resets = 1;
+        let r = check(&server(Role::Primary), &server(Role::Backup), &c, &crashy());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "unrecoverable-only-when-possible"));
+    }
+
+    #[test]
+    fn service_lost_when_expected() {
+        let mut exp = crashy();
+        exp.service_may_be_lost = true;
+        let mut c = ok_client();
+        c.finished = false;
+        let mut p = server(Role::Primary);
+        p.powered_off_at = Some(SimTime::from_millis(100));
+        p.active_at_end = false;
+        let mut b = server(Role::Backup);
+        b.powered_off_at = Some(SimTime::from_millis(200));
+        b.active_at_end = false;
+        let r = check(&p, &b, &c, &exp);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.outcome, Outcome::ServiceLost);
+    }
+
+    #[test]
+    fn stall_bound_enforced_only_when_finished() {
+        let mut c = ok_client();
+        c.longest_stall = SimDuration::from_secs(30);
+        let r = check(&server(Role::Primary), &server(Role::Backup), &c, &crashy());
+        assert!(r.violations.iter().any(|v| v.invariant == "bounded-stall"));
+
+        let mut exp = crashy();
+        exp.max_stall = None;
+        let r2 = check(&server(Role::Primary), &server(Role::Backup), &c, &exp);
+        assert!(r2.ok());
+    }
+
+    #[test]
+    fn hb_link_events_alone_are_not_verdicts() {
+        let mut p = server(Role::Primary);
+        p.events = vec![
+            StTcpEvent::HbLinkDown {
+                link: HbLink::Ip,
+                at: SimTime::from_millis(400),
+            },
+            StTcpEvent::HbLinkUp {
+                link: HbLink::Ip,
+                at: SimTime::from_millis(900),
+            },
+        ];
+        let r = check(&p, &server(Role::Backup), &ok_client(), &strict());
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.outcome, Outcome::Clean);
+    }
+}

@@ -46,10 +46,12 @@ pub mod config;
 pub mod events;
 pub mod finarb;
 pub mod heartbeat;
+pub mod invariant;
 pub mod linkmon;
 pub mod netdetect;
 pub mod recover;
 pub mod server;
+pub mod wire;
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {

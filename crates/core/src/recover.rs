@@ -40,6 +40,21 @@ pub enum CtrlMsg {
     },
 }
 
+/// Upper bound on `FetchReply.data` accepted on the wire.
+///
+/// A fetch reply answers one request for missed bytes, bounded by the
+/// extended receive buffer (64 KiB default). Without this cap a
+/// corrupted length field could make a receiver buffer arbitrarily much.
+pub const MAX_FETCH_DATA: usize = 256 * 1024;
+
+/// Wire length of a `FetchRequest`: `type:1 conn:4 from:8 max:4 crc:4`.
+pub const FETCH_REQUEST_LEN: usize = 21;
+/// Wire length of a `FetchReply` before its data: `type:1 conn:4 from:8
+/// len:4` (the CRC-32 trails the data).
+pub const FETCH_REPLY_HEADER_LEN: usize = 17;
+/// Wire length of the trailing CRC-32 on every control message.
+pub const CTRL_CRC_LEN: usize = 4;
+
 /// Error returned when decoding a control message fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CtrlDecodeError;
@@ -53,53 +68,77 @@ impl fmt::Display for CtrlDecodeError {
 impl std::error::Error for CtrlDecodeError {}
 
 impl CtrlMsg {
-    /// Serializes the message.
+    /// Serializes the message. Every message carries a trailing CRC-32
+    /// over the preceding bytes; the reply carries an explicit data
+    /// length so corruption cannot silently re-frame the payload.
+    ///
+    /// # Panics
+    ///
+    /// If a `FetchReply` carries more than [`MAX_FETCH_DATA`] bytes —
+    /// such a message could never be decoded, so it is a sender bug.
     pub fn encode(&self) -> Bytes {
-        match self {
+        let mut b = match self {
             CtrlMsg::FetchRequest { conn, from, max } => {
-                let mut b = BytesMut::with_capacity(17);
+                let mut b = BytesMut::with_capacity(FETCH_REQUEST_LEN);
                 b.put_u8(1);
                 b.put_u32(*conn);
                 b.put_u64(*from);
                 b.put_u32(*max);
-                b.freeze()
+                b
             }
             CtrlMsg::FetchReply { conn, from, data } => {
-                let mut b = BytesMut::with_capacity(13 + data.len());
+                assert!(
+                    data.len() <= MAX_FETCH_DATA,
+                    "FetchReply data {} exceeds MAX_FETCH_DATA",
+                    data.len()
+                );
+                let mut b =
+                    BytesMut::with_capacity(FETCH_REPLY_HEADER_LEN + data.len() + CTRL_CRC_LEN);
                 b.put_u8(2);
                 b.put_u32(*conn);
                 b.put_u64(*from);
+                b.put_u32(data.len() as u32);
                 b.put_slice(data);
-                b.freeze()
+                b
             }
-        }
+        };
+        let crc = crate::wire::crc32(&b);
+        b.put_u32(crc);
+        b.freeze()
     }
 
     /// Parses a message.
     ///
     /// # Errors
     ///
-    /// Returns [`CtrlDecodeError`] on truncation or an unknown type byte.
+    /// Returns [`CtrlDecodeError`] on truncation, trailing garbage, an
+    /// unknown type byte, an oversized reply length, or a CRC mismatch.
+    /// Total: never panics, any input.
     pub fn decode(wire: &[u8]) -> Result<CtrlMsg, CtrlDecodeError> {
-        if wire.is_empty() {
+        if wire.len() < CTRL_CRC_LEN + 1 {
             return Err(CtrlDecodeError);
         }
-        let rd32 = |p: usize| u32::from_be_bytes([wire[p], wire[p + 1], wire[p + 2], wire[p + 3]]);
+        let body = &wire[..wire.len() - CTRL_CRC_LEN];
+        let stored_crc = u32::from_be_bytes(wire[wire.len() - CTRL_CRC_LEN..].try_into().unwrap());
+        if crate::wire::crc32(body) != stored_crc {
+            return Err(CtrlDecodeError);
+        }
+        let rd32 = |p: usize| u32::from_be_bytes([body[p], body[p + 1], body[p + 2], body[p + 3]]);
         let rd64 = |p: usize| {
             u64::from_be_bytes([
-                wire[p],
-                wire[p + 1],
-                wire[p + 2],
-                wire[p + 3],
-                wire[p + 4],
-                wire[p + 5],
-                wire[p + 6],
-                wire[p + 7],
+                body[p],
+                body[p + 1],
+                body[p + 2],
+                body[p + 3],
+                body[p + 4],
+                body[p + 5],
+                body[p + 6],
+                body[p + 7],
             ])
         };
-        match wire[0] {
+        match body[0] {
             1 => {
-                if wire.len() < 17 {
+                if body.len() != FETCH_REQUEST_LEN - CTRL_CRC_LEN {
                     return Err(CtrlDecodeError);
                 }
                 Ok(CtrlMsg::FetchRequest {
@@ -109,13 +148,17 @@ impl CtrlMsg {
                 })
             }
             2 => {
-                if wire.len() < 13 {
+                if body.len() < FETCH_REPLY_HEADER_LEN {
+                    return Err(CtrlDecodeError);
+                }
+                let len = rd32(13) as usize;
+                if len > MAX_FETCH_DATA || body.len() != FETCH_REPLY_HEADER_LEN + len {
                     return Err(CtrlDecodeError);
                 }
                 Ok(CtrlMsg::FetchReply {
                     conn: rd32(1),
                     from: rd64(5),
-                    data: Bytes::copy_from_slice(&wire[13..]),
+                    data: Bytes::copy_from_slice(&body[FETCH_REPLY_HEADER_LEN..]),
                 })
             }
             _ => Err(CtrlDecodeError),
@@ -163,5 +206,50 @@ mod tests {
         assert_eq!(CtrlMsg::decode(&[9, 0, 0]), Err(CtrlDecodeError));
         assert_eq!(CtrlMsg::decode(&[1, 0, 0, 0]), Err(CtrlDecodeError));
         assert_eq!(CtrlMsg::decode(&[2, 0]), Err(CtrlDecodeError));
+    }
+
+    #[test]
+    fn every_single_bit_flip_rejected() {
+        let m = CtrlMsg::FetchReply {
+            conn: 7,
+            from: 42,
+            data: Bytes::from_static(b"recovered bytes"),
+        };
+        let wire = m.encode().to_vec();
+        for bit in 0..wire.len() * 8 {
+            let mut flipped = wire.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(
+                CtrlMsg::decode(&flipped),
+                Err(CtrlDecodeError),
+                "flipping bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_reply_length_rejected() {
+        // Forge a reply whose length field claims more than the cap, with
+        // a valid CRC — the explicit bound must still reject it.
+        let mut b = vec![2u8];
+        b.extend_from_slice(&7u32.to_be_bytes());
+        b.extend_from_slice(&42u64.to_be_bytes());
+        b.extend_from_slice(&((MAX_FETCH_DATA as u32) + 1).to_be_bytes());
+        b.extend_from_slice(&[0u8; 32]); // far less data than claimed
+        let crc = crate::wire::crc32(&b);
+        b.extend_from_slice(&crc.to_be_bytes());
+        assert_eq!(CtrlMsg::decode(&b), Err(CtrlDecodeError));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let m = CtrlMsg::FetchRequest {
+            conn: 1,
+            from: 2,
+            max: 3,
+        };
+        let mut wire = m.encode().to_vec();
+        wire.push(0);
+        assert_eq!(CtrlMsg::decode(&wire), Err(CtrlDecodeError));
     }
 }

@@ -83,7 +83,7 @@ pub struct ServerSetup {
 
 /// How an application crash is injected (Demo 4's two scenarios, plus the
 /// RST variant of OS cleanup).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppCrashMode {
     /// The application stops reading and writing but the socket stays
     /// open; no FIN is generated (§4.2.1).
@@ -178,6 +178,7 @@ pub struct StTcpServer {
     tcp_timer: Option<(TimerId, SimTime)>,
     events: Vec<StTcpEvent>,
     powered_off: bool,
+    cold: bool,
     started_at: SimTime,
 }
 
@@ -249,6 +250,7 @@ impl StTcpServer {
             tcp_timer: None,
             events: Vec::new(),
             powered_off: false,
+            cold: false,
             started_at: SimTime::ZERO,
             setup,
         }
@@ -276,9 +278,7 @@ impl StTcpServer {
         let Some(ctl) = self.conns.get(&sock) else {
             return false;
         };
-        !ctl.closed
-            && !ctl.close_issued
-            && now.saturating_since(ctl.last_sign_of_life) >= timeout
+        !ctl.closed && !ctl.close_issued && now.saturating_since(ctl.last_sign_of_life) >= timeout
     }
 
     fn touch_sign_of_life(&mut self, now: SimTime, sock: SocketId) {
@@ -335,6 +335,22 @@ impl StTcpServer {
     /// True if the node observed a power-off.
     pub fn was_powered_off(&self) -> bool {
         self.powered_off
+    }
+
+    /// True after a reboot: all in-memory protocol state was lost and the
+    /// server is a passive cold standby (never transmits, ignores all
+    /// input) until an operator re-pairs it.
+    pub fn cold_standby(&self) -> bool {
+        self.cold
+    }
+
+    /// True when this server could currently emit client-visible traffic:
+    /// powered on, not a cold standby, and acting as primary (the original
+    /// primary, or a backup after takeover). At most one server in a pair
+    /// may ever be active at once — the chaos invariant checker enforces
+    /// this.
+    pub fn is_active(&self) -> bool {
+        !self.powered_off && !self.cold && self.role == Role::Primary
     }
 
     // ----- failure injection ------------------------------------------------
@@ -594,11 +610,10 @@ impl StTcpServer {
         self.hb_seq = self.hb_seq.wrapping_add(1);
         let hb = self.build_heartbeat(ctx.now());
         let wire = hb.encode();
-        if let Some(frame) = self.iface.frame_to(
-            self.setup.peer_private_ip,
-            IpProto::Heartbeat,
-            wire.clone(),
-        ) {
+        if let Some(frame) =
+            self.iface
+                .frame_to(self.setup.peer_private_ip, IpProto::Heartbeat, wire.clone())
+        {
             ctx.send_frame(self.iface.nic, frame);
         }
         ctx.send_serial(self.serial_port, wire);
@@ -879,9 +894,8 @@ impl StTcpServer {
             };
             last.map(|t| now.saturating_since(t))
         };
-        let hb_fresh = hb_staleness.is_some_and(|s| {
-            s <= self.setup.sttcp.hb_period + self.setup.sttcp.check_period * 2
-        });
+        let hb_fresh = hb_staleness
+            .is_some_and(|s| s <= self.setup.sttcp.hb_period + self.setup.sttcp.check_period * 2);
 
         let mut verdict: Option<FailureReason> = None;
         let mut arb_actions: Vec<(SocketId, u32, ArbAction)> = Vec::new();
@@ -945,11 +959,7 @@ impl StTcpServer {
         // §4.2.2 extension: the peer's own watchdog reported its replica
         // dead. A self-report is actionable even on an idle connection —
         // exactly the case the transport-layer detectors cannot see.
-        if self
-            .peer_conns
-            .values()
-            .any(|p| p.app_suspected)
-        {
+        if self.peer_conns.values().any(|p| p.app_suspected) {
             self.declare_peer_failed(ctx, FailureReason::WatchdogReport);
             return;
         }
@@ -1201,6 +1211,9 @@ impl Node for StTcpServer {
     }
 
     fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, _nic: NicId, frame: EthernetFrame) {
+        if self.cold {
+            return;
+        }
         if let Some(pkt) = IpInterface::decap(&frame) {
             self.handle_ip_packet(ctx, &pkt);
         }
@@ -1208,6 +1221,9 @@ impl Node for StTcpServer {
     }
 
     fn on_serial(&mut self, ctx: &mut NodeCtx<'_>, _port: SerialPortId, data: Bytes) {
+        if self.cold {
+            return;
+        }
         let now = ctx.now();
         if let Ok(hb) = HbPayload::decode(&data) {
             self.handle_heartbeat(now, &hb, HbLink::Serial);
@@ -1216,6 +1232,9 @@ impl Node for StTcpServer {
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
+        if self.cold {
+            return;
+        }
         match token {
             TOKEN_HB => {
                 if self.ft_mode {
@@ -1252,18 +1271,16 @@ impl Node for StTcpServer {
                 ctx.set_timer(self.setup.sttcp.app_tick, TOKEN_APP_TICK);
             }
             TOKEN_PING if self.ping.active => {
-                {
-                    if self.ping.awaiting.is_some() {
-                        self.ping.consecutive_failures += 1;
-                    }
-                    self.ping.seq = self.ping.seq.wrapping_add(1);
-                    self.ping.attempts += 1;
-                    self.ping.awaiting = Some(self.ping.seq);
-                    let _ = self
-                        .iface
-                        .send_ping(ctx, self.setup.gateway_ip, self.ping.id, self.ping.seq);
-                    ctx.set_timer(self.setup.sttcp.ping_interval, TOKEN_PING);
+                if self.ping.awaiting.is_some() {
+                    self.ping.consecutive_failures += 1;
                 }
+                self.ping.seq = self.ping.seq.wrapping_add(1);
+                self.ping.attempts += 1;
+                self.ping.awaiting = Some(self.ping.seq);
+                let _ =
+                    self.iface
+                        .send_ping(ctx, self.setup.gateway_ip, self.ping.id, self.ping.seq);
+                ctx.set_timer(self.setup.sttcp.ping_interval, TOKEN_PING);
             }
             TOKEN_TAKEOVER => {
                 self.complete_takeover(ctx);
@@ -1275,6 +1292,31 @@ impl Node for StTcpServer {
 
     fn on_power_off(&mut self) {
         self.powered_off = true;
+    }
+
+    fn on_power_on(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Cold reboot after a crash or STONITH. All in-memory protocol
+        // state — connection table, sequence numbers, peer bookkeeping —
+        // is gone, and rejoining the pair safely would need the state
+        // transfer the paper assigns to an administrator. Until then the
+        // machine is a passive cold standby: it never transmits and
+        // ignores every frame, serial byte, and timer. In particular a
+        // STONITHed ex-primary can never come back as a second active
+        // server, so the dual-active invariant holds across reboots.
+        self.cold = true;
+        self.ft_mode = false;
+        self.peer_alive = false;
+        self.took_over = false;
+        self.conns.clear();
+        self.by_key.clear();
+        self.peer_conns.clear();
+        self.peer_ping = None;
+        self.ping.active = false;
+        self.tcp_timer = None;
+        ctx.trace(format!(
+            "{}: cold reboot; staying passive standby",
+            self.setup.role
+        ));
     }
 }
 

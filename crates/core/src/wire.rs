@@ -1,0 +1,49 @@
+//! Shared wire-format helpers for the ST-TCP control protocols.
+//!
+//! Both heartbeats and recovery control messages travel over channels the
+//! chaos engine can corrupt in flight (a flipped bit on a flaky switch
+//! port or serial cable). TCP segments are already protected by the
+//! internet checksum; the ST-TCP control formats carry their own CRC-32
+//! so a corrupted message is *dropped like a lost one* rather than acted
+//! on — acting on a corrupted heartbeat could trigger a spurious
+//! failover or, worse, a spurious STONITH.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `data`.
+///
+/// Bitwise implementation — control messages are tens to hundreds of
+/// bytes, so a lookup table buys nothing measurable here.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let base = b"heartbeat payload bytes".to_vec();
+        let want = crc32(&base);
+        for i in 0..base.len() * 8 {
+            let mut flipped = base.clone();
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), want, "bit {i} not detected");
+        }
+    }
+}

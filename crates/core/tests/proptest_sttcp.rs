@@ -3,6 +3,7 @@
 //! healthy-but-stale observations; guaranteed detection of frozen peers),
 //! and FIN-arbitration safety.
 
+use bytes::Bytes;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -13,6 +14,7 @@ use sttcp::config::Role;
 use sttcp::events::FailureReason;
 use sttcp::finarb::{ArbAction, FinArbiter};
 use sttcp::heartbeat::{unwrap_u32_near, ConnHb, HbPayload, PingReport};
+use sttcp::recover::CtrlMsg;
 
 fn t(ms: u64) -> SimTime {
     SimTime::from_millis(ms)
@@ -78,6 +80,91 @@ proptest! {
         if cut > 0 {
             prop_assert!(HbPayload::decode(&wire[..wire.len() - cut]).is_err());
         }
+    }
+
+    /// The heartbeat decoder is total: arbitrary bytes — any length,
+    /// any content — either decode or return an error, never panic and
+    /// never over-read. (The simnet can corrupt any frame; a panic in a
+    /// decoder would turn bit rot into a crashed server.)
+    #[test]
+    fn heartbeat_decode_never_panics(wire in vec(any::<u8>(), 0..512)) {
+        let _ = HbPayload::decode(&wire);
+    }
+
+    /// A single flipped bit anywhere in an encoded heartbeat is always
+    /// rejected — the CRC turns corruption into loss, never action.
+    #[test]
+    fn heartbeat_any_bit_flip_rejected(
+        conns in vec(arb_conn_hb(), 0..8),
+        flip in any::<u32>(),
+    ) {
+        let hb = HbPayload { seqno: 7, role: Role::Primary, conns, ping: None };
+        let mut wire = hb.encode().to_vec();
+        let bit = flip as usize % (wire.len() * 8);
+        wire[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(HbPayload::decode(&wire).is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery control-channel wire format
+    // ------------------------------------------------------------------
+
+    /// Control messages round-trip exactly.
+    #[test]
+    fn ctrl_msg_roundtrips(
+        conn: u32,
+        from: u64,
+        max: u32,
+        data in vec(any::<u8>(), 0..2048),
+    ) {
+        let req = CtrlMsg::FetchRequest { conn, from, max };
+        prop_assert_eq!(CtrlMsg::decode(&req.encode()).unwrap(), req);
+        let reply = CtrlMsg::FetchReply {
+            conn,
+            from,
+            data: Bytes::from(data),
+        };
+        prop_assert_eq!(CtrlMsg::decode(&reply.encode()).unwrap(), reply);
+    }
+
+    /// The control decoder is total on arbitrary bytes.
+    #[test]
+    fn ctrl_decode_never_panics(wire in vec(any::<u8>(), 0..2048)) {
+        let _ = CtrlMsg::decode(&wire);
+    }
+
+    /// Any truncation of a valid control message is rejected.
+    #[test]
+    fn ctrl_truncation_always_rejected(
+        data in vec(any::<u8>(), 0..256),
+        cut in 1usize..64,
+    ) {
+        let wire = CtrlMsg::FetchReply {
+            conn: 3,
+            from: 1 << 33,
+            data: Bytes::from(data),
+        }
+        .encode();
+        let cut = cut.min(wire.len());
+        prop_assert!(CtrlMsg::decode(&wire[..wire.len() - cut]).is_err());
+    }
+
+    /// A single flipped bit anywhere in a control message is rejected.
+    #[test]
+    fn ctrl_any_bit_flip_rejected(
+        data in vec(any::<u8>(), 0..64),
+        flip in any::<u32>(),
+    ) {
+        let mut wire = CtrlMsg::FetchReply {
+            conn: 9,
+            from: 42,
+            data: Bytes::from(data),
+        }
+        .encode()
+        .to_vec();
+        let bit = flip as usize % (wire.len() * 8);
+        wire[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(CtrlMsg::decode(&wire).is_err());
     }
 
     #[test]

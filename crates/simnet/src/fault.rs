@@ -97,6 +97,15 @@ impl World {
         self.link_mut(link).set_drop_next(dir, n);
     }
 
+    /// Corrupts the next `n` frames on one direction of a link: each has
+    /// one payload bit flipped in flight (bad cable / flaky switch port).
+    /// Frames protected by a checksum arrive and fail verification; the
+    /// receiver must treat them as loss, never act on the contents.
+    pub fn corrupt_frames(&mut self, link: LinkId, dir: LinkDir, n: u64) {
+        self.trace_world(format!("inject: corrupt next {n} on link {} {dir}", link.0));
+        self.link_mut(link).set_corrupt_next(dir, n);
+    }
+
     /// Installs a targeted drop filter on one direction of a link; frames
     /// for which the filter returns `true` are dropped. Pass `None` to
     /// clear. Lets tests lose, say, only TCP data frames while heartbeats
@@ -280,6 +289,83 @@ mod tests {
         assert!((13..=16).contains(&rx), "rx {rx}");
         let rec = w.trace().first_containing("inject: crash").unwrap();
         assert_eq!(rec.time, SimTime::from_millis(15));
+    }
+
+    /// Sends one 8-byte payload per millisecond; records every payload it
+    /// receives.
+    struct PayloadPulser {
+        me: MacAddr,
+        peer: MacAddr,
+        got: Vec<Vec<u8>>,
+    }
+
+    impl Node for PayloadPulser {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+        }
+        fn on_frame(&mut self, _: &mut NodeCtx<'_>, _: crate::node::NicId, f: EthernetFrame) {
+            self.got.push(f.payload.to_vec());
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _: TimerToken) {
+            ctx.send_frame(
+                crate::node::NicId(0),
+                EthernetFrame::new(
+                    self.me,
+                    self.peer,
+                    EtherType::Ipv4,
+                    Bytes::from_static(&[0xAB; 8]),
+                ),
+            );
+            ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_flips_one_bit_then_stops() {
+        let mut w = World::new(21);
+        let ma = MacAddr::unicast(1);
+        let mb = MacAddr::unicast(2);
+        let a = w.add_node(
+            "a",
+            Box::new(PayloadPulser {
+                me: ma,
+                peer: mb,
+                got: Vec::new(),
+            }),
+        );
+        let b = w.add_node(
+            "b",
+            Box::new(PayloadPulser {
+                me: mb,
+                peer: ma,
+                got: Vec::new(),
+            }),
+        );
+        let na = w.add_nic(a, ma);
+        let nb = w.add_nic(b, mb);
+        let l = w.connect_nodes((a, na), (b, nb), LinkParams::ideal());
+        w.start();
+        w.corrupt_frames(l, LinkDir::AtoB, 2);
+        w.run_until(SimTime::from_millis(10));
+        let got = &w.node::<PayloadPulser>(b).unwrap().got;
+        assert!(got.len() >= 5, "got {} frames", got.len());
+        let diff_bits = |p: &[u8]| -> u32 {
+            p.iter()
+                .zip([0xABu8; 8].iter())
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum()
+        };
+        // Exactly the first two frames are corrupted, each by one bit.
+        assert_eq!(diff_bits(&got[0]), 1, "frame 0: {:?}", got[0]);
+        assert_eq!(diff_bits(&got[1]), 1, "frame 1: {:?}", got[1]);
+        for (i, p) in got.iter().enumerate().skip(2) {
+            assert_eq!(diff_bits(p), 0, "frame {i} corrupted past budget");
+        }
+        assert_eq!(w.link(l).stats(LinkDir::AtoB).corrupted, 2);
+        assert!(w
+            .trace()
+            .first_containing("inject: corrupt next 2")
+            .is_some());
     }
 
     #[test]

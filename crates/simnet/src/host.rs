@@ -81,7 +81,13 @@ mod tests {
 
     struct Dummy;
     impl crate::node::Node for Dummy {
-        fn on_frame(&mut self, _: &mut NodeCtx<'_>, _: crate::node::NicId, _: crate::frame::EthernetFrame) {}
+        fn on_frame(
+            &mut self,
+            _: &mut NodeCtx<'_>,
+            _: crate::node::NicId,
+            _: crate::frame::EthernetFrame,
+        ) {
+        }
         fn on_timer(&mut self, _: &mut NodeCtx<'_>, _: TimerToken) {}
     }
 

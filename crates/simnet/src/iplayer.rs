@@ -123,13 +123,7 @@ impl IpInterface {
     /// Builds and sends an ICMP echo request from this interface.
     ///
     /// Returns `false` when the destination has no ARP entry.
-    pub fn send_ping(
-        &self,
-        ctx: &mut NodeCtx<'_>,
-        dst: Ipv4Addr,
-        id: u16,
-        seq: u16,
-    ) -> bool {
+    pub fn send_ping(&self, ctx: &mut NodeCtx<'_>, dst: Ipv4Addr, id: u16, seq: u16) -> bool {
         let msg = IcmpMessage::EchoRequest { id, seq };
         let pkt = Ipv4Packet::new(self.addr(), dst, IpProto::Icmp, msg.encode());
         match self.encap(&pkt) {
@@ -144,11 +138,7 @@ impl IpInterface {
     /// Handles an inbound ICMP packet: replies to echo requests addressed
     /// to us, and returns `Some((id, seq))` for echo replies addressed to
     /// us (so the caller's ping tracker can mark success).
-    pub fn handle_icmp(
-        &self,
-        ctx: &mut NodeCtx<'_>,
-        packet: &Ipv4Packet,
-    ) -> Option<(u16, u16)> {
+    pub fn handle_icmp(&self, ctx: &mut NodeCtx<'_>, packet: &Ipv4Packet) -> Option<(u16, u16)> {
         if packet.proto != IpProto::Icmp || !self.accepts(packet.dst) {
             return None;
         }
@@ -170,12 +160,7 @@ impl IpInterface {
     /// from this interface's primary address.
     ///
     /// Returns `None` when the destination has no ARP entry.
-    pub fn frame_to(
-        &self,
-        dst: Ipv4Addr,
-        proto: IpProto,
-        payload: Bytes,
-    ) -> Option<EthernetFrame> {
+    pub fn frame_to(&self, dst: Ipv4Addr, proto: IpProto, payload: Bytes) -> Option<EthernetFrame> {
         self.frame_from_to(self.addr(), dst, proto, payload)
     }
 
@@ -201,11 +186,7 @@ mod tests {
     use crate::time::SimTime;
 
     fn iface() -> IpInterface {
-        let mut i = IpInterface::new(
-            NicId(0),
-            MacAddr::unicast(1),
-            Ipv4Addr::new(10, 0, 0, 1),
-        );
+        let mut i = IpInterface::new(NicId(0), MacAddr::unicast(1), Ipv4Addr::new(10, 0, 0, 1));
         i.add_arp(Ipv4Addr::new(10, 0, 0, 9), MacAddr::unicast(9));
         i
     }
@@ -252,7 +233,9 @@ mod tests {
             Bytes::new(),
         );
         assert!(i.encap(&pkt).is_none());
-        assert!(i.frame_to(Ipv4Addr::new(10, 0, 0, 77), IpProto::Tcp, Bytes::new()).is_none());
+        assert!(i
+            .frame_to(Ipv4Addr::new(10, 0, 0, 77), IpProto::Tcp, Bytes::new())
+            .is_none());
     }
 
     #[test]

@@ -136,6 +136,8 @@ pub struct LinkStats {
     pub dropped_down: u64,
     /// Payload bytes scheduled for delivery.
     pub bytes_delivered: u64,
+    /// Frames delivered with an injected payload bit flip.
+    pub corrupted: u64,
 }
 
 /// A frame predicate used by [`LinkState::set_filter`]-style fault
@@ -152,6 +154,8 @@ struct DirState {
     drop_until: SimTime,
     /// Drop the next N frames.
     drop_next: u64,
+    /// Flip one payload bit in each of the next N frames.
+    corrupt_next: u64,
     /// Serialization queue: time the transmitter is busy until.
     busy_until: SimTime,
     /// Optional targeted drop filter.
@@ -165,6 +169,7 @@ impl fmt::Debug for DirState {
             .field("loss_prob", &self.loss_prob)
             .field("drop_until", &self.drop_until)
             .field("drop_next", &self.drop_next)
+            .field("corrupt_next", &self.corrupt_next)
             .field("busy_until", &self.busy_until)
             .field("has_filter", &self.filter.is_some())
             .finish()
@@ -267,6 +272,26 @@ impl LinkState {
         self.dirs[dir.index()].drop_next = n;
     }
 
+    /// Flips one payload bit in each of the next `n` frames in `dir`
+    /// (electrical noise; the corrupted frame still arrives).
+    pub fn set_corrupt_next(&mut self, dir: LinkDir, n: u64) {
+        self.dirs[dir.index()].corrupt_next = n;
+    }
+
+    /// Consumes one unit of the corruption budget for `dir`, returning
+    /// whether the caller should corrupt the frame it is about to
+    /// transmit. The world calls this before [`LinkState::transmit`].
+    pub fn consume_corrupt(&mut self, dir: LinkDir) -> bool {
+        let i = dir.index();
+        if self.dirs[i].corrupt_next > 0 {
+            self.dirs[i].corrupt_next -= 1;
+            self.stats[i].corrupted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Installs a targeted drop filter for `dir`: frames for which the
     /// filter returns `true` are dropped. Replaces any existing filter.
     pub fn set_filter(&mut self, dir: LinkDir, filter: Option<DropFilter>) {
@@ -312,7 +337,11 @@ impl LinkState {
             self.stats[i].dropped_loss += 1;
             return TxOutcome::Dropped;
         }
-        let start = if now > d.busy_until { now } else { d.busy_until };
+        let start = if now > d.busy_until {
+            now
+        } else {
+            d.busy_until
+        };
         let ser = match self.params.bandwidth_bps {
             Some(bps) => SimDuration::transmission(frame.wire_len(), bps),
             None => SimDuration::ZERO,
@@ -356,7 +385,12 @@ mod tests {
     fn ideal_link_delivers_at_latency() {
         let mut l = link(LinkParams::ideal().with_latency(SimDuration::from_micros(100)));
         let mut rng = SimRng::seed_from(1);
-        let out = l.transmit(SimTime::from_millis(1), LinkDir::AtoB, &frame(100), &mut rng);
+        let out = l.transmit(
+            SimTime::from_millis(1),
+            LinkDir::AtoB,
+            &frame(100),
+            &mut rng,
+        );
         assert_eq!(
             out,
             TxOutcome::Deliver(SimTime::from_millis(1) + SimDuration::from_micros(100))

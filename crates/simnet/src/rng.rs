@@ -5,14 +5,11 @@
 //! construction. Re-running a world with the same seed and the same
 //! scripted inputs reproduces the exact same event sequence.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A seeded, deterministic random number generator.
 ///
-/// Thin wrapper over [`rand::rngs::StdRng`] exposing only the operations
-/// the simulator needs, so the rest of the codebase does not depend on
-/// `rand` trait imports.
+/// Implemented as xoshiro256** seeded through SplitMix64, with no external
+/// dependencies, so the stream is stable across toolchains and the rest of
+/// the codebase does not depend on `rand` trait imports.
 ///
 /// # Examples
 ///
@@ -25,25 +22,47 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut x = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+            ],
         }
     }
 
     /// Draws a uniformly random `u64`.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Draws a uniformly random `u32`.
     pub fn next_u32(&mut self) -> u32 {
-        self.inner.gen()
+        (self.next_u64() >> 32) as u32
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -53,7 +72,9 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            // 53 uniform mantissa bits -> [0, 1).
+            let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            u < p
         }
     }
 
@@ -64,7 +85,16 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift rejection (Lemire).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            let l = m as u64;
+            if l >= span || l >= span.wrapping_neg() % span {
+                return lo + (m >> 64) as u64;
+            }
+        }
     }
 
     /// Draws a uniform `usize` in `[0, n)`.
@@ -74,12 +104,15 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty index range");
-        self.inner.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Fills `buf` with random bytes.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill(buf);
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
     }
 
     /// Forks an independent child generator whose stream is a deterministic
@@ -140,6 +173,16 @@ mod tests {
             let i = r.index(3);
             assert!(i < 3);
         }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut r = SimRng::seed_from(17);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.range_u64(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen = {seen:?}");
     }
 
     #[test]

@@ -196,7 +196,11 @@ impl SerialState {
             return SerialTxOutcome::Dropped;
         }
         let d = &mut self.dirs[i];
-        let start = if now > d.busy_until { now } else { d.busy_until };
+        let start = if now > d.busy_until {
+            now
+        } else {
+            d.busy_until
+        };
         let bits = len as u128 * self.params.bits_per_byte as u128;
         let ser_micros = (bits * 1_000_000).div_ceil(self.params.baud.max(1) as u128);
         let ser = SimDuration::from_micros(ser_micros.min(u64::MAX as u128) as u64);

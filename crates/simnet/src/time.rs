@@ -321,10 +321,7 @@ mod tests {
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early), SimDuration::from_millis(1));
         assert_eq!(early.checked_since(late), None);
-        assert_eq!(
-            late.checked_since(early),
-            Some(SimDuration::from_millis(1))
-        );
+        assert_eq!(late.checked_since(early), Some(SimDuration::from_millis(1)));
         assert_eq!(
             SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
             SimTime::MAX

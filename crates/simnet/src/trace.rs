@@ -57,7 +57,9 @@ impl Trace {
 
     /// Iterates over records whose message contains `needle`.
     pub fn containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
-        self.records.iter().filter(move |r| r.message.contains(needle))
+        self.records
+            .iter()
+            .filter(move |r| r.message.contains(needle))
     }
 
     /// The first record whose message contains `needle`, if any.

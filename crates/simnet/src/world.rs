@@ -525,6 +525,17 @@ impl World {
         let dir = self.links[link.0]
             .dir_from(from)
             .expect("endpoint is not on this link");
+        let frame = if self.links[link.0].consume_corrupt(dir) {
+            let frame = corrupt_payload(frame, &mut self.rng);
+            self.trace.record(
+                self.now,
+                None,
+                format!("corrupt: l{} {dir} one bit", link.0),
+            );
+            frame
+        } else {
+            frame
+        };
         match self.links[link.0].transmit(self.now, dir, &frame, &mut self.rng) {
             TxOutcome::Deliver(at) => {
                 self.queue.push(at, Ev::LinkArrival { link, dir, frame });
@@ -591,6 +602,23 @@ impl World {
     }
 }
 
+/// Flips one random payload bit of `frame` (injected electrical noise).
+/// Frames with empty payloads pass through untouched.
+fn corrupt_payload(frame: EthernetFrame, rng: &mut SimRng) -> EthernetFrame {
+    if frame.payload.is_empty() {
+        return frame;
+    }
+    let mut data = frame.payload.to_vec();
+    let bit = rng.index(data.len() * 8);
+    data[bit / 8] ^= 1 << (bit % 8);
+    EthernetFrame::new(
+        frame.src,
+        frame.dst,
+        frame.ethertype,
+        bytes::Bytes::from(data),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,7 +683,11 @@ mod tests {
         );
         let b = w.add_node(
             "b",
-            Box::new(Chatter::new(MacAddr::unicast(2), MacAddr::unicast(1), false)),
+            Box::new(Chatter::new(
+                MacAddr::unicast(2),
+                MacAddr::unicast(1),
+                false,
+            )),
         );
         let na = w.add_nic(a, MacAddr::unicast(1));
         let nb = w.add_nic(b, MacAddr::unicast(2));
@@ -712,7 +744,11 @@ mod tests {
         );
         let b = w.add_node(
             "b",
-            Box::new(Chatter::new(MacAddr::unicast(2), MacAddr::unicast(1), false)),
+            Box::new(Chatter::new(
+                MacAddr::unicast(2),
+                MacAddr::unicast(1),
+                false,
+            )),
         );
         let na = w.add_nic(a, MacAddr::unicast(1));
         let nb = w.add_nic(b, MacAddr::unicast(2));
@@ -727,11 +763,19 @@ mod tests {
         let mut w = World::new(1);
         let a = w.add_node(
             "a",
-            Box::new(Chatter::new(MacAddr::unicast(1), MacAddr::unicast(2), false)),
+            Box::new(Chatter::new(
+                MacAddr::unicast(1),
+                MacAddr::unicast(2),
+                false,
+            )),
         );
         let b = w.add_node(
             "b",
-            Box::new(Chatter::new(MacAddr::unicast(2), MacAddr::unicast(1), false)),
+            Box::new(Chatter::new(
+                MacAddr::unicast(2),
+                MacAddr::unicast(1),
+                false,
+            )),
         );
         let (_id, pa, _pb) = w.connect_serial(a, b, SerialParams::rs232());
         w.start();
@@ -834,13 +878,11 @@ mod tests {
         }
         impl Node for PingPong {
             fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
-                let f =
-                    EthernetFrame::new(self.me, self.peer, EtherType::Ipv4, Bytes::new());
+                let f = EthernetFrame::new(self.me, self.peer, EtherType::Ipv4, Bytes::new());
                 ctx.send_frame(self.nic, f);
             }
             fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, _: NicId, _: EthernetFrame) {
-                let f =
-                    EthernetFrame::new(self.me, self.peer, EtherType::Ipv4, Bytes::new());
+                let f = EthernetFrame::new(self.me, self.peer, EtherType::Ipv4, Bytes::new());
                 ctx.send_frame(self.nic, f);
             }
             fn on_timer(&mut self, _: &mut NodeCtx<'_>, _: TimerToken) {}
@@ -876,7 +918,11 @@ mod tests {
         let mut w = World::new(1);
         let _ = w.add_node(
             "a",
-            Box::new(Chatter::new(MacAddr::unicast(1), MacAddr::unicast(2), false)),
+            Box::new(Chatter::new(
+                MacAddr::unicast(1),
+                MacAddr::unicast(2),
+                false,
+            )),
         );
         w.start();
         w.schedule(SimTime::from_millis(5), |w| w.trace_world("second"));
@@ -903,7 +949,11 @@ mod tests {
                 );
                 let b = w2.add_node(
                     "b",
-                    Box::new(Chatter::new(MacAddr::unicast(2), MacAddr::unicast(1), false)),
+                    Box::new(Chatter::new(
+                        MacAddr::unicast(2),
+                        MacAddr::unicast(1),
+                        false,
+                    )),
                 );
                 let na = w2.add_nic(a, MacAddr::unicast(1));
                 let nb = w2.add_nic(b, MacAddr::unicast(2));
@@ -939,11 +989,19 @@ mod tests {
         let mut w = World::new(1);
         let a = w.add_node(
             "a",
-            Box::new(Chatter::new(MacAddr::unicast(1), MacAddr::unicast(2), false)),
+            Box::new(Chatter::new(
+                MacAddr::unicast(1),
+                MacAddr::unicast(2),
+                false,
+            )),
         );
         let b = w.add_node(
             "b",
-            Box::new(Chatter::new(MacAddr::unicast(2), MacAddr::unicast(1), false)),
+            Box::new(Chatter::new(
+                MacAddr::unicast(2),
+                MacAddr::unicast(1),
+                false,
+            )),
         );
         let (id, pa, _pb) = w.connect_serial(a, b, SerialParams::rs232());
         w.start();

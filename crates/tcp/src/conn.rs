@@ -410,6 +410,24 @@ impl TcpConn {
         self.enter_closed(false);
     }
 
+    /// Re-emits the RST of an aborted connection. An RST is a one-shot
+    /// segment: unlike a FIN it is never regenerated by retransmission, so
+    /// if the ST-TCP shim swallowed the original while the FIN/RST gate
+    /// was holding, releasing the gate must re-issue it or the peer is
+    /// left retransmitting into silence forever.
+    pub fn reissue_rst(&mut self, _now: SimTime) {
+        if !self.rst_generated {
+            return;
+        }
+        let seq = self.snd_tracker.to_seq(self.snd_cursor);
+        let mut seg = self.make_segment(TcpFlags::RST, seq, Bytes::new());
+        if self.rcv_tracker.is_some() {
+            seg.flags.ack = true;
+            seg.ack = self.rcv_ack_seq();
+        }
+        self.push_out(seg, 0);
+    }
+
     // ----- ST-TCP hooks ---------------------------------------------------
 
     /// Releases held receive bytes below stream offset `upto` (backup has
@@ -893,7 +911,9 @@ impl TcpConn {
     }
 
     fn emit_pure_ack(&mut self) {
-        let seq = self.snd_tracker.to_seq(self.snd_cursor.max(self.sendbuf.una()));
+        let seq = self
+            .snd_tracker
+            .to_seq(self.snd_cursor.max(self.sendbuf.una()));
         let mut seg = self.make_segment(TcpFlags::ACK, seq, Bytes::new());
         seg.ack = self.rcv_ack_seq();
         self.push_out(seg, 0);
@@ -932,8 +952,7 @@ impl TcpConn {
             return;
         }
         let end = una + payload.len() as u64;
-        let fin_here =
-            self.fin_sent && self.sendbuf.fin_queued() && end == self.sendbuf.written();
+        let fin_here = self.fin_sent && self.sendbuf.fin_queued() && end == self.sendbuf.written();
         let seq = self.snd_tracker.to_seq(una);
         let mut flags = TcpFlags::ACK;
         flags.fin = fin_here;
@@ -1300,7 +1319,11 @@ mod tests {
         while let Some(s) = p.client.poll_segment() {
             segs.push(s);
         }
-        assert!(segs.len() >= 3, "need ≥3 following segments, got {}", segs.len());
+        assert!(
+            segs.len() >= 3,
+            "need ≥3 following segments, got {}",
+            segs.len()
+        );
         for s in &segs {
             p.server().on_segment(t(1), s);
         }
@@ -1622,7 +1645,10 @@ mod tests {
         while p.server().poll_segment().is_some() {}
         p.server().on_segment(t(1), &seg);
         assert_eq!(p.server().recv(10).len(), 0);
-        let ack = p.server().poll_segment().expect("duplicate deserves an ack");
+        let ack = p
+            .server()
+            .poll_segment()
+            .expect("duplicate deserves an ack");
         assert!(ack.flags.ack);
         assert!(ack.payload.is_empty());
     }
@@ -1641,7 +1667,11 @@ mod tests {
             dst_port: syn.src_port,
             seq: SeqNum(0),
             ack: syn.seq + 1,
-            flags: TcpFlags { rst: true, ack: true, ..Default::default() },
+            flags: TcpFlags {
+                rst: true,
+                ack: true,
+                ..Default::default()
+            },
             window: 0,
             payload: Bytes::new(),
         };
@@ -1669,19 +1699,37 @@ mod tests {
 
     #[test]
     fn hold_fetch_across_partial_release_and_reads() {
-        let cfg = TcpConfig { hold_buf: Some(1 << 20), ..Default::default() };
+        let cfg = TcpConfig {
+            hold_buf: Some(1 << 20),
+            ..Default::default()
+        };
         let mut client = TcpConn::client(
-            TcpConfig::default(), tuple_client(), CLIENT_ISS, SimTime::ZERO);
+            TcpConfig::default(),
+            tuple_client(),
+            CLIENT_ISS,
+            SimTime::ZERO,
+        );
         let syn = client.poll_segment().unwrap();
         let mut server = TcpConn::server_from_syn(
-            cfg, tuple_client().flipped(), SERVER_ISS, &syn, SimTime::ZERO);
-        while let Some(s) = server.poll_segment() { client.on_segment(SimTime::ZERO, &s); }
-        while let Some(s) = client.poll_segment() { server.on_segment(SimTime::ZERO, &s); }
+            cfg,
+            tuple_client().flipped(),
+            SERVER_ISS,
+            &syn,
+            SimTime::ZERO,
+        );
+        while let Some(s) = server.poll_segment() {
+            client.on_segment(SimTime::ZERO, &s);
+        }
+        while let Some(s) = client.poll_segment() {
+            server.on_segment(SimTime::ZERO, &s);
+        }
         let _ = client.send(SimTime::ZERO, b"0123456789");
-        while let Some(s) = client.poll_segment() { server.on_segment(SimTime::ZERO, &s); }
+        while let Some(s) = client.poll_segment() {
+            server.on_segment(SimTime::ZERO, &s);
+        }
         let _ = server.recv(4); // app read 4
         server.release_hold_until(2); // backup confirmed 2
-        // Fetchable region is [2, 10): reads don't affect it.
+                                      // Fetchable region is [2, 10): reads don't affect it.
         assert_eq!(server.fetch_held(2, 100).unwrap().as_ref(), b"23456789");
         assert_eq!(server.fetch_held(6, 2).unwrap().as_ref(), b"67");
         assert!(server.fetch_held(1, 1).is_none());

@@ -418,10 +418,14 @@ impl TcpEndpoint {
 
     /// Opens a held FIN gate and forces an immediate retransmission so the
     /// FIN actually goes out now rather than at the next backed-off RTO.
+    /// A held RST is re-issued explicitly: the original was a one-shot
+    /// segment the gate swallowed, and nothing retransmits it.
     pub fn release_fin(&mut self, now: SimTime, id: SocketId) {
         if let Some(e) = self.socks.get_mut(&id) {
             e.fin_gate = FinGate::Open;
-            if e.conn.fin_generated() {
+            if e.conn.rst_generated() {
+                e.conn.reissue_rst(now);
+            } else if e.conn.fin_generated() {
                 e.conn.force_retransmit(now);
             }
         }
@@ -613,8 +617,9 @@ mod tests {
         let ca = n.a.connect(n.now, (ip(1), 40_000), (ip(2), 80));
         n.pump();
         assert_eq!(n.a.conn(ca).unwrap().state(), TcpState::Closed);
-        let evs: Vec<SocketEvent> =
-            std::iter::from_fn(|| n.a.poll_event()).map(|(_, e)| e).collect();
+        let evs: Vec<SocketEvent> = std::iter::from_fn(|| n.a.poll_event())
+            .map(|(_, e)| e)
+            .collect();
         assert!(evs.contains(&SocketEvent::Reset));
     }
 
@@ -753,10 +758,13 @@ mod tests {
         let (mut n, ca, _sb) = connected_pair();
         n.a.abort(n.now, ca);
         n.pump();
-        assert_eq!(n.a.socket_by_tuple(FourTuple {
-            local: (ip(1), 40_000),
-            remote: (ip(2), 80),
-        }), None);
+        assert_eq!(
+            n.a.socket_by_tuple(FourTuple {
+                local: (ip(1), 40_000),
+                remote: (ip(2), 80),
+            }),
+            None
+        );
     }
 
     #[test]

@@ -56,15 +56,20 @@ proptest! {
 // ---------------------------------------------------------------------
 
 fn arb_flags() -> impl Strategy<Value = TcpFlags> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(syn, ack, fin, rst, psh)| TcpFlags {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(syn, ack, fin, rst, psh)| TcpFlags {
             syn,
             ack,
             fin,
             rst,
             psh,
-        },
-    )
+        })
 }
 
 fn arb_segment() -> impl Strategy<Value = TcpSegment> {
@@ -116,6 +121,33 @@ proptest! {
         // before the checksum. Either way, decoding must not return the
         // original segment unchanged.
         if let Ok(decoded) = TcpSegment::decode(&wire, src, dst) {
+            prop_assert_ne!(decoded, seg);
+        }
+    }
+
+    /// The segment decoder is total: arbitrary bytes of any length
+    /// either decode or error, never panic and never over-read.
+    #[test]
+    fn segment_decode_never_panics(
+        wire in vec(any::<u8>(), 0..2048),
+        src in arb_ip(),
+        dst in arb_ip(),
+    ) {
+        let _ = TcpSegment::decode(&wire, src, dst);
+    }
+
+    /// Any truncation of a valid segment is rejected (or at minimum
+    /// never yields the original segment).
+    #[test]
+    fn segment_truncation_rejected(
+        seg in arb_segment(),
+        src in arb_ip(),
+        dst in arb_ip(),
+        cut in 1usize..64,
+    ) {
+        let wire = seg.encode(src, dst);
+        let cut = cut.min(wire.len());
+        if let Ok(decoded) = TcpSegment::decode(&wire[..wire.len() - cut], src, dst) {
             prop_assert_ne!(decoded, seg);
         }
     }

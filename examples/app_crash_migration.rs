@@ -43,7 +43,10 @@ fn run(mode: AppCrashMode) {
     let log = s.client_log();
     println!("--- {mode:?} ---");
     println!("echo round trips completed: {}/150", log.echo_roundtrips);
-    println!("client resets/reconnects:   {}/{}", log.resets, log.reconnects);
+    println!(
+        "client resets/reconnects:   {}/{}",
+        log.resets, log.reconnects
+    );
     for node in [s.primary, s.backup] {
         let server = s.world.node::<StTcpServer>(node).expect("server");
         let name = s.world.node_name(node).to_string();

@@ -49,13 +49,19 @@ fn main() {
     s.crash_primary_at(SimTime::from_millis(CRASH_AT_MS));
     s.world.run_until(SimTime::from_secs(30));
     let st_log = s.client_log().clone();
-    render(&st_log, st_log.finished_at.unwrap_or(SimTime::from_secs(12)));
+    render(
+        &st_log,
+        st_log.finished_at.unwrap_or(SimTime::from_secs(12)),
+    );
     println!(
         "  -> finished={} connects={} resets={} worst stall={}\n",
         s.client_finished(),
         st_log.connects.len(),
         st_log.resets,
-        st_log.longest_stall(SimTime::from_millis(CRASH_AT_MS - 100), st_log.finished_at.unwrap())
+        st_log.longest_stall(
+            SimTime::from_millis(CRASH_AT_MS - 100),
+            st_log.finished_at.unwrap()
+        )
     );
 
     println!("=== plain TCP + hot standby: same crash ===");
@@ -74,7 +80,10 @@ fn main() {
     b.crash_primary_at(SimTime::from_millis(CRASH_AT_MS));
     b.world.run_until(SimTime::from_secs(60));
     let base_log = b.client_log().clone();
-    render(&base_log, base_log.finished_at.unwrap_or(SimTime::from_secs(20)));
+    render(
+        &base_log,
+        base_log.finished_at.unwrap_or(SimTime::from_secs(20)),
+    );
     println!(
         "  -> finished={} connects={} reconnects={} worst stall={}",
         b.client_finished(),

@@ -27,16 +27,13 @@ fn run(fail_primary: bool, quiet_client: bool) {
             count: 150,
         }
     };
-    let mut s = ScenarioBuilder::new(
-        Rc::new(|| Box::new(EchoApp::default()) as _),
-        workload,
-    )
-    .seed(5)
-    .sttcp(StTcpConfig {
-        app_max_lag_time: SimDuration::from_secs(1),
-        ..Default::default()
-    })
-    .build();
+    let mut s = ScenarioBuilder::new(Rc::new(|| Box::new(EchoApp::default()) as _), workload)
+        .seed(5)
+        .sttcp(StTcpConfig {
+            app_max_lag_time: SimDuration::from_secs(1),
+            ..Default::default()
+        })
+        .build();
 
     let victim = if fail_primary { s.primary } else { s.backup };
     s.fail_nic_at(victim, SimTime::from_secs(2));
@@ -70,8 +67,8 @@ fn run(fail_primary: bool, quiet_client: bool) {
 
 fn main() {
     println!("ST-TCP local-network failure handling (paper Demo 5)\n");
-    run(true, false);  // primary NIC dies; byte/ack-lag detection
+    run(true, false); // primary NIC dies; byte/ack-lag detection
     run(false, false); // backup NIC dies; primary continues non-FT
-    run(true, true);   // primary NIC dies with a silent client; ping path
+    run(true, true); // primary NIC dies with a silent client; ping path
     println!("all NIC failures were localized and recovered per Table 1 row 4.");
 }

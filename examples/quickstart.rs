@@ -36,7 +36,10 @@ fn main() {
     println!("client finished:       {}", s.client_finished());
     println!("bytes received:        {}", log.total_received);
     println!("integrity violations:  {}", log.integrity_violations);
-    println!("connections used:      {} (1 = transparent)", log.connects.len());
+    println!(
+        "connections used:      {} (1 = transparent)",
+        log.connects.len()
+    );
     println!("resets seen by client: {}", log.resets);
 
     let backup = s.world.node::<StTcpServer>(s.backup).expect("backup");

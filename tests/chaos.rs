@@ -1,0 +1,202 @@
+//! Integration tests for the chaos engine itself: deterministic replay,
+//! paste-able reproducers, shrinker soundness, and regression schedules
+//! for classes of faults the protocol must absorb.
+//!
+//! The heavier seeded sweeps live in `tests/soak.rs`; these tests pin the
+//! *machinery* — that a printed schedule replays bit-for-bit, that the
+//! shrinker converges to the same minimum every time, and that specific
+//! small schedules land in the outcome class they are supposed to.
+
+use sttcp::events::StTcpEvent;
+use sttcp::invariant::Outcome;
+use sttcp_apps::chaos::{run_chaos_case, shrink_schedule, ChaosOptions, FaultSchedule};
+
+fn quick() -> ChaosOptions {
+    ChaosOptions::quick()
+}
+
+/// Replaying the same `(seed, schedule)` twice must produce identical
+/// observable behavior — the property that makes printed reproducers and
+/// shrinking sound.
+#[test]
+fn replay_is_bit_for_bit_deterministic() {
+    for seed in [0, 3, 17, 40, 99] {
+        let schedule = FaultSchedule::generate(seed);
+        let a = run_chaos_case(seed, &schedule, &quick());
+        let b = run_chaos_case(seed, &schedule, &quick());
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "seed {seed} ({schedule}) diverged between runs"
+        );
+    }
+}
+
+/// A schedule that went through print-then-parse replays identically to
+/// the original — the reproducer a violation prints is trustworthy.
+#[test]
+fn printed_reproducer_replays_identically() {
+    for seed in [1, 7, 23, 61] {
+        let schedule = FaultSchedule::generate(seed);
+        let reparsed: FaultSchedule = schedule.to_string().parse().unwrap();
+        assert_eq!(reparsed, schedule);
+        let a = run_chaos_case(seed, &schedule, &quick());
+        let b = run_chaos_case(seed, &reparsed, &quick());
+        assert_eq!(a.fingerprint(), b.fingerprint(), "seed {seed}");
+    }
+}
+
+/// The shrinker is deterministic: shrinking the same violation twice
+/// yields the same minimal schedule in the same number of probe runs.
+/// (Uses a benign schedule judged by a synthetic predicate in unit tests;
+/// here we only exercise the end-to-end entry point on a non-violating
+/// schedule, which must come back unchanged.)
+#[test]
+fn shrinking_a_passing_schedule_is_identity() {
+    let schedule: FaultSchedule = "@500 crash primary".parse().unwrap();
+    let r1 = shrink_schedule(11, &schedule, &quick());
+    let r2 = shrink_schedule(11, &schedule, &quick());
+    assert_eq!(r1.schedule, schedule);
+    assert_eq!(r1.schedule, r2.schedule);
+    assert_eq!(r1.runs, r2.runs);
+}
+
+/// A fault-free schedule must come back `Clean`: full download, no
+/// verdicts, no resets.
+#[test]
+fn empty_schedule_is_clean() {
+    let report = run_chaos_case(5, &FaultSchedule::default(), &quick());
+    assert_eq!(report.outcome, Outcome::Clean, "{:?}", report.violations);
+    assert!(report.client.finished);
+    assert_eq!(report.client.resets, 0);
+}
+
+/// A primary crash mid-transfer is the paper's headline scenario: the
+/// backup takes over and the client finishes. Anything less is a bug.
+#[test]
+fn primary_crash_recovers() {
+    let schedule: FaultSchedule = "@900 crash primary".parse().unwrap();
+    let report = run_chaos_case(2, &schedule, &quick());
+    assert_eq!(
+        report.outcome,
+        Outcome::Recovered,
+        "violations: {:?}",
+        report.violations
+    );
+    assert!(report.client.finished);
+    assert!(report
+        .backup_events
+        .iter()
+        .any(|e| matches!(e, StTcpEvent::TookOver { .. })));
+}
+
+/// Regression: a small burst of corrupted frames toward the primary is
+/// *dropped, never acted on* — the CRC turns corruption into loss, so no
+/// failure verdict may fire and the client still finishes. Before the
+/// control formats carried checksums, a flipped bit inside a heartbeat
+/// could be decoded as a live message and acted on.
+#[test]
+fn corrupted_frames_are_dropped_not_acted_on() {
+    for (seed, schedule) in [
+        (4, "@400 corrupt primary 6"),
+        (9, "@300 corrupt backup 6"),
+        (13, "@250 corrupt client 4"),
+    ] {
+        let schedule: FaultSchedule = schedule.parse().unwrap();
+        let report = run_chaos_case(seed, &schedule, &quick());
+        assert_ne!(
+            report.outcome,
+            Outcome::Violation,
+            "seed {seed} ({schedule}): {:?}",
+            report.violations
+        );
+        let verdicts = report
+            .primary_events
+            .iter()
+            .chain(report.backup_events.iter())
+            .filter(|e| {
+                matches!(
+                    e,
+                    StTcpEvent::PeerDeclaredFailed { .. }
+                        | StTcpEvent::TookOver { .. }
+                        | StTcpEvent::StonithIssued { .. }
+                )
+            })
+            .count();
+        assert_eq!(
+            verdicts, 0,
+            "seed {seed} ({schedule}): corruption provoked a verdict"
+        );
+    }
+}
+
+/// A crashed-then-rebooted primary stays a passive cold standby: the
+/// backup runs the service alone and no second active server appears.
+#[test]
+fn rebooted_primary_stays_cold() {
+    let schedule: FaultSchedule = "@800 crash primary; @1400 reboot primary".parse().unwrap();
+    let report = run_chaos_case(6, &schedule, &quick());
+    assert_ne!(
+        report.outcome,
+        Outcome::Violation,
+        "violations: {:?}",
+        report.violations
+    );
+    // The rebooted primary must not have taken over again.
+    let primary_takeovers = report
+        .primary_events
+        .iter()
+        .filter(|e| matches!(e, StTcpEvent::TookOver { .. }))
+        .count();
+    assert_eq!(primary_takeovers, 0);
+}
+
+/// Regression (found by the 2000-seed hunt, seed 1877): a transient
+/// fault stalls the transport, both replica apps freeze at the same
+/// stream position, and the app then dies with an abortive close. The
+/// FIN/RST gate held the one-shot RST — and unlike a FIN, an RST is
+/// never regenerated by retransmission — so when MaxDelayFIN released
+/// the gate nothing was re-sent and the client hung forever with zero
+/// resets. `release_fin` must re-issue a held RST.
+#[test]
+fn held_rst_is_reissued_when_gate_opens() {
+    let schedule: FaultSchedule = "@200 nic-down primary; @1000 nic-up primary; \
+                                   @7000 app-crash primary rst"
+        .parse()
+        .unwrap();
+    let report = run_chaos_case(1877, &schedule, &ChaosOptions::default());
+    assert_ne!(
+        report.outcome,
+        Outcome::Violation,
+        "violations: {:?}",
+        report.violations
+    );
+    assert!(
+        report.client.resets >= 1,
+        "client must be told about the abortive close, not left hanging \
+         (client: {:?})",
+        report.client
+    );
+}
+
+/// Double crash (both servers) destroys the service; the checker must
+/// classify it as `ServiceLost` or an explicitly announced failure —
+/// never a violation, and never a silently "successful" run.
+#[test]
+fn double_crash_loses_service_without_violation() {
+    // Both crashes land before the download can complete: the primary
+    // dies mid-handshake and the backup dies before its takeover can
+    // finish serving.
+    let schedule: FaultSchedule = "@150 crash primary; @400 crash backup".parse().unwrap();
+    let report = run_chaos_case(8, &schedule, &quick());
+    assert!(
+        matches!(
+            report.outcome,
+            Outcome::ServiceLost | Outcome::DetectedUnrecoverable
+        ),
+        "outcome {} (violations: {:?})",
+        report.outcome,
+        report.violations
+    );
+    assert!(!report.client.finished);
+}

@@ -35,9 +35,10 @@ fn echo_app() -> AppMaker {
 fn three_clients_all_served_failure_free() {
     // One server application type serves every client, so all workloads
     // speak the streamer's protocol.
-    let mut s = ScenarioBuilder::new(stream_app(4096), ClientWorkload::Download {
-        total: 128 * 1024,
-    })
+    let mut s = ScenarioBuilder::new(
+        stream_app(4096),
+        ClientWorkload::Download { total: 128 * 1024 },
+    )
     .extra_clients(vec![
         ClientWorkload::Download { total: 64 * 1024 },
         ClientWorkload::Download { total: 96 * 1024 },
@@ -64,9 +65,10 @@ fn three_clients_all_served_failure_free() {
 
 #[test]
 fn three_clients_survive_primary_crash_together() {
-    let mut s = ScenarioBuilder::new(stream_app(4096), ClientWorkload::Download {
-        total: 512 * 1024,
-    })
+    let mut s = ScenarioBuilder::new(
+        stream_app(4096),
+        ClientWorkload::Download { total: 512 * 1024 },
+    )
     .extra_clients(vec![
         ClientWorkload::Download { total: 512 * 1024 },
         ClientWorkload::Download { total: 384 * 1024 },
@@ -129,7 +131,10 @@ fn without_watchdog_idle_app_crash_stays_undetected() {
         .events()
         .iter()
         .any(|e| matches!(e, StTcpEvent::PeerDeclaredFailed { .. }));
-    assert!(!verdicts, "idle crash should be invisible without a watchdog");
+    assert!(
+        !verdicts,
+        "idle crash should be invisible without a watchdog"
+    );
     assert!(s.server(s.primary).ft_mode());
 }
 
@@ -146,10 +151,10 @@ fn watchdog_never_fires_on_healthy_idle_pair() {
     s.world.run_until(t(30_000));
     for node in [s.primary, s.backup] {
         assert!(
-            s.server(node).events().iter().all(|e| !matches!(
-                e,
-                StTcpEvent::PeerDeclaredFailed { .. }
-            )),
+            s.server(node)
+                .events()
+                .iter()
+                .all(|e| !matches!(e, StTcpEvent::PeerDeclaredFailed { .. })),
             "false watchdog verdict on {node:?}: {:?}",
             s.server(node).events()
         );
@@ -186,7 +191,10 @@ fn watchdog_accelerates_detection_under_traffic_too() {
     });
     let (reason, at) = reason.expect("detected");
     assert_eq!(reason, FailureReason::WatchdogReport);
-    assert!(at < t(4_000), "watchdog should beat the 10s lag timer, fired {at}");
+    assert!(
+        at < t(4_000),
+        "watchdog should beat the 10s lag timer, fired {at}"
+    );
     assert!(s.client_finished());
     assert_eq!(s.client_log().resets, 0);
 }
@@ -227,16 +235,15 @@ fn primary_crash_during_recovery_resets_connection_not_hangs() {
         .events()
         .iter()
         .any(|e| matches!(e, StTcpEvent::UnrecoverableGap { .. }));
-    assert!(
-        unrecoverable,
-        "gap not flagged: {:?}",
-        backup.events()
-    );
+    assert!(unrecoverable, "gap not flagged: {:?}", backup.events());
     // The client is *reset* (the honest unrecoverable outcome the paper
     // describes), not stranded on a silent, permanently stalled
     // connection.
     let log = s.client_log();
-    assert_eq!(log.resets, 1, "client should see exactly one reset: {log:?}");
+    assert_eq!(
+        log.resets, 1,
+        "client should see exactly one reset: {log:?}"
+    );
     assert_eq!(log.integrity_violations, 0);
     assert_eq!(s.server(s.backup).role(), Role::Primary);
 }

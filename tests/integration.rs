@@ -523,7 +523,9 @@ fn no_dual_active_after_any_takeover() {
 fn reqresp_workload_survives_primary_crash() {
     // A second application type through the same machinery.
     let app: AppMaker = Rc::new(|| Box::new(ReqRespApp::new()) as _);
-    let mut s = ScenarioBuilder::new(app, ClientWorkload::Idle).seed(91).build();
+    let mut s = ScenarioBuilder::new(app, ClientWorkload::Idle)
+        .seed(91)
+        .build();
     s.crash_primary_at(t(1_000));
     s.world.run_until(t(10_000));
     assert!(s.server(s.backup).took_over_at().is_some());

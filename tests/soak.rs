@@ -1,170 +1,77 @@
-//! Randomized soak tests: seeded fault schedules over the full topology.
+//! Seeded soak tiers: generated fault schedules run through the full
+//! topology and judged by the first-class invariant checker
+//! (`sttcp::invariant`). Each case derives its own expectation from the
+//! schedule — what a correct system may legitimately do under those
+//! faults — so every assertion here is "no invariant violation", never
+//! a hand-written per-case oracle.
 //!
-//! Each case draws a workload, a failure class, and an injection time
-//! from a seeded RNG, runs the complete scenario, and checks the
-//! *invariants* that must hold regardless of what was drawn:
+//! Three tiers, in increasing nastiness:
 //!
-//! 1. the client's byte stream is never corrupted,
-//! 2. the client never needs a reconnect (single connection),
-//! 3. after any takeover the old primary is powered off (no dual-active),
-//! 4. at most one server declares the other failed per run,
-//! 5. with no failure injected, nobody is ever declared failed.
+//! * **single** — one fault per run (the seed repo's original tier),
+//! * **multi**  — 1–4 composed faults, including handshake/FIN-window
+//!   timing,
+//! * **double** — a second fault injected while the system is still
+//!   absorbing the first (failure during repair).
+//!
+//! When a case fails, the panic message contains a paste-able
+//! reproducer command line; `chaos_hunt` shrinks it further.
 
-use std::rc::Rc;
+use sttcp::invariant::Outcome;
+use sttcp_apps::chaos::{run_chaos_case, shrink_schedule, ChaosOptions, FaultSchedule};
 
-use simnet::rng::SimRng;
-use simnet::time::{SimDuration, SimTime};
-
-use sttcp::app::EchoApp;
-use sttcp::config::StTcpConfig;
-use sttcp::events::StTcpEvent;
-use sttcp::server::AppCrashMode;
-
-use sttcp_apps::apps::{ReqRespApp, StreamApp};
-use sttcp_apps::client::ClientWorkload;
-use sttcp_apps::scenario::{AppMaker, ScenarioBuilder};
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Fault {
-    None,
-    CrashPrimary,
-    CrashBackup,
-    AppCrashPrimary(AppCrashMode),
-    AppCrashBackup(AppCrashMode),
-    NicPrimary,
-    NicBackup,
-    TapLoss(u64),
+/// Runs one generated schedule and panics with a shrunk, paste-able
+/// reproducer if any invariant is violated.
+fn soak_case(seed: u64, schedule: FaultSchedule, opts: &ChaosOptions) {
+    let report = run_chaos_case(seed, &schedule, opts);
+    if report.outcome != Outcome::Violation {
+        return;
+    }
+    let shrunk = shrink_schedule(seed, &schedule, opts);
+    panic!(
+        "seed {seed}: {schedule}\n  violations: {:?}\n  client: {:?}\n  \
+         minimal reproducer:\n    cargo run -p sttcp-bench --bin chaos_hunt -- \
+         --seed {seed} --schedule \"{}\"",
+        report.violations, report.client, shrunk.schedule
+    );
 }
 
-fn draw_fault(rng: &mut SimRng) -> Fault {
-    match rng.index(10) {
-        0 => Fault::None,
-        1 => Fault::CrashPrimary,
-        2 => Fault::CrashBackup,
-        3 => Fault::AppCrashPrimary(AppCrashMode::SilentNoCleanup),
-        4 => Fault::AppCrashPrimary(AppCrashMode::CleanupFin),
-        5 => Fault::AppCrashBackup(AppCrashMode::SilentNoCleanup),
-        6 => Fault::AppCrashBackup(AppCrashMode::CleanupFin),
-        7 => Fault::NicPrimary,
-        8 => Fault::NicBackup,
-        _ => Fault::TapLoss(1 + rng.range_u64(1, 30)),
-    }
-}
-
-fn run_case(seed: u64) {
-    let mut rng = SimRng::seed_from(seed);
-
-    // Draw a workload.
-    let (app, workload): (AppMaker, ClientWorkload) = match rng.index(3) {
-        0 => (
-            Rc::new(|| Box::new(StreamApp::new(4096, false)) as _),
-            ClientWorkload::Download {
-                total: 64 * 1024 + rng.range_u64(0, 512 * 1024),
-            },
-        ),
-        1 => (
-            Rc::new(|| Box::new(EchoApp::default()) as _),
-            ClientWorkload::EchoChat {
-                chunk: 256 + rng.index(1024),
-                period: SimDuration::from_millis(20 + rng.range_u64(0, 80)),
-                count: 60 + rng.next_u32() % 100,
-            },
-        ),
-        _ => (
-            Rc::new(|| Box::new(ReqRespApp::new()) as _),
-            ClientWorkload::Idle,
-        ),
-    };
-
-    let fault = draw_fault(&mut rng);
-    let inject_ms = 500 + rng.range_u64(0, 2_500);
-    let hb_ms = [200u64, 500][rng.index(2)];
-
-    let cfg = StTcpConfig {
-        app_max_lag_time: SimDuration::from_secs(1),
-        max_delay_fin: SimDuration::from_secs(5),
-        ..StTcpConfig::with_hb_period(SimDuration::from_millis(hb_ms))
-    };
-    let mut s = ScenarioBuilder::new(app, workload.clone())
-        .seed(seed)
-        .sttcp(cfg)
-        .build();
-
-    let at = SimTime::from_millis(inject_ms);
-    match fault {
-        Fault::None => {}
-        Fault::CrashPrimary => s.crash_primary_at(at),
-        Fault::CrashBackup => s.crash_backup_at(at),
-        Fault::AppCrashPrimary(mode) => s.crash_app_at(s.primary, at, mode),
-        Fault::AppCrashBackup(mode) => s.crash_app_at(s.backup, at, mode),
-        Fault::NicPrimary => {
-            let p = s.primary;
-            s.fail_nic_at(p, at);
-        }
-        Fault::NicBackup => {
-            let b = s.backup;
-            s.fail_nic_at(b, at);
-        }
-        Fault::TapLoss(n) => s.drop_backup_tap_at(at, n),
-    }
-
-    s.world.run_until(SimTime::from_secs(120));
-
-    let log = s.client_log();
-    let ctx = format!("seed {seed}, fault {fault:?}, workload {workload:?}, hb {hb_ms}ms");
-
-    // Invariant 1 & 2: stream integrity, single connection, no resets.
-    assert_eq!(log.integrity_violations, 0, "corruption: {ctx}");
-    assert_eq!(log.resets, 0, "client reset: {ctx}");
-    assert!(log.connects.len() <= 1, "client reconnected: {ctx}");
-    // Workloads with a defined end must complete (Idle has none).
-    if !matches!(workload, ClientWorkload::Idle) {
-        assert!(s.client_finished(), "workload incomplete: {ctx}\n{log:?}");
-    }
-
-    // Invariant 3: no dual-active.
-    let b_took = s.server(s.backup).took_over_at().is_some();
-    if b_took {
-        assert!(!s.world.is_powered(s.primary), "dual active: {ctx}");
-    }
-
-    // Invariant 4: at most one side issued a verdict.
-    let verdicts = [s.primary, s.backup]
-        .iter()
-        .filter(|&&n| {
-            s.server(n)
-                .events()
-                .iter()
-                .any(|e| matches!(e, StTcpEvent::PeerDeclaredFailed { .. }))
-        })
-        .count();
-    assert!(verdicts <= 1, "mutual condemnation: {ctx}");
-
-    // Invariant 5: clean runs stay clean (tap loss is recoverable and
-    // must not trigger verdicts either).
-    if matches!(fault, Fault::None | Fault::TapLoss(_)) {
-        assert_eq!(verdicts, 0, "false positive: {ctx}");
-        assert!(s.server(s.primary).ft_mode(), "lost ft mode: {ctx}");
-    }
-}
-
+/// Tier 1: one fault per run.
 #[test]
-fn soak_seeds_0_to_19() {
-    for seed in 0..20 {
-        run_case(seed);
+fn soak_single_fault() {
+    let opts = ChaosOptions::quick();
+    for seed in 0..60 {
+        soak_case(seed, FaultSchedule::generate_single(seed), &opts);
     }
 }
 
+/// Tier 2: composed multi-fault schedules (1–4 actions).
 #[test]
-fn soak_seeds_20_to_39() {
-    for seed in 20..40 {
-        run_case(seed);
+fn soak_multi_fault() {
+    let opts = ChaosOptions::quick();
+    for seed in 0..60 {
+        soak_case(seed, FaultSchedule::generate(seed), &opts);
     }
 }
 
+/// Tier 3: double faults — the second lands while the system is still
+/// recovering from the first (the window the paper's single-failure
+/// assumption leaves open; we demand detection, never silence).
 #[test]
-fn soak_seeds_40_to_59() {
-    for seed in 40..60 {
-        run_case(seed);
+fn soak_double_fault() {
+    let opts = ChaosOptions::quick();
+    for seed in 0..64 {
+        soak_case(seed, FaultSchedule::generate_double(seed), &opts);
+    }
+}
+
+/// The full-size workload tier: fewer seeds, real download size and
+/// horizon, both generators. Catches anything the quick profile's
+/// shorter horizon hides.
+#[test]
+fn soak_full_horizon() {
+    let opts = ChaosOptions::default();
+    for seed in 0..12 {
+        soak_case(seed, FaultSchedule::generate(seed), &opts);
+        soak_case(seed, FaultSchedule::generate_double(seed), &opts);
     }
 }

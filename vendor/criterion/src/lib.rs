@@ -1,0 +1,281 @@
+//! Minimal, offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the upstream API this workspace's benches
+//! use: `Criterion`, benchmark groups with throughput annotation,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is a simple warm-up plus wall-clock mean over the
+//! configured sample count — good enough for relative comparisons in a
+//! container without crates.io access, not for statistical rigor.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How a batched iteration sizes its batches (ignored; one per batch).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+}
+
+/// Work-per-iteration annotation used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark id composed of a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: u32,
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured sample count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.last_mean = start.elapsed() / self.samples.max(1);
+    }
+
+    /// Times `routine` with a fresh `setup()` input per sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.last_mean = total / self.samples.max(1);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(id: &str, mean: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("{id:<44} time: {:>12}", fmt_duration(mean));
+    if let Some(tp) = throughput {
+        let per_sec = |units: u64| units as f64 / mean.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(
+                    "   thrpt: {:.2} MiB/s",
+                    per_sec(n) / (1 << 20) as f64
+                ));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("   thrpt: {:.0} elem/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Annotates each iteration with work done, for throughput reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.last_mean,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.last_mean,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 50,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(id, b.last_mean, None);
+        self
+    }
+
+    /// Applies command-line configuration (no-op; API parity).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("iter", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function(format!("iter_{}", 2), |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| 42));
+    }
+}

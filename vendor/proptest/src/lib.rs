@@ -1,0 +1,615 @@
+//! Minimal, offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the upstream API used by this workspace's
+//! property tests: the [`proptest!`] macro (supporting both `name: Type`
+//! and `name in strategy` parameters and `#![proptest_config(..)]`),
+//! `any::<T>()`, range and tuple strategies, `prop_map`,
+//! `collection::vec`, `option::of`, and the `prop_assert*` family.
+//!
+//! Inputs are generated from a fixed seed so runs are deterministic.
+//! Unlike upstream there is no shrinking: on failure the offending input
+//! is printed verbatim.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::Rng;
+    use std::fmt::Debug;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+        U: Debug,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut Rng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    (self.start as i128 + (draw % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                    let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    (*self.start() as i128 + (draw % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+/// `any::<T>()` — full-type-range generation.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range generator.
+    pub trait Arbitrary: Debug {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut Rng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut Rng) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut Rng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy adapter returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose length lies in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Strategy for `Option<S::Value>` (roughly 1 in 4 `None`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// Generates `Some` values from `inner` (and `None` sometimes).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Deterministic case runner.
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The generator behind every strategy draw (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn seed_from(seed: u64) -> Rng {
+            Rng { state: seed }
+        }
+
+        /// Draws a uniformly random `u64`.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Subset of the upstream config: how many cases to run.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property does not hold for this input.
+        Fail(String),
+        /// The input does not satisfy a `prop_assume!` precondition.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A property failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// An input rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Drives a strategy through the configured number of cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: Rng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed deterministic seed.
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner {
+                config,
+                rng: Rng::seed_from(0x5EED_CAFE_F00D_0001),
+            }
+        }
+
+        /// Runs `test` against `cases` generated inputs, panicking on the
+        /// first failure with the input printed.
+        pub fn run<S, F>(&mut self, strategy: &S, test: F)
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            self.run_named("input", strategy, test)
+        }
+
+        /// Like [`TestRunner::run`], labelling inputs with `names` in
+        /// failure reports.
+        pub fn run_named<S, F>(&mut self, names: &str, strategy: &S, mut test: F)
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut passed = 0u32;
+            let mut attempts = 0u64;
+            let max_attempts = (self.config.cases as u64).saturating_mul(256).max(1024);
+            while passed < self.config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "too many rejected inputs ({} passes in {} attempts)",
+                    passed,
+                    attempts
+                );
+                let value = strategy.generate(&mut self.rng);
+                let desc = format!("{value:?}");
+                match catch_unwind(AssertUnwindSafe(|| test(value))) {
+                    Ok(Ok(())) => passed += 1,
+                    Ok(Err(TestCaseError::Reject(_))) => {}
+                    Ok(Err(TestCaseError::Fail(msg))) => {
+                        panic!(
+                            "proptest case failed after {} passes: {}\n({names}) = {desc}",
+                            passed, msg
+                        );
+                    }
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!(
+                            "proptest case panicked after {} passes: {}\n({names}) = {desc}",
+                            passed, msg
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left != right`\n  left: {:?}\n right: {:?}",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips inputs that do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Parameters may be `name: Type` (arbitrary
+/// value) or `name in strategy`; an optional leading
+/// `#![proptest_config(..)]` sets the case count for the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!(($cfg) [] [] ($($params)*) $body);
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters consumed: build the tuple strategy and run.
+    (($cfg:expr) [$($pat:ident,)*] [$($strat:expr,)*] () $body:block) => {{
+        let config = $cfg;
+        let mut runner = $crate::test_runner::TestRunner::new(config);
+        let strategy = ($($strat,)*);
+        runner.run_named(stringify!($($pat),*), &strategy, |($($pat,)*)| {
+            $body
+            // A body that ends in `return Ok(())` makes this unreachable;
+            // it exists for bodies that fall off the end instead.
+            #[allow(unreachable_code)]
+            ::std::result::Result::Ok(())
+        });
+    }};
+    // name in strategy, ...
+    (($cfg:expr) [$($pat:ident,)*] [$($strat:expr,)*] ($name:ident in $s:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case!(($cfg) [$($pat,)* $name,] [$($strat,)* $s,] ($($rest)*) $body)
+    };
+    // name in strategy (final, no trailing comma)
+    (($cfg:expr) [$($pat:ident,)*] [$($strat:expr,)*] ($name:ident in $s:expr) $body:block) => {
+        $crate::__proptest_case!(($cfg) [$($pat,)* $name,] [$($strat,)* $s,] () $body)
+    };
+    // name: Type, ...
+    (($cfg:expr) [$($pat:ident,)*] [$($strat:expr,)*] ($name:ident : $ty:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case!(($cfg) [$($pat,)* $name,] [$($strat,)* $crate::arbitrary::any::<$ty>(),] ($($rest)*) $body)
+    };
+    // name: Type (final, no trailing comma)
+    (($cfg:expr) [$($pat:ident,)*] [$($strat:expr,)*] ($name:ident : $ty:ty) $body:block) => {
+        $crate::__proptest_case!(($cfg) [$($pat,)* $name,] [$($strat,)* $crate::arbitrary::any::<$ty>(),] () $body)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_and_strategy_params_mix(x: u32, y in 10u64..20, z in 0.0f64..1.0, a: [u8; 4]) {
+            let _ = x;
+            prop_assert!((10..20).contains(&y), "y = {} out of range", y);
+            prop_assert!((0.0..1.0).contains(&z));
+            prop_assert_eq!(a.len(), 4);
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u8..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn vec_and_option_and_map(
+            data in crate::collection::vec(any::<u8>(), 1..50),
+            pair in crate::option::of((any::<u16>(), any::<u16>())),
+        ) {
+            prop_assert!(!data.is_empty() && data.len() < 50);
+            if let Some((a, b)) = pair {
+                let sum = (a as u32, b as u32);
+                prop_assert_eq!(sum.0 + sum.1, a as u32 + b as u32);
+            }
+            return Ok(());
+        }
+    }
+
+    #[test]
+    fn failures_report_input() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+            runner.run(&(0u8..4,), |(v,)| {
+                prop_assert!(v < 2, "saw {}", v);
+                Ok(())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("saw"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let draw = || {
+            let mut vals = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+            runner.run(&(0u64..1_000_000,), |(v,)| {
+                vals.push(v);
+                Ok(())
+            });
+            vals
+        };
+        assert_eq!(draw(), draw());
+    }
+}
