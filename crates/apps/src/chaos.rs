@@ -698,6 +698,10 @@ pub struct ChaosOptions {
     pub horizon: SimDuration,
     /// Dump the world trace to stderr after the run (debugging).
     pub trace: bool,
+    /// Trace ring-buffer bound. Sweeps run thousands of worlds, so the
+    /// default caps each trace; the cap is ignored (trace unbounded) when
+    /// `trace` asks for a full dump.
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for ChaosOptions {
@@ -706,6 +710,7 @@ impl Default for ChaosOptions {
             total_bytes: 192 * 1024,
             horizon: SimDuration::from_secs(40),
             trace: false,
+            trace_capacity: Some(4096),
         }
     }
 }
@@ -734,6 +739,12 @@ pub struct ChaosReport {
     pub primary_events: Vec<StTcpEvent>,
     /// The backup's event log.
     pub backup_events: Vec<StTcpEvent>,
+    /// `(start, end)` of the longest client stall, when measurable — the
+    /// window a failover-phase timeline anchors to.
+    pub stall_window: Option<(SimTime, SimTime)>,
+    /// Every injected fault, as `(time, description)` in injection order
+    /// (from the world's uncapped fault-episode log).
+    pub faults: Vec<(SimTime, String)>,
 }
 
 impl ChaosReport {
@@ -757,7 +768,9 @@ impl ChaosReport {
     }
 }
 
-fn chaos_config() -> StTcpConfig {
+/// The ST-TCP configuration every chaos case runs under. Public so the
+/// hunt harness can derive per-detector bounds from the same knobs.
+pub fn chaos_config() -> StTcpConfig {
     StTcpConfig {
         app_max_lag_time: SimDuration::from_secs(1),
         max_delay_fin: SimDuration::from_secs(5),
@@ -806,6 +819,9 @@ pub fn run_chaos_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) 
     .sttcp(chaos_config())
     .build();
 
+    if !opts.trace {
+        s.world.set_trace_capacity(opts.trace_capacity);
+    }
     schedule.apply(&mut s);
     let end = SimTime::ZERO + opts.horizon;
     s.world.run_until(end);
@@ -853,6 +869,8 @@ pub fn run_chaos_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) 
         client,
         primary_events: p_events,
         backup_events: b_events,
+        stall_window: log.longest_stall_window(from, to),
+        faults: s.world.faults().to_vec(),
     }
 }
 

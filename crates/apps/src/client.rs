@@ -134,6 +134,38 @@ impl ClientLog {
         }
         worst.max(to.saturating_since(last))
     }
+
+    /// The `(start, end)` of the longest stall within `[from, to]` — the
+    /// same gap [`ClientLog::longest_stall`] measures, as a window the
+    /// phase timeline can be anchored to. `start` is the last progress
+    /// sample before the gap; `end` is the first sample after it (or `to`
+    /// if progress never resumed). `None` if no samples fall in range and
+    /// the range itself is empty.
+    pub fn longest_stall_window(&self, from: SimTime, to: SimTime) -> Option<(SimTime, SimTime)> {
+        if to <= from {
+            return None;
+        }
+        let mut last = from;
+        let mut worst = SimDuration::ZERO;
+        let mut window = (from, to);
+        for &(t, _) in &self.progress {
+            if t < from {
+                continue;
+            }
+            if t > to {
+                break;
+            }
+            if t.saturating_since(last) > worst {
+                worst = t.saturating_since(last);
+                window = (last, t);
+            }
+            last = t;
+        }
+        if to.saturating_since(last) > worst {
+            window = (last, to);
+        }
+        Some(window)
+    }
 }
 
 /// The client node. See the [module docs](self).
@@ -457,5 +489,37 @@ mod tests {
             log.longest_stall(SimTime::from_millis(10), SimTime::from_millis(110)),
             SimDuration::from_millis(100)
         );
+    }
+
+    #[test]
+    fn stall_window_brackets_the_gap_longest_stall_measures() {
+        let mut log = ClientLog::default();
+        for ms in [100u64, 200, 300, 1_300, 1_400] {
+            log.progress.push((SimTime::from_millis(ms), ms));
+        }
+        let (from, to) = (SimTime::ZERO, SimTime::from_millis(1_500));
+        let (start, end) = log.longest_stall_window(from, to).unwrap();
+        assert_eq!(start, SimTime::from_millis(300));
+        assert_eq!(end, SimTime::from_millis(1_300));
+        assert_eq!(end.saturating_since(start), log.longest_stall(from, to));
+    }
+
+    #[test]
+    fn stall_window_tail_ends_at_to() {
+        let mut log = ClientLog::default();
+        log.progress.push((SimTime::from_millis(100), 1));
+        let (start, end) = log
+            .longest_stall_window(SimTime::ZERO, SimTime::from_millis(5_000))
+            .unwrap();
+        assert_eq!(start, SimTime::from_millis(100));
+        assert_eq!(end, SimTime::from_millis(5_000));
+    }
+
+    #[test]
+    fn stall_window_empty_range_is_none() {
+        let log = ClientLog::default();
+        assert!(log
+            .longest_stall_window(SimTime::from_millis(5), SimTime::from_millis(5))
+            .is_none());
     }
 }

@@ -391,7 +391,7 @@ impl Scenario {
     pub fn crash_app_at(&mut self, node: NodeId, at: SimTime, mode: AppCrashMode) {
         self.world.schedule(at, move |w| {
             let now = w.now();
-            w.trace_world(format!("inject: app crash ({mode:?}) on n{}", node.0));
+            w.note_fault(format!("app crash ({mode:?}) on n{}", node.0));
             if let Some(server) = w.node_mut::<StTcpServer>(node) {
                 server.inject_app_crash(now, mode);
             }

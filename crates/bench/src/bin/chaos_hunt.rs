@@ -1,25 +1,40 @@
 //! Chaos hunt: sweep seeded multi-fault schedules against the invariant
 //! checker, shrink any violation to a minimal reproducer, and print it
-//! in paste-able form.
+//! in paste-able form. Failovers observed along the way are folded into
+//! a phase-latency table (fault → symptom → verdict → STONITH →
+//! takeover → restart, p50/p99/max across seeds).
 //!
 //! Run with: `cargo run -p sttcp-bench --bin chaos_hunt --release`
 //!
 //! Options:
-//! * `--seeds N`      number of seeds to sweep (default 200)
-//! * `--start N`      first seed (default 0)
-//! * `--quick`        smaller download + shorter horizon (CI smoke)
-//! * `--double`       double-fault schedules (failure during repair)
-//! * `--seed N`       run exactly one seed, verbosely
-//! * `--schedule S`   replay a schedule string (with `--seed`'s seed)
-//! * `--verbose`      print every case, not just violations
-//! * `--trace`        dump the world trace to stderr (single-case mode)
+//! * `--seeds N`          number of seeds to sweep (default 200)
+//! * `--start N`          first seed (default 0)
+//! * `--quick`            smaller download + shorter horizon (CI smoke)
+//! * `--double`           double-fault schedules (failure during repair)
+//! * `--seed N`           run exactly one seed, verbosely
+//! * `--schedule S`       replay a schedule string (with `--seed`'s seed)
+//! * `--verbose`          print every case, not just violations
+//! * `--trace`            dump the world trace to stderr (single-case mode)
+//! * `--json PATH`        write a `MetricsReport` (outcomes + phase
+//!   histograms) to PATH after the sweep
+//! * `--enforce-bounds`   fail (exit 1) if any failover's fault → verdict
+//!   latency exceeds the configured bound for the detector that fired
 //!
-//! Exit status is 1 if any invariant violation was found.
+//! Exit status is 1 if any invariant violation was found (or, with
+//! `--enforce-bounds`, any detection bound was exceeded).
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use obs::json::Json;
+use obs::report::MetricsReport;
+use simnet::time::SimTime;
+use sttcp::events::StTcpEvent;
 use sttcp::invariant::Outcome;
-use sttcp_apps::chaos::{run_chaos_case, shrink_schedule, ChaosOptions, FaultSchedule};
+use sttcp_apps::chaos::{
+    chaos_config, run_chaos_case, shrink_schedule, ChaosOptions, ChaosReport, FaultSchedule,
+};
+use sttcp_bench::phases::{detection_bound, failover_timeline, first_verdict, PhaseAgg};
 
 struct Args {
     seeds: u64,
@@ -30,6 +45,8 @@ struct Args {
     schedule: Option<String>,
     verbose: bool,
     trace: bool,
+    json: Option<PathBuf>,
+    enforce_bounds: bool,
 }
 
 fn parse_args() -> Args {
@@ -42,12 +59,15 @@ fn parse_args() -> Args {
         schedule: None,
         verbose: false,
         trace: false,
+        json: None,
+        enforce_bounds: false,
     };
     fn die(msg: &str) -> ! {
         eprintln!("{msg}");
         eprintln!(
             "usage: chaos_hunt [--seeds N] [--start N] [--quick] [--double] \
-             [--seed N [--schedule \"...\"]] [--verbose] [--trace]"
+             [--seed N [--schedule \"...\"]] [--verbose] [--trace] \
+             [--json PATH] [--enforce-bounds]"
         );
         std::process::exit(2);
     }
@@ -70,10 +90,70 @@ fn parse_args() -> Args {
             "--schedule" => args.schedule = Some(val("--schedule")),
             "--verbose" => args.verbose = true,
             "--trace" => args.trace = true,
+            "--json" => args.json = Some(PathBuf::from(val("--json"))),
+            "--enforce-bounds" => args.enforce_bounds = true,
             other => die(&format!("unknown option {other:?}")),
         }
     }
     args
+}
+
+/// The survivor's event log: whichever side completed a takeover, or
+/// failing that, whichever declared a verdict.
+fn survivor_events(report: &ChaosReport) -> Option<&[StTcpEvent]> {
+    let took_over =
+        |evs: &[StTcpEvent]| evs.iter().any(|e| matches!(e, StTcpEvent::TookOver { .. }));
+    if took_over(&report.backup_events) {
+        Some(&report.backup_events)
+    } else if took_over(&report.primary_events) {
+        Some(&report.primary_events)
+    } else if first_verdict(&report.backup_events).is_some() {
+        Some(&report.backup_events)
+    } else if first_verdict(&report.primary_events).is_some() {
+        Some(&report.primary_events)
+    } else {
+        None
+    }
+}
+
+/// The latest injected fault at or before `cutoff` — the lenient
+/// attribution for chaos runs, where several faults may precede one
+/// verdict and the detector answers for the most recent of them.
+fn latest_fault_before(report: &ChaosReport, cutoff: SimTime) -> Option<SimTime> {
+    report
+        .faults
+        .iter()
+        .map(|(at, _)| *at)
+        .filter(|at| *at <= cutoff)
+        .max()
+}
+
+/// The moment the survivor's detection clock last (re)started before
+/// `cutoff`: the latest fault, or the latest heartbeat-link recovery if
+/// that came later. A heartbeat outage stalls lag/ping evidence (peer
+/// positions stop refreshing), so a detector's configured bound can only
+/// be charged from when heartbeat coverage was last restored.
+fn detection_clock_start(
+    report: &ChaosReport,
+    events: &[StTcpEvent],
+    cutoff: SimTime,
+) -> Option<SimTime> {
+    let fault = latest_fault_before(report, cutoff)?;
+    let link_up = events
+        .iter()
+        .filter_map(|e| match e {
+            StTcpEvent::HbLinkUp { at, .. } if *at <= cutoff => Some(*at),
+            _ => None,
+        })
+        .max();
+    Some(link_up.map_or(fault, |up| fault.max(up)))
+}
+
+struct BoundViolation {
+    seed: u64,
+    reason: &'static str,
+    measured_us: u64,
+    bound_us: u64,
 }
 
 fn main() -> ExitCode {
@@ -101,11 +181,23 @@ fn main() -> ExitCode {
         let report = run_chaos_case(seed, &schedule, &opts);
         println!("outcome: {}", report.outcome);
         println!("client: {:?}", report.client);
+        for (at, what) in &report.faults {
+            println!("  fault @ {at}: {what}");
+        }
         for e in &report.primary_events {
             println!("  primary: {e}");
         }
         for e in &report.backup_events {
             println!("  backup:  {e}");
+        }
+        if let (Some((ws, we)), Some(events)) = (report.stall_window, survivor_events(&report)) {
+            let fault_at = latest_fault_before(&report, we);
+            if let Some(b) = failover_timeline(ws, we, fault_at, events).breakdown() {
+                println!("phase breakdown (stall {}):", b.total);
+                for (p, d) in obs::timeline::Phase::ALL.iter().zip(b.durations.iter()) {
+                    println!("  {:<10} {d}", p.name());
+                }
+            }
         }
         for v in &report.violations {
             println!("VIOLATION [{}]: {}", v.invariant, v.detail);
@@ -131,11 +223,15 @@ fn main() -> ExitCode {
         if args.quick { ", quick" } else { "" },
     );
 
+    let cfg = chaos_config();
     let mut clean = 0u64;
     let mut recovered = 0u64;
     let mut detected = 0u64;
     let mut lost = 0u64;
     let mut violated: Vec<u64> = Vec::new();
+    let mut agg = PhaseAgg::new();
+    let mut bound_checked = 0u64;
+    let mut bound_violations: Vec<BoundViolation> = Vec::new();
 
     for seed in args.start..args.start + args.seeds {
         let schedule = if args.double {
@@ -147,6 +243,36 @@ fn main() -> ExitCode {
         if args.verbose || report.outcome == Outcome::Violation {
             println!("seed {seed}: {} — {schedule}", report.outcome);
         }
+
+        // Fold any observed failover into the phase aggregation, and
+        // check the fault → verdict latency against the configured bound
+        // for whichever detector fired.
+        if let Some(events) = survivor_events(&report) {
+            if let Some((ws, we)) = report.stall_window {
+                let fault_at = latest_fault_before(&report, we);
+                if let Some(b) = failover_timeline(ws, we, fault_at, events).breakdown() {
+                    agg.add(&b);
+                }
+            }
+            if let Some((reason, at)) = first_verdict(events) {
+                if let (Some(clock_start), Some(bound)) = (
+                    detection_clock_start(&report, events, at),
+                    detection_bound(&cfg, reason),
+                ) {
+                    bound_checked += 1;
+                    let measured = at.saturating_since(clock_start);
+                    if measured > bound {
+                        bound_violations.push(BoundViolation {
+                            seed,
+                            reason: reason.key(),
+                            measured_us: measured.as_micros(),
+                            bound_us: bound.as_micros(),
+                        });
+                    }
+                }
+            }
+        }
+
         match report.outcome {
             Outcome::Clean => clean += 1,
             Outcome::Recovered => recovered += 1,
@@ -179,11 +305,84 @@ fn main() -> ExitCode {
     println!("detected-unrecoverable   {detected:>6}");
     println!("service-lost             {lost:>6}");
     println!("VIOLATIONS               {:>6}", violated.len());
-    if violated.is_empty() {
+
+    if !agg.is_empty() {
+        println!(
+            "\nfailover phase latencies across {} failovers:\n",
+            agg.failovers()
+        );
+        print!("{}", agg.render_table());
+    }
+
+    println!(
+        "\ndetection bounds: {} failovers checked, {} exceeded",
+        bound_checked,
+        bound_violations.len()
+    );
+    for v in &bound_violations {
+        println!(
+            "BOUND EXCEEDED: seed {} ({}) detected in {:.1} ms > bound {:.1} ms",
+            v.seed,
+            v.reason,
+            v.measured_us as f64 / 1_000.0,
+            v.bound_us as f64 / 1_000.0,
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let mut report = MetricsReport::new("chaos_hunt");
+        let mut cfg_j = Json::obj();
+        cfg_j.set("seeds", Json::U64(args.seeds));
+        cfg_j.set("start", Json::U64(args.start));
+        cfg_j.set("quick", Json::Bool(args.quick));
+        cfg_j.set("double", Json::Bool(args.double));
+        report.set("config", cfg_j);
+        let mut outcomes = Json::obj();
+        outcomes.set("clean", Json::U64(clean));
+        outcomes.set("recovered", Json::U64(recovered));
+        outcomes.set("detected_unrecoverable", Json::U64(detected));
+        outcomes.set("service_lost", Json::U64(lost));
+        outcomes.set("violations", Json::U64(violated.len() as u64));
+        report.set("outcomes", outcomes);
+        report.set("phases", agg.to_json());
+        let mut bounds = Json::obj();
+        bounds.set("checked", Json::U64(bound_checked));
+        bounds.set("enforced", Json::Bool(args.enforce_bounds));
+        bounds.set(
+            "exceeded",
+            Json::Arr(
+                bound_violations
+                    .iter()
+                    .map(|v| {
+                        let mut o = Json::obj();
+                        o.set("seed", Json::U64(v.seed));
+                        o.set("reason", Json::from(v.reason));
+                        o.set("measured_us", Json::U64(v.measured_us));
+                        o.set("bound_us", Json::U64(v.bound_us));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        report.set("detection_bounds", bounds);
+        if let Err(e) = report.write_to(path) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+        println!("metrics report written to {}", path.display());
+    }
+
+    let bounds_failed = args.enforce_bounds && !bound_violations.is_empty();
+    if violated.is_empty() && !bounds_failed {
         println!("\nno invariant violations — every run within its fault envelope");
         ExitCode::SUCCESS
     } else {
-        println!("\nviolating seeds: {violated:?}");
+        if !violated.is_empty() {
+            println!("\nviolating seeds: {violated:?}");
+        }
+        if bounds_failed {
+            println!("\ndetection bounds exceeded — see BOUND EXCEEDED lines above");
+        }
         ExitCode::from(1)
     }
 }

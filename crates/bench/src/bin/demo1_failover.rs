@@ -6,14 +6,46 @@
 //! must time out, reconnect, and restart.
 //!
 //! Run with: `cargo run -p sttcp-bench --bin demo1_failover --release`
+//!
+//! `--json <path>` additionally writes the run's full `MetricsReport`
+//! (simnet/tcp/core/client/phases sections) to `path`.
+
+use std::path::PathBuf;
+use std::process::exit;
 
 use simnet::time::SimDuration;
 use sttcp_bench::experiments::{run_baseline_failover, run_failover};
 use sttcp_bench::report::{render_series, Table};
 
+fn parse_args() -> Option<PathBuf> {
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path");
+                    exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: demo1_failover [--json <path>]");
+                exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                exit(2);
+            }
+        }
+    }
+    json
+}
+
 fn main() {
     const TOTAL: u64 = 4 * 1024 * 1024;
     const CRASH_MS: u64 = 4_000;
+    let json_path = parse_args();
 
     println!("Demo 1 — client-transparent seamless failover\n");
     let r = run_failover(1, 200, TOTAL, CRASH_MS);
@@ -51,9 +83,37 @@ fn main() {
         "0 (but restarted from zero)".to_string(),
     ]);
     println!("{t}");
+
+    if let Some(b) = &r.breakdown {
+        println!("failover phase breakdown (partitions the client stall):\n");
+        let mut pt = Table::new(vec!["phase", "duration"]);
+        for (p, d) in obs::timeline::Phase::ALL.iter().zip(b.durations.iter()) {
+            pt.row(vec![p.name().to_string(), d.to_string()]);
+        }
+        pt.row(vec!["total".to_string(), b.total.to_string()]);
+        println!("{pt}");
+        // The identity the report is built on: the phase durations sum to
+        // the client-observed stall measured from the transcript.
+        let sum: SimDuration = b.durations.iter().fold(SimDuration::ZERO, |a, &d| a + d);
+        let tick = SimDuration::from_micros(1);
+        assert!(
+            sum <= r.client_stall + tick && r.client_stall <= sum + tick,
+            "phase sum {sum} != client stall {}",
+            r.client_stall
+        );
+    }
+
     println!(
         "the ST-TCP failover appears to the user as a {} glitch;\n\
          the baseline loses the connection outright and replays the whole transfer.",
         r.client_stall
     );
+
+    if let Some(path) = json_path {
+        if let Err(e) = r.report.write_to(&path) {
+            eprintln!("failed to write {}: {e}", path.display());
+            exit(1);
+        }
+        println!("\nmetrics report written to {}", path.display());
+    }
 }

@@ -1,14 +1,51 @@
 //! Regenerates the paper's **Table 1**: all ten single-failure scenarios
 //! (five failure classes × {primary, backup}), reporting the observed
-//! symptom, the recovery action taken, the detection latency, and whether
-//! the client's stream survived untouched.
+//! symptom, the recovery action taken, the detection latency (checked
+//! against the configured worst-case bound for that detector), and
+//! whether the client's stream survived untouched.
 //!
 //! Run with: `cargo run -p sttcp-bench --bin table1_matrix --release`
+//!
+//! `--json <path>` additionally writes the matrix as a `MetricsReport`.
+//!
+//! Exit status is 1 if any client stream was disrupted or any detection
+//! latency exceeded its configured bound.
 
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use obs::json::Json;
+use obs::report::MetricsReport;
 use sttcp_bench::experiments::run_table1_matrix;
 use sttcp_bench::report::Table;
 
-fn main() {
+fn parse_args() -> Option<PathBuf> {
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: table1_matrix [--json <path>]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    json
+}
+
+fn main() -> ExitCode {
+    let json_path = parse_args();
     println!("ST-TCP Table 1 — single failure scenarios (reproduced)\n");
     let rows = run_table1_matrix(1_000);
     let mut table = Table::new(vec![
@@ -18,6 +55,7 @@ fn main() {
         "symptom observed",
         "recovery action",
         "detect",
+        "bound",
         "client",
     ]);
     for r in &rows {
@@ -30,6 +68,7 @@ fn main() {
             r.detection
                 .map(|d| d.to_string())
                 .unwrap_or_else(|| "-".into()),
+            r.bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
             if r.client_ok { "intact" } else { "DISRUPTED" }.to_string(),
         ]);
     }
@@ -46,4 +85,75 @@ fn main() {
             ""
         }
     );
+
+    let mut bound_failures = 0u32;
+    for r in &rows {
+        if r.bound_violated() {
+            bound_failures += 1;
+            println!(
+                "BOUND VIOLATED: row {} ({}) detected in {} > configured bound {}",
+                r.row,
+                r.location,
+                r.detection.unwrap(),
+                r.bound.unwrap(),
+            );
+        }
+    }
+    if bound_failures == 0 {
+        println!("all detection latencies within their configured bounds");
+    }
+
+    if let Some(path) = json_path {
+        let mut report = MetricsReport::new("table1_matrix");
+        let json_rows: Vec<Json> = rows
+            .iter()
+            .map(|r| {
+                let mut o = Json::obj();
+                o.set("row", Json::U64(u64::from(r.row)));
+                o.set("location", Json::from(r.location));
+                o.set("failure", Json::from(r.failure.as_str()));
+                o.set("symptom", Json::from(r.symptom.as_str()));
+                o.set("recovery", Json::from(r.recovery.as_str()));
+                o.set(
+                    "detect_us",
+                    r.detection
+                        .map(|d| Json::U64(d.as_micros()))
+                        .unwrap_or(Json::Null),
+                );
+                o.set(
+                    "bound_us",
+                    r.bound
+                        .map(|b| Json::U64(b.as_micros()))
+                        .unwrap_or(Json::Null),
+                );
+                o.set(
+                    "reason",
+                    r.reason.map(|x| Json::from(x.key())).unwrap_or(Json::Null),
+                );
+                o.set("bound_violated", Json::Bool(r.bound_violated()));
+                o.set("client_ok", Json::Bool(r.client_ok));
+                o
+            })
+            .collect();
+        report.set("rows", Json::Arr(json_rows));
+        let mut summary = Json::obj();
+        summary.set(
+            "client_intact",
+            Json::U64(rows.iter().filter(|r| r.client_ok).count() as u64),
+        );
+        summary.set("scenarios", Json::U64(rows.len() as u64));
+        summary.set("bound_violations", Json::U64(u64::from(bound_failures)));
+        report.set("summary", summary);
+        if let Err(e) = report.write_to(&path) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+        println!("metrics report written to {}", path.display());
+    }
+
+    if all_ok && bound_failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }

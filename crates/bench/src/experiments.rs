@@ -7,12 +7,17 @@
 
 use std::rc::Rc;
 
-use simnet::link::LinkDir;
+use obs::json::Json;
+use obs::report::MetricsReport;
+use obs::timeline::PhaseBreakdown;
+
+use simnet::link::{LinkDir, LinkId};
 use simnet::node::NodeId;
 use simnet::serial::{SerialDir, SerialParams, SerialState};
 use simnet::time::{SimDuration, SimTime};
+use simnet::world::World;
 
-use simtcp::conn::TcpConfig;
+use simtcp::conn::{ConnStats, TcpConfig};
 
 use sttcp::app::EchoApp;
 use sttcp::config::StTcpConfig;
@@ -23,6 +28,8 @@ use sttcp::server::AppCrashMode;
 use sttcp_apps::apps::StreamApp;
 use sttcp_apps::client::{ClientWorkload, ReconnectPolicy};
 use sttcp_apps::scenario::{build_baseline, AppMaker, Scenario, ScenarioBuilder};
+
+use crate::phases::{detection_bound, failover_timeline};
 
 fn t(ms: u64) -> SimTime {
     SimTime::from_millis(ms)
@@ -60,6 +67,78 @@ fn detection_of(s: &Scenario, node: NodeId) -> Option<(FailureReason, SimTime)> 
 }
 
 // ---------------------------------------------------------------------
+// Metrics-report assembly
+// ---------------------------------------------------------------------
+
+fn link_stats_json(w: &World, l: LinkId) -> Json {
+    let a = w.link(l).stats(LinkDir::AtoB);
+    let b = w.link(l).stats(LinkDir::BtoA);
+    let mut o = Json::obj();
+    o.set("offered", Json::U64(a.offered + b.offered));
+    o.set("delivered", Json::U64(a.delivered + b.delivered));
+    o.set("dropped_loss", Json::U64(a.dropped_loss + b.dropped_loss));
+    o.set("dropped_down", Json::U64(a.dropped_down + b.dropped_down));
+    o.set("corrupted", Json::U64(a.corrupted + b.corrupted));
+    o.set(
+        "bytes_delivered",
+        Json::U64(a.bytes_delivered + b.bytes_delivered),
+    );
+    o
+}
+
+fn conn_stats_json(s: ConnStats) -> Json {
+    let mut o = Json::obj();
+    o.set("segs_out", Json::U64(s.segs_out));
+    o.set("segs_in", Json::U64(s.segs_in));
+    o.set("bytes_sent", Json::U64(s.bytes_sent));
+    o.set("bytes_retransmitted", Json::U64(s.bytes_retransmitted));
+    o.set("rto_fires", Json::U64(s.rto_fires));
+    o.set("fast_retransmits", Json::U64(s.fast_retransmits));
+    o
+}
+
+/// Assembles the four instrumented layers of a finished scenario into a
+/// [`MetricsReport`]: `simnet` (per-link frame stats and fault
+/// episodes), `tcp` (per-server transfer counters), and `core` (each
+/// server's [`sttcp::metrics::ServerMetrics`]). The caller adds the
+/// run-specific `client` and `phases` sections.
+pub fn scenario_report(kind: &str, s: &Scenario) -> MetricsReport {
+    let mut report = MetricsReport::new(kind);
+
+    let mut links = Json::obj();
+    links.set("client", link_stats_json(&s.world, s.link_client));
+    links.set("primary", link_stats_json(&s.world, s.link_primary));
+    links.set("backup", link_stats_json(&s.world, s.link_backup));
+    let mut simnet_sec = Json::obj();
+    simnet_sec.set("links", links);
+    let faults: Vec<Json> = s
+        .world
+        .faults()
+        .iter()
+        .map(|(at, what)| {
+            let mut f = Json::obj();
+            f.set("at_us", Json::U64(at.as_micros()));
+            f.set("what", Json::from(what.as_str()));
+            f
+        })
+        .collect();
+    simnet_sec.set("faults", Json::Arr(faults));
+    report.set("simnet", simnet_sec);
+
+    let mut tcp_sec = Json::obj();
+    tcp_sec.set("primary", conn_stats_json(s.server(s.primary).tcp_stats()));
+    tcp_sec.set("backup", conn_stats_json(s.server(s.backup).tcp_stats()));
+    report.set("tcp", tcp_sec);
+
+    let mut core_sec = Json::obj();
+    core_sec.set("primary", s.server(s.primary).metrics().to_json());
+    core_sec.set("backup", s.server(s.backup).metrics().to_json());
+    report.set("core", core_sec);
+
+    report
+}
+
+// ---------------------------------------------------------------------
 // Demo 1 / Demo 2: failover
 // ---------------------------------------------------------------------
 
@@ -83,6 +162,12 @@ pub struct FailoverRun {
     pub violations: u64,
     /// The client's progress series (ms, bytes) for plotting.
     pub progress: Vec<(f64, f64)>,
+    /// Phase breakdown of the longest client stall (present whenever the
+    /// stall window is measurable; its `total` equals `client_stall`).
+    pub breakdown: Option<PhaseBreakdown>,
+    /// Full metrics report: simnet/tcp/core sections plus the client and
+    /// phase data above.
+    pub report: MetricsReport,
 }
 
 /// Runs one primary-crash failover with the given heartbeat period.
@@ -94,7 +179,7 @@ pub fn run_failover(seed: u64, hb_ms: u64, total: u64, crash_ms: u64) -> Failove
         .build();
     s.crash_primary_at(t(crash_ms));
     s.world.run_until(t(crash_ms + 60_000 + total / 100));
-    let log = s.client_log();
+    let log = s.client_log().clone();
     let crash = t(crash_ms);
     let end = log.finished_at.unwrap_or(s.world.now());
     let detection = detection_of(&s, s.backup).map(|(_, at)| at.saturating_since(crash));
@@ -102,12 +187,52 @@ pub fn run_failover(seed: u64, hb_ms: u64, total: u64, crash_ms: u64) -> Failove
         .server(s.backup)
         .took_over_at()
         .map(|at| at.saturating_since(crash));
+    let stall_from = crash - SimDuration::from_millis(100);
+    let client_stall = log.longest_stall(stall_from, end);
+    // Anchor the phase timeline to the same window `client_stall` was
+    // measured on: the breakdown's total equals the stall by construction.
+    let breakdown = log
+        .longest_stall_window(stall_from, end)
+        .and_then(|(ws, we)| {
+            failover_timeline(ws, we, Some(crash), s.server(s.backup).events()).breakdown()
+        });
+
+    let mut report = scenario_report("demo1_failover", &s);
+    let mut config = Json::obj();
+    config.set("seed", Json::U64(seed));
+    config.set(
+        "hb_period_us",
+        Json::U64(SimDuration::from_millis(hb_ms).as_micros()),
+    );
+    config.set("crash_at_us", Json::U64(crash.as_micros()));
+    config.set("total_bytes", Json::U64(total));
+    report.set("config", config);
+    let mut client = Json::obj();
+    client.set("stall_us", Json::U64(client_stall.as_micros()));
+    if let Some((ws, we)) = log.longest_stall_window(stall_from, end) {
+        let mut w = Json::obj();
+        w.set("start_us", Json::U64(ws.as_micros()));
+        w.set("end_us", Json::U64(we.as_micros()));
+        client.set("stall_window", w);
+    }
+    client.set("bytes_received", Json::U64(log.total_received));
+    client.set("integrity_violations", Json::U64(log.integrity_violations));
+    client.set("resets", Json::U64(u64::from(log.resets)));
+    client.set(
+        "transparent",
+        Json::Bool(s.client_finished() && log.connects.len() == 1 && log.resets == 0),
+    );
+    report.set("client", client);
+    if let Some(b) = &breakdown {
+        report.set("phases", b.to_json());
+    }
+
     FailoverRun {
         hb_period: SimDuration::from_millis(hb_ms),
         crash_at: crash,
         detection,
         takeover,
-        client_stall: log.longest_stall(crash - SimDuration::from_millis(100), end),
+        client_stall,
         transparent: s.client_finished() && log.connects.len() == 1 && log.resets == 0,
         violations: log.integrity_violations,
         progress: log
@@ -115,6 +240,8 @@ pub fn run_failover(seed: u64, hb_ms: u64, total: u64, crash_ms: u64) -> Failove
             .iter()
             .map(|&(at, b)| (at.as_micros() as f64 / 1_000.0, b as f64))
             .collect(),
+        breakdown,
+        report,
     }
 }
 
@@ -294,8 +421,22 @@ pub struct Table1Row {
     pub recovery: String,
     /// Crash → detection latency, when a detector fired.
     pub detection: Option<SimDuration>,
+    /// Which detector fired, when one did.
+    pub reason: Option<FailureReason>,
+    /// The configured worst-case detection latency for that detector
+    /// (`detection` must stay within it).
+    pub bound: Option<SimDuration>,
     /// The client's stream stayed correct and uninterrupted.
     pub client_ok: bool,
+}
+
+impl Table1Row {
+    /// True when the measured detection latency violates its configured
+    /// bound. Rows without a verdict or without a time-bounded detector
+    /// never violate.
+    pub fn bound_violated(&self) -> bool {
+        matches!((self.detection, self.bound), (Some(d), Some(b)) if d > b)
+    }
 }
 
 /// Runs all ten Table 1 scenarios and reports each row's observed
@@ -335,12 +476,20 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             "none required (normal TCP behaviour)".into()
         }
     };
-    let symptom_of = |s: &Scenario, detector_node: NodeId| -> (String, Option<SimDuration>) {
+    let symptom_of = |s: &Scenario,
+                      detector_node: NodeId|
+     -> (String, Option<FailureReason>, Option<SimDuration>) {
         match detection_of(s, detector_node) {
-            Some((reason, at)) => (reason.to_string(), Some(at.saturating_since(t(inject_at)))),
-            None => ("no failure declared".into(), None),
+            Some((reason, at)) => (
+                reason.to_string(),
+                Some(reason),
+                Some(at.saturating_since(t(inject_at))),
+            ),
+            None => ("no failure declared".into(), None, None),
         }
     };
+    let bound_of =
+        |reason: Option<FailureReason>| reason.and_then(|r| detection_bound(&fast_cfg(200), r));
 
     // Row 1: HW/OS crash.
     {
@@ -350,7 +499,7 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             .build();
         s.crash_primary_at(t(inject_at));
         let s = finish(s);
-        let (symptom, det) = symptom_of(&s, s.backup);
+        let (symptom, reason, det) = symptom_of(&s, s.backup);
         rows.push(Table1Row {
             row: 1,
             location: "primary",
@@ -358,6 +507,8 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             symptom,
             recovery: recovery_of(&s),
             detection: det,
+            reason,
+            bound: bound_of(reason),
             client_ok: client_ok(&s),
         });
     }
@@ -368,7 +519,7 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             .build();
         s.crash_backup_at(t(inject_at));
         let s = finish(s);
-        let (symptom, det) = symptom_of(&s, s.primary);
+        let (symptom, reason, det) = symptom_of(&s, s.primary);
         rows.push(Table1Row {
             row: 1,
             location: "backup",
@@ -376,6 +527,8 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             symptom,
             recovery: recovery_of(&s),
             detection: det,
+            reason,
+            bound: bound_of(reason),
             client_ok: client_ok(&s),
         });
     }
@@ -398,7 +551,7 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
         };
         s.crash_app_at(victim, t(inject_at), AppCrashMode::SilentNoCleanup);
         let s = finish(s);
-        let (symptom, det) = symptom_of(&s, detector);
+        let (symptom, reason, det) = symptom_of(&s, detector);
         rows.push(Table1Row {
             row: 2,
             location: if loc == "primary" {
@@ -410,6 +563,8 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             symptom,
             recovery: recovery_of(&s),
             detection: det,
+            reason,
+            bound: bound_of(reason),
             client_ok: client_ok(&s),
         });
     }
@@ -432,7 +587,7 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
         };
         s.crash_app_at(victim, t(inject_at), AppCrashMode::CleanupFin);
         let s = finish(s);
-        let (symptom, det) = symptom_of(&s, detector);
+        let (symptom, reason, det) = symptom_of(&s, detector);
         let held = s
             .server(victim)
             .events()
@@ -452,6 +607,8 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             symptom,
             recovery: recovery_of(&s),
             detection: det,
+            reason,
+            bound: bound_of(reason),
             client_ok: client_ok(&s),
         });
     }
@@ -474,7 +631,7 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
         };
         s.fail_nic_at(victim, t(inject_at));
         let s = finish(s);
-        let (symptom, det) = symptom_of(&s, detector);
+        let (symptom, reason, det) = symptom_of(&s, detector);
         rows.push(Table1Row {
             row: 4,
             location: if loc == "primary" {
@@ -486,6 +643,8 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             symptom,
             recovery: recovery_of(&s),
             detection: det,
+            reason,
+            bound: bound_of(reason),
             client_ok: client_ok(&s),
         });
     }
@@ -514,6 +673,8 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             },
             recovery: recovery_of(&s),
             detection: None,
+            reason: None,
+            bound: None,
             client_ok: client_ok(&s),
         });
     }
@@ -542,6 +703,8 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
             },
             recovery: recovery_of(&s),
             detection: None,
+            reason: None,
+            bound: None,
             client_ok: client_ok(&s),
         });
     }
@@ -694,6 +857,41 @@ mod tests {
         assert!(r.takeover.unwrap() >= d);
         assert!(r.client_stall >= d);
         assert!(!r.progress.is_empty());
+    }
+
+    #[test]
+    fn failover_phases_sum_to_the_client_stall() {
+        let r = run_failover(5, 200, 512 * 1024, 700);
+        let b = r.breakdown.expect("stall window measurable");
+        // The breakdown partitions the same window longest_stall measured:
+        // totals agree exactly, and the six phases sum to the total.
+        assert_eq!(b.total, r.client_stall);
+        let sum: SimDuration = b.durations.iter().fold(SimDuration::ZERO, |a, &d| a + d);
+        assert_eq!(sum, b.total);
+        // The verdict-bounded part of the stall respects the configured
+        // detection bound for the detector that fired.
+        let cfg = StTcpConfig::with_hb_period(SimDuration::from_millis(200));
+        let bound = detection_bound(&cfg, FailureReason::HbBothLinksDown).unwrap();
+        assert!(b.detection() <= bound, "{:?} > {bound:?}", b.detection());
+        // Every layer reported a section.
+        let j = r.report.to_json();
+        for sec in [
+            "\"simnet\"",
+            "\"tcp\"",
+            "\"core\"",
+            "\"client\"",
+            "\"phases\"",
+            "\"config\"",
+        ] {
+            assert!(j.contains(sec), "report missing {sec}: {j}");
+        }
+        // Cross-check: the client section's stall equals the phase total.
+        let stall_us = r
+            .report
+            .get("client")
+            .and_then(|c| c.get("stall_us"))
+            .cloned();
+        assert_eq!(stall_us, Some(Json::U64(b.total.as_micros())));
     }
 
     #[test]

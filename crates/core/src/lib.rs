@@ -20,6 +20,9 @@
 //!   with cleanup, NIC/local-network failure).
 //! * [`recover`] — missed-byte recovery from the primary's extended
 //!   receive buffer (Table 1 row 5).
+//! * [`metrics`] — per-server counters, gauges, and histograms
+//!   ([`metrics::ServerMetrics`]) fed from the protocol hot paths and
+//!   serialized into the `obs` metrics report.
 //! * [`app`] — the deterministic application contract (§2's assumption,
 //!   made explicit) that replicas must satisfy.
 //! * [`events`] — the externally observable protocol event log that tests
@@ -48,6 +51,7 @@ pub mod finarb;
 pub mod heartbeat;
 pub mod invariant;
 pub mod linkmon;
+pub mod metrics;
 pub mod netdetect;
 pub mod recover;
 pub mod server;

@@ -1,0 +1,272 @@
+//! Per-server runtime metrics.
+//!
+//! A [`ServerMetrics`] rides inside each [`crate::server::StTcpServer`]
+//! and is fed from the protocol hot paths: heartbeat arrival, the
+//! periodic check timer, recovery fetch/replay, and failure verdicts.
+//! Everything is a fixed-size counter, gauge, or fixed-bucket histogram
+//! from the `obs` crate, so recording never allocates; serialization to
+//! the [`obs::report::MetricsReport`] `core` section happens only when a
+//! harness asks for it.
+
+use obs::json::Json;
+use obs::metrics::{Counter, Gauge, Histogram};
+use simnet::time::SimTime;
+
+use crate::events::{FailureReason, HbLink};
+
+/// Metrics for one heartbeat link.
+#[derive(Debug, Clone)]
+struct HbLinkMetrics {
+    /// Inter-arrival times of heartbeats on this link, in microseconds.
+    inter_arrival: Histogram,
+    /// Heartbeats received.
+    received: Counter,
+    last_rx: Option<SimTime>,
+}
+
+impl HbLinkMetrics {
+    fn new() -> HbLinkMetrics {
+        HbLinkMetrics {
+            inter_arrival: Histogram::latency_us(),
+            received: Counter::new(),
+            last_rx: None,
+        }
+    }
+
+    fn on_heartbeat(&mut self, now: SimTime) {
+        self.received.inc();
+        if let Some(prev) = self.last_rx {
+            self.inter_arrival
+                .observe_duration(now.saturating_since(prev));
+        }
+        self.last_rx = Some(now);
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("received", Json::U64(self.received.get()));
+        o.set("inter_arrival_us", self.inter_arrival.to_json());
+        o
+    }
+}
+
+/// Counters, gauges, and histograms fed from the ST-TCP hot paths.
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    hb_ip: HbLinkMetrics,
+    hb_serial: HbLinkMetrics,
+    /// Hold-buffer (extended receive buffer) occupancy high-water mark.
+    hold: Gauge,
+    /// Bytes this primary served to the backup's fetch requests.
+    fetch_bytes_served: Counter,
+    /// Bytes this backup replayed into its stream from fetch replies.
+    replay_bytes: Counter,
+    /// Failure verdicts, indexed like [`FailureReason::ALL`].
+    verdicts: [Counter; FailureReason::ALL.len()],
+    /// Congestion-window samples across connections, in bytes.
+    cwnd: Histogram,
+    /// Send-buffer occupancy (unacked bytes), summed across connections.
+    send_occupancy: Gauge,
+    /// Receive-side occupancy (readable + out-of-order), summed across
+    /// connections.
+    recv_occupancy: Gauge,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> ServerMetrics {
+        ServerMetrics::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics {
+            hb_ip: HbLinkMetrics::new(),
+            hb_serial: HbLinkMetrics::new(),
+            hold: Gauge::new(),
+            fetch_bytes_served: Counter::new(),
+            replay_bytes: Counter::new(),
+            verdicts: [Counter::new(); FailureReason::ALL.len()],
+            cwnd: Histogram::bytes(),
+            send_occupancy: Gauge::new(),
+            recv_occupancy: Gauge::new(),
+        }
+    }
+
+    /// Records a heartbeat arriving on `link`.
+    pub fn on_heartbeat(&mut self, link: HbLink, now: SimTime) {
+        match link {
+            HbLink::Ip => self.hb_ip.on_heartbeat(now),
+            HbLink::Serial => self.hb_serial.on_heartbeat(now),
+        }
+    }
+
+    /// Records a failure verdict.
+    pub fn on_verdict(&mut self, reason: FailureReason) {
+        let i = FailureReason::ALL
+            .iter()
+            .position(|&r| r == reason)
+            .unwrap();
+        self.verdicts[i].inc();
+    }
+
+    /// How many times `reason` fired.
+    pub fn verdict_count(&self, reason: FailureReason) -> u64 {
+        let i = FailureReason::ALL
+            .iter()
+            .position(|&r| r == reason)
+            .unwrap();
+        self.verdicts[i].get()
+    }
+
+    /// Samples the hold-buffer occupancy (called per check period).
+    pub fn sample_hold(&mut self, used: u64) {
+        self.hold.set(used);
+    }
+
+    /// The hold-buffer high-water mark.
+    pub fn hold_high_water(&self) -> u64 {
+        self.hold.high_water()
+    }
+
+    /// Records bytes served to a backup fetch request.
+    pub fn on_fetch_served(&mut self, bytes: u64) {
+        self.fetch_bytes_served.add(bytes);
+    }
+
+    /// Records bytes replayed into the local stream from a fetch reply.
+    pub fn on_replay(&mut self, bytes: u64) {
+        self.replay_bytes.add(bytes);
+    }
+
+    /// Bytes served to fetch requests so far.
+    pub fn fetch_bytes_served(&self) -> u64 {
+        self.fetch_bytes_served.get()
+    }
+
+    /// Bytes replayed from fetch replies so far.
+    pub fn replay_bytes(&self) -> u64 {
+        self.replay_bytes.get()
+    }
+
+    /// Samples per-connection TCP state, summed across live connections
+    /// (called per check period).
+    pub fn sample_tcp(&mut self, cwnd_sum: u64, send_occupancy: u64, recv_occupancy: u64) {
+        self.cwnd.observe(cwnd_sum);
+        self.send_occupancy.set(send_occupancy);
+        self.recv_occupancy.set(recv_occupancy);
+    }
+
+    /// Heartbeats received on `link`.
+    pub fn hb_received(&self, link: HbLink) -> u64 {
+        match link {
+            HbLink::Ip => self.hb_ip.received.get(),
+            HbLink::Serial => self.hb_serial.received.get(),
+        }
+    }
+
+    /// The heartbeat inter-arrival histogram for `link` (microseconds).
+    pub fn hb_inter_arrival(&self, link: HbLink) -> &Histogram {
+        match link {
+            HbLink::Ip => &self.hb_ip.inter_arrival,
+            HbLink::Serial => &self.hb_serial.inter_arrival,
+        }
+    }
+
+    /// The full metrics as a JSON object (one server's slice of the
+    /// report's `core` section).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        let mut hb = Json::obj();
+        hb.set("ip", self.hb_ip.to_json());
+        hb.set("serial", self.hb_serial.to_json());
+        o.set("heartbeat", hb);
+        o.set("hold_high_water_bytes", Json::U64(self.hold.high_water()));
+        o.set(
+            "fetch_bytes_served",
+            Json::U64(self.fetch_bytes_served.get()),
+        );
+        o.set("replay_bytes", Json::U64(self.replay_bytes.get()));
+        let mut v = Json::obj();
+        for (reason, c) in FailureReason::ALL.iter().zip(self.verdicts.iter()) {
+            if c.get() > 0 {
+                v.set(reason.key(), Json::U64(c.get()));
+            }
+        }
+        o.set("verdicts", v);
+        o.set("cwnd_bytes", self.cwnd.to_json());
+        o.set(
+            "send_occupancy_high_water",
+            Json::U64(self.send_occupancy.high_water()),
+        );
+        o.set(
+            "recv_occupancy_high_water",
+            Json::U64(self.recv_occupancy.high_water()),
+        );
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::time::SimDuration;
+
+    #[test]
+    fn heartbeat_interarrival_is_tracked_per_link() {
+        let mut m = ServerMetrics::new();
+        for i in 0..5 {
+            m.on_heartbeat(
+                HbLink::Ip,
+                SimTime::ZERO + SimDuration::from_millis(100) * i,
+            );
+        }
+        m.on_heartbeat(HbLink::Serial, SimTime::from_millis(500));
+        assert_eq!(m.hb_received(HbLink::Ip), 5);
+        assert_eq!(m.hb_received(HbLink::Serial), 1);
+        // 5 arrivals ⇒ 4 gaps of 100ms each.
+        let h = m.hb_inter_arrival(HbLink::Ip);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 4 * 100_000);
+        assert_eq!(m.hb_inter_arrival(HbLink::Serial).count(), 0);
+    }
+
+    #[test]
+    fn verdicts_count_per_reason() {
+        let mut m = ServerMetrics::new();
+        m.on_verdict(FailureReason::HbBothLinksDown);
+        m.on_verdict(FailureReason::HbBothLinksDown);
+        m.on_verdict(FailureReason::HoldOverflow);
+        assert_eq!(m.verdict_count(FailureReason::HbBothLinksDown), 2);
+        assert_eq!(m.verdict_count(FailureReason::HoldOverflow), 1);
+        assert_eq!(m.verdict_count(FailureReason::AppLagTime), 0);
+        let j = m.to_json().to_string();
+        assert!(j.contains("\"hb_both_links_down\":2"));
+        assert!(!j.contains("app_lag_time"), "zero verdicts are omitted");
+    }
+
+    #[test]
+    fn gauges_keep_high_water_marks() {
+        let mut m = ServerMetrics::new();
+        m.sample_hold(100);
+        m.sample_hold(4096);
+        m.sample_hold(10);
+        assert_eq!(m.hold_high_water(), 4096);
+        m.sample_tcp(1460, 2920, 512);
+        m.sample_tcp(2920, 100, 4096);
+        let j = m.to_json().to_string();
+        assert!(j.contains("\"send_occupancy_high_water\":2920"));
+        assert!(j.contains("\"recv_occupancy_high_water\":4096"));
+    }
+
+    #[test]
+    fn byte_counters_accumulate() {
+        let mut m = ServerMetrics::new();
+        m.on_fetch_served(1000);
+        m.on_fetch_served(500);
+        m.on_replay(1460);
+        assert_eq!(m.fetch_bytes_served(), 1500);
+        assert_eq!(m.replay_bytes(), 1460);
+    }
+}

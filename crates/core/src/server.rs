@@ -25,7 +25,7 @@ use simnet::iplayer::IpInterface;
 use simnet::node::{NicId, Node, NodeCtx, NodeId, SerialPortId, TimerId, TimerToken};
 use simnet::time::{SimDuration, SimTime};
 
-use simtcp::conn::{TcpConfig, TcpState};
+use simtcp::conn::{ConnStats, TcpConfig, TcpState};
 use simtcp::endpoint::{
     EgressMode, EndpointConfig, FinGate, IsnPolicy, ListenConfig, RstPolicy, TcpEndpoint,
 };
@@ -38,6 +38,7 @@ use crate::events::{FailureReason, HbLink, StTcpEvent};
 use crate::finarb::{ArbAction, FinArbiter};
 use crate::heartbeat::{conn_key, unwrap_u32_near, ConnHb, HbPayload, PingReport};
 use crate::linkmon::LinkMonitor;
+use crate::metrics::ServerMetrics;
 use crate::netdetect::{NetFailureDetector, NetObservation};
 use crate::recover::CtrlMsg;
 
@@ -177,6 +178,7 @@ pub struct StTcpServer {
     took_over: bool,
     tcp_timer: Option<(TimerId, SimTime)>,
     events: Vec<StTcpEvent>,
+    metrics: ServerMetrics,
     powered_off: bool,
     cold: bool,
     started_at: SimTime,
@@ -249,6 +251,7 @@ impl StTcpServer {
             took_over: false,
             tcp_timer: None,
             events: Vec::new(),
+            metrics: ServerMetrics::new(),
             powered_off: false,
             cold: false,
             started_at: SimTime::ZERO,
@@ -305,6 +308,30 @@ impl StTcpServer {
     /// The protocol event log.
     pub fn events(&self) -> &[StTcpEvent] {
         &self.events
+    }
+
+    /// Runtime metrics (heartbeat inter-arrivals, hold high-water,
+    /// fetch/replay bytes, verdict counters, TCP samples).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Aggregate TCP transfer counters across this server's connections
+    /// (retransmits, RTO firings, segment counts).
+    pub fn tcp_stats(&self) -> ConnStats {
+        let mut sum = ConnStats::default();
+        for &sock in self.by_key.values() {
+            if let Some(c) = self.tcp.conn(sock) {
+                let s = c.stats();
+                sum.segs_out += s.segs_out;
+                sum.segs_in += s.segs_in;
+                sum.bytes_sent += s.bytes_sent;
+                sum.bytes_retransmitted += s.bytes_retransmitted;
+                sum.rto_fires += s.rto_fires;
+                sum.fast_retransmits += s.fast_retransmits;
+            }
+        }
+        sum
     }
 
     /// When this server took over, if it did.
@@ -624,6 +651,7 @@ impl StTcpServer {
             HbLink::Ip => self.ip_mon.on_heartbeat(now),
             HbLink::Serial => self.serial_mon.on_heartbeat(now),
         }
+        self.metrics.on_heartbeat(link, now);
         self.peer_ping = hb.ping;
         let mut arb_actions: Vec<(SocketId, u32, ArbAction)> = Vec::new();
         for c in &hb.conns {
@@ -671,6 +699,7 @@ impl StTcpServer {
         self.peer_alive = false;
         self.events
             .push(StTcpEvent::PeerDeclaredFailed { reason, at: now });
+        self.metrics.on_verdict(reason);
         ctx.trace(format!("{}: peer declared failed: {reason}", self.role));
         // STONITH before touching the connection (no dual-active).
         ctx.power_off(self.setup.peer_node, self.setup.sttcp.stonith_delay);
@@ -775,6 +804,27 @@ impl StTcpServer {
 
     fn run_checks(&mut self, ctx: &mut NodeCtx<'_>) {
         let now = ctx.now();
+
+        // Metrics sampling: hold occupancy and aggregate TCP state, once
+        // per check period.
+        let mut hold = 0u64;
+        let mut cwnd_sum = 0u64;
+        let mut send_occ = 0u64;
+        let mut recv_occ = 0u64;
+        let mut live_conns = false;
+        for &sock in self.by_key.values() {
+            if let Some(c) = self.tcp.conn(sock) {
+                live_conns = true;
+                hold += c.hold_used() as u64;
+                cwnd_sum += c.cwnd();
+                send_occ += c.send_occupancy() as u64;
+                recv_occ += c.recv_occupancy() as u64;
+            }
+        }
+        self.metrics.sample_hold(hold);
+        if live_conns {
+            self.metrics.sample_tcp(cwnd_sum, send_occ, recv_occ);
+        }
 
         // Link liveness edges.
         let ip_alive = self.ip_mon.is_alive(now);
@@ -1080,6 +1130,7 @@ impl StTcpServer {
                     .conn(sock)
                     .and_then(|c| c.fetch_held(*from, *max as usize))
                     .unwrap_or_default();
+                self.metrics.on_fetch_served(data.len() as u64);
                 let reply = CtrlMsg::FetchReply {
                     conn: *conn,
                     from: *from,
@@ -1095,6 +1146,7 @@ impl StTcpServer {
                     return;
                 };
                 self.tcp.inject_in_order(sock, *from, data);
+                self.metrics.on_replay(data.len() as u64);
                 let _ = now;
             }
         }

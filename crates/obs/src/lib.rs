@@ -1,0 +1,35 @@
+//! # obs — metrics, timelines, and JSON reports for the ST-TCP repro
+//!
+//! The observability substrate shared by every layer of the workspace:
+//!
+//! * [`metrics`] — [`metrics::Counter`], [`metrics::Gauge`], and
+//!   fixed-bucket [`metrics::Histogram`]s with zero allocation on the
+//!   hot path; histograms merge across runs and estimate quantiles.
+//! * [`timeline`] — a typed [`timeline::Timeline`] that decomposes one
+//!   failover into six contiguous phases (fault injected → symptom →
+//!   verdict → STONITH → takeover → first client-visible byte) whose
+//!   durations partition the client-observed stall by construction.
+//! * [`json`] / [`report`] — a dependency-free JSON value builder and
+//!   the schema-versioned [`report::MetricsReport`] every demo, chaos
+//!   hunt, and soak tier can emit.
+//!
+//! `obs` deliberately depends only on [`simnet`] (for virtual time), so
+//! the TCP stack, the ST-TCP core, and the harnesses can all layer on
+//! top of it without cycles. Protocol events are mapped to phase marks
+//! by the crates that own them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod timeline;
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::json::Json;
+    pub use crate::metrics::{Counter, Gauge, Histogram};
+    pub use crate::report::MetricsReport;
+    pub use crate::timeline::{Phase, PhaseBreakdown, PhaseMark, Timeline};
+}

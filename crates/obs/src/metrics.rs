@@ -1,0 +1,359 @@
+//! Metrics primitives: counters, gauges, and fixed-bucket histograms.
+//!
+//! All three are plain value types with **no allocation on the hot
+//! path**: a [`Histogram`] allocates its bucket array once at
+//! construction, and `observe` is a binary search plus a handful of
+//! integer updates. Values are `u64` — virtual-time durations in
+//! microseconds (see [`Histogram::observe_duration`]), byte counts, or
+//! anything else that fits.
+
+use core::fmt;
+
+use simnet::time::SimDuration;
+
+use crate::json::Json;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    n: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.n += 1;
+    }
+
+    /// Adds `n` (saturating).
+    pub fn add(&mut self, n: u64) {
+        self.n = self.n.saturating_add(n);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.n
+    }
+}
+
+/// A sampled quantity that also remembers its high-water mark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    current: u64,
+    high: u64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Records the current value, updating the high-water mark.
+    pub fn set(&mut self, v: u64) {
+        self.current = v;
+        self.high = self.high.max(v);
+    }
+
+    /// The last recorded value.
+    pub fn get(&self) -> u64 {
+        self.current
+    }
+
+    /// The largest value ever recorded.
+    pub fn high_water(&self) -> u64 {
+        self.high
+    }
+
+    /// The gauge as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("current", Json::U64(self.current));
+        o.set("high_water", Json::U64(self.high));
+        o
+    }
+}
+
+/// A fixed-bucket histogram over `u64` values.
+///
+/// Buckets are defined by a sorted vector of inclusive upper bounds; an
+/// implicit final bucket catches everything above the last bound, so
+/// every observation lands somewhere and `observe` can never panic.
+/// Two histograms with the same bounds can be [`Histogram::merge`]d;
+/// merging is commutative and associative (counts and sums add,
+/// min/max combine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Sorted, deduplicated inclusive upper bounds.
+    bounds: Vec<u64>,
+    /// One count per bound, plus the overflow bucket at the end.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds (sorted
+    /// and deduplicated internally so merge compatibility only depends on
+    /// the *set* of bounds).
+    pub fn new(mut bounds: Vec<u64>) -> Histogram {
+        bounds.sort_unstable();
+        bounds.dedup();
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Default bounds for virtual-time latencies in microseconds:
+    /// roughly exponential from 100 µs to 60 s.
+    pub fn latency_us() -> Histogram {
+        Histogram::new(vec![
+            100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 200_000, 300_000,
+            400_000, 500_000, 700_000, 1_000_000, 1_500_000, 2_000_000, 3_000_000, 5_000_000,
+            10_000_000, 30_000_000, 60_000_000,
+        ])
+    }
+
+    /// Default bounds for byte quantities: powers of four from 256 B to
+    /// 16 MiB.
+    pub fn bytes() -> Histogram {
+        Histogram::new(vec![
+            256,
+            1 << 10,
+            4 << 10,
+            16 << 10,
+            64 << 10,
+            256 << 10,
+            1 << 20,
+            4 << 20,
+            16 << 20,
+        ])
+    }
+
+    /// Records one observation. Never panics, never allocates.
+    pub fn observe(&mut self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a virtual-time duration, in microseconds.
+    pub fn observe_duration(&mut self, d: SimDuration) {
+        self.observe(d.as_micros());
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed value, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observed value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (one per bound, plus the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// An upper estimate of the `q`-quantile (0.0 ..= 1.0): the bound of
+    /// the bucket containing the rank, clamped to the observed maximum.
+    /// `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = self.bounds.get(i).copied().unwrap_or(self.max);
+                return Some(bound.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram's observations into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ — merging histograms of
+    /// different shapes is a logic error.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds mismatch");
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The histogram as a JSON object: count/sum/min/max, the p50, p90,
+    /// and p99 estimates, and the non-empty buckets as `{le, n}` pairs
+    /// (the overflow bucket reports `"le": null`).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("count", Json::U64(self.count));
+        o.set("sum", Json::U64(self.sum));
+        o.set("min", self.min().map_or(Json::Null, Json::U64));
+        o.set("max", self.max().map_or(Json::Null, Json::U64));
+        o.set("p50", self.quantile(0.50).map_or(Json::Null, Json::U64));
+        o.set("p90", self.quantile(0.90).map_or(Json::Null, Json::U64));
+        o.set("p99", self.quantile(0.99).map_or(Json::Null, Json::U64));
+        let mut buckets = Vec::new();
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let mut b = Json::obj();
+            b.set(
+                "le",
+                self.bounds.get(i).copied().map_or(Json::Null, Json::U64),
+            );
+            b.set("n", Json::U64(n));
+            buckets.push(b);
+        }
+        o.set("buckets", Json::Arr(buckets));
+        o
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min(), self.max()) {
+            (Some(lo), Some(hi)) => write!(
+                f,
+                "n={} min={} p50={} p99={} max={}",
+                self.count,
+                lo,
+                self.quantile(0.5).unwrap(),
+                self.quantile(0.99).unwrap(),
+                hi
+            ),
+            _ => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+
+        let mut g = Gauge::new();
+        g.set(10);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.high_water(), 10);
+    }
+
+    #[test]
+    fn histogram_counts_are_conserved() {
+        let mut h = Histogram::new(vec![10, 100, 1_000]);
+        for v in [0, 10, 11, 100, 101, 1_000, 1_001, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 8);
+        // Bounds are inclusive: 10 lands in the first bucket.
+        assert_eq!(h.bucket_counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let mut h = Histogram::latency_us();
+        assert_eq!(h.quantile(0.5), None);
+        for ms in 1..=100u64 {
+            h.observe(ms * 1_000);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        let max = h.quantile(1.0).unwrap();
+        assert!(p50 <= p99 && p99 <= max);
+        assert!(max <= 100_000);
+        assert!((25_000..=100_000).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::bytes();
+        let mut b = Histogram::bytes();
+        a.observe(100);
+        b.observe(1 << 22);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(100));
+        assert_eq!(a.max(), Some(1 << 22));
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds mismatch")]
+    fn merge_rejects_different_shapes() {
+        let mut a = Histogram::new(vec![1]);
+        a.merge(&Histogram::new(vec![2]));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Histogram::new(vec![10]);
+        h.observe(5);
+        let s = h.to_json().to_string();
+        assert!(s.contains("\"count\":1"));
+        assert!(s.contains("\"buckets\""));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut h = Histogram::new(vec![10]);
+        assert_eq!(h.to_string(), "n=0");
+        h.observe(3);
+        assert!(h.to_string().contains("n=1"));
+    }
+}

@@ -1,0 +1,99 @@
+//! The versioned JSON metrics report.
+//!
+//! Every run — demos, `chaos_hunt`, soak tiers — can emit one
+//! [`MetricsReport`]: a schema-versioned JSON document with one section
+//! per instrumented layer (`simnet`, `tcp`, `core`, `client`, …). The
+//! report is assembled from [`crate::json::Json`] values (histograms and
+//! gauges serialize themselves) and written with no external
+//! dependencies.
+
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// A schema-versioned metrics report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    root: Json,
+}
+
+impl Default for MetricsReport {
+    fn default() -> MetricsReport {
+        MetricsReport::new("unnamed")
+    }
+}
+
+impl MetricsReport {
+    /// The report schema version. Bump when renaming or removing fields;
+    /// adding fields is compatible.
+    pub const SCHEMA_VERSION: u64 = 1;
+
+    /// Creates an empty report for a run kind (`"demo1_failover"`,
+    /// `"chaos_hunt"`, …).
+    pub fn new(kind: &str) -> MetricsReport {
+        let mut root = Json::obj();
+        root.set("schema_version", Json::U64(Self::SCHEMA_VERSION));
+        root.set("kind", Json::from(kind));
+        MetricsReport { root }
+    }
+
+    /// Sets (or replaces) a top-level section.
+    pub fn set(&mut self, name: &str, value: Json) {
+        self.root.set(name, value);
+    }
+
+    /// Reads a top-level section back (assertions and tests).
+    pub fn get(&self, name: &str) -> Option<&Json> {
+        self.root.get(name)
+    }
+
+    /// Serializes the report to a JSON string.
+    pub fn to_json(&self) -> String {
+        self.root.to_string()
+    }
+
+    /// Writes the report to a file, with a trailing newline.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let mut s = self.to_json();
+        s.push('\n');
+        std::fs::write(path, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_carries_version_and_kind() {
+        let r = MetricsReport::new("test_run");
+        let s = r.to_json();
+        assert!(s.starts_with("{\"schema_version\":1,\"kind\":\"test_run\""));
+    }
+
+    #[test]
+    fn sections_are_settable_and_readable() {
+        let mut r = MetricsReport::new("x");
+        let mut s = Json::obj();
+        s.set("frames", Json::U64(7));
+        r.set("simnet", s);
+        assert_eq!(
+            r.get("simnet").and_then(|j| j.get("frames")),
+            Some(&Json::U64(7))
+        );
+        assert!(r.to_json().contains("\"simnet\":{\"frames\":7}"));
+    }
+
+    #[test]
+    fn write_to_roundtrips_bytes() {
+        let dir = std::env::temp_dir().join("obs_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.json");
+        let r = MetricsReport::new("disk");
+        r.write_to(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, r.to_json() + "\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the obs metrics primitives.
+//!
+//! The histogram is the one primitive that takes arbitrary input on the
+//! hot path, so it gets the adversarial treatment: any bounds, any
+//! values (including 0 and `u64::MAX`) must never panic, must conserve
+//! counts, and must merge associatively.
+
+use obs::metrics::Histogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn filled(bounds: &[u64], values: &[u64]) -> Histogram {
+    let mut h = Histogram::new(bounds.to_vec());
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn observe_never_panics_and_conserves_counts(
+        bounds in vec(any::<u64>(), 0..8),
+        values in vec(any::<u64>(), 0..200),
+    ) {
+        let h = filled(&bounds, &values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), values.len() as u64);
+        if let (Some(&lo), Some(&hi)) =
+            (values.iter().min(), values.iter().max())
+        {
+            prop_assert_eq!(h.min(), Some(lo));
+            prop_assert_eq!(h.max(), Some(hi));
+        } else {
+            prop_assert_eq!(h.min(), None);
+            prop_assert_eq!(h.max(), None);
+        }
+    }
+
+    #[test]
+    fn every_value_lands_in_a_bucket_respecting_its_bound(
+        bounds in vec(any::<u64>(), 1..8),
+        v in any::<u64>(),
+    ) {
+        let h = filled(&bounds, &[v]);
+        let idx = h.bucket_counts().iter().position(|&c| c == 1).unwrap();
+        // The chosen bucket's bound admits the value…
+        if let Some(&le) = h.bounds().get(idx) {
+            prop_assert!(v <= le);
+        }
+        // …and the previous bucket's bound rejects it.
+        if idx > 0 {
+            prop_assert!(v > h.bounds()[idx - 1]);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        bounds in vec(any::<u64>(), 0..6),
+        a in vec(any::<u64>(), 0..50),
+        b in vec(any::<u64>(), 0..50),
+        c in vec(any::<u64>(), 0..50),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = filled(&bounds, &a);
+        left.merge(&filled(&bounds, &b));
+        left.merge(&filled(&bounds, &c));
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = filled(&bounds, &b);
+        right_tail.merge(&filled(&bounds, &c));
+        let mut right = filled(&bounds, &a);
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+        // b ⊕ a == a ⊕ b
+        let mut ab = filled(&bounds, &a);
+        ab.merge(&filled(&bounds, &b));
+        let mut ba = filled(&bounds, &b);
+        ba.merge(&filled(&bounds, &a));
+        prop_assert_eq!(&ab, &ba);
+        // Merging equals observing the concatenation.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &filled(&bounds, &all));
+    }
+
+    #[test]
+    fn quantiles_never_panic_and_stay_in_range(
+        bounds in vec(any::<u64>(), 0..8),
+        values in vec(any::<u64>(), 0..100),
+        q_millis in 0u64..=1_000,
+    ) {
+        let q = q_millis as f64 / 1_000.0;
+        let h = filled(&bounds, &values);
+        match h.quantile(q) {
+            None => prop_assert!(values.is_empty()),
+            Some(est) => {
+                prop_assert!(est >= h.min().unwrap());
+                prop_assert!(est <= h.max().unwrap());
+            }
+        }
+    }
+}

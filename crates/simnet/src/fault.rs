@@ -13,8 +13,10 @@
 //! | Serial-cable failure           | [`World::fail_serial`] |
 //!
 //! All of these can be invoked immediately or scheduled at a virtual time
-//! via [`World::schedule`]. Each records a world trace line so tests can
-//! assert on injection order.
+//! via [`World::schedule`]. Each goes through [`World::note_fault`], which
+//! records an `inject:` trace line (so tests can assert on injection
+//! order) and an uncapped fault-episode log (so metrics can attribute
+//! symptoms to faults even with a bounded trace).
 
 use crate::link::{DropFilter, LinkDir, LinkId};
 use crate::node::{NicId, NodeId};
@@ -29,7 +31,7 @@ impl World {
     /// power-down performs.
     pub fn crash_node(&mut self, node: NodeId) {
         let name = self.node_name(node).to_string();
-        self.trace_world(format!("inject: crash {name}"));
+        self.note_fault(format!("crash {name}"));
         self.force_power_off(node);
     }
 
@@ -37,7 +39,7 @@ impl World {
     /// receives [`crate::node::Node::on_power_on`].
     pub fn restore_node(&mut self, node: NodeId) {
         let name = self.node_name(node).to_string();
-        self.trace_world(format!("inject: power on {name}"));
+        self.note_fault(format!("power on {name}"));
         self.force_power_on(node);
     }
 
@@ -52,40 +54,40 @@ impl World {
     /// now on (Table 1, row 4).
     pub fn fail_nic(&mut self, node: NodeId, nic: NicId) {
         let name = self.node_name(node).to_string();
-        self.trace_world(format!("inject: fail nic{} on {name}", nic.0));
+        self.note_fault(format!("fail nic{} on {name}", nic.0));
         self.nodes[node.0].nics[nic.0].up = false;
     }
 
     /// Restores a failed NIC.
     pub fn restore_nic(&mut self, node: NodeId, nic: NicId) {
         let name = self.node_name(node).to_string();
-        self.trace_world(format!("inject: restore nic{} on {name}", nic.0));
+        self.note_fault(format!("restore nic{} on {name}", nic.0));
         self.nodes[node.0].nics[nic.0].up = true;
     }
 
     /// Cuts a cable: the link drops all frames in both directions.
     pub fn cut_link(&mut self, link: LinkId) {
-        self.trace_world(format!("inject: cut link {}", link.0));
+        self.note_fault(format!("cut link {}", link.0));
         self.link_mut(link).set_down(true);
     }
 
     /// Restores a cut cable.
     pub fn restore_link(&mut self, link: LinkId) {
-        self.trace_world(format!("inject: restore link {}", link.0));
+        self.note_fault(format!("restore link {}", link.0));
         self.link_mut(link).set_down(false);
     }
 
     /// Sets a probabilistic per-frame loss rate on one direction of a link
     /// (temporary network failure, Table 1 row 5).
     pub fn set_link_loss(&mut self, link: LinkId, dir: LinkDir, prob: f64) {
-        self.trace_world(format!("inject: loss {prob} on link {} {dir}", link.0));
+        self.note_fault(format!("loss {prob} on link {} {dir}", link.0));
         self.link_mut(link).set_loss(dir, prob);
     }
 
     /// Drops every frame on one direction of a link until `until`.
     pub fn drop_window(&mut self, link: LinkId, dir: LinkDir, until: SimTime) {
-        self.trace_world(format!(
-            "inject: drop window on link {} {dir} until {until}",
+        self.note_fault(format!(
+            "drop window on link {} {dir} until {until}",
             link.0
         ));
         self.link_mut(link).set_drop_window(dir, until);
@@ -93,7 +95,7 @@ impl World {
 
     /// Drops the next `n` frames on one direction of a link.
     pub fn drop_next(&mut self, link: LinkId, dir: LinkDir, n: u64) {
-        self.trace_world(format!("inject: drop next {n} on link {} {dir}", link.0));
+        self.note_fault(format!("drop next {n} on link {} {dir}", link.0));
         self.link_mut(link).set_drop_next(dir, n);
     }
 
@@ -102,7 +104,7 @@ impl World {
     /// Frames protected by a checksum arrive and fail verification; the
     /// receiver must treat them as loss, never act on the contents.
     pub fn corrupt_frames(&mut self, link: LinkId, dir: LinkDir, n: u64) {
-        self.trace_world(format!("inject: corrupt next {n} on link {} {dir}", link.0));
+        self.note_fault(format!("corrupt next {n} on link {} {dir}", link.0));
         self.link_mut(link).set_corrupt_next(dir, n);
     }
 
@@ -111,19 +113,19 @@ impl World {
     /// clear. Lets tests lose, say, only TCP data frames while heartbeats
     /// survive.
     pub fn set_link_filter(&mut self, link: LinkId, dir: LinkDir, filter: Option<DropFilter>) {
-        self.trace_world(format!("inject: filter on link {} {dir}", link.0));
+        self.note_fault(format!("filter on link {} {dir}", link.0));
         self.link_mut(link).set_filter(dir, filter);
     }
 
     /// Fails a serial channel (null-modem cable unplugged).
     pub fn fail_serial(&mut self, serial: SerialId) {
-        self.trace_world(format!("inject: fail serial {}", serial.0));
+        self.note_fault(format!("fail serial {}", serial.0));
         self.serial_mut(serial).set_down(true);
     }
 
     /// Restores a failed serial channel.
     pub fn restore_serial(&mut self, serial: SerialId) {
-        self.trace_world(format!("inject: restore serial {}", serial.0));
+        self.note_fault(format!("restore serial {}", serial.0));
         self.serial_mut(serial).set_down(false);
     }
 
@@ -366,6 +368,25 @@ mod tests {
             .trace()
             .first_containing("inject: corrupt next 2")
             .is_some());
+    }
+
+    #[test]
+    fn fault_log_survives_a_capped_trace() {
+        let (mut w, a, _b, l) = pulsing_pair();
+        w.set_trace_capacity(Some(4));
+        w.start();
+        w.run_until(SimTime::from_millis(5));
+        w.cut_link(l);
+        w.run_until(SimTime::from_millis(10));
+        w.crash_node(a);
+        w.run_until(SimTime::from_millis(20));
+        let faults = w.faults();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].0, SimTime::from_millis(5));
+        assert!(faults[0].1.contains("cut link"));
+        assert_eq!(faults[1].0, SimTime::from_millis(10));
+        assert!(faults[1].1.contains("crash a"));
+        assert!(w.trace().capacity() == Some(4) && w.trace().len() <= 4);
     }
 
     #[test]

@@ -3,8 +3,15 @@
 //! Nodes and the fault-injection layer record human-readable trace lines
 //! with timestamps. Tests assert on them ("backup detected HB failure on
 //! both links"), and the experiment harness prints them to narrate demos.
+//!
+//! The log is unbounded by default (tests want every line), but long
+//! soak and chaos sweeps cap it with [`Trace::set_capacity`]: the trace
+//! becomes a ring buffer that keeps the newest records and counts what
+//! it evicted, so a 2000-seed hunt doesn't accumulate gigabytes of
+//! `String`s.
 
 use core::fmt;
+use std::collections::VecDeque;
 
 use crate::node::NodeId;
 use crate::time::SimTime;
@@ -29,30 +36,70 @@ impl fmt::Display for TraceRecord {
     }
 }
 
-/// An append-only log of [`TraceRecord`]s.
+/// An append-only log of [`TraceRecord`]s, optionally bounded.
 #[derive(Debug, Default)]
 pub struct Trace {
-    records: Vec<TraceRecord>,
+    records: VecDeque<TraceRecord>,
+    /// Maximum records kept; `None` means unbounded.
+    capacity: Option<usize>,
+    /// Records evicted to honour the capacity.
+    dropped: u64,
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty, unbounded trace.
     pub fn new() -> Trace {
         Trace::default()
     }
 
-    /// Appends a record.
+    /// Creates an empty trace bounded to `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Trace {
+        Trace {
+            capacity: Some(capacity),
+            ..Trace::default()
+        }
+    }
+
+    /// Bounds (or unbounds, with `None`) the trace; excess oldest records
+    /// are evicted immediately.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        self.trim();
+    }
+
+    /// The configured bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Records evicted so far to honour the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn trim(&mut self) {
+        if let Some(cap) = self.capacity {
+            while self.records.len() > cap {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Appends a record, evicting the oldest if the trace is at its
+    /// bound.
     pub fn record(&mut self, time: SimTime, node: Option<NodeId>, message: impl Into<String>) {
-        self.records.push(TraceRecord {
+        self.records.push_back(TraceRecord {
             time,
             node,
             message: message.into(),
         });
+        self.trim();
     }
 
-    /// All records in insertion order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
+        self.records.iter()
     }
 
     /// Iterates over records whose message contains `needle`.
@@ -62,17 +109,17 @@ impl Trace {
             .filter(move |r| r.message.contains(needle))
     }
 
-    /// The first record whose message contains `needle`, if any.
+    /// The first retained record whose message contains `needle`, if any.
     pub fn first_containing(&self, needle: &str) -> Option<&TraceRecord> {
         self.records.iter().find(|r| r.message.contains(needle))
     }
 
-    /// Number of records.
+    /// Number of retained records.
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// True if no records have been made.
+    /// True if no records are retained.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
@@ -113,5 +160,45 @@ mod tests {
             message: "m".into(),
         };
         assert!(w.to_string().contains("world"));
+    }
+
+    #[test]
+    fn bounded_trace_keeps_newest_and_counts_evictions() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..10u64 {
+            t.record(SimTime::from_millis(i), None, format!("line {i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let msgs: Vec<&str> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["line 7", "line 8", "line 9"]);
+        assert!(t.first_containing("line 0").is_none());
+        assert!(t.first_containing("line 9").is_some());
+    }
+
+    #[test]
+    fn capacity_can_be_tightened_and_removed_live() {
+        let mut t = Trace::new();
+        for i in 0..5u64 {
+            t.record(SimTime::from_millis(i), None, format!("m{i}"));
+        }
+        t.set_capacity(Some(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.capacity(), Some(2));
+        t.set_capacity(None);
+        for i in 5..20u64 {
+            t.record(SimTime::from_millis(i), None, format!("m{i}"));
+        }
+        assert_eq!(t.len(), 17);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut t = Trace::with_capacity(0);
+        t.record(SimTime::ZERO, None, "gone");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
     }
 }

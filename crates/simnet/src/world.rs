@@ -78,6 +78,7 @@ pub struct World {
     pub(crate) serials: Vec<SerialState>,
     rng: SimRng,
     trace: Trace,
+    faults: Vec<(SimTime, String)>,
     next_timer_id: u64,
     cancelled_timers: HashSet<TimerId>,
     scripts: HashMap<u64, Script>,
@@ -111,6 +112,7 @@ impl World {
             serials: Vec::new(),
             rng: SimRng::seed_from(seed),
             trace: Trace::new(),
+            faults: Vec::new(),
             next_timer_id: 0,
             cancelled_timers: HashSet::new(),
             scripts: HashMap::new(),
@@ -233,6 +235,30 @@ impl World {
     /// Records a line in the trace attributed to the world (not a node).
     pub fn trace_world(&mut self, message: impl Into<String>) {
         self.trace.record(self.now, None, message);
+    }
+
+    /// Bounds the trace log to a ring buffer of `capacity` records
+    /// (`None` restores the unbounded default). Long chaos and soak
+    /// sweeps use this so trace memory stays constant.
+    pub fn set_trace_capacity(&mut self, capacity: Option<usize>) {
+        self.trace.set_capacity(capacity);
+    }
+
+    /// Records a fault injection: a `inject: {msg}` trace line plus an
+    /// entry in the fault-episode log, which is never capped, so metrics
+    /// can attribute symptoms to faults even when the trace ring buffer
+    /// has evicted the line.
+    pub fn note_fault(&mut self, message: impl Into<String>) {
+        let message = message.into();
+        self.trace
+            .record(self.now, None, format!("inject: {message}"));
+        self.faults.push((self.now, message));
+    }
+
+    /// Every fault injected so far, as `(time, description)` in
+    /// injection order.
+    pub fn faults(&self) -> &[(SimTime, String)] {
+        &self.faults
     }
 
     /// Total events processed so far.
@@ -928,12 +954,7 @@ mod tests {
         w.schedule(SimTime::from_millis(5), |w| w.trace_world("second"));
         w.schedule(SimTime::from_millis(1), |w| w.trace_world("first"));
         w.run_until(SimTime::from_millis(10));
-        let msgs: Vec<&str> = w
-            .trace()
-            .records()
-            .iter()
-            .map(|r| r.message.as_str())
-            .collect();
+        let msgs: Vec<&str> = w.trace().records().map(|r| r.message.as_str()).collect();
         assert_eq!(msgs, vec!["first", "second"]);
     }
 

@@ -350,6 +350,22 @@ impl TcpConn {
         self.recvbuf.hold_overflow()
     }
 
+    /// The current congestion window, in bytes (metrics sampling).
+    pub fn cwnd(&self) -> u64 {
+        self.cc.cwnd()
+    }
+
+    /// Unacknowledged bytes occupying the send buffer.
+    pub fn send_occupancy(&self) -> usize {
+        self.sendbuf.buffered()
+    }
+
+    /// Bytes occupying the receive side: readable in-order data plus
+    /// out-of-order segments parked behind a hole.
+    pub fn recv_occupancy(&self) -> usize {
+        self.recvbuf.readable() + self.recvbuf.ooo_bytes()
+    }
+
     // ----- application API ---------------------------------------------------
 
     /// Writes application data; returns bytes accepted (bounded by buffer
