@@ -102,6 +102,7 @@ fn bench_buffers(c: &mut Criterion) {
     let mut g = c.benchmark_group("buffers");
     g.throughput(Throughput::Bytes(1460));
     let data = vec![1u8; 1460];
+    let seg = bytes::Bytes::from(vec![1u8; 1460]);
     g.bench_function("sendbuf_write_ack_cycle", |b| {
         let mut sb = SendBuffer::new(256 * 1024);
         let mut off = 0u64;
@@ -117,7 +118,7 @@ fn bench_buffers(c: &mut Criterion) {
         let mut rb = RecvBuffer::new(256 * 1024, None);
         let mut off = 0i64;
         b.iter(|| {
-            let o = rb.receive(off, &data, false);
+            let o = rb.receive(off, &seg, false);
             off += 1460;
             let _ = rb.read(1460);
             o
@@ -127,7 +128,7 @@ fn bench_buffers(c: &mut Criterion) {
         let mut rb = RecvBuffer::new(256 * 1024, Some(1024 * 1024));
         let mut off = 0i64;
         b.iter(|| {
-            let o = rb.receive(off, &data, false);
+            let o = rb.receive(off, &seg, false);
             off += 1460;
             let _ = rb.read(1460);
             rb.release_until(off as u64);

@@ -12,6 +12,10 @@
 //!    before the primary declares the backup failed.
 //!
 //! Run with: `cargo run -p sttcp-bench --bin ablations --release`
+//!
+//! `--threads <n>` fans each ablation's independent grid cells out over
+//! a worker pool; every cell derives its seed from its grid coordinates
+//! alone, so the tables are identical to a single-threaded run.
 
 use std::rc::Rc;
 
@@ -24,6 +28,7 @@ use sttcp::events::StTcpEvent;
 
 use sttcp_apps::client::ClientWorkload;
 use sttcp_apps::scenario::{AppMaker, ScenarioBuilder};
+use sttcp_bench::parallel::parallel_map_indexed;
 use sttcp_bench::report::Table;
 
 fn t(ms: u64) -> SimTime {
@@ -49,7 +54,7 @@ fn cfg() -> StTcpConfig {
     }
 }
 
-fn dual_link_ablation() {
+fn dual_link_ablation(threads: usize) {
     println!("--- ablation 1: dual vs single heartbeat link (backup NIC fails) ---\n");
     let mut table = Table::new(vec![
         "HB links",
@@ -57,7 +62,8 @@ fn dual_link_ablation() {
         "client outcome",
         "servers left powered",
     ]);
-    for single_link in [false, true] {
+    let cases = [false, true];
+    let rows = parallel_map_indexed(threads, &cases, |_, &single_link| {
         let mut s = ScenarioBuilder::new(echo_app(), chat())
             .seed(301)
             .sttcp(cfg())
@@ -96,7 +102,7 @@ fn dual_link_ablation() {
             .iter()
             .filter(|&&n| s.world.is_powered(n))
             .count();
-        table.row(vec![
+        vec![
             if single_link {
                 "IP only"
             } else {
@@ -106,7 +112,10 @@ fn dual_link_ablation() {
             who.to_string(),
             outcome,
             powered.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     println!("{table}");
     println!(
@@ -116,7 +125,7 @@ fn dual_link_ablation() {
     );
 }
 
-fn hb_timeout_ablation() {
+fn hb_timeout_ablation(threads: usize) {
     println!("--- ablation 2: heartbeat timeout multiplier on a lossy IP link ---\n");
     let mut table = Table::new(vec![
         "timeout (periods)",
@@ -124,53 +133,60 @@ fn hb_timeout_ablation() {
         "verdict under loss (healthy pair)",
         "crash detection",
     ]);
+    let mut cases: Vec<(u32, f64)> = Vec::new();
     for periods in [2u32, 3, 5] {
         for loss in [0.0f64, 0.3] {
-            // Phase 1: lossy but healthy — must not produce a verdict.
-            let mut s = ScenarioBuilder::new(echo_app(), chat())
-                .seed(310 + periods as u64)
-                .sttcp(StTcpConfig {
-                    hb_timeout_periods: periods,
-                    ..cfg()
-                })
-                .build();
-            if loss > 0.0 {
-                // Loss on both directions of both server links: heartbeats
-                // and data both suffer.
-                for link in [s.link_primary, s.link_backup] {
-                    s.world.set_link_loss(link, LinkDir::AtoB, loss);
-                    s.world.set_link_loss(link, LinkDir::BtoA, loss);
-                }
-            }
-            s.world.run_until(t(15_000));
-            let false_verdict = [s.primary, s.backup].iter().find_map(|&n| {
-                s.server(n).events().iter().find_map(|e| match e {
-                    StTcpEvent::PeerDeclaredFailed { reason, .. } => Some(reason.to_string()),
-                    _ => None,
-                })
-            });
-
-            // Phase 2 (clean link): real crash detection latency.
-            let mut s2 = ScenarioBuilder::new(echo_app(), chat())
-                .seed(320 + periods as u64)
-                .sttcp(StTcpConfig {
-                    hb_timeout_periods: periods,
-                    ..cfg()
-                })
-                .build();
-            s2.crash_primary_at(t(2_000));
-            s2.world.run_until(t(30_000));
-            let det = s2.server(s2.backup).events().iter().find_map(|e| match e {
-                StTcpEvent::PeerDeclaredFailed { at, .. } => Some(at.saturating_since(t(2_000))),
-                _ => None,
-            });
-            table.row(vec![
-                periods.to_string(),
-                format!("{:.0}%", loss * 100.0),
-                false_verdict.unwrap_or_else(|| "no".into()),
-                det.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
-            ]);
+            cases.push((periods, loss));
         }
+    }
+    let rows = parallel_map_indexed(threads, &cases, |_, &(periods, loss)| {
+        // Phase 1: lossy but healthy — must not produce a verdict.
+        let mut s = ScenarioBuilder::new(echo_app(), chat())
+            .seed(310 + periods as u64)
+            .sttcp(StTcpConfig {
+                hb_timeout_periods: periods,
+                ..cfg()
+            })
+            .build();
+        if loss > 0.0 {
+            // Loss on both directions of both server links: heartbeats
+            // and data both suffer.
+            for link in [s.link_primary, s.link_backup] {
+                s.world.set_link_loss(link, LinkDir::AtoB, loss);
+                s.world.set_link_loss(link, LinkDir::BtoA, loss);
+            }
+        }
+        s.world.run_until(t(15_000));
+        let false_verdict = [s.primary, s.backup].iter().find_map(|&n| {
+            s.server(n).events().iter().find_map(|e| match e {
+                StTcpEvent::PeerDeclaredFailed { reason, .. } => Some(reason.to_string()),
+                _ => None,
+            })
+        });
+
+        // Phase 2 (clean link): real crash detection latency.
+        let mut s2 = ScenarioBuilder::new(echo_app(), chat())
+            .seed(320 + periods as u64)
+            .sttcp(StTcpConfig {
+                hb_timeout_periods: periods,
+                ..cfg()
+            })
+            .build();
+        s2.crash_primary_at(t(2_000));
+        s2.world.run_until(t(30_000));
+        let det = s2.server(s2.backup).events().iter().find_map(|e| match e {
+            StTcpEvent::PeerDeclaredFailed { at, .. } => Some(at.saturating_since(t(2_000))),
+            _ => None,
+        });
+        vec![
+            periods.to_string(),
+            format!("{:.0}%", loss * 100.0),
+            false_verdict.unwrap_or_else(|| "no".into()),
+            det.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     println!("{table}");
     println!(
@@ -185,7 +201,7 @@ fn hb_timeout_ablation() {
     );
 }
 
-fn hold_buffer_ablation() {
+fn hold_buffer_ablation(threads: usize) {
     println!("--- ablation 3: hold-buffer capacity vs recoverable burst size ---\n");
     let mut table = Table::new(vec![
         "hold buffer",
@@ -194,45 +210,52 @@ fn hold_buffer_ablation() {
         "backup condemned",
         "client",
     ]);
+    let mut cases: Vec<(usize, u64)> = Vec::new();
     for hold in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
         for burst in [10u64, 100] {
-            let mut s = ScenarioBuilder::new(echo_app(), chat())
-                .seed(330 + burst)
-                .sttcp(StTcpConfig {
-                    hold_buf: hold,
-                    // Slow the fetch path so the hold buffer actually fills
-                    // for large bursts.
-                    recovery_interval: SimDuration::from_millis(400),
-                    recovery_chunk: 2 * 1024,
-                    ..cfg()
-                })
-                .build();
-            s.drop_backup_tap_at(t(2_000), burst);
-            s.world.run_until(t(60_000));
-            let backup_condemned = s
-                .server(s.primary)
-                .events()
-                .iter()
-                .any(|e| matches!(e, StTcpEvent::PeerDeclaredFailed { .. }));
-            let recovered = s
-                .server(s.backup)
-                .events()
-                .iter()
-                .any(|e| matches!(e, StTcpEvent::RecoveryCompleted { .. }));
-            let log = s.client_log();
-            table.row(vec![
-                format!("{} KiB", hold / 1024),
-                burst.to_string(),
-                recovered.to_string(),
-                backup_condemned.to_string(),
-                if s.client_finished() && log.resets == 0 {
-                    "served"
-                } else {
-                    "DISRUPTED"
-                }
-                .to_string(),
-            ]);
+            cases.push((hold, burst));
         }
+    }
+    let rows = parallel_map_indexed(threads, &cases, |_, &(hold, burst)| {
+        let mut s = ScenarioBuilder::new(echo_app(), chat())
+            .seed(330 + burst)
+            .sttcp(StTcpConfig {
+                hold_buf: hold,
+                // Slow the fetch path so the hold buffer actually fills
+                // for large bursts.
+                recovery_interval: SimDuration::from_millis(400),
+                recovery_chunk: 2 * 1024,
+                ..cfg()
+            })
+            .build();
+        s.drop_backup_tap_at(t(2_000), burst);
+        s.world.run_until(t(60_000));
+        let backup_condemned = s
+            .server(s.primary)
+            .events()
+            .iter()
+            .any(|e| matches!(e, StTcpEvent::PeerDeclaredFailed { .. }));
+        let recovered = s
+            .server(s.backup)
+            .events()
+            .iter()
+            .any(|e| matches!(e, StTcpEvent::RecoveryCompleted { .. }));
+        let log = s.client_log();
+        vec![
+            format!("{} KiB", hold / 1024),
+            burst.to_string(),
+            recovered.to_string(),
+            backup_condemned.to_string(),
+            if s.client_finished() && log.resets == 0 {
+                "served"
+            } else {
+                "DISRUPTED"
+            }
+            .to_string(),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     println!("{table}");
     println!(
@@ -242,9 +265,35 @@ fn hold_buffer_ablation() {
     );
 }
 
+fn parse_threads() -> usize {
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = n,
+                None => {
+                    eprintln!("--threads requires a number");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: ablations [--threads <n>]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    threads
+}
+
 fn main() {
+    let threads = parse_threads();
     println!("ST-TCP design ablations\n");
-    dual_link_ablation();
-    hb_timeout_ablation();
-    hold_buffer_ablation();
+    dual_link_ablation(threads);
+    hb_timeout_ablation(threads);
+    hold_buffer_ablation(threads);
 }

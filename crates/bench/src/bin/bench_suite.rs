@@ -1,0 +1,282 @@
+//! Simulator throughput suite: measures wall-clock events/sec,
+//! bytes/sec, and chaos seeds/sec, and writes a schema-versioned
+//! `BENCH_simperf.json` so the performance trajectory is recorded
+//! alongside the correctness results.
+//!
+//! Three measurements:
+//!
+//! 1. **Steady state** — one fault-free download through the full
+//!    ST-TCP stack (`events_per_sec`, `bytes_per_sec`). This is the
+//!    single-run number the acceptance gate compares against the
+//!    pre-change baseline.
+//! 2. **Chaos sweep, 1 thread** — quick-profile `chaos_hunt` seeds per
+//!    second on one core (`seeds_per_sec_1t`).
+//! 3. **Chaos sweep, N threads** — the same seed range on the worker
+//!    pool (`seeds_per_sec_mt`), demonstrating the fan-out speedup.
+//!
+//! Baseline numbers (measured on the pre-change tree with this same
+//! binary) are passed back in via `--baseline-*` flags and embedded in
+//! the report, so one file tells the whole before/after story.
+//!
+//! Options:
+//! * `--out PATH`                     report path (default `BENCH_simperf.json`)
+//! * `--download-bytes N`             steady-state download size (default 4 MiB)
+//! * `--chaos-seeds N`                seeds per chaos sweep (default 64)
+//! * `--threads N`                    worker threads for the parallel sweep
+//!   (default: all cores)
+//! * `--baseline-events-per-sec X`    pre-change steady-state events/sec
+//! * `--baseline-bytes-per-sec X`     pre-change steady-state bytes/sec
+//! * `--baseline-seeds-per-sec X`     pre-change 1-thread seeds/sec
+
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::time::Instant;
+
+use obs::json::Json;
+use obs::report::MetricsReport;
+use simnet::time::SimTime;
+use sttcp_apps::apps::StreamApp;
+use sttcp_apps::chaos::ChaosOptions;
+use sttcp_apps::client::ClientWorkload;
+use sttcp_apps::scenario::ScenarioBuilder;
+use sttcp_bench::hunt::{run_sweep, SweepConfig};
+use sttcp_bench::parallel::default_threads;
+
+struct Args {
+    out: PathBuf,
+    download_bytes: u64,
+    chaos_seeds: u64,
+    threads: usize,
+    baseline_events_per_sec: Option<f64>,
+    baseline_bytes_per_sec: Option<f64>,
+    baseline_seeds_per_sec: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: PathBuf::from("BENCH_simperf.json"),
+        download_bytes: 4 * 1024 * 1024,
+        chaos_seeds: 64,
+        threads: default_threads(),
+        baseline_events_per_sec: None,
+        baseline_bytes_per_sec: None,
+        baseline_seeds_per_sec: None,
+    };
+    fn die(msg: &str) -> ! {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: bench_suite [--out PATH] [--download-bytes N] [--chaos-seeds N] \
+             [--threads N] [--baseline-events-per-sec X] [--baseline-bytes-per-sec X] \
+             [--baseline-seeds-per-sec X]"
+        );
+        std::process::exit(2);
+    }
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        fn num<T: std::str::FromStr>(name: &str, v: String) -> T {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{name}: {v:?} is not a number");
+                std::process::exit(2);
+            })
+        }
+        match a.as_str() {
+            "--out" => args.out = PathBuf::from(val("--out")),
+            "--download-bytes" => {
+                args.download_bytes = num("--download-bytes", val("--download-bytes"));
+            }
+            "--chaos-seeds" => args.chaos_seeds = num("--chaos-seeds", val("--chaos-seeds")),
+            "--threads" => args.threads = num("--threads", val("--threads")),
+            "--baseline-events-per-sec" => {
+                args.baseline_events_per_sec = Some(num(
+                    "--baseline-events-per-sec",
+                    val("--baseline-events-per-sec"),
+                ));
+            }
+            "--baseline-bytes-per-sec" => {
+                args.baseline_bytes_per_sec = Some(num(
+                    "--baseline-bytes-per-sec",
+                    val("--baseline-bytes-per-sec"),
+                ));
+            }
+            "--baseline-seeds-per-sec" => {
+                args.baseline_seeds_per_sec = Some(num(
+                    "--baseline-seeds-per-sec",
+                    val("--baseline-seeds-per-sec"),
+                ));
+            }
+            other => die(&format!("unknown option {other:?}")),
+        }
+    }
+    args
+}
+
+struct SteadyState {
+    events: u64,
+    bytes: u64,
+    wall_us: u64,
+    events_per_sec: f64,
+    bytes_per_sec: f64,
+}
+
+/// One fault-free download through the full ST-TCP stack: primary +
+/// backup + verifying client, heartbeats on, no injected faults.
+fn steady_state(total: u64) -> SteadyState {
+    let mut s = ScenarioBuilder::new(
+        Rc::new(|| Box::new(StreamApp::new(4096, false)) as _),
+        ClientWorkload::Download { total },
+    )
+    .seed(1)
+    .build();
+    let started = Instant::now();
+    // Generous virtual horizon; the loop exits when the client finishes.
+    let horizon = SimTime::from_millis(10_000 + total / 100);
+    let step = SimTime::from_millis(500);
+    let mut until = step;
+    while !s.client_finished() && until <= horizon {
+        s.world.run_until(until);
+        until = SimTime::from_micros(until.as_micros() + step.as_micros());
+    }
+    let wall = started.elapsed();
+    assert!(s.client_finished(), "steady-state download did not finish");
+    let events = s.world.events_processed();
+    let bytes = s.client_log().total_received;
+    let secs = wall.as_secs_f64().max(1e-9);
+    SteadyState {
+        events,
+        bytes,
+        wall_us: wall.as_micros() as u64,
+        events_per_sec: events as f64 / secs,
+        bytes_per_sec: bytes as f64 / secs,
+    }
+}
+
+struct ChaosRate {
+    wall_us: u64,
+    seeds_per_sec: f64,
+}
+
+/// Times a quick-profile chaos sweep at the given thread count.
+fn chaos_rate(seeds: u64, threads: usize) -> ChaosRate {
+    let cfg = SweepConfig {
+        seeds,
+        start: 0,
+        quick: true,
+        double: false,
+        threads,
+    };
+    let opts = ChaosOptions::quick();
+    let started = Instant::now();
+    let summary = run_sweep(&cfg, &opts, |_| {});
+    let wall = started.elapsed();
+    assert!(
+        summary.violated.is_empty(),
+        "chaos sweep hit invariant violations: {:?}",
+        summary.violated
+    );
+    ChaosRate {
+        wall_us: wall.as_micros() as u64,
+        seeds_per_sec: seeds as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    println!(
+        "bench_suite: steady-state download ({} bytes)...",
+        args.download_bytes
+    );
+    let steady = steady_state(args.download_bytes);
+    println!(
+        "  {} events in {:.3} s — {:.0} events/s, {:.0} bytes/s",
+        steady.events,
+        steady.wall_us as f64 / 1e6,
+        steady.events_per_sec,
+        steady.bytes_per_sec,
+    );
+
+    println!(
+        "bench_suite: chaos sweep ({} seeds, 1 thread)...",
+        args.chaos_seeds
+    );
+    let chaos_1t = chaos_rate(args.chaos_seeds, 1);
+    println!(
+        "  {:.3} s — {:.2} seeds/s",
+        chaos_1t.wall_us as f64 / 1e6,
+        chaos_1t.seeds_per_sec,
+    );
+
+    println!(
+        "bench_suite: chaos sweep ({} seeds, {} threads)...",
+        args.chaos_seeds, args.threads
+    );
+    let chaos_mt = chaos_rate(args.chaos_seeds, args.threads);
+    println!(
+        "  {:.3} s — {:.2} seeds/s ({:.2}x)",
+        chaos_mt.wall_us as f64 / 1e6,
+        chaos_mt.seeds_per_sec,
+        chaos_mt.seeds_per_sec / chaos_1t.seeds_per_sec.max(1e-9),
+    );
+
+    let mut report = MetricsReport::new("bench_suite");
+    let mut config = Json::obj();
+    config.set("download_bytes", Json::U64(args.download_bytes));
+    config.set("chaos_seeds", Json::U64(args.chaos_seeds));
+    config.set("threads", Json::U64(args.threads as u64));
+    report.set("config", config);
+
+    let mut current = Json::obj();
+    let mut ss = Json::obj();
+    ss.set("events", Json::U64(steady.events));
+    ss.set("bytes", Json::U64(steady.bytes));
+    ss.set("wall_us", Json::U64(steady.wall_us));
+    ss.set("events_per_sec", Json::F64(steady.events_per_sec));
+    ss.set("bytes_per_sec", Json::F64(steady.bytes_per_sec));
+    current.set("steady_state", ss);
+    let mut ch = Json::obj();
+    ch.set("seeds", Json::U64(args.chaos_seeds));
+    ch.set("wall_us_1t", Json::U64(chaos_1t.wall_us));
+    ch.set("seeds_per_sec_1t", Json::F64(chaos_1t.seeds_per_sec));
+    ch.set("threads", Json::U64(args.threads as u64));
+    ch.set("wall_us_mt", Json::U64(chaos_mt.wall_us));
+    ch.set("seeds_per_sec_mt", Json::F64(chaos_mt.seeds_per_sec));
+    ch.set(
+        "speedup",
+        Json::F64(chaos_mt.seeds_per_sec / chaos_1t.seeds_per_sec.max(1e-9)),
+    );
+    current.set("chaos", ch);
+    report.set("current", current);
+
+    if args.baseline_events_per_sec.is_some()
+        || args.baseline_bytes_per_sec.is_some()
+        || args.baseline_seeds_per_sec.is_some()
+    {
+        let mut baseline = Json::obj();
+        if let Some(x) = args.baseline_events_per_sec {
+            baseline.set("events_per_sec", Json::F64(x));
+            baseline.set(
+                "events_per_sec_ratio",
+                Json::F64(steady.events_per_sec / x.max(1e-9)),
+            );
+        }
+        if let Some(x) = args.baseline_bytes_per_sec {
+            baseline.set("bytes_per_sec", Json::F64(x));
+        }
+        if let Some(x) = args.baseline_seeds_per_sec {
+            baseline.set("seeds_per_sec_1t", Json::F64(x));
+        }
+        report.set("baseline", baseline);
+    }
+
+    match report.write_to(&args.out) {
+        Ok(()) => println!("report written to {}", args.out.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", args.out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,6 +9,8 @@
 //! Options:
 //! * `--seeds N`          number of seeds to sweep (default 200)
 //! * `--start N`          first seed (default 0)
+//! * `--threads N`        worker threads for case execution (default 1;
+//!   results are bit-identical at any thread count)
 //! * `--quick`            smaller download + shorter horizon (CI smoke)
 //! * `--double`           double-fault schedules (failure during repair)
 //! * `--seed N`           run exactly one seed, verbosely
@@ -26,19 +28,15 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use obs::json::Json;
-use obs::report::MetricsReport;
-use simnet::time::SimTime;
-use sttcp::events::StTcpEvent;
 use sttcp::invariant::Outcome;
-use sttcp_apps::chaos::{
-    chaos_config, run_chaos_case, shrink_schedule, ChaosOptions, ChaosReport, FaultSchedule,
-};
-use sttcp_bench::phases::{detection_bound, failover_timeline, first_verdict, PhaseAgg};
+use sttcp_apps::chaos::{run_chaos_case, shrink_schedule, ChaosOptions, FaultSchedule};
+use sttcp_bench::hunt::{latest_fault_before, run_sweep, survivor_events, SweepConfig};
+use sttcp_bench::phases::failover_timeline;
 
 struct Args {
     seeds: u64,
     start: u64,
+    threads: usize,
     quick: bool,
     double: bool,
     one_seed: Option<u64>,
@@ -53,6 +51,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         seeds: 200,
         start: 0,
+        threads: 1,
         quick: false,
         double: false,
         one_seed: None,
@@ -65,7 +64,7 @@ fn parse_args() -> Args {
     fn die(msg: &str) -> ! {
         eprintln!("{msg}");
         eprintln!(
-            "usage: chaos_hunt [--seeds N] [--start N] [--quick] [--double] \
+            "usage: chaos_hunt [--seeds N] [--start N] [--threads N] [--quick] [--double] \
              [--seed N [--schedule \"...\"]] [--verbose] [--trace] \
              [--json PATH] [--enforce-bounds]"
         );
@@ -84,6 +83,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--seeds" => args.seeds = num("--seeds", val("--seeds")),
             "--start" => args.start = num("--start", val("--start")),
+            "--threads" => args.threads = num("--threads", val("--threads")) as usize,
             "--quick" => args.quick = true,
             "--double" => args.double = true,
             "--seed" => args.one_seed = Some(num("--seed", val("--seed"))),
@@ -96,64 +96,6 @@ fn parse_args() -> Args {
         }
     }
     args
-}
-
-/// The survivor's event log: whichever side completed a takeover, or
-/// failing that, whichever declared a verdict.
-fn survivor_events(report: &ChaosReport) -> Option<&[StTcpEvent]> {
-    let took_over =
-        |evs: &[StTcpEvent]| evs.iter().any(|e| matches!(e, StTcpEvent::TookOver { .. }));
-    if took_over(&report.backup_events) {
-        Some(&report.backup_events)
-    } else if took_over(&report.primary_events) {
-        Some(&report.primary_events)
-    } else if first_verdict(&report.backup_events).is_some() {
-        Some(&report.backup_events)
-    } else if first_verdict(&report.primary_events).is_some() {
-        Some(&report.primary_events)
-    } else {
-        None
-    }
-}
-
-/// The latest injected fault at or before `cutoff` — the lenient
-/// attribution for chaos runs, where several faults may precede one
-/// verdict and the detector answers for the most recent of them.
-fn latest_fault_before(report: &ChaosReport, cutoff: SimTime) -> Option<SimTime> {
-    report
-        .faults
-        .iter()
-        .map(|(at, _)| *at)
-        .filter(|at| *at <= cutoff)
-        .max()
-}
-
-/// The moment the survivor's detection clock last (re)started before
-/// `cutoff`: the latest fault, or the latest heartbeat-link recovery if
-/// that came later. A heartbeat outage stalls lag/ping evidence (peer
-/// positions stop refreshing), so a detector's configured bound can only
-/// be charged from when heartbeat coverage was last restored.
-fn detection_clock_start(
-    report: &ChaosReport,
-    events: &[StTcpEvent],
-    cutoff: SimTime,
-) -> Option<SimTime> {
-    let fault = latest_fault_before(report, cutoff)?;
-    let link_up = events
-        .iter()
-        .filter_map(|e| match e {
-            StTcpEvent::HbLinkUp { at, .. } if *at <= cutoff => Some(*at),
-            _ => None,
-        })
-        .max();
-    Some(link_up.map_or(fault, |up| fault.max(up)))
-}
-
-struct BoundViolation {
-    seed: u64,
-    reason: &'static str,
-    measured_us: u64,
-    bound_us: u64,
 }
 
 fn main() -> ExitCode {
@@ -216,110 +158,72 @@ fn main() -> ExitCode {
         "multi-fault"
     };
     println!(
-        "chaos hunt: {} seeds {}..{} ({kind}{})",
+        "chaos hunt: {} seeds {}..{} ({kind}{}{})",
         args.seeds,
         args.start,
         args.start + args.seeds,
         if args.quick { ", quick" } else { "" },
+        if args.threads > 1 {
+            format!(", {} threads", args.threads)
+        } else {
+            String::new()
+        },
     );
 
-    let cfg = chaos_config();
-    let mut clean = 0u64;
-    let mut recovered = 0u64;
-    let mut detected = 0u64;
-    let mut lost = 0u64;
-    let mut violated: Vec<u64> = Vec::new();
-    let mut agg = PhaseAgg::new();
-    let mut bound_checked = 0u64;
-    let mut bound_violations: Vec<BoundViolation> = Vec::new();
-
-    for seed in args.start..args.start + args.seeds {
-        let schedule = if args.double {
-            FaultSchedule::generate_double(seed)
-        } else {
-            FaultSchedule::generate(seed)
-        };
-        let report = run_chaos_case(seed, &schedule, &opts);
-        if args.verbose || report.outcome == Outcome::Violation {
-            println!("seed {seed}: {} — {schedule}", report.outcome);
+    let cfg = SweepConfig {
+        seeds: args.seeds,
+        start: args.start,
+        quick: args.quick,
+        double: args.double,
+        threads: args.threads,
+    };
+    let summary = run_sweep(&cfg, &opts, |case| {
+        if args.verbose || case.report.outcome == Outcome::Violation {
+            println!(
+                "seed {}: {} — {}",
+                case.seed, case.report.outcome, case.schedule
+            );
         }
-
-        // Fold any observed failover into the phase aggregation, and
-        // check the fault → verdict latency against the configured bound
-        // for whichever detector fired.
-        if let Some(events) = survivor_events(&report) {
-            if let Some((ws, we)) = report.stall_window {
-                let fault_at = latest_fault_before(&report, we);
-                if let Some(b) = failover_timeline(ws, we, fault_at, events).breakdown() {
-                    agg.add(&b);
-                }
+        if case.report.outcome == Outcome::Violation {
+            for v in &case.report.violations {
+                println!("  [{}] {}", v.invariant, v.detail);
             }
-            if let Some((reason, at)) = first_verdict(events) {
-                if let (Some(clock_start), Some(bound)) = (
-                    detection_clock_start(&report, events, at),
-                    detection_bound(&cfg, reason),
-                ) {
-                    bound_checked += 1;
-                    let measured = at.saturating_since(clock_start);
-                    if measured > bound {
-                        bound_violations.push(BoundViolation {
-                            seed,
-                            reason: reason.key(),
-                            measured_us: measured.as_micros(),
-                            bound_us: bound.as_micros(),
-                        });
-                    }
-                }
-            }
+            println!("  shrinking...");
+            let shrunk = shrink_schedule(case.seed, &case.schedule, &opts);
+            println!(
+                "  minimal reproducer ({} actions, {} probe runs):",
+                shrunk.schedule.len(),
+                shrunk.runs
+            );
+            println!(
+                "    cargo run -p sttcp-bench --bin chaos_hunt -- \\\n      \
+                 --seed {} --schedule \"{}\"",
+                case.seed, shrunk.schedule
+            );
         }
-
-        match report.outcome {
-            Outcome::Clean => clean += 1,
-            Outcome::Recovered => recovered += 1,
-            Outcome::DetectedUnrecoverable => detected += 1,
-            Outcome::ServiceLost => lost += 1,
-            Outcome::Violation => {
-                violated.push(seed);
-                for v in &report.violations {
-                    println!("  [{}] {}", v.invariant, v.detail);
-                }
-                println!("  shrinking...");
-                let shrunk = shrink_schedule(seed, &schedule, &opts);
-                println!(
-                    "  minimal reproducer ({} actions, {} probe runs):",
-                    shrunk.schedule.len(),
-                    shrunk.runs
-                );
-                println!(
-                    "    cargo run -p sttcp-bench --bin chaos_hunt -- \\\n      \
-                     --seed {seed} --schedule \"{}\"",
-                    shrunk.schedule
-                );
-            }
-        }
-    }
+    });
 
     println!();
-    println!("clean                    {clean:>6}");
-    println!("recovered                {recovered:>6}");
-    println!("detected-unrecoverable   {detected:>6}");
-    println!("service-lost             {lost:>6}");
-    println!("VIOLATIONS               {:>6}", violated.len());
+    println!("clean                    {:>6}", summary.clean);
+    println!("recovered                {:>6}", summary.recovered);
+    println!("detected-unrecoverable   {:>6}", summary.detected);
+    println!("service-lost             {:>6}", summary.lost);
+    println!("VIOLATIONS               {:>6}", summary.violated.len());
 
-    if !agg.is_empty() {
+    if !summary.agg.is_empty() {
         println!(
             "\nfailover phase latencies across {} failovers:\n",
-            agg.failovers()
+            summary.agg.failovers()
         );
-        print!("{}", agg.render_table());
+        print!("{}", summary.agg.render_table());
     }
 
     println!(
         "\ndetection bounds: {} failovers checked, {} exceeded",
-        bound_checked,
-        bound_violations.len()
+        summary.bound_checked,
+        summary.bound_violations.len()
     );
-    for v in &bound_violations {
+    for v in &summary.bound_violations {
         println!(
             "BOUND EXCEEDED: seed {} ({}) detected in {:.1} ms > bound {:.1} ms",
             v.seed,
@@ -330,41 +234,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.json {
-        let mut report = MetricsReport::new("chaos_hunt");
-        let mut cfg_j = Json::obj();
-        cfg_j.set("seeds", Json::U64(args.seeds));
-        cfg_j.set("start", Json::U64(args.start));
-        cfg_j.set("quick", Json::Bool(args.quick));
-        cfg_j.set("double", Json::Bool(args.double));
-        report.set("config", cfg_j);
-        let mut outcomes = Json::obj();
-        outcomes.set("clean", Json::U64(clean));
-        outcomes.set("recovered", Json::U64(recovered));
-        outcomes.set("detected_unrecoverable", Json::U64(detected));
-        outcomes.set("service_lost", Json::U64(lost));
-        outcomes.set("violations", Json::U64(violated.len() as u64));
-        report.set("outcomes", outcomes);
-        report.set("phases", agg.to_json());
-        let mut bounds = Json::obj();
-        bounds.set("checked", Json::U64(bound_checked));
-        bounds.set("enforced", Json::Bool(args.enforce_bounds));
-        bounds.set(
-            "exceeded",
-            Json::Arr(
-                bound_violations
-                    .iter()
-                    .map(|v| {
-                        let mut o = Json::obj();
-                        o.set("seed", Json::U64(v.seed));
-                        o.set("reason", Json::from(v.reason));
-                        o.set("measured_us", Json::U64(v.measured_us));
-                        o.set("bound_us", Json::U64(v.bound_us));
-                        o
-                    })
-                    .collect(),
-            ),
-        );
-        report.set("detection_bounds", bounds);
+        let report = summary.to_report(&cfg, args.enforce_bounds);
         if let Err(e) = report.write_to(path) {
             eprintln!("failed to write {}: {e}", path.display());
             return ExitCode::from(1);
@@ -372,13 +242,13 @@ fn main() -> ExitCode {
         println!("metrics report written to {}", path.display());
     }
 
-    let bounds_failed = args.enforce_bounds && !bound_violations.is_empty();
-    if violated.is_empty() && !bounds_failed {
+    let bounds_failed = args.enforce_bounds && !summary.bound_violations.is_empty();
+    if summary.violated.is_empty() && !bounds_failed {
         println!("\nno invariant violations — every run within its fault envelope");
         ExitCode::SUCCESS
     } else {
-        if !violated.is_empty() {
-            println!("\nviolating seeds: {violated:?}");
+        if !summary.violated.is_empty() {
+            println!("\nviolating seeds: {:?}", summary.violated);
         }
         if bounds_failed {
             println!("\ndetection bounds exceeded — see BOUND EXCEEDED lines above");

@@ -7,6 +7,8 @@
 //! Run with: `cargo run -p sttcp-bench --bin table1_matrix --release`
 //!
 //! `--json <path>` additionally writes the matrix as a `MetricsReport`.
+//! `--threads <n>` fans the ten independent scenarios out over a worker
+//! pool; the output is identical to a single-threaded run.
 //!
 //! Exit status is 1 if any client stream was disrupted or any detection
 //! latency exceeded its configured bound.
@@ -16,11 +18,12 @@ use std::process::ExitCode;
 
 use obs::json::Json;
 use obs::report::MetricsReport;
-use sttcp_bench::experiments::run_table1_matrix;
+use sttcp_bench::experiments::run_table1_matrix_threaded;
 use sttcp_bench::report::Table;
 
-fn parse_args() -> Option<PathBuf> {
+fn parse_args() -> (Option<PathBuf>, usize) {
     let mut json = None;
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -31,8 +34,15 @@ fn parse_args() -> Option<PathBuf> {
                     std::process::exit(2);
                 }
             },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = n,
+                None => {
+                    eprintln!("--threads requires a number");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: table1_matrix [--json <path>]");
+                eprintln!("usage: table1_matrix [--json <path>] [--threads <n>]");
                 std::process::exit(0);
             }
             other => {
@@ -41,13 +51,13 @@ fn parse_args() -> Option<PathBuf> {
             }
         }
     }
-    json
+    (json, threads)
 }
 
 fn main() -> ExitCode {
-    let json_path = parse_args();
+    let (json_path, threads) = parse_args();
     println!("ST-TCP Table 1 — single failure scenarios (reproduced)\n");
-    let rows = run_table1_matrix(1_000);
+    let rows = run_table1_matrix_threaded(1_000, threads);
     let mut table = Table::new(vec![
         "row",
         "location",

@@ -442,8 +442,23 @@ impl Table1Row {
 /// Runs all ten Table 1 scenarios and reports each row's observed
 /// symptom and recovery action.
 pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
+    run_table1_matrix_threaded(seed, 1)
+}
+
+/// [`run_table1_matrix`] with the ten independent scenarios fanned out
+/// over up to `threads` workers. Each scenario's seed derives from
+/// `seed` and its fixed case index alone, so the rows come back in the
+/// same order with the same content as a sequential run.
+pub fn run_table1_matrix_threaded(seed: u64, threads: usize) -> Vec<Table1Row> {
+    let cases: Vec<u32> = (0..10).collect();
+    crate::parallel::parallel_map_indexed(threads, &cases, |_, &case| table1_case(seed, case))
+}
+
+/// Runs one of the ten Table 1 scenarios (`case` in `0..10`). The case
+/// index doubles as the seed bump, matching the order the sequential
+/// matrix has always used.
+fn table1_case(seed: u64, case: u32) -> Table1Row {
     let inject_at = 2_000u64;
-    let mut rows = Vec::new();
 
     let finish = |mut s: Scenario| -> Scenario {
         s.world.run_until(t(90_000));
@@ -491,225 +506,175 @@ pub fn run_table1_matrix(seed: u64) -> Vec<Table1Row> {
     let bound_of =
         |reason: Option<FailureReason>| reason.and_then(|r| detection_bound(&fast_cfg(200), r));
 
-    // Row 1: HW/OS crash.
-    {
-        let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
-            .seed(seed)
-            .sttcp(fast_cfg(200))
-            .build();
-        s.crash_primary_at(t(inject_at));
-        let s = finish(s);
-        let (symptom, reason, det) = symptom_of(&s, s.backup);
-        rows.push(Table1Row {
-            row: 1,
-            location: "primary",
-            failure: "HW/OS crash".into(),
-            symptom,
-            recovery: recovery_of(&s),
-            detection: det,
-            reason,
-            bound: bound_of(reason),
-            client_ok: client_ok(&s),
-        });
-    }
-    {
-        let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
-            .seed(seed + 1)
-            .sttcp(fast_cfg(200))
-            .build();
-        s.crash_backup_at(t(inject_at));
-        let s = finish(s);
-        let (symptom, reason, det) = symptom_of(&s, s.primary);
-        rows.push(Table1Row {
-            row: 1,
-            location: "backup",
-            failure: "HW/OS crash".into(),
-            symptom,
-            recovery: recovery_of(&s),
-            detection: det,
-            reason,
-            bound: bound_of(reason),
-            client_ok: client_ok(&s),
-        });
-    }
-
-    // Row 2: application crash without cleanup.
-    for (loc, bump) in [("primary", 2u64), ("backup", 3)] {
-        let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
-            .seed(seed + bump)
-            .sttcp(fast_cfg(200))
-            .build();
-        let victim = if loc == "primary" {
-            s.primary
-        } else {
-            s.backup
-        };
-        let detector = if loc == "primary" {
-            s.backup
-        } else {
-            s.primary
-        };
-        s.crash_app_at(victim, t(inject_at), AppCrashMode::SilentNoCleanup);
-        let s = finish(s);
-        let (symptom, reason, det) = symptom_of(&s, detector);
-        rows.push(Table1Row {
-            row: 2,
-            location: if loc == "primary" {
-                "primary"
+    let s_seed = seed + case as u64;
+    let on_primary = case.is_multiple_of(2);
+    let location = if on_primary { "primary" } else { "backup" };
+    match case {
+        // Row 1: HW/OS crash.
+        0 | 1 => {
+            let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
+                .seed(s_seed)
+                .sttcp(fast_cfg(200))
+                .build();
+            if on_primary {
+                s.crash_primary_at(t(inject_at));
             } else {
-                "backup"
-            },
-            failure: "app crash, no FIN/RST".into(),
-            symptom,
-            recovery: recovery_of(&s),
-            detection: det,
-            reason,
-            bound: bound_of(reason),
-            client_ok: client_ok(&s),
-        });
+                s.crash_backup_at(t(inject_at));
+            }
+            let s = finish(s);
+            let detector = if on_primary { s.backup } else { s.primary };
+            let (symptom, reason, det) = symptom_of(&s, detector);
+            Table1Row {
+                row: 1,
+                location,
+                failure: "HW/OS crash".into(),
+                symptom,
+                recovery: recovery_of(&s),
+                detection: det,
+                reason,
+                bound: bound_of(reason),
+                client_ok: client_ok(&s),
+            }
+        }
+        // Row 2: application crash without cleanup.
+        2 | 3 => {
+            let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
+                .seed(s_seed)
+                .sttcp(fast_cfg(200))
+                .build();
+            let victim = if on_primary { s.primary } else { s.backup };
+            let detector = if on_primary { s.backup } else { s.primary };
+            s.crash_app_at(victim, t(inject_at), AppCrashMode::SilentNoCleanup);
+            let s = finish(s);
+            let (symptom, reason, det) = symptom_of(&s, detector);
+            Table1Row {
+                row: 2,
+                location,
+                failure: "app crash, no FIN/RST".into(),
+                symptom,
+                recovery: recovery_of(&s),
+                detection: det,
+                reason,
+                bound: bound_of(reason),
+                client_ok: client_ok(&s),
+            }
+        }
+        // Row 3: application crash with cleanup (FIN generated).
+        4 | 5 => {
+            let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
+                .seed(s_seed)
+                .sttcp(fast_cfg(200))
+                .build();
+            let victim = if on_primary { s.primary } else { s.backup };
+            let detector = if on_primary { s.backup } else { s.primary };
+            s.crash_app_at(victim, t(inject_at), AppCrashMode::CleanupFin);
+            let s = finish(s);
+            let (symptom, reason, det) = symptom_of(&s, detector);
+            let held = s
+                .server(victim)
+                .events()
+                .iter()
+                .any(|e| matches!(e, StTcpEvent::FinHeld { .. }));
+            Table1Row {
+                row: 3,
+                location,
+                failure: format!(
+                    "app crash, FIN generated{}",
+                    if held { " (held)" } else { "" }
+                ),
+                symptom,
+                recovery: recovery_of(&s),
+                detection: det,
+                reason,
+                bound: bound_of(reason),
+                client_ok: client_ok(&s),
+            }
+        }
+        // Row 4: NIC failure.
+        6 | 7 => {
+            let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
+                .seed(s_seed)
+                .sttcp(fast_cfg(200))
+                .build();
+            let victim = if on_primary { s.primary } else { s.backup };
+            let detector = if on_primary { s.backup } else { s.primary };
+            s.fail_nic_at(victim, t(inject_at));
+            let s = finish(s);
+            let (symptom, reason, det) = symptom_of(&s, detector);
+            Table1Row {
+                row: 4,
+                location,
+                failure: "NIC failure".into(),
+                symptom,
+                recovery: recovery_of(&s),
+                detection: det,
+                reason,
+                bound: bound_of(reason),
+                client_ok: client_ok(&s),
+            }
+        }
+        // Row 5: temporary network failure — client frames lost on the tap.
+        8 => {
+            let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
+                .seed(s_seed)
+                .sttcp(fast_cfg(200))
+                .build();
+            s.drop_backup_tap_at(t(inject_at), 20);
+            let s = finish(s);
+            let recovered = s
+                .server(s.backup)
+                .events()
+                .iter()
+                .any(|e| matches!(e, StTcpEvent::RecoveryCompleted { .. }));
+            Table1Row {
+                row: 5,
+                location: "backup",
+                failure: "20 client frames lost on the tap".into(),
+                symptom: if recovered {
+                    "HB up; backup missed client bytes".into()
+                } else {
+                    "loss not observed".into()
+                },
+                recovery: recovery_of(&s),
+                detection: None,
+                reason: None,
+                bound: None,
+                client_ok: client_ok(&s),
+            }
+        }
+        // Row 5: temporary network failure — short outage toward the
+        // primary.
+        _ => {
+            // Paper-default lag thresholds here: a 300 ms outage takes TCP
+            // about a second of fast-retransmit hole-filling to repair, which
+            // must stay comfortably inside AppMaxLagTime (2 s default) — the
+            // whole point of the row is that *temporary* failures shorter
+            // than the thresholds never trigger ST-TCP.
+            let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
+                .seed(s_seed)
+                .sttcp(StTcpConfig::with_hb_period(SimDuration::from_millis(200)))
+                .build();
+            s.drop_primary_tap_for(t(inject_at), SimDuration::from_millis(300));
+            let s = finish(s);
+            let no_verdicts =
+                detection_of(&s, s.primary).is_none() && detection_of(&s, s.backup).is_none();
+            Table1Row {
+                row: 5,
+                location: "primary",
+                failure: "300ms client-frame outage toward primary".into(),
+                symptom: if no_verdicts {
+                    "primary missed bytes; client retransmits".into()
+                } else {
+                    "unexpected failure verdict".into()
+                },
+                recovery: recovery_of(&s),
+                detection: None,
+                reason: None,
+                bound: None,
+                client_ok: client_ok(&s),
+            }
+        }
     }
-
-    // Row 3: application crash with cleanup (FIN generated).
-    for (loc, bump) in [("primary", 4u64), ("backup", 5)] {
-        let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
-            .seed(seed + bump)
-            .sttcp(fast_cfg(200))
-            .build();
-        let victim = if loc == "primary" {
-            s.primary
-        } else {
-            s.backup
-        };
-        let detector = if loc == "primary" {
-            s.backup
-        } else {
-            s.primary
-        };
-        s.crash_app_at(victim, t(inject_at), AppCrashMode::CleanupFin);
-        let s = finish(s);
-        let (symptom, reason, det) = symptom_of(&s, detector);
-        let held = s
-            .server(victim)
-            .events()
-            .iter()
-            .any(|e| matches!(e, StTcpEvent::FinHeld { .. }));
-        rows.push(Table1Row {
-            row: 3,
-            location: if loc == "primary" {
-                "primary"
-            } else {
-                "backup"
-            },
-            failure: format!(
-                "app crash, FIN generated{}",
-                if held { " (held)" } else { "" }
-            ),
-            symptom,
-            recovery: recovery_of(&s),
-            detection: det,
-            reason,
-            bound: bound_of(reason),
-            client_ok: client_ok(&s),
-        });
-    }
-
-    // Row 4: NIC failure.
-    for (loc, bump) in [("primary", 6u64), ("backup", 7)] {
-        let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
-            .seed(seed + bump)
-            .sttcp(fast_cfg(200))
-            .build();
-        let victim = if loc == "primary" {
-            s.primary
-        } else {
-            s.backup
-        };
-        let detector = if loc == "primary" {
-            s.backup
-        } else {
-            s.primary
-        };
-        s.fail_nic_at(victim, t(inject_at));
-        let s = finish(s);
-        let (symptom, reason, det) = symptom_of(&s, detector);
-        rows.push(Table1Row {
-            row: 4,
-            location: if loc == "primary" {
-                "primary"
-            } else {
-                "backup"
-            },
-            failure: "NIC failure".into(),
-            symptom,
-            recovery: recovery_of(&s),
-            detection: det,
-            reason,
-            bound: bound_of(reason),
-            client_ok: client_ok(&s),
-        });
-    }
-
-    // Row 5: temporary network failure.
-    {
-        let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
-            .seed(seed + 8)
-            .sttcp(fast_cfg(200))
-            .build();
-        s.drop_backup_tap_at(t(inject_at), 20);
-        let s = finish(s);
-        let recovered = s
-            .server(s.backup)
-            .events()
-            .iter()
-            .any(|e| matches!(e, StTcpEvent::RecoveryCompleted { .. }));
-        rows.push(Table1Row {
-            row: 5,
-            location: "backup",
-            failure: "20 client frames lost on the tap".into(),
-            symptom: if recovered {
-                "HB up; backup missed client bytes".into()
-            } else {
-                "loss not observed".into()
-            },
-            recovery: recovery_of(&s),
-            detection: None,
-            reason: None,
-            bound: None,
-            client_ok: client_ok(&s),
-        });
-    }
-    {
-        // Paper-default lag thresholds here: a 300 ms outage takes TCP
-        // about a second of fast-retransmit hole-filling to repair, which
-        // must stay comfortably inside AppMaxLagTime (2 s default) — the
-        // whole point of the row is that *temporary* failures shorter
-        // than the thresholds never trigger ST-TCP.
-        let mut s = ScenarioBuilder::new(echo_app(), chat_workload())
-            .seed(seed + 9)
-            .sttcp(StTcpConfig::with_hb_period(SimDuration::from_millis(200)))
-            .build();
-        s.drop_primary_tap_for(t(inject_at), SimDuration::from_millis(300));
-        let s = finish(s);
-        let no_verdicts =
-            detection_of(&s, s.primary).is_none() && detection_of(&s, s.backup).is_none();
-        rows.push(Table1Row {
-            row: 5,
-            location: "primary",
-            failure: "300ms client-frame outage toward primary".into(),
-            symptom: if no_verdicts {
-                "primary missed bytes; client retransmits".into()
-            } else {
-                "unexpected failure verdict".into()
-            },
-            recovery: recovery_of(&s),
-            detection: None,
-            reason: None,
-            bound: None,
-            client_ok: client_ok(&s),
-        });
-    }
-
-    rows
 }
 
 // ---------------------------------------------------------------------

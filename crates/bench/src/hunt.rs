@@ -1,0 +1,259 @@
+//! The chaos-hunt sweep as a library: generate seeded fault schedules,
+//! run each case, and fold outcome counters / phase aggregates /
+//! detection-bound checks **in seed order**.
+//!
+//! Case *execution* fans out over a worker pool
+//! ([`crate::parallel::parallel_seeds`]); each `World` is independent
+//! and deterministic, so only the fold is order-sensitive. Folding in
+//! seed order makes the summary — and the [`MetricsReport`] built from
+//! it — bit-identical across `--threads` settings, which
+//! `tests/chaos.rs` pins as a regression test.
+
+use obs::json::Json;
+use obs::report::MetricsReport;
+use simnet::time::SimTime;
+use sttcp::events::StTcpEvent;
+use sttcp::invariant::Outcome;
+use sttcp_apps::chaos::{chaos_config, run_chaos_case, ChaosOptions, ChaosReport, FaultSchedule};
+
+use crate::parallel::parallel_seeds;
+use crate::phases::{detection_bound, failover_timeline, first_verdict, PhaseAgg};
+
+/// What to sweep: a contiguous seed range, the schedule generator
+/// flavour, and how many worker threads to run cases on.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Number of seeds to sweep.
+    pub seeds: u64,
+    /// First seed.
+    pub start: u64,
+    /// Quick profile (smaller download, shorter horizon) — recorded in
+    /// the report; the caller picks the matching [`ChaosOptions`].
+    pub quick: bool,
+    /// Double-fault schedules (failure during repair).
+    pub double: bool,
+    /// Worker threads for case execution (`<= 1` runs inline).
+    pub threads: usize,
+}
+
+/// One executed sweep case, handed to the fold callback in seed order.
+pub struct SweepCase {
+    /// The seed the schedule was generated from.
+    pub seed: u64,
+    /// The generated fault schedule.
+    pub schedule: FaultSchedule,
+    /// The chaos run's report.
+    pub report: ChaosReport,
+}
+
+/// A fault → verdict latency that exceeded the configured bound for the
+/// detector that fired.
+pub struct BoundViolation {
+    /// Seed of the offending run.
+    pub seed: u64,
+    /// Verdict reason key (detector name).
+    pub reason: &'static str,
+    /// Measured detection latency.
+    pub measured_us: u64,
+    /// The configured bound it exceeded.
+    pub bound_us: u64,
+}
+
+/// Seed-order fold of a whole sweep.
+pub struct SweepSummary {
+    /// Runs with no fault impact observed.
+    pub clean: u64,
+    /// Runs that failed over and finished the workload.
+    pub recovered: u64,
+    /// Runs that detected an unrecoverable fault pattern.
+    pub detected: u64,
+    /// Runs where service was (legitimately) lost.
+    pub lost: u64,
+    /// Seeds whose run violated an invariant.
+    pub violated: Vec<u64>,
+    /// Cross-seed failover phase-latency aggregation.
+    pub agg: PhaseAgg,
+    /// Failovers whose detection latency was checked against a bound.
+    pub bound_checked: u64,
+    /// Detection-bound violations, in seed order.
+    pub bound_violations: Vec<BoundViolation>,
+}
+
+/// The survivor's event log: whichever side completed a takeover, or
+/// failing that, whichever declared a verdict.
+pub fn survivor_events(report: &ChaosReport) -> Option<&[StTcpEvent]> {
+    let took_over =
+        |evs: &[StTcpEvent]| evs.iter().any(|e| matches!(e, StTcpEvent::TookOver { .. }));
+    if took_over(&report.backup_events) {
+        Some(&report.backup_events)
+    } else if took_over(&report.primary_events) {
+        Some(&report.primary_events)
+    } else if first_verdict(&report.backup_events).is_some() {
+        Some(&report.backup_events)
+    } else if first_verdict(&report.primary_events).is_some() {
+        Some(&report.primary_events)
+    } else {
+        None
+    }
+}
+
+/// The latest injected fault at or before `cutoff` — the lenient
+/// attribution for chaos runs, where several faults may precede one
+/// verdict and the detector answers for the most recent of them.
+pub fn latest_fault_before(report: &ChaosReport, cutoff: SimTime) -> Option<SimTime> {
+    report
+        .faults
+        .iter()
+        .map(|(at, _)| *at)
+        .filter(|at| *at <= cutoff)
+        .max()
+}
+
+/// The moment the survivor's detection clock last (re)started before
+/// `cutoff`: the latest fault, or the latest heartbeat-link recovery if
+/// that came later. A heartbeat outage stalls lag/ping evidence (peer
+/// positions stop refreshing), so a detector's configured bound can only
+/// be charged from when heartbeat coverage was last restored.
+pub fn detection_clock_start(
+    report: &ChaosReport,
+    events: &[StTcpEvent],
+    cutoff: SimTime,
+) -> Option<SimTime> {
+    let fault = latest_fault_before(report, cutoff)?;
+    let link_up = events
+        .iter()
+        .filter_map(|e| match e {
+            StTcpEvent::HbLinkUp { at, .. } if *at <= cutoff => Some(*at),
+            _ => None,
+        })
+        .max();
+    Some(link_up.map_or(fault, |up| fault.max(up)))
+}
+
+/// Generates the schedule for `seed` under the sweep's generator
+/// flavour.
+pub fn schedule_for(cfg: &SweepConfig, seed: u64) -> FaultSchedule {
+    if cfg.double {
+        FaultSchedule::generate_double(seed)
+    } else {
+        FaultSchedule::generate(seed)
+    }
+}
+
+/// Runs the sweep: cases execute on up to `cfg.threads` workers, then
+/// fold sequentially in seed order. `on_case` fires once per case (in
+/// seed order) before the case is folded — the CLI hooks printing and
+/// shrinking there; pass `|_| {}` when only the summary matters.
+pub fn run_sweep(
+    cfg: &SweepConfig,
+    opts: &ChaosOptions,
+    mut on_case: impl FnMut(&SweepCase),
+) -> SweepSummary {
+    let detection_cfg = chaos_config();
+    let cases = parallel_seeds(cfg.threads, cfg.start, cfg.seeds, |seed| {
+        let schedule = schedule_for(cfg, seed);
+        let report = run_chaos_case(seed, &schedule, opts);
+        SweepCase {
+            seed,
+            schedule,
+            report,
+        }
+    });
+
+    let mut s = SweepSummary {
+        clean: 0,
+        recovered: 0,
+        detected: 0,
+        lost: 0,
+        violated: Vec::new(),
+        agg: PhaseAgg::new(),
+        bound_checked: 0,
+        bound_violations: Vec::new(),
+    };
+    for case in &cases {
+        on_case(case);
+        let report = &case.report;
+
+        // Fold any observed failover into the phase aggregation, and
+        // check the fault → verdict latency against the configured bound
+        // for whichever detector fired.
+        if let Some(events) = survivor_events(report) {
+            if let Some((ws, we)) = report.stall_window {
+                let fault_at = latest_fault_before(report, we);
+                if let Some(b) = failover_timeline(ws, we, fault_at, events).breakdown() {
+                    s.agg.add(&b);
+                }
+            }
+            if let Some((reason, at)) = first_verdict(events) {
+                if let (Some(clock_start), Some(bound)) = (
+                    detection_clock_start(report, events, at),
+                    detection_bound(&detection_cfg, reason),
+                ) {
+                    s.bound_checked += 1;
+                    let measured = at.saturating_since(clock_start);
+                    if measured > bound {
+                        s.bound_violations.push(BoundViolation {
+                            seed: case.seed,
+                            reason: reason.key(),
+                            measured_us: measured.as_micros(),
+                            bound_us: bound.as_micros(),
+                        });
+                    }
+                }
+            }
+        }
+
+        match report.outcome {
+            Outcome::Clean => s.clean += 1,
+            Outcome::Recovered => s.recovered += 1,
+            Outcome::DetectedUnrecoverable => s.detected += 1,
+            Outcome::ServiceLost => s.lost += 1,
+            Outcome::Violation => s.violated.push(case.seed),
+        }
+    }
+    s
+}
+
+impl SweepSummary {
+    /// Builds the `chaos_hunt` [`MetricsReport`] — key order and
+    /// content match what the CLI has always written, independent of
+    /// `cfg.threads`.
+    pub fn to_report(&self, cfg: &SweepConfig, enforce_bounds: bool) -> MetricsReport {
+        let mut report = MetricsReport::new("chaos_hunt");
+        let mut cfg_j = Json::obj();
+        cfg_j.set("seeds", Json::U64(cfg.seeds));
+        cfg_j.set("start", Json::U64(cfg.start));
+        cfg_j.set("quick", Json::Bool(cfg.quick));
+        cfg_j.set("double", Json::Bool(cfg.double));
+        report.set("config", cfg_j);
+        let mut outcomes = Json::obj();
+        outcomes.set("clean", Json::U64(self.clean));
+        outcomes.set("recovered", Json::U64(self.recovered));
+        outcomes.set("detected_unrecoverable", Json::U64(self.detected));
+        outcomes.set("service_lost", Json::U64(self.lost));
+        outcomes.set("violations", Json::U64(self.violated.len() as u64));
+        report.set("outcomes", outcomes);
+        report.set("phases", self.agg.to_json());
+        let mut bounds = Json::obj();
+        bounds.set("checked", Json::U64(self.bound_checked));
+        bounds.set("enforced", Json::Bool(enforce_bounds));
+        bounds.set(
+            "exceeded",
+            Json::Arr(
+                self.bound_violations
+                    .iter()
+                    .map(|v| {
+                        let mut o = Json::obj();
+                        o.set("seed", Json::U64(v.seed));
+                        o.set("reason", Json::from(v.reason));
+                        o.set("measured_us", Json::U64(v.measured_us));
+                        o.set("bound_us", Json::U64(v.bound_us));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        report.set("detection_bounds", bounds);
+        report
+    }
+}

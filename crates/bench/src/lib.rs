@@ -22,5 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod hunt;
+pub mod parallel;
 pub mod phases;
 pub mod report;

@@ -200,9 +200,13 @@ impl HbPayload {
             return Err(HbDecodeError);
         }
         let stored_crc = u32::from_be_bytes([wire[8], wire[9], wire[10], wire[11]]);
-        let mut zeroed = wire.to_vec();
-        zeroed[8..12].fill(0);
-        if crate::wire::crc32(&zeroed) != stored_crc {
+        // Stream the CRC with the on-wire CRC field treated as zero —
+        // no zeroed copy of the frame.
+        let mut crc = crate::wire::Crc32::new();
+        crc.update(&wire[..8]);
+        crc.update(&[0u8; 4]);
+        crc.update(&wire[12..]);
+        if crc.finish() != stored_crc {
             return Err(HbDecodeError);
         }
         let mut conns = Vec::with_capacity(n);

@@ -175,6 +175,10 @@ pub struct StTcpServer {
     peer_ping: Option<PingReport>,
 
     hb_seq: u32,
+    /// Reusable `ConnHb` buffer for heartbeat assembly: taken by
+    /// `build_heartbeat`, reclaimed (with its capacity) after encoding,
+    /// so the per-period heartbeat allocates no per-connection vector.
+    hb_scratch: Vec<ConnHb>,
     took_over: bool,
     tcp_timer: Option<(TimerId, SimTime)>,
     events: Vec<StTcpEvent>,
@@ -248,6 +252,7 @@ impl StTcpServer {
             net_detect,
             peer_ping: None,
             hb_seq: 0,
+            hb_scratch: Vec::new(),
             took_over: false,
             tcp_timer: None,
             events: Vec::new(),
@@ -608,8 +613,10 @@ impl StTcpServer {
 
     // ----- internal: heartbeats ---------------------------------------------
 
-    fn build_heartbeat(&self, now: SimTime) -> HbPayload {
-        let mut conns = Vec::with_capacity(self.by_key.len());
+    fn build_heartbeat(&mut self, now: SimTime) -> HbPayload {
+        let mut conns = std::mem::take(&mut self.hb_scratch);
+        conns.clear();
+        conns.reserve(self.by_key.len());
         for (&key, &sock) in &self.by_key {
             let Some(conn) = self.tcp.conn(sock) else {
                 continue;
@@ -637,6 +644,8 @@ impl StTcpServer {
         self.hb_seq = self.hb_seq.wrapping_add(1);
         let hb = self.build_heartbeat(ctx.now());
         let wire = hb.encode();
+        // Reclaim the conn buffer (and its capacity) for the next period.
+        self.hb_scratch = hb.conns;
         if let Some(frame) =
             self.iface
                 .frame_to(self.setup.peer_private_ip, IpProto::Heartbeat, wire.clone())

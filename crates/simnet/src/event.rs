@@ -3,10 +3,46 @@
 //! Events are ordered by `(time, insertion sequence)`. The sequence number
 //! guarantees that simultaneous events dequeue in exactly the order they
 //! were scheduled, which makes entire simulation runs bit-reproducible.
+//!
+//! # Implementation: hierarchical timing wheel
+//!
+//! The queue is a 6-level × 64-slot hashed timing wheel over the µs
+//! clock (level *l* has 64^l µs granularity, so the wheel spans
+//! 2^36 µs ≈ 19 virtual hours ahead of its `elapsed` cursor), with two
+//! escape hatches that keep the ordering contract *exact* rather than
+//! approximate:
+//!
+//! * an **overflow** min-heap for events scheduled beyond the wheel's
+//!   span (they migrate into the wheel, one 2^36 µs block at a time,
+//!   when the wheel drains), and
+//! * an **overdue** min-heap for events pushed *behind* the cursor.
+//!   `peek_time` has to advance the cursor to the earliest queued event
+//!   (a wheel cannot answer "what's next" without cascading), and the
+//!   world may afterwards push at times between its own clock and that
+//!   cursor; those land here and still pop first, in `(time, seq)`
+//!   order.
+//!
+//! Slot routing XORs the event time with the cursor: the highest
+//! differing 6-bit group picks the level, so a slot at level *l* only
+//! ever holds events that agree with the cursor on all higher groups.
+//! Consequences that the pop path relies on (and the differential
+//! proptest at the bottom of this file checks against the old
+//! `BinaryHeap` implementation, kept as the test oracle):
+//!
+//! * within one level, occupied slots are strictly after the cursor's
+//!   own slot — no wraparound, so "lowest set bit in the occupancy
+//!   bitmap" is the next slot in time;
+//! * all events at level *l* precede all events at level *l+1*, so the
+//!   lowest occupied level holds the globally earliest event;
+//! * a level-0 slot holds events of exactly one µs tick, in insertion
+//!   order (cascading re-inserts preserve relative order, and a
+//!   cascaded batch always precedes later direct pushes), so draining a
+//!   level-0 slot into the `pending` FIFO yields exact `(time, seq)`
+//!   order without comparisons.
 
 use bytes::Bytes;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::frame::EthernetFrame;
 use crate::link::{LinkDir, LinkId};
@@ -72,15 +108,177 @@ impl Ord for Queued {
     }
 }
 
+/// Bits per wheel level (64 slots).
+const BITS: usize = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Wheel levels.
+const LEVELS: usize = 6;
+/// The wheel's span in µs: times at or beyond `elapsed ^ SPAN` overflow.
+const SPAN: u64 = 1 << (BITS * LEVELS);
+
 /// A min-queue of events ordered by `(time, insertion order)`.
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Queued>,
+    /// The wheel cursor (µs): every wheel/pending/overflow event is at
+    /// `>= elapsed`, every overdue event is at `< elapsed`. Never
+    /// decreases.
+    elapsed: u64,
+    slots: [[Vec<Queued>; SLOTS]; LEVELS],
+    /// Per-level bitmap of non-empty slots.
+    occupied: [u64; LEVELS],
+    /// Events at exactly `elapsed`, in seq order.
+    pending: VecDeque<Queued>,
+    /// Events pushed behind the cursor (see module docs).
+    overdue: BinaryHeap<Queued>,
+    /// Events beyond the wheel's span.
+    overflow: BinaryHeap<Queued>,
     seq: u64,
+    len: usize,
 }
 
 impl EventQueue {
     pub(crate) fn new() -> EventQueue {
         EventQueue {
+            elapsed: 0,
+            slots: std::array::from_fn(|_| std::array::from_fn(|_| Vec::new())),
+            occupied: [0; LEVELS],
+            pending: VecDeque::new(),
+            overdue: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        self.route(Queued { at, seq, ev });
+    }
+
+    /// Files one event into the container the cursor says it belongs in.
+    fn route(&mut self, q: Queued) {
+        let at = q.at.as_micros();
+        if at < self.elapsed {
+            self.overdue.push(q);
+        } else if at == self.elapsed {
+            self.pending.push_back(q);
+        } else {
+            let x = at ^ self.elapsed;
+            if x >= SPAN {
+                self.overflow.push(q);
+            } else {
+                // x > 0 and below SPAN: the highest set bit picks the level.
+                let level = (63 - x.leading_zeros() as usize) / BITS;
+                let slot = ((at >> (BITS * level)) & (SLOTS as u64 - 1)) as usize;
+                self.slots[level][slot].push(q);
+                self.occupied[level] |= 1 << slot;
+            }
+        }
+    }
+
+    /// Advances the cursor until the earliest event sits in `overdue`
+    /// or `pending` (or the queue is empty): cascades higher-level
+    /// slots downward and migrates an overflow block into the wheel
+    /// when it drains.
+    fn settle(&mut self) {
+        loop {
+            if !self.overdue.is_empty() || !self.pending.is_empty() {
+                return;
+            }
+            let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) else {
+                // Wheel empty: migrate the overflow's next 2^36 µs block.
+                let Some(top) = self.overflow.peek() else {
+                    return;
+                };
+                let base = top.at.as_micros() & !(SPAN - 1);
+                debug_assert!(base >= self.elapsed, "overflow block behind cursor");
+                self.elapsed = base;
+                while let Some(top) = self.overflow.peek() {
+                    if top.at.as_micros() ^ self.elapsed >= SPAN {
+                        break;
+                    }
+                    // Heap pop order is (time, seq), so same-µs events
+                    // append to their slot in seq order.
+                    let q = self.overflow.pop().expect("peeked");
+                    self.route(q);
+                }
+                continue;
+            };
+            // Occupied slots are strictly after the cursor's slot, so the
+            // lowest set bit is the next slot in time.
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            self.occupied[level] &= !(1 << slot);
+            let mut items = std::mem::take(&mut self.slots[level][slot]);
+            if level == 0 {
+                // One exact µs tick, already in (time, seq) order.
+                self.elapsed = items[0].at.as_micros();
+                debug_assert!(items.iter().all(|q| q.at.as_micros() == self.elapsed));
+                self.pending.extend(items.drain(..));
+            } else {
+                // Advance to the slot's base and spread its events over
+                // the lower levels (in stored order, which re-appends
+                // same-time events without reordering them).
+                let width = BITS * level;
+                let block = 1u64 << (width + BITS);
+                let base = (self.elapsed & !(block - 1)) | ((slot as u64) << width);
+                debug_assert!(base > self.elapsed, "cascade must advance the cursor");
+                self.elapsed = base;
+                for q in items.drain(..) {
+                    self.route(q);
+                }
+            }
+            // Hand the (now empty) slot vector its capacity back.
+            self.slots[level][slot] = items;
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        self.settle();
+        // Overdue events are strictly behind the cursor, pending events
+        // exactly at it — overdue first, in heap (time, seq) order.
+        let q = match self.overdue.pop() {
+            Some(q) => q,
+            None => self.pending.pop_front()?,
+        };
+        self.len -= 1;
+        Some((q.at, q.ev))
+    }
+
+    /// The earliest queued time. Exact (not a lower bound), which is
+    /// what `World::run_until`'s stop condition needs; computing it may
+    /// cascade wheel slots, hence `&mut`.
+    pub(crate) fn peek_time(&mut self) -> Option<SimTime> {
+        self.settle();
+        match self.overdue.peek() {
+            Some(q) => Some(q.at),
+            None => self.pending.front().map(|q| q.at),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The original `BinaryHeap` queue, kept as the differential-test
+/// oracle: trivially correct by inspection, bitwise-identical pop
+/// order is asserted against it.
+#[cfg(test)]
+pub(crate) struct HeapQueue {
+    heap: BinaryHeap<Queued>,
+    seq: u64,
+}
+
+#[cfg(test)]
+impl HeapQueue {
+    pub(crate) fn new() -> HeapQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
             seq: 0,
         }
@@ -99,19 +297,12 @@ impl EventQueue {
     pub(crate) fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|q| q.at)
     }
-
-    pub(crate) fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    pub(crate) fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn timer(n: usize) -> Ev {
         Ev::Timer {
@@ -119,6 +310,13 @@ mod tests {
             id: TimerId(n as u64),
             token: TimerToken(0),
             epoch: 0,
+        }
+    }
+
+    fn tag_of(ev: &Ev) -> usize {
+        match ev {
+            Ev::Timer { node, .. } => node.0,
+            _ => unreachable!("tests only queue timers"),
         }
     }
 
@@ -142,10 +340,7 @@ mod tests {
             q.push(t, timer(n));
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop())
-            .map(|(_, ev)| match ev {
-                Ev::Timer { node, .. } => node.0,
-                _ => unreachable!(),
-            })
+            .map(|(_, ev)| tag_of(&ev))
             .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
@@ -160,5 +355,168 @@ mod tests {
         assert_eq!(q.len(), 1);
         let _ = q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_come_back() {
+        let mut q = EventQueue::new();
+        // Beyond the 2^36 µs wheel span, in several blocks.
+        q.push(SimTime::from_micros(3 * SPAN + 7), timer(3));
+        q.push(SimTime::from_micros(SPAN + 5), timer(1));
+        q.push(SimTime::from_micros(SPAN + 5), timer(2));
+        q.push(SimTime::from_micros(42), timer(0));
+        let order: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, ev)| (t.as_micros(), tag_of(&ev)))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(42, 0), (SPAN + 5, 1), (SPAN + 5, 2), (3 * SPAN + 7, 3)]
+        );
+    }
+
+    #[test]
+    fn push_behind_cursor_after_peek_pops_first() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10_000), timer(1));
+        // Peeking advances the cursor to 10 000 µs.
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(10_000)));
+        // The world may still push earlier (its own clock lags the
+        // cursor): these must pop first, in (time, seq) order.
+        q.push(SimTime::from_micros(500), timer(2));
+        q.push(SimTime::from_micros(200), timer(3));
+        q.push(SimTime::from_micros(500), timer(4));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(200)));
+        let order: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, ev)| (t.as_micros(), tag_of(&ev)))
+            .collect();
+        assert_eq!(order, vec![(200, 3), (500, 2), (500, 4), (10_000, 1)]);
+    }
+
+    #[test]
+    fn interleaved_pushes_at_one_tick_keep_seq_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(123_456);
+        q.push(t, timer(0));
+        q.push(t, timer(1));
+        // Drain the first, then push more at the same (now current) tick.
+        assert_eq!(q.pop().map(|(_, ev)| tag_of(&ev)), Some(0));
+        q.push(t, timer(2));
+        q.push(t, timer(3));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, ev)| tag_of(&ev))
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    /// Deterministic heavy churn: an LCG-driven push/pop storm across
+    /// every wheel level plus the overflow heap, diffed against the
+    /// heap oracle pop for pop.
+    #[test]
+    fn storm_matches_heap_oracle() {
+        let mut wheel = EventQueue::new();
+        let mut oracle = HeapQueue::new();
+        let mut lcg: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut rand = || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 11
+        };
+        let mut floor = 0u64; // pushes never go below the last pop (world contract)
+        let mut tag = 0usize;
+        for round in 0..50_000u64 {
+            let r = rand();
+            if r % 3 != 0 {
+                // Mix of near, mid, far and same-tick times.
+                let at = match r % 7 {
+                    0 => floor,
+                    1 => floor + r % 64,
+                    2 => floor + r % 4_096,
+                    3 => floor + r % 1_000_000,
+                    4 => floor + r % (SPAN / 2),
+                    _ => floor + r % (3 * SPAN),
+                };
+                let t = SimTime::from_micros(at);
+                wheel.push(t, timer(tag));
+                oracle.push(t, timer(tag));
+                tag += 1;
+            } else {
+                let got = wheel.pop().map(|(t, ev)| (t, tag_of(&ev)));
+                let want = oracle.pop().map(|(t, ev)| (t, tag_of(&ev)));
+                assert_eq!(got, want, "divergence at round {round}");
+                if let Some((t, _)) = got {
+                    floor = t.as_micros();
+                }
+            }
+        }
+        loop {
+            let got = wheel.pop().map(|(t, ev)| (t, tag_of(&ev)));
+            let want = oracle.pop().map(|(t, ev)| (t, tag_of(&ev)));
+            assert_eq!(got, want, "divergence during drain");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Push(u64),
+        Pop,
+        Peek,
+    }
+
+    /// Half the draws are pushes (spread over same-tick, per-level, and
+    /// overflow time scales), a third pops, the rest peeks.
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u8..9, 0u64..u64::MAX).prop_map(|(kind, raw)| match kind {
+            0 => Op::Push(raw % 64),
+            1 => Op::Push(raw % 4_096),
+            2 => Op::Push(raw % 1_000_000),
+            3 => Op::Push(raw % SPAN),
+            4 => Op::Push(raw % (4 * SPAN)),
+            5..=7 => Op::Pop,
+            _ => Op::Peek,
+        })
+    }
+
+    proptest! {
+        /// Differential test: the wheel and the heap oracle agree on
+        /// every peek and every pop — time *and* insertion order — for
+        /// arbitrary interleaved workloads. Unlike the world (which
+        /// never schedules into the past), this pushes at arbitrary
+        /// times, so it also drives the overdue path hard.
+        #[test]
+        fn wheel_matches_heap_oracle(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+            let mut wheel = EventQueue::new();
+            let mut oracle = HeapQueue::new();
+            let mut tag = 0usize;
+            for op in ops {
+                match op {
+                    Op::Push(at) => {
+                        let t = SimTime::from_micros(at);
+                        wheel.push(t, timer(tag));
+                        oracle.push(t, timer(tag));
+                        tag += 1;
+                    }
+                    Op::Pop => {
+                        let got = wheel.pop().map(|(t, ev)| (t, tag_of(&ev)));
+                        let want = oracle.pop().map(|(t, ev)| (t, tag_of(&ev)));
+                        prop_assert_eq!(got, want);
+                    }
+                    Op::Peek => {
+                        prop_assert_eq!(wheel.peek_time(), oracle.peek_time());
+                    }
+                }
+            }
+            loop {
+                let got = wheel.pop().map(|(t, ev)| (t, tag_of(&ev)));
+                let want = oracle.pop().map(|(t, ev)| (t, tag_of(&ev)));
+                prop_assert_eq!(&got, &want);
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

@@ -124,18 +124,72 @@ impl std::error::Error for IpDecodeError {}
 ///
 /// Used by the IPv4 header, ICMP, and the TCP layer in `simtcp`.
 pub fn internet_checksum(data: &[u8]) -> u16 {
-    let mut sum: u32 = 0;
-    let mut chunks = data.chunks_exact(2);
-    for c in &mut chunks {
-        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    let mut acc = ChecksumAccumulator::new();
+    acc.push(data);
+    acc.finish()
+}
+
+/// An incremental RFC 1071 internet checksum.
+///
+/// Folds the one's-complement sum over any number of [`push`]ed slices
+/// — pseudo-header, TCP header, payload — without concatenating them
+/// into a temporary buffer. Byte parity is carried across slices, so
+/// splitting the input at any offset (even mid-word) yields the same
+/// checksum as one contiguous pass.
+///
+/// [`push`]: ChecksumAccumulator::push
+#[derive(Debug, Default, Clone)]
+pub struct ChecksumAccumulator {
+    sum: u32,
+    /// True when an odd number of bytes has been pushed so far: the next
+    /// byte is the *low* half of the word straddling the slice boundary.
+    odd: bool,
+}
+
+impl ChecksumAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> ChecksumAccumulator {
+        ChecksumAccumulator::default()
     }
-    if let [last] = chunks.remainder() {
-        sum += u32::from(u16::from_be_bytes([*last, 0]));
+
+    /// Folds `data` into the running sum.
+    pub fn push(&mut self, data: &[u8]) {
+        let mut data = data;
+        if self.odd {
+            let Some((&first, rest)) = data.split_first() else {
+                return;
+            };
+            self.sum += u32::from(first);
+            self.fold();
+            self.odd = false;
+            data = rest;
+        }
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+            // Fold lazily: u32 holds > 32k max-value words before the
+            // high half could overflow, and segments are far smaller —
+            // but fold per-push to keep the invariant easy to reason
+            // about for arbitrarily large inputs.
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(*last) << 8;
+            self.odd = true;
+        }
+        self.fold();
     }
-    while sum >> 16 != 0 {
-        sum = (sum & 0xffff) + (sum >> 16);
+
+    fn fold(&mut self) {
+        while self.sum >> 16 != 0 {
+            self.sum = (self.sum & 0xffff) + (self.sum >> 16);
+        }
     }
-    !(sum as u16)
+
+    /// The final checksum (one's complement of the folded sum).
+    pub fn finish(mut self) -> u16 {
+        self.fold();
+        !(self.sum as u16)
+    }
 }
 
 impl Ipv4Packet {
@@ -460,5 +514,40 @@ mod tests {
     fn display_is_nonempty() {
         assert!(!sample().to_string().is_empty());
         assert_eq!(IpProto::Heartbeat.to_string(), "hb");
+    }
+
+    #[test]
+    fn accumulator_matches_contiguous_checksum_at_every_split() {
+        let data: Vec<u8> = (0u16..313)
+            .map(|i| (i.wrapping_mul(31) >> 3) as u8)
+            .collect();
+        let whole = internet_checksum(&data);
+        for split in 0..=data.len() {
+            let mut acc = ChecksumAccumulator::new();
+            acc.push(&data[..split]);
+            acc.push(&data[split..]);
+            assert_eq!(acc.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn accumulator_handles_odd_slices_and_empty_pushes() {
+        // Three odd-length slices + empty pushes: parity carries across.
+        let (a, b, c) = (
+            &[0x01u8, 0x02, 0x03][..],
+            &[0x04u8][..],
+            &[0x05u8, 0x06, 0x07][..],
+        );
+        let mut joined = Vec::new();
+        joined.extend_from_slice(a);
+        joined.extend_from_slice(b);
+        joined.extend_from_slice(c);
+        let mut acc = ChecksumAccumulator::new();
+        acc.push(a);
+        acc.push(&[]);
+        acc.push(b);
+        acc.push(c);
+        acc.push(&[]);
+        assert_eq!(acc.finish(), internet_checksum(&joined));
     }
 }

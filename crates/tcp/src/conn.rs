@@ -460,7 +460,7 @@ impl TcpConn {
 
     /// Injects bytes into the receive path as if they had arrived from the
     /// peer (missed-byte recovery on the backup). FIN-free by definition.
-    pub fn inject_in_order(&mut self, off: u64, data: &[u8]) {
+    pub fn inject_in_order(&mut self, off: u64, data: &Bytes) {
         let outcome = self.recvbuf.receive(off as i64, data, false);
         if outcome.newly_in_order > 0 {
             self.events.push_back(ConnEvent::DataReadable);

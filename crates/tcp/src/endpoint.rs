@@ -447,7 +447,7 @@ impl TcpEndpoint {
 
     /// Injects in-order bytes into a socket's receive path (ST-TCP
     /// missed-byte recovery), delivering any resulting events.
-    pub fn inject_in_order(&mut self, id: SocketId, off: u64, data: &[u8]) {
+    pub fn inject_in_order(&mut self, id: SocketId, off: u64, data: &Bytes) {
         if let Some(e) = self.socks.get_mut(&id) {
             e.conn.inject_in_order(off, data);
         }

@@ -128,7 +128,11 @@ impl RecvBuffer {
     /// (negative offsets arise from old retransmissions reaching back
     /// before the current window; the overlap is trimmed). `fin` marks a
     /// FIN occupying the offset just past the payload.
-    pub fn receive(&mut self, off: i64, data: &[u8], fin: bool) -> ReceiveOutcome {
+    ///
+    /// Takes the payload as [`Bytes`] so an out-of-order segment can be
+    /// parked as a zero-copy slice of the original buffer instead of a
+    /// fresh allocation.
+    pub fn receive(&mut self, off: i64, data: &Bytes, fin: bool) -> ReceiveOutcome {
         let mut outcome = ReceiveOutcome::default();
 
         // The FIN occupies the offset just past the payload as originally
@@ -142,41 +146,35 @@ impl RecvBuffer {
         }
 
         // Trim the part that precedes data we already have.
-        let (start, data) = if off < self.nxt as i64 {
-            let skip = (self.nxt as i64 - off) as usize;
-            if skip >= data.len() {
-                (self.nxt, &data[0..0])
-            } else {
-                (self.nxt, &data[skip..])
-            }
+        let (start, lo) = if off < self.nxt as i64 {
+            let skip = ((self.nxt as i64 - off) as usize).min(data.len());
+            (self.nxt, skip)
         } else {
-            (off as u64, data)
+            (off as u64, 0)
         };
 
         // Enforce the receive window: never buffer beyond what we
         // advertised (in-order capacity above read_pos).
         let window_end = self.read_pos + self.app_capacity as u64;
-        let data = if start >= window_end {
-            &data[0..0]
+        let hi = if start >= window_end {
+            lo
         } else {
             let room = (window_end - start) as usize;
-            &data[..data.len().min(room)]
+            lo + (data.len() - lo).min(room)
         };
 
-        if !data.is_empty() {
+        if lo < hi {
             if start == self.nxt {
-                self.store.extend(data);
-                self.nxt += data.len() as u64;
-                outcome.newly_in_order += data.len() as u64;
+                self.store.extend(&data[lo..hi]);
+                self.nxt += (hi - lo) as u64;
+                outcome.newly_in_order += (hi - lo) as u64;
                 outcome.accepted = true;
                 self.drain_ooo(&mut outcome);
             } else {
                 // Out of order: keep it (possibly overlapping; trimmed when
-                // drained).
+                // drained) as a shared slice of the incoming buffer.
                 outcome.accepted = true;
-                self.ooo
-                    .entry(start)
-                    .or_insert_with(|| Bytes::copy_from_slice(data));
+                self.ooo.entry(start).or_insert_with(|| data.slice(lo..hi));
             }
         }
 
@@ -202,14 +200,29 @@ impl RecvBuffer {
         }
     }
 
+    /// Copies `store[start..start + len]` out via the deque's two
+    /// contiguous slices (no per-byte indexing).
+    fn copy_range(&self, start: usize, len: usize) -> Vec<u8> {
+        let mut v = Vec::with_capacity(len);
+        let (a, b) = self.store.as_slices();
+        if start < a.len() {
+            let take = (a.len() - start).min(len);
+            v.extend_from_slice(&a[start..start + take]);
+            if take < len {
+                v.extend_from_slice(&b[..len - take]);
+            }
+        } else {
+            let s = start - a.len();
+            v.extend_from_slice(&b[s..s + len]);
+        }
+        v
+    }
+
     /// Reads up to `max` bytes for the application.
     pub fn read(&mut self, max: usize) -> Bytes {
         let n = self.readable().min(max);
         let start = (self.read_pos - self.low) as usize;
-        let mut v = Vec::with_capacity(n);
-        for i in start..start + n {
-            v.push(self.store[i]);
-        }
+        let v = self.copy_range(start, n);
         self.read_pos += n as u64;
         self.compact();
         Bytes::from(v)
@@ -237,11 +250,7 @@ impl RecvBuffer {
         }
         let start = (off - self.low) as usize;
         let len = ((self.nxt - off) as usize).min(max);
-        let mut v = Vec::with_capacity(len);
-        for i in start..start + len {
-            v.push(self.store[i]);
-        }
-        Some(Bytes::from(v))
+        Some(Bytes::from(self.copy_range(start, len)))
     }
 
     fn compact(&mut self) {
@@ -266,10 +275,14 @@ mod tests {
         RecvBuffer::new(1024, Some(cap))
     }
 
+    fn bs(data: &'static [u8]) -> Bytes {
+        Bytes::from_static(data)
+    }
+
     #[test]
     fn in_order_delivery() {
         let mut b = plain();
-        let o = b.receive(0, b"hello", false);
+        let o = b.receive(0, &bs(b"hello"), false);
         assert_eq!(o.newly_in_order, 5);
         assert!(o.accepted);
         assert_eq!(b.nxt(), 5);
@@ -280,11 +293,11 @@ mod tests {
     #[test]
     fn out_of_order_reassembly() {
         let mut b = plain();
-        let o = b.receive(5, b"world", false);
+        let o = b.receive(5, &bs(b"world"), false);
         assert_eq!(o.newly_in_order, 0);
         assert!(o.accepted);
         assert_eq!(b.nxt(), 0);
-        let o = b.receive(0, b"hello", false);
+        let o = b.receive(0, &bs(b"hello"), false);
         assert_eq!(o.newly_in_order, 10);
         assert_eq!(b.read(100).as_ref(), b"helloworld");
     }
@@ -292,9 +305,9 @@ mod tests {
     #[test]
     fn overlapping_retransmission_trimmed() {
         let mut b = plain();
-        let _ = b.receive(0, b"abcde", false);
+        let _ = b.receive(0, &bs(b"abcde"), false);
         // Retransmission covering [2, 8).
-        let o = b.receive(2, b"cdefgh", false);
+        let o = b.receive(2, &bs(b"cdefgh"), false);
         assert_eq!(o.newly_in_order, 3);
         assert_eq!(b.read(100).as_ref(), b"abcdefgh");
     }
@@ -302,8 +315,8 @@ mod tests {
     #[test]
     fn fully_duplicate_segment_rejected() {
         let mut b = plain();
-        let _ = b.receive(0, b"abcde", false);
-        let o = b.receive(0, b"abc", false);
+        let _ = b.receive(0, &bs(b"abcde"), false);
+        let o = b.receive(0, &bs(b"abc"), false);
         assert_eq!(o.newly_in_order, 0);
         assert!(!o.accepted);
     }
@@ -311,11 +324,11 @@ mod tests {
     #[test]
     fn negative_offset_old_data() {
         let mut b = plain();
-        let _ = b.receive(0, b"abcde", false);
+        let _ = b.receive(0, &bs(b"abcde"), false);
         let _ = b.read(100);
         // A very old retransmission stretching before offset 0 cannot
         // happen in real TCP, but the API must be robust to off < nxt.
-        let o = b.receive(3, b"defgh", false);
+        let o = b.receive(3, &bs(b"defgh"), false);
         assert_eq!(o.newly_in_order, 3);
         assert_eq!(b.read(100).as_ref(), b"fgh");
     }
@@ -324,7 +337,7 @@ mod tests {
     fn window_shrinks_with_unread_data() {
         let mut b = RecvBuffer::new(10, None);
         assert_eq!(b.window(), 10);
-        let _ = b.receive(0, b"abcdef", false);
+        let _ = b.receive(0, &bs(b"abcdef"), false);
         assert_eq!(b.window(), 4);
         let _ = b.read(3);
         assert_eq!(b.window(), 7);
@@ -333,18 +346,18 @@ mod tests {
     #[test]
     fn data_beyond_window_is_clamped() {
         let mut b = RecvBuffer::new(4, None);
-        let o = b.receive(0, b"abcdefgh", false);
+        let o = b.receive(0, &bs(b"abcdefgh"), false);
         assert_eq!(o.newly_in_order, 4);
         assert_eq!(b.nxt(), 4);
         // Entirely outside the window: nothing stored.
-        let o = b.receive(100, b"zz", false);
+        let o = b.receive(100, &bs(b"zz"), false);
         assert!(!o.accepted);
     }
 
     #[test]
     fn fin_position_tracked_and_reached() {
         let mut b = plain();
-        let _ = b.receive(0, b"abc", true);
+        let _ = b.receive(0, &bs(b"abc"), true);
         assert_eq!(b.fin_offset(), Some(3));
         assert!(b.fin_reached());
     }
@@ -352,18 +365,18 @@ mod tests {
     #[test]
     fn fin_with_missing_data_not_reached() {
         let mut b = plain();
-        let _ = b.receive(3, b"def", true);
+        let _ = b.receive(3, &bs(b"def"), true);
         assert_eq!(b.fin_offset(), Some(6));
         assert!(!b.fin_reached());
-        let _ = b.receive(0, b"abc", false);
+        let _ = b.receive(0, &bs(b"abc"), false);
         assert!(b.fin_reached());
     }
 
     #[test]
     fn bare_fin_after_data() {
         let mut b = plain();
-        let _ = b.receive(0, b"abc", false);
-        let _ = b.receive(3, b"", true);
+        let _ = b.receive(0, &bs(b"abc"), false);
+        let _ = b.receive(3, &bs(b""), true);
         assert_eq!(b.fin_offset(), Some(3));
         assert!(b.fin_reached());
     }
@@ -371,7 +384,7 @@ mod tests {
     #[test]
     fn hold_retains_read_bytes() {
         let mut b = holding(100);
-        let _ = b.receive(0, b"abcdefgh", false);
+        let _ = b.receive(0, &bs(b"abcdefgh"), false);
         let _ = b.read(8);
         // App has read everything, but the hold still has it.
         assert_eq!(b.hold_used(), 8);
@@ -386,7 +399,7 @@ mod tests {
     #[test]
     fn plain_buffer_has_no_hold() {
         let mut b = plain();
-        let _ = b.receive(0, b"abcdefgh", false);
+        let _ = b.receive(0, &bs(b"abcdefgh"), false);
         let _ = b.read(8);
         assert_eq!(b.hold_used(), 0);
         assert!(!b.hold_overflow());
@@ -396,7 +409,7 @@ mod tests {
     #[test]
     fn hold_overflow_signals() {
         let mut b = holding(4);
-        let _ = b.receive(0, b"abcdefgh", false);
+        let _ = b.receive(0, &bs(b"abcdefgh"), false);
         assert_eq!(b.hold_used(), 8);
         assert!(b.hold_overflow());
         b.release_until(6);
@@ -406,7 +419,7 @@ mod tests {
     #[test]
     fn hold_does_not_shrink_window() {
         let mut b = RecvBuffer::new(10, Some(100));
-        let _ = b.receive(0, b"abcdef", false);
+        let _ = b.receive(0, &bs(b"abcdef"), false);
         let _ = b.read(6);
         // 6 bytes held, but the app buffer is empty ⇒ full window.
         assert_eq!(b.hold_used(), 6);
@@ -416,7 +429,7 @@ mod tests {
     #[test]
     fn release_clamps() {
         let mut b = holding(100);
-        let _ = b.receive(0, b"abcd", false);
+        let _ = b.receive(0, &bs(b"abcd"), false);
         b.release_until(100);
         assert_eq!(b.release_pos(), 4);
         b.release_until(2); // going backwards is ignored
@@ -426,7 +439,7 @@ mod tests {
     #[test]
     fn fetch_bounds() {
         let mut b = holding(100);
-        let _ = b.receive(0, b"abcd", false);
+        let _ = b.receive(0, &bs(b"abcd"), false);
         assert!(b.fetch(4, 1).is_none(), "at nxt");
         assert!(b.fetch(100, 1).is_none(), "beyond nxt");
         assert_eq!(b.fetch(3, 100).unwrap().as_ref(), b"d");
@@ -436,7 +449,7 @@ mod tests {
     fn unread_bytes_survive_release() {
         // Bytes released by ST-TCP but not yet read by the app must stay.
         let mut b = holding(100);
-        let _ = b.receive(0, b"abcdefgh", false);
+        let _ = b.receive(0, &bs(b"abcdefgh"), false);
         b.release_until(8);
         assert_eq!(b.read(100).as_ref(), b"abcdefgh");
     }
@@ -444,7 +457,7 @@ mod tests {
     #[test]
     fn interleaved_read_release_discard() {
         let mut b = holding(100);
-        let _ = b.receive(0, b"0123456789", false);
+        let _ = b.receive(0, &bs(b"0123456789"), false);
         let _ = b.read(4); // read_pos = 4
         b.release_until(7); // release_pos = 7, low = 4
         assert_eq!(b.fetch(7, 100).unwrap().as_ref(), b"789");

@@ -8,7 +8,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 use core::fmt;
 use std::net::Ipv4Addr;
 
-use simnet::ip::internet_checksum;
+use simnet::ip::ChecksumAccumulator;
 
 use crate::seq::SeqNum;
 
@@ -164,14 +164,14 @@ impl fmt::Display for SegmentDecodeError {
 
 impl std::error::Error for SegmentDecodeError {}
 
-fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, tcp_len: usize) -> Vec<u8> {
-    let mut v = Vec::with_capacity(12 + tcp_len);
-    v.extend_from_slice(&src.octets());
-    v.extend_from_slice(&dst.octets());
-    v.push(0);
-    v.push(6); // protocol = TCP
-    v.extend_from_slice(&(tcp_len as u16).to_be_bytes());
-    v
+/// The 12-byte TCP pseudo-header, on the stack.
+fn pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, tcp_len: usize) -> [u8; 12] {
+    let mut ph = [0u8; 12];
+    ph[0..4].copy_from_slice(&src.octets());
+    ph[4..8].copy_from_slice(&dst.octets());
+    ph[9] = 6; // protocol = TCP
+    ph[10..12].copy_from_slice(&(tcp_len as u16).to_be_bytes());
+    ph
 }
 
 impl TcpSegment {
@@ -198,10 +198,13 @@ impl TcpSegment {
         hdr[13] = self.flags.to_bits();
         hdr[14..16].copy_from_slice(&self.window.to_be_bytes());
 
-        let mut check_buf = pseudo_header_sum(src_ip, dst_ip, self.wire_len());
-        check_buf.extend_from_slice(&hdr);
-        check_buf.extend_from_slice(&self.payload);
-        let csum = internet_checksum(&check_buf);
+        // Stream the checksum over pseudo-header + header + payload —
+        // no concatenated temporary (this runs once per segment).
+        let mut acc = ChecksumAccumulator::new();
+        acc.push(&pseudo_header(src_ip, dst_ip, self.wire_len()));
+        acc.push(&hdr);
+        acc.push(&self.payload);
+        let csum = acc.finish();
         hdr[16..18].copy_from_slice(&csum.to_be_bytes());
 
         let mut out = BytesMut::with_capacity(self.wire_len());
@@ -231,9 +234,10 @@ impl TcpSegment {
         if wire.len() < doff {
             return Err(SegmentDecodeError::Truncated);
         }
-        let mut check_buf = pseudo_header_sum(src_ip, dst_ip, wire.len());
-        check_buf.extend_from_slice(wire);
-        if internet_checksum(&check_buf) != 0 {
+        let mut acc = ChecksumAccumulator::new();
+        acc.push(&pseudo_header(src_ip, dst_ip, wire.len()));
+        acc.push(wire);
+        if acc.finish() != 0 {
             return Err(SegmentDecodeError::BadChecksum);
         }
         Ok(TcpSegment {

@@ -207,16 +207,16 @@ proptest! {
         dup_first: bool,
     ) {
         // Cut the stream into segments.
-        let mut segs: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut segs: Vec<(u64, Bytes)> = Vec::new();
         let mut at = 0usize;
         for c in cuts {
             if at >= stream.len() { break; }
             let end = (at + c).min(stream.len());
-            segs.push((at as u64, stream[at..end].to_vec()));
+            segs.push((at as u64, Bytes::copy_from_slice(&stream[at..end])));
             at = end;
         }
         if at < stream.len() {
-            segs.push((at as u64, stream[at..].to_vec()));
+            segs.push((at as u64, Bytes::copy_from_slice(&stream[at..])));
         }
         // Deterministic pseudo-shuffle.
         let mut order: Vec<usize> = (0..segs.len()).collect();
@@ -249,7 +249,7 @@ proptest! {
         release_to in 0u64..2000,
     ) {
         let mut rb = RecvBuffer::new(1 << 20, Some(1 << 20));
-        let _ = rb.receive(0, &stream, false);
+        let _ = rb.receive(0, &Bytes::copy_from_slice(&stream), false);
         for r in reads {
             let _ = rb.read(r);
         }
@@ -279,7 +279,7 @@ proptest! {
         let capacity = 2_048usize;
         let mut rb = RecvBuffer::new(capacity, None);
         for (off, data) in offers {
-            let _ = rb.receive(off as i64, &data, false);
+            let _ = rb.receive(off as i64, &Bytes::from(data), false);
             // The unread in-order region never exceeds the advertised
             // capacity.
             prop_assert!(rb.readable() <= capacity);

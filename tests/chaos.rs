@@ -200,3 +200,34 @@ fn double_crash_loses_service_without_violation() {
     );
     assert!(!report.client.finished);
 }
+
+/// `--threads` must be invisible in the results: a 64-seed sweep run on
+/// a 4-worker pool folds to a byte-identical metrics report (outcome
+/// counters, phase percentiles, bound checks — everything) as the same
+/// sweep run sequentially. This is the determinism contract the
+/// parallel seed fan-out is built on.
+#[test]
+fn sweep_report_is_identical_across_thread_counts() {
+    use sttcp_bench::hunt::{run_sweep, SweepConfig};
+    for double in [false, true] {
+        let reports: Vec<String> = [1usize, 4]
+            .into_iter()
+            .map(|threads| {
+                let cfg = SweepConfig {
+                    seeds: 64,
+                    start: 0,
+                    quick: true,
+                    double,
+                    threads,
+                };
+                run_sweep(&cfg, &quick(), |_| {})
+                    .to_report(&cfg, true)
+                    .to_json()
+            })
+            .collect();
+        assert_eq!(
+            reports[0], reports[1],
+            "sweep report differs between 1 and 4 threads (double={double})"
+        );
+    }
+}

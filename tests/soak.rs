@@ -13,44 +13,53 @@
 //! * **double** — a second fault injected while the system is still
 //!   absorbing the first (failure during repair).
 //!
+//! Every run is an independent deterministic world, so each tier fans
+//! its seeds out over the host's cores and then judges the reports in
+//! seed order — the first failing seed reported is the same one a
+//! sequential loop would have hit.
+//!
 //! When a case fails, the panic message contains a paste-able
 //! reproducer command line; `chaos_hunt` shrinks it further.
 
 use sttcp::invariant::Outcome;
 use sttcp_apps::chaos::{run_chaos_case, shrink_schedule, ChaosOptions, FaultSchedule};
+use sttcp_bench::parallel::{default_threads, parallel_seeds};
 
-/// Runs one generated schedule and panics with a shrunk, paste-able
-/// reproducer if any invariant is violated.
-fn soak_case(seed: u64, schedule: FaultSchedule, opts: &ChaosOptions) {
-    let report = run_chaos_case(seed, &schedule, opts);
-    if report.outcome != Outcome::Violation {
-        return;
+/// Runs `seeds` schedules in parallel and panics — with a shrunk,
+/// paste-able reproducer — on the lowest-seed invariant violation, if
+/// any. Shrinking reruns the case many times, so it happens
+/// sequentially and only for the seed actually reported.
+fn soak_tier(seeds: u64, make: fn(u64) -> FaultSchedule, opts: &ChaosOptions) {
+    let reports = parallel_seeds(default_threads(), 0, seeds, |seed| {
+        let schedule = make(seed);
+        let report = run_chaos_case(seed, &schedule, opts);
+        (schedule, report)
+    });
+    for (seed, (schedule, report)) in reports.into_iter().enumerate() {
+        let seed = seed as u64;
+        if report.outcome != Outcome::Violation {
+            continue;
+        }
+        let shrunk = shrink_schedule(seed, &schedule, opts);
+        panic!(
+            "seed {seed}: {schedule}\n  violations: {:?}\n  client: {:?}\n  \
+             minimal reproducer:\n    cargo run -p sttcp-bench --bin chaos_hunt -- \
+             --seed {seed} --schedule \"{}\"",
+            report.violations, report.client, shrunk.schedule
+        );
     }
-    let shrunk = shrink_schedule(seed, &schedule, opts);
-    panic!(
-        "seed {seed}: {schedule}\n  violations: {:?}\n  client: {:?}\n  \
-         minimal reproducer:\n    cargo run -p sttcp-bench --bin chaos_hunt -- \
-         --seed {seed} --schedule \"{}\"",
-        report.violations, report.client, shrunk.schedule
-    );
 }
 
 /// Tier 1: one fault per run.
 #[test]
 fn soak_single_fault() {
-    let opts = ChaosOptions::quick();
-    for seed in 0..60 {
-        soak_case(seed, FaultSchedule::generate_single(seed), &opts);
-    }
+    soak_tier(60, FaultSchedule::generate_single, &ChaosOptions::quick());
 }
 
 /// Tier 2: composed multi-fault schedules (1–4 actions).
 #[test]
 fn soak_multi_fault() {
-    let opts = ChaosOptions::quick();
-    for seed in 0..60 {
-        soak_case(seed, FaultSchedule::generate(seed), &opts);
-    }
+    soak_tier(60, FaultSchedule::generate, &ChaosOptions::quick());
 }
 
 /// Tier 3: double faults — the second lands while the system is still
@@ -58,10 +67,7 @@ fn soak_multi_fault() {
 /// assumption leaves open; we demand detection, never silence).
 #[test]
 fn soak_double_fault() {
-    let opts = ChaosOptions::quick();
-    for seed in 0..64 {
-        soak_case(seed, FaultSchedule::generate_double(seed), &opts);
-    }
+    soak_tier(64, FaultSchedule::generate_double, &ChaosOptions::quick());
 }
 
 /// The full-size workload tier: fewer seeds, real download size and
@@ -70,8 +76,6 @@ fn soak_double_fault() {
 #[test]
 fn soak_full_horizon() {
     let opts = ChaosOptions::default();
-    for seed in 0..12 {
-        soak_case(seed, FaultSchedule::generate(seed), &opts);
-        soak_case(seed, FaultSchedule::generate_double(seed), &opts);
-    }
+    soak_tier(12, FaultSchedule::generate, &opts);
+    soak_tier(12, FaultSchedule::generate_double, &opts);
 }
