@@ -115,6 +115,47 @@ impl Application for StreamApp {
             .wrapping_add(self.sent)
             .wrapping_add(self.requested.unwrap_or(u64::MAX))
     }
+
+    // Layout: flags(1) ‖ requested(8) ‖ sent(8) ‖ consumed(8) ‖
+    // line_len(4) ‖ line. Pacing config (`chunk_per_tick`,
+    // `close_when_done`) is not state — the factory on the restoring
+    // server supplies it identically.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(29 + self.line.len());
+        let mut flags = 0u8;
+        if self.requested.is_some() {
+            flags |= 1;
+        }
+        if self.finished {
+            flags |= 2;
+        }
+        out.push(flags);
+        out.extend_from_slice(&self.requested.unwrap_or(0).to_le_bytes());
+        out.extend_from_slice(&self.sent.to_le_bytes());
+        out.extend_from_slice(&self.consumed.to_le_bytes());
+        out.extend_from_slice(&(self.line.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.line);
+        Some(out)
+    }
+
+    fn restore(&mut self, state: &[u8]) {
+        if state.len() < 29 {
+            return;
+        }
+        let flags = state[0];
+        let requested = u64::from_le_bytes(state[1..9].try_into().unwrap());
+        let sent = u64::from_le_bytes(state[9..17].try_into().unwrap());
+        let consumed = u64::from_le_bytes(state[17..25].try_into().unwrap());
+        let line_len = u32::from_le_bytes(state[25..29].try_into().unwrap()) as usize;
+        if state.len() != 29 + line_len || flags & !3 != 0 {
+            return;
+        }
+        self.requested = (flags & 1 != 0).then_some(requested);
+        self.finished = flags & 2 != 0;
+        self.sent = sent;
+        self.consumed = consumed;
+        self.line = state[29..].to_vec();
+    }
 }
 
 /// A request/response worker: consumes `\n`-terminated lines and answers
@@ -176,6 +217,31 @@ impl Application for ReqRespApp {
             .wrapping_mul(0x2545_f491_4f6c_dd1d)
             .wrapping_add(self.requests)
     }
+
+    // Layout: requests(8) ‖ consumed(8) ‖ line_len(4) ‖ line.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(20 + self.line.len());
+        out.extend_from_slice(&self.requests.to_le_bytes());
+        out.extend_from_slice(&self.consumed.to_le_bytes());
+        out.extend_from_slice(&(self.line.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.line);
+        Some(out)
+    }
+
+    fn restore(&mut self, state: &[u8]) {
+        if state.len() < 20 {
+            return;
+        }
+        let requests = u64::from_le_bytes(state[0..8].try_into().unwrap());
+        let consumed = u64::from_le_bytes(state[8..16].try_into().unwrap());
+        let line_len = u32::from_le_bytes(state[16..20].try_into().unwrap()) as usize;
+        if state.len() != 20 + line_len {
+            return;
+        }
+        self.requests = requests;
+        self.consumed = consumed;
+        self.line = state[20..].to_vec();
+    }
 }
 
 /// A sink: consumes everything, answers nothing (upload workloads).
@@ -208,6 +274,16 @@ impl Application for SinkApp {
 
     fn state_digest(&self) -> u64 {
         self.consumed
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.consumed.to_le_bytes().to_vec())
+    }
+
+    fn restore(&mut self, state: &[u8]) {
+        if let Ok(bytes) = state.try_into() {
+            self.consumed = u64::from_le_bytes(bytes);
+        }
     }
 }
 
@@ -309,6 +385,46 @@ mod tests {
             assert_eq!(p.on_data(chunk), b.on_data(chunk));
         }
         assert_eq!(p.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn snapshots_restore_to_identical_digests() {
+        // Mid-transfer streamer, including a partially buffered line.
+        let mut p = StreamApp::new(500, true);
+        let _ = p.on_data(b"GET 1200\n");
+        let _ = p.on_tick(SimTime::ZERO);
+        let _ = p.on_data(b"trail");
+        let mut b = StreamApp::new(500, true);
+        b.restore(&p.snapshot().unwrap());
+        assert_eq!(p.state_digest(), b.state_digest());
+        // The restored replica continues the stream identically.
+        assert_eq!(p.on_tick(SimTime::ZERO), b.on_tick(SimTime::from_secs(9)));
+
+        let mut p = ReqRespApp::new();
+        let _ = p.on_data(b"one\ntw");
+        let mut b = ReqRespApp::new();
+        b.restore(&p.snapshot().unwrap());
+        assert_eq!(p.state_digest(), b.state_digest());
+        assert_eq!(p.on_data(b"o\n"), b.on_data(b"o\n"));
+
+        let mut p = SinkApp::new();
+        let _ = p.on_data(b"abcdef");
+        let mut b = SinkApp::new();
+        b.restore(&p.snapshot().unwrap());
+        assert_eq!(p.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn restore_ignores_garbage_blobs() {
+        let mut s = StreamApp::new(100, false);
+        s.restore(b"way too short");
+        assert_eq!(s.state_digest(), StreamApp::new(100, false).state_digest());
+        let mut r = ReqRespApp::new();
+        r.restore(&[0xff; 21]); // length mismatch: 20 + line_len(0xffffffff)
+        assert_eq!(r.state_digest(), ReqRespApp::new().state_digest());
+        let mut k = SinkApp::new();
+        k.restore(b"123");
+        assert_eq!(k.consumed(), 0);
     }
 
     #[test]

@@ -534,6 +534,11 @@ impl FaultSchedule {
             abortive_close_possible,
             verdicts_possible,
             max_stall,
+            // Whether a reboot re-integrates (second failure epoch
+            // possible) is a *configuration* property, not a schedule
+            // property: the run harness overrides this from
+            // [`ChaosOptions::reintegrate`].
+            reintegrate: false,
         }
     }
 
@@ -553,6 +558,32 @@ impl FaultSchedule {
     /// fault — the classic "failure during repair" shape.
     pub fn generate_double(seed: u64) -> FaultSchedule {
         Self::generate_with(seed, 2, 2)
+    }
+
+    /// Generates a `reintegrate-then-fail` schedule: crash one side, warm
+    /// reboot it (with [`ChaosOptions::reintegrate`] set, it rejoins the
+    /// live connections), then — after the join has had time to converge —
+    /// crash the *other* side, so only a successfully re-integrated backup
+    /// can keep the service alive through the second failure.
+    pub fn generate_reintegrate(seed: u64) -> FaultSchedule {
+        let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5E1A7);
+        let first = if rng.chance(0.5) {
+            Side::Primary
+        } else {
+            Side::Backup
+        };
+        let second = match first {
+            Side::Primary => Side::Backup,
+            Side::Backup => Side::Primary,
+        };
+        let t1 = 250 + rng.range_u64(0, 2_000);
+        let reboot = t1 + 300 + rng.range_u64(0, 1_200);
+        let t2 = reboot + 2_500 + rng.range_u64(0, 2_500);
+        let mut sched = FaultSchedule::default();
+        sched.push(t1, ChaosAction::Crash(first));
+        sched.push(reboot, ChaosAction::Reboot(first));
+        sched.push(t2, ChaosAction::Crash(second));
+        sched
     }
 
     /// Seeded generation with a fault-count range (paired restores ride
@@ -702,6 +733,11 @@ pub struct ChaosOptions {
     /// default caps each trace; the cap is ignored (trace unbounded) when
     /// `trace` asks for a full dump.
     pub trace_capacity: Option<usize>,
+    /// Run the servers with [`StTcpConfig::reintegrate`] set: a rebooted
+    /// node warm-boots and rejoins the live connections instead of staying
+    /// a cold standby. The invariant checker then allows a second failure
+    /// epoch.
+    pub reintegrate: bool,
 }
 
 impl Default for ChaosOptions {
@@ -711,6 +747,7 @@ impl Default for ChaosOptions {
             horizon: SimDuration::from_secs(40),
             trace: false,
             trace_capacity: Some(4096),
+            reintegrate: false,
         }
     }
 }
@@ -816,7 +853,10 @@ pub fn run_chaos_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) 
         },
     )
     .seed(seed)
-    .sttcp(chaos_config())
+    .sttcp(StTcpConfig {
+        reintegrate: opts.reintegrate,
+        ..chaos_config()
+    })
     .build();
 
     if !opts.trace {
@@ -862,7 +902,9 @@ pub fn run_chaos_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) 
         longest_stall: log.longest_stall(from, to),
     };
 
-    let report = invariant::check(&p_view, &b_view, &client, &schedule.expectation());
+    let mut expectation = schedule.expectation();
+    expectation.reintegrate = opts.reintegrate;
+    let report = invariant::check(&p_view, &b_view, &client, &expectation);
     ChaosReport {
         outcome: report.outcome,
         violations: report.violations,
@@ -1016,6 +1058,35 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn reintegrate_schedules_are_coherent() {
+        let a = FaultSchedule::generate_reintegrate(11);
+        assert_eq!(a, FaultSchedule::generate_reintegrate(11));
+        for seed in 0..100 {
+            let s = FaultSchedule::generate_reintegrate(seed);
+            assert_eq!(s.len(), 3, "seed {seed}: {s}");
+            let (first, reboot, second) = (s.actions[0], s.actions[1], s.actions[2]);
+            let ChaosAction::Crash(side_a) = first.action else {
+                panic!("seed {seed}: expected first crash, got {s}");
+            };
+            assert_eq!(reboot.action, ChaosAction::Reboot(side_a), "seed {seed}");
+            let ChaosAction::Crash(side_b) = second.action else {
+                panic!("seed {seed}: expected second crash, got {s}");
+            };
+            assert_ne!(
+                side_a, side_b,
+                "seed {seed}: second crash must hit the peer"
+            );
+            // Enough time for detection+takeover before the reboot is
+            // irrelevant, and for the join to converge before the second
+            // crash tests it.
+            assert!(reboot.at_ms >= first.at_ms + 300, "seed {seed}");
+            assert!(second.at_ms >= reboot.at_ms + 2_500, "seed {seed}");
+            let reparsed: FaultSchedule = s.to_string().parse().unwrap();
+            assert_eq!(reparsed, s, "seed {seed}");
         }
     }
 

@@ -20,6 +20,11 @@
 //!
 //! Options:
 //! * `--out PATH`                     report path (default `BENCH_simperf.json`)
+//! * `--check PATH`                   regression-gate mode: read the
+//!   checked-in report at PATH, re-measure steady state (best of 3 to
+//!   tolerate machine noise), and exit 1 if the best fresh events/sec
+//!   falls more than 20% below the snapshot's. Skips the sweeps and
+//!   writes nothing.
 //! * `--download-bytes N`             steady-state download size (default 4 MiB)
 //! * `--chaos-seeds N`                seeds per chaos sweep (default 64)
 //! * `--threads N`                    worker threads for the parallel sweep
@@ -44,6 +49,7 @@ use sttcp_bench::parallel::default_threads;
 
 struct Args {
     out: PathBuf,
+    check: Option<PathBuf>,
     download_bytes: u64,
     chaos_seeds: u64,
     threads: usize,
@@ -55,6 +61,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         out: PathBuf::from("BENCH_simperf.json"),
+        check: None,
         download_bytes: 4 * 1024 * 1024,
         chaos_seeds: 64,
         threads: default_threads(),
@@ -65,9 +72,9 @@ fn parse_args() -> Args {
     fn die(msg: &str) -> ! {
         eprintln!("{msg}");
         eprintln!(
-            "usage: bench_suite [--out PATH] [--download-bytes N] [--chaos-seeds N] \
-             [--threads N] [--baseline-events-per-sec X] [--baseline-bytes-per-sec X] \
-             [--baseline-seeds-per-sec X]"
+            "usage: bench_suite [--out PATH] [--check PATH] [--download-bytes N] \
+             [--chaos-seeds N] [--threads N] [--baseline-events-per-sec X] \
+             [--baseline-bytes-per-sec X] [--baseline-seeds-per-sec X]"
         );
         std::process::exit(2);
     }
@@ -85,6 +92,7 @@ fn parse_args() -> Args {
         }
         match a.as_str() {
             "--out" => args.out = PathBuf::from(val("--out")),
+            "--check" => args.check = Some(PathBuf::from(val("--check"))),
             "--download-bytes" => {
                 args.download_bytes = num("--download-bytes", val("--download-bytes"));
             }
@@ -166,6 +174,7 @@ fn chaos_rate(seeds: u64, threads: usize) -> ChaosRate {
         start: 0,
         quick: true,
         double: false,
+        reintegrate: false,
         threads,
     };
     let opts = ChaosOptions::quick();
@@ -183,8 +192,79 @@ fn chaos_rate(seeds: u64, threads: usize) -> ChaosRate {
     }
 }
 
+/// Pulls the first numeric value following `"<key>":` out of a report.
+/// The reports are written by our own `Json` printer (no whitespace
+/// after the colon), so a string scan is exact — and it keeps the gate
+/// independent of any JSON-parsing code the change under test may have
+/// touched.
+fn scan_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Regression-gate mode: compare a fresh steady-state measurement
+/// against the checked-in snapshot. Best of 3 runs, 20% tolerance —
+/// noisy-neighbor slowdowns on shared CI runners rarely survive three
+/// attempts, while a real O(n) regression in the hot path shows up in
+/// all of them.
+fn check_against(path: &PathBuf, fallback_download_bytes: u64) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("--check: cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let baseline = scan_number(&text, "events_per_sec").unwrap_or_else(|| {
+        eprintln!(
+            "--check: no \"events_per_sec\" in {} — regenerate it with --out",
+            path.display()
+        );
+        std::process::exit(2);
+    });
+    let download_bytes = scan_number(&text, "download_bytes")
+        .map(|b| b as u64)
+        .unwrap_or(fallback_download_bytes);
+    println!(
+        "bench_suite --check: snapshot {:.0} events/s ({} byte download), best of 3 runs...",
+        baseline, download_bytes
+    );
+    let mut best = 0f64;
+    for run in 1..=3 {
+        let s = steady_state(download_bytes);
+        println!(
+            "  run {run}: {:.0} events/s ({:.3} s)",
+            s.events_per_sec,
+            s.wall_us as f64 / 1e6
+        );
+        best = best.max(s.events_per_sec);
+    }
+    let ratio = best / baseline.max(1e-9);
+    if ratio < 0.8 {
+        eprintln!(
+            "REGRESSION: best {:.0} events/s is {:.1}% of the {:.0} events/s snapshot \
+             (gate: >= 80%)",
+            best,
+            ratio * 100.0,
+            baseline
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ok: best {:.0} events/s is {:.1}% of the snapshot (gate: >= 80%)",
+        best,
+        ratio * 100.0
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+
+    if let Some(path) = &args.check {
+        check_against(path, args.download_bytes);
+    }
 
     println!(
         "bench_suite: steady-state download ({} bytes)...",

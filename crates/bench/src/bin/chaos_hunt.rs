@@ -13,6 +13,9 @@
 //!   results are bit-identical at any thread count)
 //! * `--quick`            smaller download + shorter horizon (CI smoke)
 //! * `--double`           double-fault schedules (failure during repair)
+//! * `--reintegrate`      reintegrate-then-fail schedules: crash, warm
+//!   reboot + rejoin, then crash the other side (servers run with
+//!   re-integration enabled)
 //! * `--seed N`           run exactly one seed, verbosely
 //! * `--schedule S`       replay a schedule string (with `--seed`'s seed)
 //! * `--verbose`          print every case, not just violations
@@ -39,6 +42,7 @@ struct Args {
     threads: usize,
     quick: bool,
     double: bool,
+    reintegrate: bool,
     one_seed: Option<u64>,
     schedule: Option<String>,
     verbose: bool,
@@ -54,6 +58,7 @@ fn parse_args() -> Args {
         threads: 1,
         quick: false,
         double: false,
+        reintegrate: false,
         one_seed: None,
         schedule: None,
         verbose: false,
@@ -65,7 +70,7 @@ fn parse_args() -> Args {
         eprintln!("{msg}");
         eprintln!(
             "usage: chaos_hunt [--seeds N] [--start N] [--threads N] [--quick] [--double] \
-             [--seed N [--schedule \"...\"]] [--verbose] [--trace] \
+             [--reintegrate] [--seed N [--schedule \"...\"]] [--verbose] [--trace] \
              [--json PATH] [--enforce-bounds]"
         );
         std::process::exit(2);
@@ -86,6 +91,7 @@ fn parse_args() -> Args {
             "--threads" => args.threads = num("--threads", val("--threads")) as usize,
             "--quick" => args.quick = true,
             "--double" => args.double = true,
+            "--reintegrate" => args.reintegrate = true,
             "--seed" => args.one_seed = Some(num("--seed", val("--seed"))),
             "--schedule" => args.schedule = Some(val("--schedule")),
             "--verbose" => args.verbose = true,
@@ -106,6 +112,7 @@ fn main() -> ExitCode {
         ChaosOptions::default()
     };
     opts.trace = args.trace;
+    opts.reintegrate = args.reintegrate;
 
     // Single-case mode: replay one seed (and optionally a pasted
     // schedule) with full detail.
@@ -116,6 +123,7 @@ fn main() -> ExitCode {
                 eprintln!("--schedule: {e}");
                 std::process::exit(2);
             }),
+            None if args.reintegrate => FaultSchedule::generate_reintegrate(seed),
             None if args.double => FaultSchedule::generate_double(seed),
             None => FaultSchedule::generate(seed),
         };
@@ -152,7 +160,9 @@ fn main() -> ExitCode {
     }
 
     // Sweep mode.
-    let kind = if args.double {
+    let kind = if args.reintegrate {
+        "reintegrate-then-fail"
+    } else if args.double {
         "double-fault"
     } else {
         "multi-fault"
@@ -175,6 +185,7 @@ fn main() -> ExitCode {
         start: args.start,
         quick: args.quick,
         double: args.double,
+        reintegrate: args.reintegrate,
         threads: args.threads,
     };
     let summary = run_sweep(&cfg, &opts, |case| {

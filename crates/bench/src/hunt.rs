@@ -32,6 +32,10 @@ pub struct SweepConfig {
     pub quick: bool,
     /// Double-fault schedules (failure during repair).
     pub double: bool,
+    /// Reintegrate-then-fail schedules (crash, warm reboot + rejoin,
+    /// then crash the other side). Takes precedence over `double`; the
+    /// caller must also set [`ChaosOptions::reintegrate`].
+    pub reintegrate: bool,
     /// Worker threads for case execution (`<= 1` runs inline).
     pub threads: usize,
 }
@@ -133,7 +137,9 @@ pub fn detection_clock_start(
 /// Generates the schedule for `seed` under the sweep's generator
 /// flavour.
 pub fn schedule_for(cfg: &SweepConfig, seed: u64) -> FaultSchedule {
-    if cfg.double {
+    if cfg.reintegrate {
+        FaultSchedule::generate_reintegrate(seed)
+    } else if cfg.double {
         FaultSchedule::generate_double(seed)
     } else {
         FaultSchedule::generate(seed)
@@ -225,6 +231,7 @@ impl SweepSummary {
         cfg_j.set("start", Json::U64(cfg.start));
         cfg_j.set("quick", Json::Bool(cfg.quick));
         cfg_j.set("double", Json::Bool(cfg.double));
+        cfg_j.set("reintegrate", Json::Bool(cfg.reintegrate));
         report.set("config", cfg_j);
         let mut outcomes = Json::obj();
         outcomes.set("clean", Json::U64(self.clean));

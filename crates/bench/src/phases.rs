@@ -52,6 +52,7 @@ pub fn failover_timeline(
             }
             StTcpEvent::StonithIssued { at } => tl.mark(PhaseMark::Stonith, *at),
             StTcpEvent::TookOver { at } => tl.mark(PhaseMark::Takeover, *at),
+            StTcpEvent::ReintegrationCompleted { at } => tl.mark(PhaseMark::Reintegrated, *at),
             _ => {}
         }
     }
@@ -104,7 +105,7 @@ pub fn detection_bound(cfg: &StTcpConfig, reason: FailureReason) -> Option<SimDu
 /// Phase-latency distributions aggregated across many failovers.
 #[derive(Debug, Clone)]
 pub struct PhaseAgg {
-    per_phase: [Histogram; 6],
+    per_phase: [Histogram; 7],
     detection: Histogram,
     stall: Histogram,
     failovers: u64,

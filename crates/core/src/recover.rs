@@ -38,6 +38,78 @@ pub enum CtrlMsg {
         /// The recovered bytes.
         data: Bytes,
     },
+    /// Joiner → active: "I booted next to you; send me snapshots of
+    /// every live connection so I can become your backup." `session` is
+    /// a joiner-chosen nonce that stamps the whole join exchange, so a
+    /// stale snapshot from an earlier aborted join is ignored. Re-sent
+    /// every heartbeat period until [`CtrlMsg::JoinDone`] arrives.
+    JoinRequest {
+        /// Join-session nonce (non-zero).
+        session: u32,
+    },
+    /// Active → joiner: the full re-integration state of one live
+    /// connection.
+    ConnSnapshot(ConnSnapshotMsg),
+    /// Active → joiner: every snapshot for this join session has been
+    /// sent; `conns` says how many to expect (idempotent re-sends
+    /// included).
+    JoinDone {
+        /// Join-session nonce.
+        session: u32,
+        /// Number of live connections snapshotted.
+        conns: u32,
+    },
+    /// Joiner → active: all snapshots installed and the tap has caught
+    /// up — resume fault-tolerant lockstep.
+    JoinComplete {
+        /// Join-session nonce.
+        session: u32,
+    },
+}
+
+/// Body of [`CtrlMsg::ConnSnapshot`]: everything a joiner needs to
+/// resume one live connection as a tapping-but-suppressed replica.
+///
+/// The server-side address of the tuple is *not* carried — both servers
+/// are configured with the same service address, so only the client end
+/// varies per connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnSnapshotMsg {
+    /// Join-session nonce this snapshot answers.
+    pub session: u32,
+    /// Connection key ([`crate::heartbeat::conn_key`]).
+    pub conn: u32,
+    /// Client IPv4 address (big-endian u32, as in the IP header).
+    pub client_ip: u32,
+    /// Client TCP port.
+    pub client_port: u16,
+    /// The server-side initial send sequence number.
+    pub iss: u32,
+    /// The client's initial sequence number.
+    pub peer_isn: u32,
+    /// Lowest unacknowledged server→client stream offset; `unacked`
+    /// starts here.
+    pub snd_una: u64,
+    /// Client→server stream offset the joiner's receive side starts at;
+    /// `pending` starts here.
+    pub rcv_start: u64,
+    /// Stream offset of the client's FIN, if it has arrived in order.
+    pub fin_offset: Option<u64>,
+    /// True if the local application has closed its sending side.
+    pub local_fin: bool,
+    /// True if the client's FIN was already consumed by the application.
+    pub peer_fin_consumed: bool,
+    /// The active side's application state digest at snapshot time; the
+    /// joiner verifies its restored replica digests identically.
+    pub app_digest: u64,
+    /// Un-acknowledged server→client bytes `[snd_una, ..)`.
+    pub unacked: Bytes,
+    /// In-order client bytes received but not yet read by the
+    /// application, `[rcv_start, ..)`.
+    pub pending: Bytes,
+    /// Opaque serialized application state
+    /// ([`crate::app::Application::snapshot`]).
+    pub app_state: Bytes,
 }
 
 /// Upper bound on `FetchReply.data` accepted on the wire.
@@ -54,6 +126,20 @@ pub const FETCH_REQUEST_LEN: usize = 21;
 pub const FETCH_REPLY_HEADER_LEN: usize = 17;
 /// Wire length of the trailing CRC-32 on every control message.
 pub const CTRL_CRC_LEN: usize = 4;
+/// Wire length of a `JoinRequest` / `JoinComplete`: `type:1 session:4
+/// crc:4`.
+pub const JOIN_SHORT_LEN: usize = 9;
+/// Wire length of a `JoinDone`: `type:1 session:4 conns:4 crc:4`.
+pub const JOIN_DONE_LEN: usize = 13;
+/// Wire length of a `ConnSnapshot` before its three byte fields:
+/// `type:1 session:4 conn:4 ip:4 port:2 iss:4 peer_isn:4 snd_una:8
+/// rcv_start:8 fin_off:8 digest:8 flags:1 unacked_len:4 pending_len:4
+/// app_len:4` (the CRC-32 trails the data).
+pub const SNAPSHOT_HEADER_LEN: usize = 68;
+
+const SNAP_FLAG_LOCAL_FIN: u8 = 1 << 0;
+const SNAP_FLAG_PEER_FIN_CONSUMED: u8 = 1 << 1;
+const SNAP_FLAG_HAS_FIN: u8 = 1 << 2;
 
 /// Error returned when decoding a control message fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,8 +160,9 @@ impl CtrlMsg {
     ///
     /// # Panics
     ///
-    /// If a `FetchReply` carries more than [`MAX_FETCH_DATA`] bytes —
-    /// such a message could never be decoded, so it is a sender bug.
+    /// If a `FetchReply` carries more than [`MAX_FETCH_DATA`] bytes, or
+    /// any `ConnSnapshot` byte field does — such a message could never
+    /// be decoded, so it is a sender bug.
     pub fn encode(&self) -> Bytes {
         let mut b = match self {
             CtrlMsg::FetchRequest { conn, from, max } => {
@@ -99,6 +186,68 @@ impl CtrlMsg {
                 b.put_u64(*from);
                 b.put_u32(data.len() as u32);
                 b.put_slice(data);
+                b
+            }
+            CtrlMsg::JoinRequest { session } => {
+                let mut b = BytesMut::with_capacity(JOIN_SHORT_LEN);
+                b.put_u8(3);
+                b.put_u32(*session);
+                b
+            }
+            CtrlMsg::ConnSnapshot(s) => {
+                for (field, len) in [
+                    ("unacked", s.unacked.len()),
+                    ("pending", s.pending.len()),
+                    ("app_state", s.app_state.len()),
+                ] {
+                    assert!(
+                        len <= MAX_FETCH_DATA,
+                        "ConnSnapshot {field} {len} exceeds MAX_FETCH_DATA"
+                    );
+                }
+                let data_len = s.unacked.len() + s.pending.len() + s.app_state.len();
+                let mut b = BytesMut::with_capacity(SNAPSHOT_HEADER_LEN + data_len + CTRL_CRC_LEN);
+                b.put_u8(4);
+                b.put_u32(s.session);
+                b.put_u32(s.conn);
+                b.put_u32(s.client_ip);
+                b.put_u16(s.client_port);
+                b.put_u32(s.iss);
+                b.put_u32(s.peer_isn);
+                b.put_u64(s.snd_una);
+                b.put_u64(s.rcv_start);
+                b.put_u64(s.fin_offset.unwrap_or(0));
+                b.put_u64(s.app_digest);
+                let mut flags = 0u8;
+                if s.local_fin {
+                    flags |= SNAP_FLAG_LOCAL_FIN;
+                }
+                if s.peer_fin_consumed {
+                    flags |= SNAP_FLAG_PEER_FIN_CONSUMED;
+                }
+                if s.fin_offset.is_some() {
+                    flags |= SNAP_FLAG_HAS_FIN;
+                }
+                b.put_u8(flags);
+                b.put_u32(s.unacked.len() as u32);
+                b.put_u32(s.pending.len() as u32);
+                b.put_u32(s.app_state.len() as u32);
+                b.put_slice(&s.unacked);
+                b.put_slice(&s.pending);
+                b.put_slice(&s.app_state);
+                b
+            }
+            CtrlMsg::JoinDone { session, conns } => {
+                let mut b = BytesMut::with_capacity(JOIN_DONE_LEN);
+                b.put_u8(5);
+                b.put_u32(*session);
+                b.put_u32(*conns);
+                b
+            }
+            CtrlMsg::JoinComplete { session } => {
+                let mut b = BytesMut::with_capacity(JOIN_SHORT_LEN);
+                b.put_u8(6);
+                b.put_u32(*session);
                 b
             }
         };
@@ -160,6 +309,73 @@ impl CtrlMsg {
                     from: rd64(5),
                     data: Bytes::copy_from_slice(&body[FETCH_REPLY_HEADER_LEN..]),
                 })
+            }
+            3 => {
+                if body.len() != JOIN_SHORT_LEN - CTRL_CRC_LEN {
+                    return Err(CtrlDecodeError);
+                }
+                Ok(CtrlMsg::JoinRequest { session: rd32(1) })
+            }
+            4 => {
+                if body.len() < SNAPSHOT_HEADER_LEN {
+                    return Err(CtrlDecodeError);
+                }
+                let flags = body[55];
+                if flags & !(SNAP_FLAG_LOCAL_FIN | SNAP_FLAG_PEER_FIN_CONSUMED | SNAP_FLAG_HAS_FIN)
+                    != 0
+                {
+                    return Err(CtrlDecodeError);
+                }
+                let has_fin = flags & SNAP_FLAG_HAS_FIN != 0;
+                let fin_field = rd64(39);
+                if !has_fin && fin_field != 0 {
+                    return Err(CtrlDecodeError);
+                }
+                let unacked_len = rd32(56) as usize;
+                let pending_len = rd32(60) as usize;
+                let app_len = rd32(64) as usize;
+                if unacked_len > MAX_FETCH_DATA
+                    || pending_len > MAX_FETCH_DATA
+                    || app_len > MAX_FETCH_DATA
+                    || body.len() != SNAPSHOT_HEADER_LEN + unacked_len + pending_len + app_len
+                {
+                    return Err(CtrlDecodeError);
+                }
+                let u0 = SNAPSHOT_HEADER_LEN;
+                let p0 = u0 + unacked_len;
+                let a0 = p0 + pending_len;
+                Ok(CtrlMsg::ConnSnapshot(ConnSnapshotMsg {
+                    session: rd32(1),
+                    conn: rd32(5),
+                    client_ip: rd32(9),
+                    client_port: u16::from_be_bytes([body[13], body[14]]),
+                    iss: rd32(15),
+                    peer_isn: rd32(19),
+                    snd_una: rd64(23),
+                    rcv_start: rd64(31),
+                    fin_offset: has_fin.then_some(fin_field),
+                    local_fin: flags & SNAP_FLAG_LOCAL_FIN != 0,
+                    peer_fin_consumed: flags & SNAP_FLAG_PEER_FIN_CONSUMED != 0,
+                    app_digest: rd64(47),
+                    unacked: Bytes::copy_from_slice(&body[u0..p0]),
+                    pending: Bytes::copy_from_slice(&body[p0..a0]),
+                    app_state: Bytes::copy_from_slice(&body[a0..]),
+                }))
+            }
+            5 => {
+                if body.len() != JOIN_DONE_LEN - CTRL_CRC_LEN {
+                    return Err(CtrlDecodeError);
+                }
+                Ok(CtrlMsg::JoinDone {
+                    session: rd32(1),
+                    conns: rd32(5),
+                })
+            }
+            6 => {
+                if body.len() != JOIN_SHORT_LEN - CTRL_CRC_LEN {
+                    return Err(CtrlDecodeError);
+                }
+                Ok(CtrlMsg::JoinComplete { session: rd32(1) })
             }
             _ => Err(CtrlDecodeError),
         }
@@ -239,6 +455,129 @@ mod tests {
         let crc = crate::wire::crc32(&b);
         b.extend_from_slice(&crc.to_be_bytes());
         assert_eq!(CtrlMsg::decode(&b), Err(CtrlDecodeError));
+    }
+
+    fn sample_snapshot() -> CtrlMsg {
+        CtrlMsg::ConnSnapshot(ConnSnapshotMsg {
+            session: 0x1234_5678,
+            conn: 0xfeed_f00d,
+            client_ip: u32::from(std::net::Ipv4Addr::new(10, 0, 0, 3)),
+            client_port: 40_001,
+            iss: 0x8000_0001,
+            peer_isn: 7,
+            snd_una: 123_456,
+            rcv_start: 654_321,
+            fin_offset: Some(654_400),
+            local_fin: true,
+            peer_fin_consumed: false,
+            app_digest: 0xdead_beef_cafe_f00d,
+            unacked: Bytes::from_static(b"server bytes in flight"),
+            pending: Bytes::from_static(b"client bytes unread"),
+            app_state: Bytes::from_static(b"\x01\x02\x03"),
+        })
+    }
+
+    #[test]
+    fn join_messages_roundtrip() {
+        for m in [
+            CtrlMsg::JoinRequest {
+                session: 0xabcd_0001,
+            },
+            sample_snapshot(),
+            CtrlMsg::JoinDone {
+                session: 0xabcd_0001,
+                conns: 3,
+            },
+            CtrlMsg::JoinComplete {
+                session: 0xabcd_0001,
+            },
+        ] {
+            assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn snapshot_without_fin_and_empty_fields_roundtrips() {
+        let m = CtrlMsg::ConnSnapshot(ConnSnapshotMsg {
+            session: 1,
+            conn: 2,
+            client_ip: 0,
+            client_port: 0,
+            iss: 0,
+            peer_isn: 0,
+            snd_una: 0,
+            rcv_start: 0,
+            fin_offset: None,
+            local_fin: false,
+            peer_fin_consumed: true,
+            app_digest: 0,
+            unacked: Bytes::new(),
+            pending: Bytes::new(),
+            app_state: Bytes::new(),
+        });
+        assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn snapshot_every_single_bit_flip_rejected() {
+        let wire = sample_snapshot().encode().to_vec();
+        for bit in 0..wire.len() * 8 {
+            let mut flipped = wire.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(
+                CtrlMsg::decode(&flipped),
+                Err(CtrlDecodeError),
+                "flipping bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_truncations_rejected() {
+        let wire = sample_snapshot().encode().to_vec();
+        for len in 0..wire.len() {
+            assert_eq!(
+                CtrlMsg::decode(&wire[..len]),
+                Err(CtrlDecodeError),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_unknown_flag_rejected_even_with_valid_crc() {
+        let wire = sample_snapshot().encode();
+        let mut body = wire[..wire.len() - CTRL_CRC_LEN].to_vec();
+        body[55] |= 1 << 6; // unknown flag bit
+        let crc = crate::wire::crc32(&body);
+        body.extend_from_slice(&crc.to_be_bytes());
+        assert_eq!(CtrlMsg::decode(&body), Err(CtrlDecodeError));
+    }
+
+    #[test]
+    fn snapshot_nonzero_fin_field_without_flag_rejected() {
+        let CtrlMsg::ConnSnapshot(mut s) = sample_snapshot() else {
+            unreachable!()
+        };
+        s.fin_offset = None;
+        let wire = CtrlMsg::ConnSnapshot(s).encode();
+        let mut body = wire[..wire.len() - CTRL_CRC_LEN].to_vec();
+        body[39..47].copy_from_slice(&77u64.to_be_bytes()); // fin field set, flag clear
+        let crc = crate::wire::crc32(&body);
+        body.extend_from_slice(&crc.to_be_bytes());
+        assert_eq!(CtrlMsg::decode(&body), Err(CtrlDecodeError));
+    }
+
+    #[test]
+    fn snapshot_oversized_field_length_rejected() {
+        // Forge a snapshot whose unacked length claims more than the
+        // cap, with a valid CRC — the explicit bound must reject it.
+        let wire = sample_snapshot().encode();
+        let mut body = wire[..wire.len() - CTRL_CRC_LEN].to_vec();
+        body[56..60].copy_from_slice(&((MAX_FETCH_DATA as u32) + 1).to_be_bytes());
+        let crc = crate::wire::crc32(&body);
+        body.extend_from_slice(&crc.to_be_bytes());
+        assert_eq!(CtrlMsg::decode(&body), Err(CtrlDecodeError));
     }
 
     #[test]

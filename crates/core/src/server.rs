@@ -16,7 +16,7 @@
 //!   the client connections in place.
 
 use bytes::Bytes;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 use simnet::frame::EthernetFrame;
@@ -25,11 +25,12 @@ use simnet::iplayer::IpInterface;
 use simnet::node::{NicId, Node, NodeCtx, NodeId, SerialPortId, TimerId, TimerToken};
 use simnet::time::{SimDuration, SimTime};
 
-use simtcp::conn::{ConnStats, TcpConfig, TcpState};
+use simtcp::conn::{ConnStats, TcpConfig, TcpConn, TcpSnapshot, TcpState};
 use simtcp::endpoint::{
     EgressMode, EndpointConfig, FinGate, IsnPolicy, ListenConfig, RstPolicy, TcpEndpoint,
 };
-use simtcp::socket::{SocketEvent, SocketId};
+use simtcp::seq::SeqNum;
+use simtcp::socket::{FourTuple, SocketEvent, SocketId};
 
 use crate::app::{AppAction, AppFactory, Application};
 use crate::applag::AppLagDetector;
@@ -40,7 +41,7 @@ use crate::heartbeat::{conn_key, unwrap_u32_near, ConnHb, HbPayload, PingReport}
 use crate::linkmon::LinkMonitor;
 use crate::metrics::ServerMetrics;
 use crate::netdetect::{NetFailureDetector, NetObservation};
-use crate::recover::CtrlMsg;
+use crate::recover::{ConnSnapshotMsg, CtrlMsg, MAX_FETCH_DATA};
 
 /// The IP protocol number carrying the server-to-server recovery channel.
 pub const CTRL_PROTO: IpProto = IpProto::Other(254);
@@ -128,6 +129,24 @@ struct PeerConn {
     app_suspected: bool,
 }
 
+/// Re-integration join progress on a rebooted server (the *joiner* side).
+///
+/// The session nonce scopes every snapshot to one boot of the joiner, so
+/// stale snapshots from an earlier join attempt are ignored. The join is
+/// complete once all `expected` connections announced by `JoinDone` are
+/// installed *and* the local tap has converged with the active peer's
+/// heartbeat positions.
+#[derive(Debug)]
+struct JoinState {
+    session: u32,
+    /// Connection count from the active peer's `JoinDone`; `None` until it
+    /// arrives.
+    expected: Option<u32>,
+    /// Connection keys whose snapshots were installed (or found already
+    /// live via the tap).
+    installed: BTreeSet<u32>,
+}
+
 /// Gateway-ping campaign state.
 #[derive(Debug, Clone, Copy, Default)]
 struct PingCampaign {
@@ -180,6 +199,12 @@ pub struct StTcpServer {
     /// so the per-period heartbeat allocates no per-connection vector.
     hb_scratch: Vec<ConnHb>,
     took_over: bool,
+    /// Re-integration: `Some` while this (rebooted) server is joining the
+    /// active peer's live connections.
+    join: Option<JoinState>,
+    /// Re-integration: `Some(session)` while this (active) server is
+    /// feeding snapshots to a joining peer.
+    serving_join: Option<u32>,
     tcp_timer: Option<(TimerId, SimTime)>,
     events: Vec<StTcpEvent>,
     metrics: ServerMetrics,
@@ -254,6 +279,8 @@ impl StTcpServer {
             hb_seq: 0,
             hb_scratch: Vec::new(),
             took_over: false,
+            join: None,
+            serving_join: None,
             tcp_timer: None,
             events: Vec::new(),
             metrics: ServerMetrics::new(),
@@ -347,6 +374,15 @@ impl StTcpServer {
         })
     }
 
+    /// When this server completed a re-integration (as joiner or as the
+    /// active side), if it did.
+    pub fn reintegrated_at(&self) -> Option<SimTime> {
+        self.events.iter().find_map(|e| match e {
+            StTcpEvent::ReintegrationCompleted { at } => Some(*at),
+            _ => None,
+        })
+    }
+
     /// The underlying TCP endpoint (tests and harnesses).
     pub fn endpoint(&self) -> &TcpEndpoint {
         &self.tcp
@@ -364,7 +400,8 @@ impl StTcpServer {
         self.by_key.keys().copied().collect()
     }
 
-    /// True if the node observed a power-off.
+    /// True if the node observed a power-off (and, with re-integration
+    /// enabled, has not since warm-rebooted back into the pair).
     pub fn was_powered_off(&self) -> bool {
         self.powered_off
     }
@@ -909,6 +946,15 @@ impl StTcpServer {
             }
         }
 
+        // Re-integration: a joiner catches up (fetching bytes its tap
+        // missed while it was down) and completes once converged. This runs
+        // *before* the ft_mode gate below — a joiner is deliberately not
+        // fault-tolerant yet, but must still make progress.
+        if self.join.is_some() {
+            self.run_recovery(ctx);
+            self.try_finish_join(ctx);
+        }
+
         if !self.ft_mode {
             return;
         }
@@ -1118,6 +1164,267 @@ impl StTcpServer {
         }
     }
 
+    // ----- internal: re-integration -----------------------------------------
+
+    /// Active side: answer a joiner's `JoinRequest` by snapshotting every
+    /// live connection and announcing the count. Idempotent — a repeated
+    /// request (lost snapshot or lost `JoinDone`) re-sends everything; the
+    /// joiner skips keys it already installed.
+    fn serve_join(&mut self, ctx: &mut NodeCtx<'_>, session: u32) {
+        // Only an active primary owns live connections a joiner can copy,
+        // and only when re-integration is enabled on this pair.
+        if !self.is_active() || !self.setup.sttcp.reintegrate {
+            return;
+        }
+        let now = ctx.now();
+        if self.serving_join != Some(session) {
+            self.serving_join = Some(session);
+            // A new join session means the peer rebooted: everything known
+            // about the old peer — including sticky FIN/watchdog flags that
+            // would otherwise poison verdicts against the new incarnation —
+            // is stale.
+            self.peer_conns.clear();
+            self.events
+                .push(StTcpEvent::ReintegrationStarted { at: now });
+            ctx.trace(format!(
+                "{}: serving re-integration join {session:08x}",
+                self.role
+            ));
+            // Future connections get the extended receive buffer again:
+            // once the join completes there is a backup to feed.
+            let mut accept_tcp = self.setup.tcp.clone();
+            accept_tcp.hold_buf = Some(self.setup.sttcp.hold_buf);
+            self.tcp.listen(
+                self.setup.service_port,
+                ListenConfig {
+                    tcp: accept_tcp,
+                    egress: EgressMode::Normal,
+                },
+            );
+        }
+        let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+        let mut announced = 0u32;
+        for sock in socks {
+            // Arm the hold buffer *before* capturing the snapshot: every
+            // client byte at or beyond the snapshot's receive edge stays
+            // fetchable, so the joiner sees the stream with no hole —
+            // `[read cursor, edge)` rides in the snapshot, `[edge, ∞)`
+            // arrives by tap or fetch.
+            if let Some(conn) = self.tcp.conn_mut(sock) {
+                conn.enable_hold(self.setup.sttcp.hold_buf);
+            }
+            let Some(msg) = self.snapshot_conn(session, sock) else {
+                continue;
+            };
+            announced += 1;
+            self.send_ctrl(ctx, &CtrlMsg::ConnSnapshot(msg));
+        }
+        self.send_ctrl(
+            ctx,
+            &CtrlMsg::JoinDone {
+                session,
+                conns: announced,
+            },
+        );
+    }
+
+    /// Captures one connection as a [`ConnSnapshotMsg`], or `None` when it
+    /// cannot be joined (closed, not snapshottable, or a buffer exceeds the
+    /// control-channel cap — such a connection simply stays unreplicated).
+    fn snapshot_conn(&mut self, session: u32, sock: SocketId) -> Option<ConnSnapshotMsg> {
+        let ctl = self.conns.get(&sock)?;
+        if ctl.closed {
+            return None;
+        }
+        let key = ctl.key;
+        let snap = self.tcp.conn(sock)?.snapshot()?;
+        if snap.unacked.len() > MAX_FETCH_DATA || snap.pending.len() > MAX_FETCH_DATA {
+            return None;
+        }
+        let app_state = ctl
+            .app
+            .snapshot()
+            .map(Bytes::from)
+            .unwrap_or_else(Bytes::new);
+        if app_state.len() > MAX_FETCH_DATA {
+            return None;
+        }
+        Some(ConnSnapshotMsg {
+            session,
+            conn: key,
+            client_ip: u32::from(snap.tuple.remote.0),
+            client_port: snap.tuple.remote.1,
+            iss: snap.iss.0,
+            peer_isn: snap.peer_isn.0,
+            snd_una: snap.snd_una,
+            rcv_start: snap.rcv_start,
+            fin_offset: snap.fin_offset,
+            local_fin: snap.local_fin,
+            peer_fin_consumed: snap.peer_fin_consumed,
+            app_digest: ctl.app.state_digest(),
+            unacked: snap.unacked,
+            pending: snap.pending,
+            app_state,
+        })
+    }
+
+    /// Joiner side: install one connection snapshot into the suppressed
+    /// TCP state machine and spin up its replica application.
+    fn install_snapshot(&mut self, ctx: &mut NodeCtx<'_>, s: &ConnSnapshotMsg) {
+        let now = ctx.now();
+        let Some(join) = &self.join else {
+            return;
+        };
+        if s.session != join.session || join.installed.contains(&s.conn) {
+            return;
+        }
+        let tuple = FourTuple {
+            local: (self.setup.service_ip, self.setup.service_port),
+            remote: (Ipv4Addr::from(s.client_ip), s.client_port),
+        };
+        if conn_key(tuple) != s.conn {
+            // CRC passed but the key does not match the tuple: semantic
+            // corruption; never install it.
+            return;
+        }
+        // Restore the replica application first and verify lockstep
+        // *before* touching transport state: a replica whose digest
+        // diverges from the active side would silently produce different
+        // output at the next takeover — worse than leaving the connection
+        // unreplicated.
+        let mut app = self.app_factory.create();
+        if !s.app_state.is_empty() {
+            app.restore(&s.app_state);
+        }
+        if app.state_digest() != s.app_digest {
+            ctx.trace(format!(
+                "join: conn {:08x} replica digest mismatch after restore; skipping",
+                s.conn
+            ));
+            return;
+        }
+        let conn = TcpConn::resume(
+            self.setup.tcp.clone(),
+            &TcpSnapshot {
+                tuple,
+                iss: SeqNum(s.iss),
+                peer_isn: SeqNum(s.peer_isn),
+                snd_una: s.snd_una,
+                unacked: s.unacked.clone(),
+                local_fin: s.local_fin,
+                rcv_start: s.rcv_start,
+                pending: s.pending.clone(),
+                fin_offset: s.fin_offset,
+                peer_fin_consumed: s.peer_fin_consumed,
+            },
+        );
+        match self.tcp.install_resumed(conn, EgressMode::Suppress) {
+            Some(sock) => {
+                self.by_key.insert(s.conn, sock);
+                self.conns.insert(
+                    sock,
+                    ConnCtl {
+                        key: s.conn,
+                        app,
+                        app_alive: !self.app_crashed,
+                        applag: AppLagDetector::new(
+                            self.setup.sttcp.app_max_lag_bytes,
+                            self.setup.sttcp.app_max_lag_time,
+                            self.setup.sttcp.effective_lag_confirm(),
+                        ),
+                        finarb: FinArbiter::new(self.role, self.setup.sttcp.max_delay_fin),
+                        pending_out: Vec::new(),
+                        last_fetch_at: None,
+                        recovering: false,
+                        closed: false,
+                        close_issued: s.local_fin,
+                        hole_since: None,
+                        last_sign_of_life: now,
+                    },
+                );
+                self.events.push(StTcpEvent::SnapshotInstalled {
+                    conn: s.conn,
+                    at: now,
+                });
+                ctx.trace(format!(
+                    "join: conn {:08x} snapshot installed (rcv {}, snd_una {})",
+                    s.conn, s.rcv_start, s.snd_una
+                ));
+            }
+            None => {
+                // The tuple is already live locally: the tapped SYN beat the
+                // snapshot here, so the connection is replicated from its
+                // very beginning and the snapshot is redundant.
+            }
+        }
+        if let Some(join) = &mut self.join {
+            join.installed.insert(s.conn);
+        }
+    }
+
+    /// Joiner side: complete the join once all announced snapshots are in
+    /// and the local tap has converged with the active peer's heartbeat
+    /// positions. Until then `ft_mode` stays false — the joiner can neither
+    /// fire verdicts nor take over, so a half-joined backup can never
+    /// become a second active server.
+    fn try_finish_join(&mut self, ctx: &mut NodeCtx<'_>) {
+        let Some(join) = &self.join else {
+            return;
+        };
+        let Some(expected) = join.expected else {
+            return;
+        };
+        if (join.installed.len() as u32) < expected {
+            return;
+        }
+        // Require at least one post-reboot heartbeat: convergence is judged
+        // against the peer's positions, which are meaningless before any
+        // have been heard.
+        if self.ip_mon.last_rx().is_none() && self.serial_mon.last_rx().is_none() {
+            return;
+        }
+        // Converged when every connection the peer reports exists locally
+        // with receive and application-read positions caught up (a closed
+        // local connection has nothing left to converge).
+        for (&key, peer) in &self.peer_conns {
+            let Some(&sock) = self.by_key.get(&key) else {
+                // Heartbeats announce every conn still in the peer's socket
+                // table, including closed ones the snapshot pass skipped —
+                // those have nothing to converge. Only a key we actually
+                // installed may gate convergence (it can lag `by_key` by one
+                // poll when the tuple arrived via tap); a brand-new conn is
+                // tapped from its SYN and needs no catch-up.
+                if join.installed.contains(&key) {
+                    return;
+                }
+                continue;
+            };
+            if self.conns.get(&sock).map(|c| c.closed).unwrap_or(true) {
+                continue;
+            }
+            let Some(conn) = self.tcp.conn(sock) else {
+                continue;
+            };
+            if conn.bytes_received() < peer.last_byte_received
+                || conn.app_bytes_read() < peer.last_app_byte_read
+            {
+                return;
+            }
+        }
+        let now = ctx.now();
+        let session = join.session;
+        self.join = None;
+        self.ft_mode = true;
+        self.peer_alive = true;
+        self.events
+            .push(StTcpEvent::ReintegrationCompleted { at: now });
+        ctx.trace(format!(
+            "{}: re-integration complete; pair fault-tolerant again",
+            self.role
+        ));
+        self.send_ctrl(ctx, &CtrlMsg::JoinComplete { session });
+    }
+
     fn send_ctrl(&self, ctx: &mut NodeCtx<'_>, msg: &CtrlMsg) {
         if let Some(frame) =
             self.iface
@@ -1156,7 +1463,41 @@ impl StTcpServer {
                 };
                 self.tcp.inject_in_order(sock, *from, data);
                 self.metrics.on_replay(data.len() as u64);
-                let _ = now;
+            }
+            CtrlMsg::JoinRequest { session } => {
+                self.serve_join(ctx, *session);
+            }
+            CtrlMsg::ConnSnapshot(s) => {
+                self.install_snapshot(ctx, s);
+            }
+            CtrlMsg::JoinDone { session, conns } => {
+                if let Some(join) = &mut self.join {
+                    if join.session == *session {
+                        join.expected = Some(*conns);
+                    }
+                }
+                self.try_finish_join(ctx);
+            }
+            CtrlMsg::JoinComplete { session } => {
+                if self.serving_join == Some(*session) {
+                    self.serving_join = None;
+                    self.ft_mode = true;
+                    self.peer_alive = true;
+                    self.events
+                        .push(StTcpEvent::ReintegrationCompleted { at: now });
+                    ctx.trace(format!(
+                        "{}: re-integration complete; pair fault-tolerant again",
+                        self.role
+                    ));
+                    // Fresh FIN arbitration against the new backup: the old
+                    // arbiters are in their peer-failed (open-gate) state
+                    // from the takeover.
+                    for ctl in self.conns.values_mut() {
+                        if !ctl.close_issued && !ctl.closed {
+                            ctl.finarb = FinArbiter::new(self.role, self.setup.sttcp.max_delay_fin);
+                        }
+                    }
+                }
             }
         }
     }
@@ -1298,8 +1639,23 @@ impl Node for StTcpServer {
         }
         match token {
             TOKEN_HB => {
-                if self.ft_mode {
+                // Heartbeats also flow during a re-integration join: the
+                // joiner's positions drive the active side's hold-buffer
+                // release, and the active side's positions define the
+                // joiner's convergence target.
+                if self.ft_mode || self.join.is_some() || self.serving_join.is_some() {
                     self.send_heartbeats(ctx);
+                }
+                // A joiner re-requests until the full snapshot set arrives
+                // (any of the join messages may have been lost).
+                if let Some(join) = &self.join {
+                    let complete = join
+                        .expected
+                        .is_some_and(|e| join.installed.len() as u32 >= e);
+                    if !complete {
+                        let session = join.session;
+                        self.send_ctrl(ctx, &CtrlMsg::JoinRequest { session });
+                    }
                 }
                 ctx.set_timer(self.setup.sttcp.hb_period, TOKEN_HB);
             }
@@ -1356,28 +1712,105 @@ impl Node for StTcpServer {
     }
 
     fn on_power_on(&mut self, ctx: &mut NodeCtx<'_>) {
-        // Cold reboot after a crash or STONITH. All in-memory protocol
-        // state — connection table, sequence numbers, peer bookkeeping —
-        // is gone, and rejoining the pair safely would need the state
-        // transfer the paper assigns to an administrator. Until then the
-        // machine is a passive cold standby: it never transmits and
-        // ignores every frame, serial byte, and timer. In particular a
-        // STONITHed ex-primary can never come back as a second active
-        // server, so the dual-active invariant holds across reboots.
-        self.cold = true;
+        if !self.setup.sttcp.reintegrate {
+            // Cold reboot after a crash or STONITH. All in-memory protocol
+            // state — connection table, sequence numbers, peer bookkeeping —
+            // is gone, and rejoining the pair safely would need the state
+            // transfer the paper assigns to an administrator. Until then the
+            // machine is a passive cold standby: it never transmits and
+            // ignores every frame, serial byte, and timer. In particular a
+            // STONITHed ex-primary can never come back as a second active
+            // server, so the dual-active invariant holds across reboots.
+            self.cold = true;
+            self.ft_mode = false;
+            self.peer_alive = false;
+            self.took_over = false;
+            self.conns.clear();
+            self.by_key.clear();
+            self.peer_conns.clear();
+            self.peer_ping = None;
+            self.ping.active = false;
+            self.tcp_timer = None;
+            ctx.trace(format!(
+                "{}: cold reboot; staying passive standby",
+                self.setup.role
+            ));
+            return;
+        }
+        // Warm reboot into re-integration. All pre-crash state is gone;
+        // boot as a fresh backup — whatever role this host held before —
+        // and ask the active peer for per-connection snapshots. Until the
+        // join converges, `ft_mode` stays false: this node fires no
+        // verdicts and can never take over, so the dual-active invariant
+        // holds even if the join never completes (or the active peer
+        // STONITHs us mid-join after a fast reboot — that race resolves
+        // exactly like the crash it followed).
+        let now = ctx.now();
+        self.cold = false;
+        self.powered_off = false;
+        self.role = Role::Backup;
         self.ft_mode = false;
-        self.peer_alive = false;
+        self.peer_alive = true;
         self.took_over = false;
+        self.app_crashed = false;
         self.conns.clear();
         self.by_key.clear();
         self.peer_conns.clear();
         self.peer_ping = None;
-        self.ping.active = false;
+        self.ping = PingCampaign {
+            id: (self.setup.seed & 0xffff) as u16,
+            ..Default::default()
+        };
+        self.net_detect.reset();
+        self.hb_seq = 0;
+        self.hb_scratch = Vec::new();
         self.tcp_timer = None;
+        let hb_timeout = self.setup.sttcp.hb_timeout();
+        self.ip_mon = LinkMonitor::new(hb_timeout, now);
+        self.serial_mon = LinkMonitor::new(hb_timeout, now);
+        self.ip_was_alive = true;
+        self.serial_was_alive = true;
+        self.started_at = now;
+        // A fresh TCP stack tapping in suppressed mode with the shared
+        // deterministic ISN, exactly like an original backup: connections
+        // opened after the reboot replicate from their SYN; pre-existing
+        // ones arrive as snapshots.
+        self.tcp = TcpEndpoint::new(EndpointConfig {
+            tcp: self.setup.tcp.clone(),
+            isn: IsnPolicy::Deterministic {
+                salt: self.setup.isn_salt,
+            },
+            rst_policy: RstPolicy::Silent,
+            seed: self.setup.seed,
+        });
+        self.tcp.listen(
+            self.setup.service_port,
+            ListenConfig {
+                tcp: self.setup.tcp.clone(),
+                egress: EgressMode::Suppress,
+            },
+        );
+        // Session nonce: unique per boot (virtual boot time), never zero.
+        let session = (now.as_micros() as u32) | 1;
+        self.join = Some(JoinState {
+            session,
+            expected: None,
+            installed: BTreeSet::new(),
+        });
+        self.serving_join = None;
+        self.events
+            .push(StTcpEvent::ReintegrationStarted { at: now });
         ctx.trace(format!(
-            "{}: cold reboot; staying passive standby",
+            "{}: reboot; joining active peer (session {session:08x})",
             self.setup.role
         ));
+        self.send_ctrl(ctx, &CtrlMsg::JoinRequest { session });
+        self.send_heartbeats(ctx);
+        // The power-off invalidated every pending timer (epoch bump); arm
+        // a fresh set.
+        ctx.set_timer(self.setup.sttcp.hb_period, TOKEN_HB);
+        ctx.set_timer(self.setup.sttcp.check_period, TOKEN_CHECK);
+        ctx.set_timer(self.setup.sttcp.app_tick, TOKEN_APP_TICK);
     }
 }
 

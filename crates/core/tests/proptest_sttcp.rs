@@ -14,10 +14,52 @@ use sttcp::config::Role;
 use sttcp::events::FailureReason;
 use sttcp::finarb::{ArbAction, FinArbiter};
 use sttcp::heartbeat::{unwrap_u32_near, ConnHb, HbPayload, PingReport};
-use sttcp::recover::CtrlMsg;
+use sttcp::recover::{ConnSnapshotMsg, CtrlMsg};
 
 fn t(ms: u64) -> SimTime {
     SimTime::from_millis(ms)
+}
+
+fn arb_snapshot_msg() -> impl Strategy<Value = ConnSnapshotMsg> {
+    (
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u16>()),
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()),
+        (
+            proptest::option::of(any::<u64>()),
+            any::<bool>(),
+            any::<bool>(),
+            any::<u64>(),
+        ),
+        (
+            vec(any::<u8>(), 0..512),
+            vec(any::<u8>(), 0..512),
+            vec(any::<u8>(), 0..256),
+        ),
+    )
+        .prop_map(
+            |(
+                (session, conn, client_ip, client_port),
+                (iss, peer_isn, snd_una, rcv_start),
+                (fin_offset, local_fin, peer_fin_consumed, app_digest),
+                (unacked, pending, app_state),
+            )| ConnSnapshotMsg {
+                session,
+                conn,
+                client_ip,
+                client_port,
+                iss,
+                peer_isn,
+                snd_una,
+                rcv_start,
+                fin_offset,
+                local_fin,
+                peer_fin_consumed,
+                app_digest,
+                unacked: Bytes::from(unacked),
+                pending: Bytes::from(pending),
+                app_state: Bytes::from(app_state),
+            },
+        )
 }
 
 fn arb_conn_hb() -> impl Strategy<Value = ConnHb> {
@@ -127,10 +169,53 @@ proptest! {
         prop_assert_eq!(CtrlMsg::decode(&reply.encode()).unwrap(), reply);
     }
 
+    /// The re-integration messages round-trip exactly, including a full
+    /// per-connection snapshot with all three opaque byte fields.
+    #[test]
+    fn ctrl_join_msgs_roundtrip(
+        session: u32,
+        conns: u32,
+        snap in arb_snapshot_msg(),
+    ) {
+        for msg in [
+            CtrlMsg::JoinRequest { session },
+            CtrlMsg::JoinDone { session, conns },
+            CtrlMsg::JoinComplete { session },
+            CtrlMsg::ConnSnapshot(snap),
+        ] {
+            prop_assert_eq!(CtrlMsg::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
     /// The control decoder is total on arbitrary bytes.
     #[test]
     fn ctrl_decode_never_panics(wire in vec(any::<u8>(), 0..2048)) {
         let _ = CtrlMsg::decode(&wire);
+    }
+
+    /// Any truncation of an encoded snapshot is rejected — the decoder
+    /// never mistakes a cut-off byte field for a shorter valid one.
+    #[test]
+    fn ctrl_snapshot_truncation_always_rejected(
+        snap in arb_snapshot_msg(),
+        cut in 1usize..64,
+    ) {
+        let wire = CtrlMsg::ConnSnapshot(snap).encode();
+        let cut = cut.min(wire.len());
+        prop_assert!(CtrlMsg::decode(&wire[..wire.len() - cut]).is_err());
+    }
+
+    /// A single flipped bit anywhere in an encoded snapshot is rejected
+    /// (CRC) — corrupt state can never be installed into a joiner.
+    #[test]
+    fn ctrl_snapshot_any_bit_flip_rejected(
+        snap in arb_snapshot_msg(),
+        flip in any::<u32>(),
+    ) {
+        let mut wire = CtrlMsg::ConnSnapshot(snap).encode().to_vec();
+        let bit = flip as usize % (wire.len() * 8);
+        wire[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(CtrlMsg::decode(&wire).is_err());
     }
 
     /// Any truncation of a valid control message is rejected.

@@ -1,9 +1,10 @@
 //! The failover-phase timeline.
 //!
 //! A [`Timeline`] stitches the marks of one failover — fault injected,
-//! first symptom, verdict, STONITH, takeover, first client-visible byte
-//! after the stall — into a [`PhaseBreakdown`]: six contiguous phases
-//! that *partition* the client-observed stall window. Boundaries are
+//! first symptom, verdict, STONITH, takeover, re-integration (when a
+//! rebooted peer rejoined), first client-visible byte after the stall —
+//! into a [`PhaseBreakdown`]: seven contiguous phases that *partition*
+//! the client-observed stall window. Boundaries are
 //! clamped monotonically into the window, so the phase durations sum to
 //! the total stall **by construction** (the acceptance check of the
 //! paper's "at worst a short stall" claim becomes an identity, and any
@@ -34,10 +35,12 @@ pub enum PhaseMark {
     Stonith,
     /// The takeover completed (egress unsuppressed).
     Takeover,
+    /// A rebooted peer completed re-integration (redundancy restored).
+    Reintegrated,
 }
 
 impl PhaseMark {
-    const COUNT: usize = 5;
+    const COUNT: usize = 6;
 
     fn index(self) -> usize {
         match self {
@@ -46,11 +49,12 @@ impl PhaseMark {
             PhaseMark::Verdict => 2,
             PhaseMark::Stonith => 3,
             PhaseMark::Takeover => 4,
+            PhaseMark::Reintegrated => 5,
         }
     }
 }
 
-/// One of the six contiguous phases of a failover stall.
+/// One of the seven contiguous phases of a failover stall.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Stall-window start → fault injection (the client had already
@@ -64,18 +68,24 @@ pub enum Phase {
     Fencing,
     /// STONITH → takeover complete.
     Takeover,
-    /// Takeover → first client-visible byte after the stall.
+    /// Takeover → re-integration complete (zero-length in runs where no
+    /// rebooted peer rejoined, or when the join finished outside the
+    /// stall window).
+    Reintegration,
+    /// Re-integration (or takeover) → first client-visible byte after
+    /// the stall.
     Restart,
 }
 
 impl Phase {
-    /// All six phases, in timeline order.
-    pub const ALL: [Phase; 6] = [
+    /// All seven phases, in timeline order.
+    pub const ALL: [Phase; 7] = [
         Phase::PreFault,
         Phase::Symptom,
         Phase::Diagnosis,
         Phase::Fencing,
         Phase::Takeover,
+        Phase::Reintegration,
         Phase::Restart,
     ];
 
@@ -87,6 +97,7 @@ impl Phase {
             Phase::Diagnosis => "diagnosis",
             Phase::Fencing => "fencing",
             Phase::Takeover => "takeover",
+            Phase::Reintegration => "reintegration",
             Phase::Restart => "restart",
         }
     }
@@ -147,17 +158,17 @@ impl Timeline {
     ///
     /// A missing mark collapses its phase to zero length at the previous
     /// boundary; a mark outside the window (or out of order) is clamped,
-    /// so the six durations always partition `[start, end]` exactly.
+    /// so the seven durations always partition `[start, end]` exactly.
     pub fn breakdown(&self) -> Option<PhaseBreakdown> {
         let end = self.end?;
-        let mut durations = [SimDuration::ZERO; 6];
+        let mut durations = [SimDuration::ZERO; 7];
         let mut prev = self.start;
         for (i, mark) in self.marks.iter().enumerate() {
             let b = mark.unwrap_or(prev).max(prev).min(end);
             durations[i] = b.saturating_since(prev);
             prev = b;
         }
-        durations[5] = end.saturating_since(prev);
+        durations[6] = end.saturating_since(prev);
         Some(PhaseBreakdown {
             durations,
             total: end.saturating_since(self.start),
@@ -165,11 +176,11 @@ impl Timeline {
     }
 }
 
-/// Six phase durations that partition one failover stall.
+/// Seven phase durations that partition one failover stall.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseBreakdown {
     /// Durations indexed like [`Phase::ALL`].
-    pub durations: [SimDuration; 6],
+    pub durations: [SimDuration; 7],
     /// The whole stall window (equals the sum of `durations`).
     pub total: SimDuration,
 }

@@ -139,6 +139,40 @@ pub struct ConnStats {
     pub fast_retransmits: u64,
 }
 
+/// The portable protocol state of one live connection, as captured for
+/// ST-TCP re-integration: enough to rebuild a tapping replica mid-stream
+/// on a freshly booted backup.
+///
+/// Bytes below `snd_una` were acknowledged by the client and bytes below
+/// `rcv_start` were consumed by the application before the capture — both
+/// are summarized by the transferred application state, not carried here.
+#[derive(Debug, Clone)]
+pub struct TcpSnapshot {
+    /// The connection four-tuple (server side local).
+    pub tuple: FourTuple,
+    /// Our initial sequence number (identical on both servers by the
+    /// deterministic-ISN policy, but carried for verification).
+    pub iss: SeqNum,
+    /// The client's initial sequence number.
+    pub peer_isn: SeqNum,
+    /// Lowest unacknowledged send-stream offset.
+    pub snd_una: u64,
+    /// Send bytes covering `[snd_una, snd_una + unacked.len())`.
+    pub unacked: Bytes,
+    /// The application had closed its sending side (FIN queued).
+    pub local_fin: bool,
+    /// The application's receive read cursor at capture.
+    pub rcv_start: u64,
+    /// Receive bytes the application had not yet read:
+    /// `[rcv_start, rcv_start + pending.len())`.
+    pub pending: Bytes,
+    /// The client's FIN stream offset, if one was ever seen.
+    pub fin_offset: Option<u64>,
+    /// The client's FIN had been consumed in order (the application was
+    /// already told — the replica must not re-announce it).
+    pub peer_fin_consumed: bool,
+}
+
 /// One endpoint of a TCP connection. See the [module docs](self).
 #[derive(Debug)]
 pub struct TcpConn {
@@ -252,6 +286,91 @@ impl TcpConn {
             events: VecDeque::new(),
             stats: ConnStats::default(),
         }
+    }
+
+    /// Captures the portable state of a live connection for ST-TCP
+    /// re-integration. Returns `None` for connections that are not worth
+    /// transferring: closed, lingering in TIME-WAIT, aborted, or still
+    /// mid-handshake (no receive anchor yet).
+    pub fn snapshot(&self) -> Option<TcpSnapshot> {
+        if matches!(self.state, TcpState::Closed | TcpState::TimeWait) || self.rst_generated {
+            return None;
+        }
+        let peer_isn = self.rcv_tracker?.isn();
+        let una = self.sendbuf.una();
+        let unacked = self
+            .sendbuf
+            .slice(una, (self.sendbuf.written() - una) as usize);
+        let read_pos = self.recvbuf.read_pos();
+        let pending_len = (self.recvbuf.nxt() - read_pos) as usize;
+        let pending = if pending_len == 0 {
+            Bytes::new()
+        } else {
+            self.recvbuf
+                .fetch(read_pos, pending_len)
+                .expect("unread in-order bytes are always retained")
+        };
+        Some(TcpSnapshot {
+            tuple: self.tuple,
+            iss: self.isn(),
+            peer_isn,
+            snd_una: una,
+            unacked,
+            local_fin: self.sendbuf.fin_queued(),
+            rcv_start: read_pos,
+            pending,
+            fin_offset: self.recvbuf.fin_offset(),
+            peer_fin_consumed: self.peer_fin_consumed,
+        })
+    }
+
+    /// Rebuilds one endpoint of a live connection from a re-integration
+    /// snapshot — the ST-TCP replacement backup installing a
+    /// tapping-but-suppressed replica mid-stream.
+    ///
+    /// The resumed connection behaves as if it had shadowed the stream
+    /// from the start: the send side re-offers everything unacknowledged
+    /// (the egress shim suppresses it), the receive side continues from
+    /// the snapshot's read cursor with the unread bytes pre-injected, and
+    /// an already-consumed client FIN is *not* re-announced.
+    pub fn resume(cfg: TcpConfig, snap: &TcpSnapshot) -> TcpConn {
+        let mut c = TcpConn::raw(cfg, snap.tuple, snap.iss);
+        c.sendbuf = SendBuffer::resume(c.cfg.send_buf, snap.snd_una, &snap.unacked, snap.local_fin);
+        c.snd_cursor = snap.snd_una;
+        c.snd_wnd = u16::MAX as u32;
+        c.syn_acked = true;
+        c.rcv_tracker = Some(SeqTracker::new(snap.peer_isn));
+        c.recvbuf = RecvBuffer::resume(
+            c.cfg.recv_buf,
+            c.cfg.hold_buf,
+            snap.rcv_start,
+            snap.fin_offset,
+        );
+        c.peer_fin_consumed = snap.peer_fin_consumed;
+        c.state = match (snap.local_fin, snap.peer_fin_consumed) {
+            (false, false) => TcpState::Established,
+            (false, true) => TcpState::CloseWait,
+            (true, false) => TcpState::FinWait1,
+            (true, true) => TcpState::LastAck,
+        };
+        if !snap.pending.is_empty() {
+            let outcome = c
+                .recvbuf
+                .receive(snap.rcv_start as i64, &snap.pending, false);
+            debug_assert_eq!(outcome.newly_in_order, snap.pending.len() as u64);
+            // The replica application has not read these bytes yet.
+            c.events.push_back(ConnEvent::DataReadable);
+        }
+        c.maybe_consume_peer_fin();
+        c
+    }
+
+    /// Turns the extended receive buffer on (or re-arms it) from the
+    /// current receive position — the active server's half of
+    /// re-integration, so a joining backup can fetch anything it misses
+    /// from here on.
+    pub fn enable_hold(&mut self, capacity: usize) {
+        self.recvbuf.enable_hold(capacity);
     }
 
     // ----- introspection ---------------------------------------------------
@@ -1749,6 +1868,86 @@ mod tests {
         assert_eq!(server.fetch_held(2, 100).unwrap().as_ref(), b"23456789");
         assert_eq!(server.fetch_held(6, 2).unwrap().as_ref(), b"67");
         assert!(server.fetch_held(1, 1).is_none());
+    }
+
+    #[test]
+    fn snapshot_resume_preserves_stream_positions() {
+        let mut p = Pair::established();
+        let _ = p.client.send(p.now, b"0123456789");
+        p.pump();
+        let s = p.server();
+        assert_eq!(s.recv(4).as_ref(), b"0123");
+        let snap = s.snapshot().expect("live connection snapshots");
+        assert_eq!(snap.rcv_start, 4);
+        assert_eq!(snap.pending.as_ref(), b"456789");
+        assert!(!snap.local_fin && !snap.peer_fin_consumed);
+
+        let replica = TcpConn::resume(TcpConfig::default(), &snap);
+        assert_eq!(replica.state(), TcpState::Established);
+        assert_eq!(replica.bytes_received(), s.bytes_received());
+        assert_eq!(replica.app_bytes_read(), 4);
+        assert_eq!(replica.isn(), s.isn());
+        assert_eq!(replica.peer_isn(), s.peer_isn());
+    }
+
+    #[test]
+    fn resumed_replica_reads_pending_then_taps_new_data() {
+        let mut p = Pair::established();
+        let _ = p.client.send(p.now, b"abcdef");
+        p.pump();
+        let snap = p.server().snapshot().unwrap();
+        let mut replica = TcpConn::resume(TcpConfig::default(), &snap);
+        // Pending bytes are immediately readable on the replica…
+        assert_eq!(replica.recv(100).as_ref(), b"abcdef");
+        // …and tapped client segments continue the stream seamlessly.
+        let _ = p.client.send(p.now, b"ghi");
+        let seg = p.client.poll_segment().unwrap();
+        replica.on_segment(t(1), &seg);
+        assert_eq!(replica.recv(100).as_ref(), b"ghi");
+    }
+
+    #[test]
+    fn resume_carries_unacked_send_data_and_fin() {
+        let mut p = Pair::established();
+        let s = p.server();
+        let _ = s.send(t(0), b"tail");
+        s.close(t(0));
+        while s.poll_segment().is_some() {} // all lost
+        let snap = s.snapshot().unwrap();
+        assert_eq!(snap.unacked.as_ref(), b"tail");
+        assert!(snap.local_fin);
+        let mut replica = TcpConn::resume(TcpConfig::default(), &snap);
+        assert_eq!(replica.state(), TcpState::FinWait1);
+        // After a takeover the replica re-offers the suppressed region.
+        replica.rewind_unacked(t(2));
+        p.client.on_segment(t(2), &replica.poll_segment().unwrap());
+        assert_eq!(p.client.recv(100).as_ref(), b"tail");
+    }
+
+    #[test]
+    fn resume_does_not_reannounce_consumed_client_fin() {
+        let mut p = Pair::established();
+        p.client.close(p.now);
+        p.pump();
+        let s = p.server();
+        assert!(s.peer_fin_received());
+        let snap = s.snapshot().unwrap();
+        assert!(snap.peer_fin_consumed);
+        let mut replica = TcpConn::resume(TcpConfig::default(), &snap);
+        assert_eq!(replica.state(), TcpState::CloseWait);
+        assert!(replica.peer_fin_received());
+        let mut evs = Vec::new();
+        while let Some(e) = replica.poll_event() {
+            evs.push(e);
+        }
+        assert!(!evs.contains(&ConnEvent::PeerFin), "FIN re-announced");
+    }
+
+    #[test]
+    fn closed_and_aborted_connections_do_not_snapshot() {
+        let mut p = Pair::established();
+        p.client.abort(p.now);
+        assert!(p.client.snapshot().is_none());
     }
 
     #[test]

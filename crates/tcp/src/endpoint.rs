@@ -373,6 +373,22 @@ impl TcpEndpoint {
         self.collect_events(id);
     }
 
+    /// Installs a connection rebuilt from a re-integration snapshot
+    /// ([`TcpConn::resume`]) under this endpoint's demultiplexer, with the
+    /// given egress mode (the joining backup installs with
+    /// [`EgressMode::Suppress`]). Returns `None` — installing nothing —
+    /// if the four-tuple is already taken, which means the endpoint
+    /// accepted the connection itself (a tapped SYN) and the snapshot is
+    /// redundant.
+    pub fn install_resumed(&mut self, conn: TcpConn, egress: EgressMode) -> Option<SocketId> {
+        if self.by_tuple.contains_key(&conn.tuple()) {
+            return None;
+        }
+        let id = self.install(conn, egress);
+        self.collect_events(id);
+        Some(id)
+    }
+
     // ----- introspection and ST-TCP control --------------------------------
 
     /// Immutable access to a socket's connection state machine.

@@ -65,6 +65,40 @@ impl RecvBuffer {
         }
     }
 
+    /// Reconstructs an empty buffer positioned mid-stream from a
+    /// re-integration snapshot: every cursor starts at `start` (bytes
+    /// below it live on in the transferred application state), and the
+    /// peer's FIN position is carried over if it was already known.
+    pub fn resume(
+        app_capacity: usize,
+        hold_capacity: Option<usize>,
+        start: u64,
+        fin_offset: Option<u64>,
+    ) -> RecvBuffer {
+        RecvBuffer {
+            store: VecDeque::new(),
+            low: start,
+            read_pos: start,
+            release_pos: start,
+            nxt: start,
+            ooo: BTreeMap::new(),
+            app_capacity,
+            hold_capacity,
+            fin_offset,
+        }
+    }
+
+    /// Turns the hold region on (or re-arms it) from the current
+    /// receive-next position: everything already contiguous is considered
+    /// released, and every byte from here on is retained until
+    /// [`RecvBuffer::release_until`] confirms it. The ST-TCP active
+    /// server calls this when a replacement backup starts re-integrating.
+    pub fn enable_hold(&mut self, capacity: usize) {
+        self.hold_capacity = Some(capacity);
+        self.release_pos = self.nxt;
+        self.compact();
+    }
+
     /// Next expected in-order stream offset. This is the paper's
     /// `LastByteReceived` heartbeat field (as a count of contiguous bytes).
     pub fn nxt(&self) -> u64 {
@@ -452,6 +486,55 @@ mod tests {
         let _ = b.receive(0, &bs(b"abcdefgh"), false);
         b.release_until(8);
         assert_eq!(b.read(100).as_ref(), b"abcdefgh");
+    }
+
+    #[test]
+    fn resume_mid_stream_receives_from_start() {
+        let mut b = RecvBuffer::resume(1024, None, 500, None);
+        assert_eq!(b.nxt(), 500);
+        assert_eq!(b.read_pos(), 500);
+        let o = b.receive(500, &bs(b"abc"), false);
+        assert_eq!(o.newly_in_order, 3);
+        assert_eq!(b.read(100).as_ref(), b"abc");
+        // Data from before the resume point is entirely stale.
+        let o = b.receive(100, &bs(b"old"), false);
+        assert_eq!(o.newly_in_order, 0);
+    }
+
+    #[test]
+    fn resume_carries_fin_position() {
+        let mut b = RecvBuffer::resume(1024, None, 4, Some(7));
+        assert!(!b.fin_reached());
+        let _ = b.receive(4, &bs(b"xyz"), false);
+        assert!(b.fin_reached());
+    }
+
+    #[test]
+    fn enable_hold_retains_only_new_bytes() {
+        let mut b = plain();
+        let _ = b.receive(0, &bs(b"abcd"), false);
+        let _ = b.read(4);
+        assert!(b.fetch(0, 4).is_none(), "plain buffer discards read bytes");
+        b.enable_hold(100);
+        assert_eq!(b.hold_used(), 0);
+        let _ = b.receive(4, &bs(b"efgh"), false);
+        let _ = b.read(4);
+        assert_eq!(b.hold_used(), 4);
+        assert_eq!(b.fetch(4, 100).unwrap().as_ref(), b"efgh");
+        b.release_until(8);
+        assert_eq!(b.hold_used(), 0);
+    }
+
+    #[test]
+    fn enable_hold_rearms_and_discards_stale_hold() {
+        let mut b = holding(100);
+        let _ = b.receive(0, &bs(b"abcdefgh"), false);
+        let _ = b.read(8);
+        assert_eq!(b.hold_used(), 8);
+        // Re-arming treats everything contiguous as already released.
+        b.enable_hold(100);
+        assert_eq!(b.hold_used(), 0);
+        assert!(b.fetch(0, 8).is_none());
     }
 
     #[test]

@@ -38,6 +38,26 @@ impl SendBuffer {
         }
     }
 
+    /// Reconstructs a buffer mid-stream from a re-integration snapshot.
+    ///
+    /// Offsets below `una` were acknowledged by the peer before the
+    /// snapshot was taken and are gone forever; `unacked` covers
+    /// `[una, una + unacked.len())` — exactly the bytes a retransmission
+    /// may still need. The capacity is widened if the carried region
+    /// alone would overflow it, so the resumed buffer is never born full
+    /// beyond its own contents.
+    pub fn resume(capacity: usize, una: u64, unacked: &[u8], fin_queued: bool) -> SendBuffer {
+        let mut data = VecDeque::with_capacity(unacked.len());
+        data.extend(unacked.iter().copied());
+        SendBuffer {
+            data,
+            una,
+            written: una + unacked.len() as u64,
+            capacity: capacity.max(unacked.len()),
+            fin_queued,
+        }
+    }
+
     /// The lowest unacknowledged stream offset.
     pub fn una(&self) -> u64 {
         self.una
@@ -217,6 +237,35 @@ mod tests {
         assert_eq!(b.available_from(0), 10);
         assert_eq!(b.available_from(7), 3);
         assert_eq!(b.available_from(10), 0);
+    }
+
+    #[test]
+    fn resume_mid_stream() {
+        let b = SendBuffer::resume(100, 1_000, b"abcd", false);
+        assert_eq!(b.una(), 1_000);
+        assert_eq!(b.written(), 1_004);
+        assert_eq!(b.slice(1_000, 10).as_ref(), b"abcd");
+        assert_eq!(b.slice(1_002, 10).as_ref(), b"cd");
+        assert!(!b.fin_queued());
+    }
+
+    #[test]
+    fn resume_with_fin_and_acks() {
+        let mut b = SendBuffer::resume(100, 50, b"xyz", true);
+        assert!(b.fin_queued());
+        assert_eq!(b.fin_offset(), Some(53));
+        assert_eq!(b.write(b"more"), 0, "closed side refuses writes");
+        assert_eq!(b.ack_to(52), 2);
+        assert_eq!(b.slice(52, 10).as_ref(), b"z");
+        assert_eq!(b.ack_to(53), 1);
+        assert!(b.all_acked());
+    }
+
+    #[test]
+    fn resume_widens_capacity_for_carried_region() {
+        let b = SendBuffer::resume(2, 0, b"abcdef", false);
+        assert_eq!(b.buffered(), 6);
+        assert_eq!(b.free_space(), 0);
     }
 
     #[test]

@@ -201,6 +201,97 @@ fn double_crash_loses_service_without_violation() {
     assert!(!report.client.finished);
 }
 
+/// The tentpole end-to-end scenario: the primary crashes mid-transfer,
+/// the backup takes over, the primary warm-reboots and re-integrates
+/// into the live connection — and then the *backup* crashes while data
+/// is still flowing. The re-integrated primary must detect the failure,
+/// fence, take over, and finish serving the (verified) download. The
+/// download is sized so it cannot complete before the second crash:
+/// a finished client proves the tail bytes came from the rejoined node.
+#[test]
+fn reintegrated_pair_survives_second_crash() {
+    use simnet::time::SimTime;
+
+    let opts = ChaosOptions {
+        total_bytes: 2 * 1024 * 1024,
+        reintegrate: true,
+        ..ChaosOptions::default()
+    };
+    let schedule: FaultSchedule = "@300 crash primary; @1200 reboot primary; @2000 crash backup"
+        .parse()
+        .unwrap();
+    let report = run_chaos_case(12, &schedule, &opts);
+
+    assert_eq!(
+        report.outcome,
+        Outcome::Recovered,
+        "violations: {:?}, client: {:?}",
+        report.violations,
+        report.client
+    );
+    assert!(report.client.finished);
+    assert_eq!(report.client.bytes_ok, opts.total_bytes);
+    assert_eq!(report.client.integrity_violations, 0);
+
+    // Redundancy was restored before the second fault...
+    let rejoined_at = report
+        .primary_events
+        .iter()
+        .find_map(|e| match e {
+            StTcpEvent::ReintegrationCompleted { at } => Some(*at),
+            _ => None,
+        })
+        .expect("primary never completed re-integration");
+    assert!(rejoined_at < SimTime::from_millis(2_000));
+
+    // ...and the rejoined primary performed the second takeover.
+    let second_takeover = report
+        .primary_events
+        .iter()
+        .find_map(|e| match e {
+            StTcpEvent::TookOver { at } => Some(*at),
+            _ => None,
+        })
+        .expect("re-integrated primary never took over");
+    assert!(second_takeover > rejoined_at);
+}
+
+/// The reintegrate-then-fail tier obeys the same determinism contract as
+/// the other sweep flavours, and a seed sweep of it stays violation-free:
+/// snapshot transfer must never break output commit or digest lockstep.
+#[test]
+fn reintegrate_sweep_is_deterministic_and_clean() {
+    use sttcp_bench::hunt::{run_sweep, SweepConfig};
+    let opts = ChaosOptions {
+        reintegrate: true,
+        ..ChaosOptions::quick()
+    };
+    let reports: Vec<String> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let cfg = SweepConfig {
+                seeds: 64,
+                start: 0,
+                quick: true,
+                double: false,
+                reintegrate: true,
+                threads,
+            };
+            let summary = run_sweep(&cfg, &opts, |_| {});
+            assert!(
+                summary.violated.is_empty(),
+                "reintegrate sweep hit violations at {threads} threads: {:?}",
+                summary.violated
+            );
+            summary.to_report(&cfg, true).to_json()
+        })
+        .collect();
+    assert_eq!(
+        reports[0], reports[1],
+        "reintegrate sweep report differs between 1 and 4 threads"
+    );
+}
+
 /// `--threads` must be invisible in the results: a 64-seed sweep run on
 /// a 4-worker pool folds to a byte-identical metrics report (outcome
 /// counters, phase percentiles, bound checks — everything) as the same
@@ -218,6 +309,7 @@ fn sweep_report_is_identical_across_thread_counts() {
                     start: 0,
                     quick: true,
                     double,
+                    reintegrate: false,
                     threads,
                 };
                 run_sweep(&cfg, &quick(), |_| {})
