@@ -29,7 +29,7 @@ use simnet::time::{SimDuration, SimTime};
 use sttcp::config::{Role, StTcpConfig};
 use sttcp::events::StTcpEvent;
 use sttcp::invariant::{self, ClientView, Expectation, Outcome, ServerView, Violation};
-use sttcp::server::{AppCrashMode, StTcpServer};
+use sttcp::server::{AppCrashMode, ByzantineHbMode, StTcpServer};
 
 use crate::apps::StreamApp;
 use crate::client::ClientWorkload;
@@ -116,6 +116,24 @@ pub enum ChaosAction {
     SerialRestore,
     /// Application crash on a server (Table 1 rows 2-3).
     AppCrash(Side, AppCrashMode),
+    /// Transmit each of the next `n` frames toward the selected node
+    /// twice (flapping switch port). Duplicates must be absorbed, never
+    /// acted on twice.
+    Dup(LinkSel, u32),
+    /// Swap each of the next `n` frames toward the selected node with
+    /// its successor (multipath segment). Out-of-order heartbeats and
+    /// TCP segments must be absorbed, never mis-verdicted.
+    Reorder(LinkSel, u32),
+    /// Per-frame uniform delivery jitter up to the given bound in
+    /// milliseconds, both directions (congested segment).
+    Jitter(LinkSel, u16),
+    /// End of a jitter episode.
+    JitterEnd(LinkSel),
+    /// Byzantine heartbeat source: the node keeps sending CRC-valid but
+    /// semantically corrupt heartbeats. Receivers must quarantine the
+    /// stream; the liar's own inbound evidence stays untouched, so it
+    /// must never fire a verdict against its honest peer.
+    ByzantineHb(Side, ByzantineHbMode),
 }
 
 /// A fault action with its injection time.
@@ -150,6 +168,17 @@ impl fmt::Display for TimedAction {
                     AppCrashMode::CleanupRst => "rst",
                 };
                 write!(f, "app-crash {s} {m}")
+            }
+            ChaosAction::Dup(l, n) => write!(f, "dup {l} {n}"),
+            ChaosAction::Reorder(l, n) => write!(f, "reorder {l} {n}"),
+            ChaosAction::Jitter(l, ms) => write!(f, "jitter {l} {ms}"),
+            ChaosAction::JitterEnd(l) => write!(f, "jitter-end {l}"),
+            ChaosAction::ByzantineHb(s, mode) => {
+                let m = match mode {
+                    ByzantineHbMode::Freeze => "freeze",
+                    ByzantineHbMode::Regress => "regress",
+                };
+                write!(f, "byz-hb {s} {m}")
             }
         }
     }
@@ -231,6 +260,19 @@ impl FromStr for TimedAction {
                     m => return Err(ScheduleParseError(format!("unknown crash mode {m:?}"))),
                 };
                 ChaosAction::AppCrash(side, mode)
+            }
+            "dup" => ChaosAction::Dup(parse_link(arg()?)?, parse_num(arg()?)?),
+            "reorder" => ChaosAction::Reorder(parse_link(arg()?)?, parse_num(arg()?)?),
+            "jitter" => ChaosAction::Jitter(parse_link(arg()?)?, parse_num(arg()?)?),
+            "jitter-end" => ChaosAction::JitterEnd(parse_link(arg()?)?),
+            "byz-hb" => {
+                let side = parse_side(arg()?)?;
+                let mode = match arg()? {
+                    "freeze" => ByzantineHbMode::Freeze,
+                    "regress" => ByzantineHbMode::Regress,
+                    m => return Err(ScheduleParseError(format!("unknown byz mode {m:?}"))),
+                };
+                ChaosAction::ByzantineHb(side, mode)
             }
             _ => return Err(ScheduleParseError(format!("unknown verb {verb:?}"))),
         };
@@ -384,6 +426,41 @@ impl FaultSchedule {
                 ChaosAction::AppCrash(side, mode) => {
                     s.crash_app_at(node(side), at, mode);
                 }
+                ChaosAction::Dup(sel, n) => {
+                    let l = link(sel);
+                    s.world
+                        .schedule(at, move |w| w.dup_frames(l, LinkDir::BtoA, u64::from(n)));
+                }
+                ChaosAction::Reorder(sel, n) => {
+                    let l = link(sel);
+                    s.world.schedule(at, move |w| {
+                        w.reorder_frames(l, LinkDir::BtoA, u64::from(n))
+                    });
+                }
+                ChaosAction::Jitter(sel, ms) => {
+                    let l = link(sel);
+                    let max = SimDuration::from_millis(u64::from(ms));
+                    s.world.schedule(at, move |w| {
+                        w.set_link_jitter(l, LinkDir::AtoB, max);
+                        w.set_link_jitter(l, LinkDir::BtoA, max);
+                    });
+                }
+                ChaosAction::JitterEnd(sel) => {
+                    let l = link(sel);
+                    s.world.schedule(at, move |w| {
+                        w.set_link_jitter(l, LinkDir::AtoB, SimDuration::ZERO);
+                        w.set_link_jitter(l, LinkDir::BtoA, SimDuration::ZERO);
+                    });
+                }
+                ChaosAction::ByzantineHb(side, mode) => {
+                    let n = node(side);
+                    s.world.schedule(at, move |w| {
+                        w.note_fault(format!("byzantine hb ({mode:?}) on n{}", n.0));
+                        if let Some(server) = w.node_mut::<StTcpServer>(n) {
+                            server.inject_byzantine_hb(mode);
+                        }
+                    });
+                }
             }
         }
     }
@@ -412,6 +489,14 @@ impl FaultSchedule {
             | LinkLoss(..) | LinkLossEnd(_) | Reboot(_) | CorruptFrames(..) => true,
             DropTap(n) => n > QUIET_BURST,
             SerialFail | SerialRestore => false,
+            // A byzantine sender's heartbeats are quarantined, so its
+            // honest peer legitimately sees both links dark and condemns
+            // it — that verdict is correct, not a false positive.
+            ByzantineHb(..) => true,
+            // Duplication and reordering are absorbed by TCP and the
+            // checksummed/sequenced control formats; jitter episodes stay
+            // far below the heartbeat timeout. None may provoke a verdict.
+            Dup(..) | Reorder(..) | Jitter(..) | JitterEnd(_) => false,
         });
 
         // Could a side have ended up dead — crashed by the schedule, or
@@ -419,6 +504,9 @@ impl FaultSchedule {
         let impaired = |side: Side| {
             self.actions.iter().any(|a| match a.action {
                 Crash(s) | AppCrash(s, _) | NicDown(s) => s == side,
+                // A byzantine node gets condemned and STONITHed by its
+                // honest peer, so it can end up just as dead as a crash.
+                ByzantineHb(s, _) => s == side,
                 LinkCut(l) | LinkLoss(l, _) => l == side.link(),
                 _ => false,
             })
@@ -528,12 +616,36 @@ impl FaultSchedule {
             Some(SimDuration::from_secs(15))
         };
 
+        // The liar-containment invariant (the byzantine side must never
+        // fire a verdict) is only sound when nothing else in the schedule
+        // could hand the liar legitimate inbound evidence against its
+        // peer: apply it iff *every* action is a byzantine injection on
+        // one single side.
+        let mut byz_side = None;
+        let mut byz_pure = !self.actions.is_empty();
+        for a in &self.actions {
+            match a.action {
+                ByzantineHb(s, _) => {
+                    if *byz_side.get_or_insert(s) != s {
+                        byz_pure = false;
+                    }
+                }
+                _ => byz_pure = false,
+            }
+        }
+        let byzantine = match (byz_pure, byz_side) {
+            (true, Some(Side::Primary)) => Some(Role::Primary),
+            (true, Some(Side::Backup)) => Some(Role::Backup),
+            _ => None,
+        };
+
         Expectation {
             service_may_be_lost,
             unrecoverable_gap_possible,
             abortive_close_possible,
             verdicts_possible,
             max_stall,
+            byzantine,
             // Whether a reboot re-integrates (second failure epoch
             // possible) is a *configuration* property, not a schedule
             // property: the run harness overrides this from
@@ -586,6 +698,56 @@ impl FaultSchedule {
         sched
     }
 
+    /// Generates a pool chaos schedule: kill the active, usually warm-boot
+    /// it back (with re-integration it rejoins as a fresh backup under a
+    /// new rank), then — once the pool has settled — kill the next active
+    /// too. In a pool scenario `Side::Primary` addresses the rank-0
+    /// member and `Side::Backup` the rank-1 member (see
+    /// [`crate::pool::PoolScenario`]); deeper members are never targeted
+    /// directly, so every takeover in the chain must be quorum-fenced by
+    /// the survivors.
+    pub fn generate_pool(seed: u64) -> FaultSchedule {
+        let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x9001D);
+        let mut sched = FaultSchedule::default();
+        let t1 = 250 + rng.range_u64(0, 2_000);
+        sched.push(t1, ChaosAction::Crash(Side::Primary));
+        let mut settled = t1;
+        if rng.chance(0.7) {
+            let reboot = t1 + 300 + rng.range_u64(0, 1_200);
+            sched.push(reboot, ChaosAction::Reboot(Side::Primary));
+            settled = reboot;
+        }
+        let t2 = settled + 2_500 + rng.range_u64(0, 2_500);
+        sched.push(t2, ChaosAction::Crash(Side::Backup));
+        if rng.chance(0.4) {
+            let reboot = t2 + 300 + rng.range_u64(0, 1_200);
+            sched.push(reboot, ChaosAction::Reboot(Side::Backup));
+        }
+        sched
+    }
+
+    /// Generates a byzantine-heartbeat schedule: one side starts lying in
+    /// its heartbeats (CRC-valid, semantically corrupt) mid-transfer. The
+    /// honest side must quarantine the stream and condemn the liar; the
+    /// liar must never condemn the honest side.
+    pub fn generate_byzantine(seed: u64) -> FaultSchedule {
+        let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xB12A7);
+        let side = if rng.chance(0.5) {
+            Side::Primary
+        } else {
+            Side::Backup
+        };
+        let mode = if rng.chance(0.5) {
+            ByzantineHbMode::Freeze
+        } else {
+            ByzantineHbMode::Regress
+        };
+        let t = 400 + rng.range_u64(0, 3_000);
+        let mut sched = FaultSchedule::default();
+        sched.push(t, ChaosAction::ByzantineHb(side, mode));
+        sched
+    }
+
     /// Seeded generation with a fault-count range (paired restores ride
     /// along and don't count).
     pub fn generate_with(seed: u64, min_faults: usize, max_faults: usize) -> FaultSchedule {
@@ -617,7 +779,7 @@ impl FaultSchedule {
 
         for _ in 0..n {
             let t = pick_time(&mut rng);
-            match rng.index(8) {
+            match rng.index(11) {
                 0 => {
                     // HW/OS crash; sometimes with a later reboot (which
                     // must stay a passive cold standby).
@@ -695,7 +857,7 @@ impl FaultSchedule {
                     let l = link_of(rng.index(3));
                     sched.push(t, ChaosAction::CorruptFrames(l, 1 + rng.index(12) as u32));
                 }
-                _ => {
+                7 => {
                     if serial_failed {
                         sched.push(t, ChaosAction::SerialRestore);
                         serial_failed = false;
@@ -708,6 +870,23 @@ impl FaultSchedule {
                             serial_failed = false;
                         }
                     }
+                }
+                8 => {
+                    let l = link_of(rng.index(3));
+                    sched.push(t, ChaosAction::Dup(l, 1 + rng.index(8) as u32));
+                }
+                9 => {
+                    let l = link_of(rng.index(3));
+                    sched.push(t, ChaosAction::Reorder(l, 1 + rng.index(8) as u32));
+                }
+                _ => {
+                    // Jitter episodes always end, and the bound stays far
+                    // below the 600 ms heartbeat timeout.
+                    let l = link_of(rng.index(3));
+                    let ms = 1 + rng.index(30) as u16;
+                    sched.push(t, ChaosAction::Jitter(l, ms));
+                    let dt = 200 + rng.range_u64(0, 1_300);
+                    sched.push(t + dt, ChaosAction::JitterEnd(l));
                 }
             }
         }
@@ -998,9 +1177,12 @@ mod tests {
                     @400 loss backup 30; @900 loss-end backup; @150 drop-tap 12; \
                     @250 corrupt primary 5; @600 serial-fail; @2000 serial-restore; \
                     @2500 app-crash primary rst; @2600 app-crash backup silent; \
-                    @2700 app-crash backup fin";
+                    @2700 app-crash backup fin; @2800 dup client 4; \
+                    @2900 reorder backup 3; @3000 jitter primary 20; \
+                    @3300 jitter-end primary; @3400 byz-hb primary freeze; \
+                    @3500 byz-hb backup regress";
         let sched: FaultSchedule = text.parse().unwrap();
-        assert_eq!(sched.len(), 15);
+        assert_eq!(sched.len(), 21);
         let reparsed: FaultSchedule = sched.to_string().parse().unwrap();
         assert_eq!(reparsed, sched);
         // Sorted by time.
@@ -1026,6 +1208,8 @@ mod tests {
             "@500 loss primary",
             "@500 crash primary extra",
             "@500 app-crash primary kaboom",
+            "@500 byz-hb primary",
+            "@500 byz-hb primary lie",
         ] {
             assert!(bad.parse::<FaultSchedule>().is_err(), "accepted {bad:?}");
         }
@@ -1091,6 +1275,58 @@ mod tests {
     }
 
     #[test]
+    fn byzantine_schedules_are_coherent() {
+        let a = FaultSchedule::generate_byzantine(5);
+        assert_eq!(a, FaultSchedule::generate_byzantine(5));
+        let mut sides_seen = 0u8;
+        for seed in 0..100 {
+            let s = FaultSchedule::generate_byzantine(seed);
+            assert_eq!(s.len(), 1, "seed {seed}: {s}");
+            let ChaosAction::ByzantineHb(side, _) = s.actions[0].action else {
+                panic!("seed {seed}: expected byz-hb, got {s}");
+            };
+            sides_seen |= match side {
+                Side::Primary => 1,
+                Side::Backup => 2,
+            };
+            assert!(s.actions[0].at_ms >= 400, "seed {seed}");
+            let reparsed: FaultSchedule = s.to_string().parse().unwrap();
+            assert_eq!(reparsed, s, "seed {seed}");
+        }
+        assert_eq!(sides_seen, 3, "both sides must get exercised");
+    }
+
+    #[test]
+    fn byzantine_expectation_rules() {
+        // Pure single-side byzantine schedule: liar containment applies.
+        let pure: FaultSchedule = "@500 byz-hb primary freeze".parse().unwrap();
+        let e = pure.expectation();
+        assert_eq!(e.byzantine, Some(Role::Primary));
+        assert!(e.verdicts_possible, "honest side may condemn the liar");
+        assert!(!e.service_may_be_lost);
+        assert!(!e.unrecoverable_gap_possible);
+        assert!(e.max_stall.is_some());
+
+        let backup: FaultSchedule = "@500 byz-hb backup regress".parse().unwrap();
+        assert_eq!(backup.expectation().byzantine, Some(Role::Backup));
+
+        // Mixed with other faults the liar could hold legitimate evidence
+        // against its peer, so containment cannot be asserted.
+        let mixed: FaultSchedule = "@500 byz-hb primary freeze; @900 crash backup"
+            .parse()
+            .unwrap();
+        let e = mixed.expectation();
+        assert_eq!(e.byzantine, None);
+        // The liar gets STONITHed and the peer crashed: both sides dead.
+        assert!(e.service_may_be_lost);
+
+        let both: FaultSchedule = "@500 byz-hb primary freeze; @600 byz-hb backup regress"
+            .parse()
+            .unwrap();
+        assert_eq!(both.expectation().byzantine, None);
+    }
+
+    #[test]
     fn expectation_rules() {
         let strict: FaultSchedule = "@300 drop-tap 10".parse().unwrap();
         let e = strict.expectation();
@@ -1153,6 +1389,19 @@ mod tests {
         // completion cannot be demanded.
         let tap_then_dead: FaultSchedule = "@100 cut primary; @200 drop-tap 16".parse().unwrap();
         assert!(tap_then_dead.expectation().service_may_be_lost);
+
+        // Duplication, reordering, and bounded jitter are benign: no
+        // verdict may fire, the download completes, and stalls stay
+        // bounded.
+        let benign: FaultSchedule = "@300 dup primary 6; @400 reorder backup 4; \
+                                     @500 jitter client 25; @900 jitter-end client"
+            .parse()
+            .unwrap();
+        let e = benign.expectation();
+        assert!(!e.verdicts_possible);
+        assert!(!e.service_may_be_lost);
+        assert!(!e.unrecoverable_gap_possible);
+        assert!(e.max_stall.is_some());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod chaos;
 pub mod client;
 pub mod pattern;
 pub mod plain;
+pub mod pool;
 pub mod scenario;
 
 /// Commonly used items, re-exported for convenient glob import.
@@ -55,6 +56,9 @@ pub mod prelude {
     pub use crate::client::{ClientConfig, ClientLog, ClientWorkload, ReconnectPolicy, TcpClient};
     pub use crate::pattern::{fill_pattern, pattern_byte, pattern_chunk, verify_pattern};
     pub use crate::plain::{PlainServer, PlainServerConfig};
+    pub use crate::pool::{
+        pool_expectation, run_pool_case, PoolReport, PoolScenario, PoolScenarioBuilder,
+    };
     pub use crate::scenario::{
         build_baseline, Addressing, AppMaker, BaselineScenario, Scenario, ScenarioBuilder,
     };

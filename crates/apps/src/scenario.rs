@@ -200,6 +200,8 @@ impl ScenarioBuilder {
                 gateway_ip: a.client_ip,
                 isn_salt: 0x5757_5757 ^ self.seed,
                 seed,
+                rank: 0,
+                pool: Vec::new(),
             };
             let app = self.app.clone();
             StTcpServer::new(setup, iface, Box::new(move || app()))
@@ -456,7 +458,13 @@ impl Scenario {
         });
     }
 
-    fn drop_tap(world: &mut World, link: LinkId, service_ip: Ipv4Addr, at: SimTime, n: u64) {
+    pub(crate) fn drop_tap(
+        world: &mut World,
+        link: LinkId,
+        service_ip: Ipv4Addr,
+        at: SimTime,
+        n: u64,
+    ) {
         world.schedule(at, move |w| {
             let mut budget = n;
             // `connect_to_switch` makes the node endpoint `a` and the

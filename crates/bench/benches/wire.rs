@@ -86,6 +86,7 @@ fn bench_heartbeat(c: &mut Criterion) {
         let hb = HbPayload {
             seqno: 42,
             role: Role::Backup,
+            rank: 1,
             conns: (0..conns)
                 .map(|i| ConnHb {
                     key: i as u32,

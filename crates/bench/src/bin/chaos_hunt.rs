@@ -16,6 +16,9 @@
 //! * `--reintegrate`      reintegrate-then-fail schedules: crash, warm
 //!   reboot + rejoin, then crash the other side (servers run with
 //!   re-integration enabled)
+//! * `--pool`             N-replica pool schedules: kill the active,
+//!   usually reboot + rejoin it, then kill the next active — quorum
+//!   fencing and rank-ordered takeover under the pool invariants
 //! * `--seed N`           run exactly one seed, verbosely
 //! * `--schedule S`       replay a schedule string (with `--seed`'s seed)
 //! * `--verbose`          print every case, not just violations
@@ -33,8 +36,11 @@ use std::process::ExitCode;
 
 use sttcp::invariant::Outcome;
 use sttcp_apps::chaos::{run_chaos_case, shrink_schedule, ChaosOptions, FaultSchedule};
-use sttcp_bench::hunt::{latest_fault_before, run_sweep, survivor_events, SweepConfig};
-use sttcp_bench::phases::failover_timeline;
+use sttcp_apps::pool::run_pool_case;
+use sttcp_bench::hunt::{
+    latest_fault_before, run_pool_sweep, run_sweep, survivor_events, SweepConfig,
+};
+use sttcp_bench::phases::{failover_timeline, takeover_timelines};
 
 struct Args {
     seeds: u64,
@@ -43,6 +49,7 @@ struct Args {
     quick: bool,
     double: bool,
     reintegrate: bool,
+    pool: bool,
     one_seed: Option<u64>,
     schedule: Option<String>,
     verbose: bool,
@@ -59,6 +66,7 @@ fn parse_args() -> Args {
         quick: false,
         double: false,
         reintegrate: false,
+        pool: false,
         one_seed: None,
         schedule: None,
         verbose: false,
@@ -70,7 +78,7 @@ fn parse_args() -> Args {
         eprintln!("{msg}");
         eprintln!(
             "usage: chaos_hunt [--seeds N] [--start N] [--threads N] [--quick] [--double] \
-             [--reintegrate] [--seed N [--schedule \"...\"]] [--verbose] [--trace] \
+             [--reintegrate] [--pool] [--seed N [--schedule \"...\"]] [--verbose] [--trace] \
              [--json PATH] [--enforce-bounds]"
         );
         std::process::exit(2);
@@ -92,6 +100,7 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--double" => args.double = true,
             "--reintegrate" => args.reintegrate = true,
+            "--pool" => args.pool = true,
             "--seed" => args.one_seed = Some(num("--seed", val("--seed"))),
             "--schedule" => args.schedule = Some(val("--schedule")),
             "--verbose" => args.verbose = true,
@@ -123,11 +132,49 @@ fn main() -> ExitCode {
                 eprintln!("--schedule: {e}");
                 std::process::exit(2);
             }),
+            None if args.pool => FaultSchedule::generate_pool(seed),
             None if args.reintegrate => FaultSchedule::generate_reintegrate(seed),
             None if args.double => FaultSchedule::generate_double(seed),
             None => FaultSchedule::generate(seed),
         };
         println!("seed {seed}: {schedule}");
+        if args.pool {
+            let report = run_pool_case(seed, &schedule, &opts);
+            println!("outcome: {}", report.outcome);
+            println!("client: {:?}", report.client);
+            println!(
+                "active at end: {:?}, final ranks: {:?}",
+                report.active_at_end, report.final_ranks
+            );
+            for (at, what) in &report.faults {
+                println!("  fault @ {at}: {what}");
+            }
+            for (i, events) in report.member_events.iter().enumerate() {
+                for e in events {
+                    println!("  rank{i}: {e}");
+                }
+            }
+            for (i, tl) in takeover_timelines(&report.member_events, &report.faults, |at| {
+                report.stall_window.filter(|&(ws, we)| {
+                    at >= ws && at <= we + simnet::time::SimDuration::from_secs(1)
+                })
+            }) {
+                if let Some(b) = tl.breakdown() {
+                    println!("takeover by rank{i} (stall {}):", b.total);
+                    for (p, d) in obs::timeline::Phase::ALL.iter().zip(b.durations.iter()) {
+                        println!("  {:<10} {d}", p.name());
+                    }
+                }
+            }
+            for v in &report.violations {
+                println!("VIOLATION [{}]: {}", v.invariant, v.detail);
+            }
+            return if report.outcome == Outcome::Violation {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
         let report = run_chaos_case(seed, &schedule, &opts);
         println!("outcome: {}", report.outcome);
         println!("client: {:?}", report.client);
@@ -156,6 +203,70 @@ fn main() -> ExitCode {
             ExitCode::from(1)
         } else {
             ExitCode::SUCCESS
+        };
+    }
+
+    // Pool sweep mode: no shrinking (pool schedules are already small),
+    // print violating seeds with a paste-able replay line instead.
+    if args.pool {
+        println!(
+            "chaos hunt: {} seeds {}..{} (pool{}{})",
+            args.seeds,
+            args.start,
+            args.start + args.seeds,
+            if args.quick { ", quick" } else { "" },
+            if args.threads > 1 {
+                format!(", {} threads", args.threads)
+            } else {
+                String::new()
+            },
+        );
+        let summary = run_pool_sweep(args.seeds, args.start, args.threads, &opts, |case| {
+            if args.verbose || case.report.outcome == Outcome::Violation {
+                println!(
+                    "seed {}: {} — {}",
+                    case.seed, case.report.outcome, case.schedule
+                );
+            }
+            if case.report.outcome == Outcome::Violation {
+                for v in &case.report.violations {
+                    println!("  [{}] {}", v.invariant, v.detail);
+                }
+                println!(
+                    "  replay: cargo run -p sttcp-bench --bin chaos_hunt -- \\\n    \
+                     --pool --seed {} --schedule \"{}\"",
+                    case.seed, case.schedule
+                );
+            }
+        });
+        println!();
+        println!("clean                    {:>6}", summary.clean);
+        println!("recovered                {:>6}", summary.recovered);
+        println!("detected-unrecoverable   {:>6}", summary.detected);
+        println!("service-lost             {:>6}", summary.lost);
+        println!("VIOLATIONS               {:>6}", summary.violated.len());
+        println!("takeovers                {:>6}", summary.takeovers);
+        if !summary.agg.is_empty() {
+            println!(
+                "\ntakeover phase latencies across {} failovers:\n",
+                summary.agg.failovers()
+            );
+            print!("{}", summary.agg.render_table());
+        }
+        if let Some(path) = &args.json {
+            let report = summary.to_report(args.seeds, args.start, args.quick);
+            if let Err(e) = report.write_to(path) {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+            println!("metrics report written to {}", path.display());
+        }
+        return if summary.violated.is_empty() {
+            println!("\nno invariant violations — every takeover quorum-fenced");
+            ExitCode::SUCCESS
+        } else {
+            println!("\nviolating seeds: {:?}", summary.violated);
+            ExitCode::from(1)
         };
     }
 

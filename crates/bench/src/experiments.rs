@@ -713,6 +713,7 @@ pub fn run_serial_capacity(hb_ms: u64) -> SerialCapacity {
         let hb = HbPayload {
             seqno: 0,
             role: sttcp::config::Role::Primary,
+            rank: 0,
             conns: vec![ConnHb::default(); conns],
             ping: None,
         };

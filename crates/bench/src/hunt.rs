@@ -11,13 +11,17 @@
 
 use obs::json::Json;
 use obs::report::MetricsReport;
+use simnet::time::SimDuration;
 use simnet::time::SimTime;
 use sttcp::events::StTcpEvent;
 use sttcp::invariant::Outcome;
 use sttcp_apps::chaos::{chaos_config, run_chaos_case, ChaosOptions, ChaosReport, FaultSchedule};
+use sttcp_apps::pool::{run_pool_case, PoolReport};
 
 use crate::parallel::parallel_seeds;
-use crate::phases::{detection_bound, failover_timeline, first_verdict, PhaseAgg};
+use crate::phases::{
+    detection_bound, failover_timeline, first_verdict, takeover_timelines, PhaseAgg,
+};
 
 /// What to sweep: a contiguous seed range, the schedule generator
 /// flavour, and how many worker threads to run cases on.
@@ -218,6 +222,114 @@ pub fn run_sweep(
         }
     }
     s
+}
+
+/// One executed pool sweep case, handed to the fold callback in seed
+/// order.
+pub struct PoolSweepCase {
+    /// The seed the schedule was generated from.
+    pub seed: u64,
+    /// The generated pool fault schedule.
+    pub schedule: FaultSchedule,
+    /// The pool run's report.
+    pub report: PoolReport,
+}
+
+/// Seed-order fold of a pool sweep.
+pub struct PoolSweepSummary {
+    /// Runs with no fault impact observed.
+    pub clean: u64,
+    /// Runs that failed over (possibly several times) and finished.
+    pub recovered: u64,
+    /// Runs that detected an unrecoverable fault pattern.
+    pub detected: u64,
+    /// Runs where service was (legitimately) lost.
+    pub lost: u64,
+    /// Seeds whose run violated an invariant.
+    pub violated: Vec<u64>,
+    /// Total takeovers observed across all runs.
+    pub takeovers: u64,
+    /// Cross-seed failover phase-latency aggregation (one fold per
+    /// takeover whose client stall was measurable).
+    pub agg: PhaseAgg,
+}
+
+/// Runs the N-replica pool sweep: [`FaultSchedule::generate_pool`]
+/// schedules (kill the active, usually reboot + rejoin it, kill the
+/// next active) against [`run_pool_case`], folded in seed order — the
+/// summary is bit-identical at any `threads` setting.
+pub fn run_pool_sweep(
+    seeds: u64,
+    start: u64,
+    threads: usize,
+    opts: &ChaosOptions,
+    mut on_case: impl FnMut(&PoolSweepCase),
+) -> PoolSweepSummary {
+    let cases = parallel_seeds(threads, start, seeds, |seed| {
+        let schedule = FaultSchedule::generate_pool(seed);
+        let report = run_pool_case(seed, &schedule, opts);
+        PoolSweepCase {
+            seed,
+            schedule,
+            report,
+        }
+    });
+
+    let mut s = PoolSweepSummary {
+        clean: 0,
+        recovered: 0,
+        detected: 0,
+        lost: 0,
+        violated: Vec::new(),
+        takeovers: 0,
+        agg: PhaseAgg::new(),
+    };
+    for case in &cases {
+        on_case(case);
+        let report = &case.report;
+        s.takeovers += report.takeovers();
+        for (_, tl) in takeover_timelines(&report.member_events, &report.faults, |at| {
+            report
+                .stall_window
+                .filter(|&(ws, we)| at >= ws && at <= we + SimDuration::from_secs(1))
+        }) {
+            if let Some(b) = tl.breakdown() {
+                s.agg.add(&b);
+            }
+        }
+        match report.outcome {
+            Outcome::Clean => s.clean += 1,
+            Outcome::Recovered => s.recovered += 1,
+            Outcome::DetectedUnrecoverable => s.detected += 1,
+            Outcome::ServiceLost => s.lost += 1,
+            Outcome::Violation => s.violated.push(case.seed),
+        }
+    }
+    s
+}
+
+impl PoolSweepSummary {
+    /// Builds the `--pool` [`MetricsReport`], bit-identical across
+    /// thread counts.
+    pub fn to_report(&self, seeds: u64, start: u64, quick: bool) -> MetricsReport {
+        let mut report = MetricsReport::new("chaos_hunt");
+        let mut cfg_j = Json::obj();
+        cfg_j.set("seeds", Json::U64(seeds));
+        cfg_j.set("start", Json::U64(start));
+        cfg_j.set("quick", Json::Bool(quick));
+        cfg_j.set("pool", Json::Bool(true));
+        report.set("config", cfg_j);
+        let mut outcomes = Json::obj();
+        outcomes.set("clean", Json::U64(self.clean));
+        outcomes.set("recovered", Json::U64(self.recovered));
+        outcomes.set("detected_unrecoverable", Json::U64(self.detected));
+        outcomes.set("service_lost", Json::U64(self.lost));
+        outcomes.set("violations", Json::U64(self.violated.len() as u64));
+        report.set("outcomes", outcomes);
+        report.set("takeovers", Json::U64(self.takeovers));
+        report.set("phases", self.agg.to_json());
+        report
+    }
 }
 
 impl SweepSummary {

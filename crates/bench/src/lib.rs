@@ -13,6 +13,8 @@
 //! | `demo5_nic_failure` | Demo 5 — NIC failures |
 //! | `serial_capacity` | §3 — serial heartbeat-link capacity |
 //! | `temp_netfail` | §4.3 / Table 1 row 5 — temporary network failures |
+//! | `demo6_reintegration` | beyond the paper — backup re-integration after failover |
+//! | `demo7_pool` | beyond the paper — N-replica pool, quorum-fenced rank takeover |
 //!
 //! Run any of them with `cargo run -p sttcp-bench --bin <name>`; the
 //! Criterion micro-benchmarks (`cargo bench`) cover the per-segment CPU

@@ -96,6 +96,10 @@ pub struct HbPayload {
     pub seqno: u32,
     /// Sender's current role.
     pub role: Role,
+    /// Sender's replica-pool rank (0 in pair mode). Ranks order takeover
+    /// candidacy in an N-replica pool and change when a rebooted node
+    /// rejoins, so every heartbeat announces the sender's current one.
+    pub rank: u8,
     /// Per-connection records.
     pub conns: Vec<ConnHb>,
     /// Ping report, present only during an IP-heartbeat outage.
@@ -115,8 +119,8 @@ impl fmt::Display for HbDecodeError {
 impl std::error::Error for HbDecodeError {}
 
 /// Fixed header length of the heartbeat wire format (includes the
-/// CRC-32 at bytes 8..12).
-pub const HB_HEADER_LEN: usize = 12;
+/// CRC-32 at bytes 9..13).
+pub const HB_HEADER_LEN: usize = 13;
 /// Wire length of one per-connection record.
 pub const HB_CONN_LEN: usize = 21;
 /// Wire length of the optional ping report.
@@ -125,7 +129,7 @@ pub const HB_PING_LEN: usize = 8;
 impl HbPayload {
     /// Serializes the heartbeat.
     ///
-    /// Layout: `seqno:4 | role:1 | flags:1 | conn_count:2 | crc:4 |
+    /// Layout: `seqno:4 | role:1 | rank:1 | flags:1 | conn_count:2 | crc:4 |
     /// [key:4 lbr:4 lar:4 labw:4 labr:4 flags:1]* | [fails:4 attempts:4]?`
     ///
     /// The CRC-32 covers the whole message with the CRC field itself
@@ -138,6 +142,7 @@ impl HbPayload {
             Role::Primary => 0,
             Role::Backup => 1,
         });
+        b.put_u8(self.rank);
         b.put_u8(self.ping.is_some() as u8);
         b.put_u16(self.conns.len() as u16);
         b.put_u32(0); // CRC placeholder, patched below.
@@ -158,7 +163,7 @@ impl HbPayload {
             b.put_u32(p.attempts);
         }
         let crc = crate::wire::crc32(&b);
-        b[8..12].copy_from_slice(&crc.to_be_bytes());
+        b[9..13].copy_from_slice(&crc.to_be_bytes());
         b.freeze()
     }
 
@@ -187,25 +192,26 @@ impl HbPayload {
             1 => Role::Backup,
             _ => return Err(HbDecodeError),
         };
-        let has_ping = match wire[5] {
+        let rank = wire[5];
+        let has_ping = match wire[6] {
             0 => false,
             1 => true,
             _ => return Err(HbDecodeError),
         };
-        let n = u16::from_be_bytes([wire[6], wire[7]]) as usize;
+        let n = u16::from_be_bytes([wire[7], wire[8]]) as usize;
         let need = HB_HEADER_LEN + n * HB_CONN_LEN + if has_ping { HB_PING_LEN } else { 0 };
         // Exact length: a message is one datagram, so trailing bytes mean
         // corruption (a mangled conn_count would otherwise mis-frame).
         if wire.len() != need {
             return Err(HbDecodeError);
         }
-        let stored_crc = u32::from_be_bytes([wire[8], wire[9], wire[10], wire[11]]);
+        let stored_crc = u32::from_be_bytes([wire[9], wire[10], wire[11], wire[12]]);
         // Stream the CRC with the on-wire CRC field treated as zero —
         // no zeroed copy of the frame.
         let mut crc = crate::wire::Crc32::new();
-        crc.update(&wire[..8]);
+        crc.update(&wire[..9]);
         crc.update(&[0u8; 4]);
-        crc.update(&wire[12..]);
+        crc.update(&wire[13..]);
         if crc.finish() != stored_crc {
             return Err(HbDecodeError);
         }
@@ -233,6 +239,7 @@ impl HbPayload {
         Ok(HbPayload {
             seqno,
             role,
+            rank,
             conns,
             ping,
         })
@@ -255,6 +262,7 @@ mod tests {
         HbPayload {
             seqno: 77,
             role: Role::Backup,
+            rank: 2,
             conns: vec![
                 ConnHb {
                     key: conn_key(tuple(40_000)),
@@ -291,6 +299,7 @@ mod tests {
         let hb = HbPayload {
             seqno: 1,
             role: Role::Primary,
+            rank: 0,
             conns: vec![],
             ping: None,
         };
@@ -306,6 +315,7 @@ mod tests {
         let one = HbPayload {
             seqno: 0,
             role: Role::Primary,
+            rank: 0,
             conns: vec![ConnHb::default()],
             ping: None,
         };

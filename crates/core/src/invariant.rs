@@ -105,6 +105,11 @@ pub struct Expectation {
     /// after redundancy is restored — so the at-most-one-verdict
     /// invariant widens to at most one per epoch.
     pub reintegrate: bool,
+    /// The schedule armed byzantine heartbeat corruption on this
+    /// (configured) side. The *honest* side may legitimately condemn the
+    /// liar; the liar itself — whose inbound evidence is untouched — must
+    /// never fire a verdict against its healthy peer.
+    pub byzantine: Option<Role>,
 }
 
 impl Expectation {
@@ -117,7 +122,212 @@ impl Expectation {
             verdicts_possible: false,
             max_stall: Some(max_stall),
             reintegrate: false,
+            byzantine: None,
         }
+    }
+}
+
+/// What a pool-mode fault schedule makes legitimately possible —
+/// [`Expectation`]'s N-replica counterpart, consumed by [`check_pool`].
+#[derive(Debug, Clone)]
+pub struct PoolExpectation {
+    /// Some fault could have killed every pool member (or cut the client
+    /// path); when false the client finishing is mandatory.
+    pub service_may_be_lost: bool,
+    /// Acked client bytes may be gone from every survivor: an
+    /// [`StTcpEvent::UnrecoverableGap`] reset is legitimate.
+    pub unrecoverable_gap_possible: bool,
+    /// Failure verdicts (fence rounds, takeovers) are legitimate.
+    pub verdicts_possible: bool,
+    /// Upper bound on takeovers across the whole pool (one per active
+    /// kill the schedule performs).
+    pub max_takeovers: u32,
+    /// Bound on [`ClientView::longest_stall`] when the run finishes;
+    /// `None` disables the check.
+    pub max_stall: Option<SimDuration>,
+}
+
+/// Checks the pool-mode invariants over one finished run.
+///
+/// `views` holds every pool member in any order. On top of the pairwise
+/// properties (integrity, no dual-active, bounded stall, no silent
+/// failure, no false positives) the pool adds **quorum-fence-precedes-
+/// takeover**: a member may only take over after logging a
+/// [`StTcpEvent::FenceQuorumReached`] against the old active — rank
+/// order and fencing are worthless if a taker can skip the vote.
+pub fn check_pool(views: &[ServerView], client: &ClientView, exp: &PoolExpectation) -> Report {
+    let mut violations = Vec::new();
+
+    // 1. Byte-stream integrity: unconditional.
+    if client.integrity_violations > 0 {
+        violations.push(Violation {
+            invariant: "byte-stream-integrity",
+            detail: format!(
+                "client verified {} bytes but saw {} contradicting its expected stream",
+                client.bytes_ok, client.integrity_violations
+            ),
+        });
+    }
+
+    // 2. No dual-active, direct form: at most one member ends active.
+    let actives = views.iter().filter(|v| v.active_at_end).count();
+    if actives > 1 {
+        violations.push(Violation {
+            invariant: "no-dual-active",
+            detail: format!("{actives} pool members ended the run active for the service IP"),
+        });
+    }
+
+    // 3. Quorum fence and STONITH precede every takeover, and takeovers
+    // stay within the schedule's budget.
+    let mut total_takeovers = 0u32;
+    for (i, v) in views.iter().enumerate() {
+        let takeovers = count_events(&v.events, |e| matches!(e, StTcpEvent::TookOver { .. }));
+        total_takeovers += takeovers as u32;
+        let Some(took_at) = first_time(&v.events, |e| matches!(e, StTcpEvent::TookOver { .. }))
+        else {
+            continue;
+        };
+        let quorum_at = first_time(&v.events, |e| {
+            matches!(e, StTcpEvent::FenceQuorumReached { .. })
+        });
+        if quorum_at.is_none_or(|t| t > took_at) {
+            violations.push(Violation {
+                invariant: "quorum-fence-precedes-takeover",
+                detail: format!(
+                    "member #{i} took over at {took_at} without first reaching a fence \
+                     quorum (quorum: {quorum_at:?})"
+                ),
+            });
+        }
+        let stonith_at = first_time(&v.events, |e| matches!(e, StTcpEvent::StonithIssued { .. }));
+        if stonith_at.is_none_or(|t| t > took_at) {
+            violations.push(Violation {
+                invariant: "stonith-precedes-takeover",
+                detail: format!(
+                    "member #{i} took over at {took_at} without first issuing STONITH \
+                     (stonith: {stonith_at:?})"
+                ),
+            });
+        }
+        if takeovers > 1 {
+            violations.push(Violation {
+                invariant: "at-most-one-verdict",
+                detail: format!("member #{i} took over {takeovers} times in one incarnation"),
+            });
+        }
+    }
+    if total_takeovers > exp.max_takeovers {
+        violations.push(Violation {
+            invariant: "at-most-one-verdict",
+            detail: format!(
+                "{total_takeovers} takeovers across the pool (schedule budget {})",
+                exp.max_takeovers
+            ),
+        });
+    }
+
+    // 4. False positives: a fault-free pool schedule must stay silent.
+    if !exp.verdicts_possible {
+        for (i, v) in views.iter().enumerate() {
+            let verdicts = count_events(&v.events, |e| {
+                matches!(
+                    e,
+                    StTcpEvent::PeerDeclaredFailed { .. }
+                        | StTcpEvent::TookOver { .. }
+                        | StTcpEvent::StonithIssued { .. }
+                        | StTcpEvent::FenceQuorumReached { .. }
+                        | StTcpEvent::WentNonFt { .. }
+                )
+            });
+            if verdicts > 0 {
+                violations.push(Violation {
+                    invariant: "no-false-positive",
+                    detail: format!(
+                        "member #{i} fired {verdicts} verdict event(s) though the schedule \
+                         injected nothing a correct detector reacts to"
+                    ),
+                });
+            }
+        }
+        if client.resets > 0 {
+            violations.push(Violation {
+                invariant: "no-false-positive",
+                detail: format!(
+                    "client saw {} reset(s) under a verdict-free schedule",
+                    client.resets
+                ),
+            });
+        }
+    }
+
+    // 5. Unrecoverable ⇒ explicitly detected, never silent.
+    if !exp.service_may_be_lost && !client.finished {
+        let announced = client.resets > 0
+            || views
+                .iter()
+                .flat_map(|v| v.events.iter())
+                .any(|e| matches!(e, StTcpEvent::UnrecoverableGap { .. }));
+        if !announced {
+            violations.push(Violation {
+                invariant: "no-silent-failure",
+                detail: "service was expected to survive, yet the client neither finished \
+                         nor was reset — it was left hanging silently"
+                    .to_string(),
+            });
+        } else if !exp.unrecoverable_gap_possible {
+            violations.push(Violation {
+                invariant: "unrecoverable-only-when-possible",
+                detail: "client was reset although the schedule permits no data-loss path"
+                    .to_string(),
+            });
+        }
+    }
+
+    // 6. Bounded post-detection stall, only for runs that completed.
+    if let Some(bound) = exp.max_stall {
+        if client.finished && client.longest_stall > bound {
+            violations.push(Violation {
+                invariant: "bounded-stall",
+                detail: format!("client stalled {} (bound {})", client.longest_stall, bound),
+            });
+        }
+    }
+
+    let any_verdict = views.iter().any(|v| {
+        v.events.iter().any(|e| {
+            matches!(
+                e,
+                StTcpEvent::PeerDeclaredFailed { .. }
+                    | StTcpEvent::WentNonFt { .. }
+                    | StTcpEvent::TookOver { .. }
+            )
+        })
+    });
+    let any_unrecoverable = views
+        .iter()
+        .flat_map(|v| v.events.iter())
+        .any(|e| matches!(e, StTcpEvent::UnrecoverableGap { .. }));
+
+    let outcome = if !violations.is_empty() {
+        Outcome::Violation
+    } else if !client.finished {
+        if any_unrecoverable || client.resets > 0 {
+            Outcome::DetectedUnrecoverable
+        } else {
+            Outcome::ServiceLost
+        }
+    } else if any_unrecoverable {
+        Outcome::DetectedUnrecoverable
+    } else if any_verdict {
+        Outcome::Recovered
+    } else {
+        Outcome::Clean
+    };
+
+    Report {
+        outcome,
+        violations,
     }
 }
 
@@ -283,6 +493,29 @@ pub fn check(
         }
     }
 
+    // 3b. Byzantine containment: the server armed with corrupt outgoing
+    // heartbeats keeps receiving the honest peer's truthful ones, so it
+    // has no legitimate grounds to condemn anyone. Only the honest side
+    // may fire the verdict that quarantines the liar.
+    if let Some(liar_role) = exp.byzantine {
+        let (liar, label) = match liar_role {
+            Role::Primary => (primary, "primary"),
+            Role::Backup => (backup, "backup"),
+        };
+        let n = count_events(&liar.events, |e| {
+            matches!(e, StTcpEvent::PeerDeclaredFailed { .. })
+        });
+        if n > 0 {
+            violations.push(Violation {
+                invariant: "byzantine-liar-verdict",
+                detail: format!(
+                    "the lying {label} declared its honest peer failed {n} time(s); \
+                     its own inbound evidence never justified a verdict"
+                ),
+            });
+        }
+    }
+
     // 4. False positives: with no verdict-provoking fault injected, no
     // verdict may fire and the client must finish untouched.
     if !exp.verdicts_possible {
@@ -429,6 +662,17 @@ mod tests {
             verdicts_possible: true,
             max_stall: Some(SimDuration::from_secs(5)),
             reintegrate: false,
+            byzantine: None,
+        }
+    }
+
+    fn pool_exp() -> PoolExpectation {
+        PoolExpectation {
+            service_may_be_lost: false,
+            unrecoverable_gap_possible: false,
+            verdicts_possible: true,
+            max_takeovers: 2,
+            max_stall: Some(SimDuration::from_secs(5)),
         }
     }
 
@@ -703,5 +947,161 @@ mod tests {
         let r = check(&p, &server(Role::Backup), &ok_client(), &strict());
         assert!(r.ok(), "violations: {:?}", r.violations);
         assert_eq!(r.outcome, Outcome::Clean);
+    }
+
+    #[test]
+    fn byzantine_liar_must_not_fire_verdicts() {
+        // The honest backup condemns the lying primary: legitimate.
+        let mut exp = crashy();
+        exp.byzantine = Some(Role::Primary);
+        let mut p = server(Role::Primary);
+        p.powered_off_at = Some(SimTime::from_millis(900));
+        p.active_at_end = false;
+        let mut b = server(Role::Backup);
+        b.events = vec![
+            StTcpEvent::ByzantineHbRejected {
+                at: SimTime::from_millis(400),
+            },
+            StTcpEvent::PeerDeclaredFailed {
+                reason: FailureReason::HbBothLinksDown,
+                at: SimTime::from_millis(1000),
+            },
+            StTcpEvent::StonithIssued {
+                at: SimTime::from_millis(1000),
+            },
+            StTcpEvent::TookOver {
+                at: SimTime::from_millis(1050),
+            },
+        ];
+        b.active_at_end = true;
+        let r = check(&p, &b, &ok_client(), &exp);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+
+        // The liar condemning its honest peer is the bug this invariant
+        // exists for.
+        let mut p2 = server(Role::Primary);
+        p2.events = vec![StTcpEvent::PeerDeclaredFailed {
+            reason: FailureReason::AppLagBytes,
+            at: SimTime::from_millis(700),
+        }];
+        let r2 = check(&p2, &server(Role::Backup), &ok_client(), &exp);
+        assert!(r2
+            .violations
+            .iter()
+            .any(|v| v.invariant == "byzantine-liar-verdict"));
+    }
+
+    #[test]
+    fn pool_takeover_without_quorum_is_violation() {
+        let mut v0 = server(Role::Primary);
+        v0.powered_off_at = Some(SimTime::from_millis(500));
+        v0.active_at_end = false;
+        let mut v1 = server(Role::Backup);
+        v1.events = vec![
+            StTcpEvent::StonithIssued {
+                at: SimTime::from_millis(1100),
+            },
+            StTcpEvent::TookOver {
+                at: SimTime::from_millis(1200),
+            },
+        ];
+        v1.active_at_end = true;
+        let v2 = server(Role::Backup);
+        let r = check_pool(&[v0, v1, v2], &ok_client(), &pool_exp());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "quorum-fence-precedes-takeover"));
+    }
+
+    #[test]
+    fn pool_quorum_checked_takeover_is_recovered() {
+        let mut v0 = server(Role::Primary);
+        v0.powered_off_at = Some(SimTime::from_millis(500));
+        v0.active_at_end = false;
+        let mut v1 = server(Role::Backup);
+        v1.events = vec![
+            StTcpEvent::FenceRequested {
+                target_rank: 0,
+                epoch: 1,
+                at: SimTime::from_millis(1000),
+            },
+            StTcpEvent::FenceQuorumReached {
+                target_rank: 0,
+                votes: 2,
+                at: SimTime::from_millis(1100),
+            },
+            StTcpEvent::PoolMemberFenced {
+                rank: 0,
+                at: SimTime::from_millis(1100),
+            },
+            StTcpEvent::PeerDeclaredFailed {
+                reason: FailureReason::HbBothLinksDown,
+                at: SimTime::from_millis(1100),
+            },
+            StTcpEvent::StonithIssued {
+                at: SimTime::from_millis(1100),
+            },
+            StTcpEvent::TookOver {
+                at: SimTime::from_millis(1200),
+            },
+        ];
+        v1.active_at_end = true;
+        let mut v2 = server(Role::Backup);
+        v2.events = vec![StTcpEvent::PoolMemberFenced {
+            rank: 0,
+            at: SimTime::from_millis(1101),
+        }];
+        let r = check_pool(&[v0, v1, v2], &ok_client(), &pool_exp());
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.outcome, Outcome::Recovered);
+    }
+
+    #[test]
+    fn pool_dual_active_and_takeover_budget_enforced() {
+        let mk_taker = |t: u64| {
+            let mut v = server(Role::Backup);
+            v.events = vec![
+                StTcpEvent::FenceQuorumReached {
+                    target_rank: 0,
+                    votes: 2,
+                    at: SimTime::from_millis(t),
+                },
+                StTcpEvent::StonithIssued {
+                    at: SimTime::from_millis(t),
+                },
+                StTcpEvent::TookOver {
+                    at: SimTime::from_millis(t + 50),
+                },
+            ];
+            v.active_at_end = true;
+            v
+        };
+        let v1 = mk_taker(1000);
+        let v2 = mk_taker(2000);
+        let v3 = mk_taker(3000);
+        let r = check_pool(&[v1, v2, v3], &ok_client(), &pool_exp());
+        assert!(r.violations.iter().any(|v| v.invariant == "no-dual-active"));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "at-most-one-verdict"));
+    }
+
+    #[test]
+    fn pool_false_positive_on_quiet_schedule() {
+        let mut exp = pool_exp();
+        exp.verdicts_possible = false;
+        let mut v1 = server(Role::Backup);
+        v1.events = vec![StTcpEvent::FenceQuorumReached {
+            target_rank: 0,
+            votes: 2,
+            at: SimTime::from_millis(800),
+        }];
+        let r = check_pool(&[server(Role::Primary), v1], &ok_client(), &exp);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "no-false-positive"));
     }
 }

@@ -20,6 +20,9 @@
 //!   with cleanup, NIC/local-network failure).
 //! * [`recover`] — missed-byte recovery from the primary's extended
 //!   receive buffer (Table 1 row 5).
+//! * [`pool`] — the N-replica standby-pool extension: rank-ordered
+//!   takeover with quorum-checked fencing and rank reassignment on
+//!   rejoin (pair mode is the degenerate two-member pool).
 //! * [`metrics`] — per-server counters, gauges, and histograms
 //!   ([`metrics::ServerMetrics`]) fed from the protocol hot paths and
 //!   serialized into the `obs` metrics report.
@@ -53,6 +56,7 @@ pub mod invariant;
 pub mod linkmon;
 pub mod metrics;
 pub mod netdetect;
+pub mod pool;
 pub mod recover;
 pub mod server;
 pub mod wire;
@@ -63,5 +67,6 @@ pub mod prelude {
     pub use crate::config::{Role, StTcpConfig};
     pub use crate::events::{FailureReason, FinReleaseReason, HbLink, StTcpEvent};
     pub use crate::heartbeat::{conn_key, ConnHb, HbPayload, PingReport};
-    pub use crate::server::{AppCrashMode, ServerSetup, StTcpServer};
+    pub use crate::pool::PoolPeer;
+    pub use crate::server::{AppCrashMode, ByzantineHbMode, ServerSetup, StTcpServer};
 }

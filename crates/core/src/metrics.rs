@@ -70,6 +70,12 @@ pub struct ServerMetrics {
     /// Receive-side occupancy (readable + out-of-order), summed across
     /// connections.
     recv_occupancy: Gauge,
+    /// Semantically corrupt heartbeat payloads rejected by the sanity
+    /// check (CRC-valid but with impossible counter regressions).
+    byzantine_rejected: Counter,
+    /// Pool strength: this member plus every live, non-fenced peer.
+    /// Stays 0 in pair mode.
+    pool_strength: Gauge,
 }
 
 impl Default for ServerMetrics {
@@ -91,7 +97,29 @@ impl ServerMetrics {
             cwnd: Histogram::bytes(),
             send_occupancy: Gauge::new(),
             recv_occupancy: Gauge::new(),
+            byzantine_rejected: Counter::new(),
+            pool_strength: Gauge::new(),
         }
+    }
+
+    /// Records a heartbeat payload rejected as semantically corrupt.
+    pub fn on_byzantine_rejected(&mut self) {
+        self.byzantine_rejected.inc();
+    }
+
+    /// Heartbeat payloads rejected as semantically corrupt so far.
+    pub fn byzantine_rejected(&self) -> u64 {
+        self.byzantine_rejected.get()
+    }
+
+    /// Samples the pool strength (called per check period in pool mode).
+    pub fn sample_pool_strength(&mut self, members: u64) {
+        self.pool_strength.set(members);
+    }
+
+    /// The most recent pool-strength sample (0 in pair mode).
+    pub fn pool_strength(&self) -> u64 {
+        self.pool_strength.get()
     }
 
     /// Records a heartbeat arriving on `link`.
@@ -204,6 +232,11 @@ impl ServerMetrics {
             "recv_occupancy_high_water",
             Json::U64(self.recv_occupancy.high_water()),
         );
+        o.set(
+            "byzantine_rejected",
+            Json::U64(self.byzantine_rejected.get()),
+        );
+        o.set("pool_strength", self.pool_strength.to_json());
         o
     }
 }

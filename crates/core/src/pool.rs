@@ -1,0 +1,344 @@
+//! N-replica standby pool: membership, rank order, and quorum fencing.
+//!
+//! The paper's demonstration runs one primary and one backup. This
+//! module generalises the pair to a *pool* of one active plus K ≥ 2
+//! backups, all tapping the client's traffic through the multicast tap.
+//! Every member carries a static **rank** (0 = the initially active
+//! server); on an active failure the lowest-rank live backup takes over
+//! — but only after a **quorum-checked fence**: a majority of the
+//! surviving pool members must confirm the target dead on both heartbeat
+//! links before the candidate STONITHs it and proceeds. The pairwise
+//! protocol's single-shot STONITH is the degenerate two-member case
+//! (quorum of one — the candidate's own vote).
+//!
+//! Quorum prevents split-brain under asymmetric heartbeat partitions: a
+//! backup that merely lost *its own* links to the active can never
+//! assemble a majority that includes members who still hear the active,
+//! so it can never fence, never STONITH, and never take over.
+//!
+//! The state here is bookkeeping only — the protocol driving it (fence
+//! rounds, votes, commits, takeover, re-integration with rank
+//! reassignment) lives in [`crate::server`], wired into the heartbeat
+//! and control channels.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use simnet::node::{NodeId, SerialPortId};
+use simnet::time::{SimDuration, SimTime};
+
+use crate::config::Role;
+use crate::linkmon::LinkMonitor;
+
+/// Static description of one *other* pool member, as wired by the
+/// topology builder into [`crate::server::ServerSetup::pool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolPeer {
+    /// The member's static rank (0 = initially active). Unique per pool.
+    pub rank: u8,
+    /// The member's private address (heartbeats + control channel).
+    pub ip: Ipv4Addr,
+    /// The member's node id, for STONITH.
+    pub node: NodeId,
+}
+
+/// Peer-side per-connection view, unwrapped to 64 bits. One per
+/// connection per heartbeat sender; in pair mode the single peer's
+/// entries live directly in the server's `peer_conns`.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PeerConn {
+    pub(crate) last_byte_received: u64,
+    pub(crate) last_ack_received: u64,
+    pub(crate) last_app_byte_written: u64,
+    pub(crate) last_app_byte_read: u64,
+    pub(crate) fin_or_rst: bool,
+    /// The peer's watchdog self-reported its application failed (sticky).
+    pub(crate) app_suspected: bool,
+}
+
+/// Everything this server tracks about one other pool member.
+#[derive(Debug)]
+pub(crate) struct MemberState {
+    /// The member's current rank. Static until the member is fenced and
+    /// rejoins, at which point its heartbeats announce the fresh rank the
+    /// active assigned it.
+    pub(crate) rank: u8,
+    /// The member's node id, for STONITH.
+    pub(crate) node: NodeId,
+    /// IP heartbeat liveness for this member.
+    pub(crate) ip_mon: LinkMonitor,
+    /// Serial heartbeat liveness for this member.
+    pub(crate) serial_mon: LinkMonitor,
+    /// The local serial port wired to this member, if any.
+    pub(crate) serial_port: Option<SerialPortId>,
+    /// The role the member last announced.
+    pub(crate) role: Role,
+    /// Highest heartbeat seqno accepted from this member (staleness
+    /// filter against duplicated / reordered frames).
+    pub(crate) last_seqno: Option<u32>,
+    /// The member has been fenced (quorum-confirmed dead + STONITHed).
+    /// Everything it says under its old rank is ignored until it rejoins
+    /// under a fresh one.
+    pub(crate) fenced: bool,
+    /// The member was seen serving as `Primary` and then heartbeated as
+    /// a `Backup` under the same rank — a transition no live incarnation
+    /// ever makes, so the host must have restarted faster than the
+    /// liveness timeout. The serving incarnation is gone even though the
+    /// reboot keeps the links fresh; fencing treats a defunct member as
+    /// condemnable so the takeover is not deadlocked by the resurrection.
+    pub(crate) defunct: bool,
+    /// A byzantine heartbeat from this member was already logged
+    /// (sticky, to keep the event log bounded).
+    pub(crate) byzantine_reported: bool,
+    /// The member's per-connection positions from its heartbeats.
+    pub(crate) conns: BTreeMap<u32, PeerConn>,
+}
+
+impl MemberState {
+    /// True while at least one heartbeat link from this member is fresh.
+    pub(crate) fn alive(&self, now: SimTime) -> bool {
+        self.ip_mon.is_alive(now) || self.serial_mon.is_alive(now)
+    }
+
+    /// True when both heartbeat links from this member have gone silent.
+    pub(crate) fn dead(&self, now: SimTime) -> bool {
+        !self.alive(now)
+    }
+
+    /// True when this member may be the target of a fence round: both
+    /// links silent, or the serving incarnation provably gone behind a
+    /// still-heartbeating reboot (`defunct`).
+    pub(crate) fn condemnable(&self, now: SimTime) -> bool {
+        self.dead(now) || self.defunct
+    }
+
+    /// Resets the entry for a fresh incarnation of the member (fenced
+    /// node rejoining, or a new join session).
+    pub(crate) fn reset_for_rejoin(&mut self, hb_timeout: SimDuration, now: SimTime) {
+        self.ip_mon = LinkMonitor::new(hb_timeout, now);
+        self.serial_mon = LinkMonitor::new(hb_timeout, now);
+        self.role = Role::Backup;
+        self.last_seqno = None;
+        self.fenced = false;
+        self.defunct = false;
+        self.byzantine_reported = false;
+        self.conns.clear();
+    }
+}
+
+/// One in-flight fence round this server is initiating.
+#[derive(Debug)]
+pub(crate) struct FenceRound {
+    /// Round number, monotone per initiator.
+    pub(crate) epoch: u32,
+    /// The member being fenced.
+    pub(crate) target: Ipv4Addr,
+    /// Its rank at round start.
+    pub(crate) target_rank: u8,
+    /// Ranks that granted the fence (always includes the initiator's).
+    pub(crate) votes: BTreeSet<u8>,
+}
+
+/// Pool-mode state carried by [`crate::server::StTcpServer`]; `None` in
+/// pair mode.
+#[derive(Debug)]
+pub(crate) struct PoolState {
+    /// This server's current rank (reassigned on rejoin via `JoinDone`).
+    pub(crate) my_rank: u8,
+    /// Every other pool member, keyed by private address.
+    pub(crate) members: BTreeMap<Ipv4Addr, MemberState>,
+    /// The rank of the member currently believed active (0 at start;
+    /// updated from `Primary`-role heartbeats and at own takeover).
+    pub(crate) active_rank: u8,
+    /// The fence round this server is currently initiating, if any.
+    pub(crate) fence: Option<FenceRound>,
+    /// Fence-round counter (monotone per boot).
+    pub(crate) epoch: u32,
+    /// The next rank the active hands to a rejoining member. Rejoiners
+    /// always rank behind every original member, so a rebooted ex-active
+    /// can never be the preferred takeover candidate.
+    pub(crate) next_rank: u8,
+    /// Local serial ports wired to pool members.
+    pub(crate) serial_by_port: BTreeMap<SerialPortId, Ipv4Addr>,
+    /// The most recent join session this (active) server served:
+    /// `(joiner ip, session nonce, rank assigned)`. Makes the rank
+    /// assignment idempotent across re-sent `JoinRequest`s.
+    pub(crate) last_session_served: Option<(Ipv4Addr, u32, u8)>,
+}
+
+impl PoolState {
+    /// Builds the pool view at boot: all members presumed alive (grace
+    /// period from fresh monitors anchored at `now`), rank 0 active.
+    pub(crate) fn new(
+        my_rank: u8,
+        peers: &[PoolPeer],
+        hb_timeout: SimDuration,
+        now: SimTime,
+    ) -> PoolState {
+        let members: BTreeMap<Ipv4Addr, MemberState> = peers
+            .iter()
+            .map(|p| {
+                (
+                    p.ip,
+                    MemberState {
+                        rank: p.rank,
+                        node: p.node,
+                        ip_mon: LinkMonitor::new(hb_timeout, now),
+                        serial_mon: LinkMonitor::new(hb_timeout, now),
+                        serial_port: None,
+                        role: if p.rank == 0 {
+                            Role::Primary
+                        } else {
+                            Role::Backup
+                        },
+                        last_seqno: None,
+                        fenced: false,
+                        defunct: false,
+                        byzantine_reported: false,
+                        conns: BTreeMap::new(),
+                    },
+                )
+            })
+            .collect();
+        let next_rank = peers
+            .iter()
+            .map(|p| p.rank)
+            .chain(std::iter::once(my_rank))
+            .max()
+            .unwrap_or(0)
+            .wrapping_add(1);
+        PoolState {
+            my_rank,
+            members,
+            active_rank: 0,
+            fence: None,
+            epoch: 0,
+            next_rank,
+            serial_by_port: BTreeMap::new(),
+            last_session_served: None,
+        }
+    }
+
+    /// Members not yet fenced with at least one fresh heartbeat link.
+    pub(crate) fn live_non_fenced(&self, now: SimTime) -> usize {
+        self.members
+            .values()
+            .filter(|m| !m.fenced && m.alive(now))
+            .count()
+    }
+
+    /// Pool strength: this server plus every live non-fenced member.
+    pub(crate) fn strength(&self, now: SimTime) -> u64 {
+        1 + self.live_non_fenced(now) as u64
+    }
+
+    /// Votes needed to fence `target_rank`: a majority of the current
+    /// membership (me plus every non-fenced member other than the
+    /// target). In the degenerate two-member pool this is 1 — the
+    /// initiator's own vote, i.e. classic single-shot STONITH.
+    pub(crate) fn quorum_needed(&self, target_rank: u8) -> usize {
+        let electorate = 1 + self
+            .members
+            .values()
+            .filter(|m| !m.fenced && m.rank != target_rank)
+            .count();
+        electorate / 2 + 1
+    }
+
+    /// The private address of the member currently believed active, if
+    /// it is a known non-fenced member.
+    pub(crate) fn active_ip(&self) -> Option<Ipv4Addr> {
+        self.members
+            .iter()
+            .find(|(_, m)| !m.fenced && m.rank == self.active_rank)
+            .map(|(&ip, _)| ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers3() -> Vec<PoolPeer> {
+        vec![
+            PoolPeer {
+                rank: 0,
+                ip: Ipv4Addr::new(10, 0, 0, 2),
+                node: NodeId(1),
+            },
+            PoolPeer {
+                rank: 2,
+                ip: Ipv4Addr::new(10, 0, 0, 4),
+                node: NodeId(3),
+            },
+        ]
+    }
+
+    #[test]
+    fn next_rank_is_one_past_the_pool_maximum() {
+        let p = PoolState::new(1, &peers3(), SimDuration::from_millis(600), SimTime::ZERO);
+        assert_eq!(p.next_rank, 3);
+        assert_eq!(p.active_rank, 0);
+        assert_eq!(p.my_rank, 1);
+    }
+
+    #[test]
+    fn quorum_is_majority_of_non_fenced_membership() {
+        let mut p = PoolState::new(1, &peers3(), SimDuration::from_millis(600), SimTime::ZERO);
+        // 3-member pool, target is the active: electorate = me + rank2.
+        assert_eq!(p.quorum_needed(0), 2);
+        // Fence rank 2 out of the membership: degenerate pair left, and
+        // fencing the active needs only my own vote (STONITH semantics).
+        p.members
+            .get_mut(&Ipv4Addr::new(10, 0, 0, 4))
+            .unwrap()
+            .fenced = true;
+        assert_eq!(p.quorum_needed(0), 1);
+    }
+
+    #[test]
+    fn members_start_alive_via_grace_anchor() {
+        let t0 = SimTime::from_millis(1_000);
+        let p = PoolState::new(1, &peers3(), SimDuration::from_millis(600), t0);
+        assert_eq!(p.live_non_fenced(t0 + SimDuration::from_millis(599)), 2);
+        assert_eq!(p.live_non_fenced(t0 + SimDuration::from_millis(600)), 0);
+        assert_eq!(p.strength(t0), 3);
+    }
+
+    #[test]
+    fn active_ip_follows_active_rank_and_fencing() {
+        let mut p = PoolState::new(1, &peers3(), SimDuration::from_millis(600), SimTime::ZERO);
+        assert_eq!(p.active_ip(), Some(Ipv4Addr::new(10, 0, 0, 2)));
+        p.members
+            .get_mut(&Ipv4Addr::new(10, 0, 0, 2))
+            .unwrap()
+            .fenced = true;
+        assert_eq!(p.active_ip(), None);
+        p.active_rank = 2;
+        assert_eq!(p.active_ip(), Some(Ipv4Addr::new(10, 0, 0, 4)));
+    }
+
+    #[test]
+    fn rejoin_reset_clears_everything_but_identity() {
+        let mut p = PoolState::new(1, &peers3(), SimDuration::from_millis(600), SimTime::ZERO);
+        let ip = Ipv4Addr::new(10, 0, 0, 2);
+        {
+            let m = p.members.get_mut(&ip).unwrap();
+            m.fenced = true;
+            m.defunct = true;
+            m.last_seqno = Some(17);
+            m.byzantine_reported = true;
+            m.conns.insert(1, PeerConn::default());
+        }
+        let t = SimTime::from_millis(5_000);
+        let m = p.members.get_mut(&ip).unwrap();
+        m.reset_for_rejoin(SimDuration::from_millis(600), t);
+        assert!(!m.fenced);
+        assert!(!m.defunct);
+        assert_eq!(m.last_seqno, None);
+        assert!(!m.byzantine_reported);
+        assert!(m.conns.is_empty());
+        assert_eq!(m.node, NodeId(1));
+        assert!(m.alive(t));
+    }
+}

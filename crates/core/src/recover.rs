@@ -58,12 +58,49 @@ pub enum CtrlMsg {
         session: u32,
         /// Number of live connections snapshotted.
         conns: u32,
+        /// Pool rank assigned to the joiner for this membership epoch
+        /// (0 in pair mode, where ranks are unused).
+        new_rank: u8,
     },
     /// Joiner → active: all snapshots installed and the tap has caught
     /// up — resume fault-tolerant lockstep.
     JoinComplete {
         /// Join-session nonce.
         session: u32,
+    },
+    /// Pool candidate → surviving members: "I observe `target_rank` dead
+    /// on both heartbeat links; vote to fence it so I may act". Re-sent
+    /// every check period until quorum or abandonment.
+    FenceRequest {
+        /// Fence-round number, monotone per initiator.
+        epoch: u32,
+        /// Rank of the member to fence.
+        target_rank: u8,
+        /// Rank of the requesting candidate.
+        candidate_rank: u8,
+    },
+    /// Pool member → candidate: vote on a fence request. `granted` is
+    /// false when the voter still hears the target or knows a
+    /// better-ranked candidate.
+    FenceAck {
+        /// Fence-round number being answered.
+        epoch: u32,
+        /// Rank of the member to fence.
+        target_rank: u8,
+        /// Rank of the voting member.
+        voter_rank: u8,
+        /// True if the voter confirms the target dead and the candidate
+        /// best-ranked.
+        granted: bool,
+    },
+    /// Candidate → surviving members after quorum: `target_rank` is now
+    /// fenced; drop it from quorum arithmetic and abandon any fence
+    /// round of your own against it.
+    FenceCommit {
+        /// Fence-round number that reached quorum.
+        epoch: u32,
+        /// Rank of the fenced member.
+        target_rank: u8,
     },
 }
 
@@ -129,8 +166,17 @@ pub const CTRL_CRC_LEN: usize = 4;
 /// Wire length of a `JoinRequest` / `JoinComplete`: `type:1 session:4
 /// crc:4`.
 pub const JOIN_SHORT_LEN: usize = 9;
-/// Wire length of a `JoinDone`: `type:1 session:4 conns:4 crc:4`.
-pub const JOIN_DONE_LEN: usize = 13;
+/// Wire length of a `JoinDone`: `type:1 session:4 conns:4 new_rank:1
+/// crc:4`.
+pub const JOIN_DONE_LEN: usize = 14;
+/// Wire length of a `FenceRequest`: `type:1 epoch:4 target_rank:1
+/// candidate_rank:1 crc:4`.
+pub const FENCE_REQUEST_LEN: usize = 11;
+/// Wire length of a `FenceAck`: `type:1 epoch:4 target_rank:1
+/// voter_rank:1 granted:1 crc:4`.
+pub const FENCE_ACK_LEN: usize = 12;
+/// Wire length of a `FenceCommit`: `type:1 epoch:4 target_rank:1 crc:4`.
+pub const FENCE_COMMIT_LEN: usize = 10;
 /// Wire length of a `ConnSnapshot` before its three byte fields:
 /// `type:1 session:4 conn:4 ip:4 port:2 iss:4 peer_isn:4 snd_una:8
 /// rcv_start:8 fin_off:8 digest:8 flags:1 unacked_len:4 pending_len:4
@@ -237,17 +283,55 @@ impl CtrlMsg {
                 b.put_slice(&s.app_state);
                 b
             }
-            CtrlMsg::JoinDone { session, conns } => {
+            CtrlMsg::JoinDone {
+                session,
+                conns,
+                new_rank,
+            } => {
                 let mut b = BytesMut::with_capacity(JOIN_DONE_LEN);
                 b.put_u8(5);
                 b.put_u32(*session);
                 b.put_u32(*conns);
+                b.put_u8(*new_rank);
                 b
             }
             CtrlMsg::JoinComplete { session } => {
                 let mut b = BytesMut::with_capacity(JOIN_SHORT_LEN);
                 b.put_u8(6);
                 b.put_u32(*session);
+                b
+            }
+            CtrlMsg::FenceRequest {
+                epoch,
+                target_rank,
+                candidate_rank,
+            } => {
+                let mut b = BytesMut::with_capacity(FENCE_REQUEST_LEN);
+                b.put_u8(7);
+                b.put_u32(*epoch);
+                b.put_u8(*target_rank);
+                b.put_u8(*candidate_rank);
+                b
+            }
+            CtrlMsg::FenceAck {
+                epoch,
+                target_rank,
+                voter_rank,
+                granted,
+            } => {
+                let mut b = BytesMut::with_capacity(FENCE_ACK_LEN);
+                b.put_u8(8);
+                b.put_u32(*epoch);
+                b.put_u8(*target_rank);
+                b.put_u8(*voter_rank);
+                b.put_u8(u8::from(*granted));
+                b
+            }
+            CtrlMsg::FenceCommit { epoch, target_rank } => {
+                let mut b = BytesMut::with_capacity(FENCE_COMMIT_LEN);
+                b.put_u8(9);
+                b.put_u32(*epoch);
+                b.put_u8(*target_rank);
                 b
             }
         };
@@ -369,6 +453,7 @@ impl CtrlMsg {
                 Ok(CtrlMsg::JoinDone {
                     session: rd32(1),
                     conns: rd32(5),
+                    new_rank: body[9],
                 })
             }
             6 => {
@@ -376,6 +461,36 @@ impl CtrlMsg {
                     return Err(CtrlDecodeError);
                 }
                 Ok(CtrlMsg::JoinComplete { session: rd32(1) })
+            }
+            7 => {
+                if body.len() != FENCE_REQUEST_LEN - CTRL_CRC_LEN {
+                    return Err(CtrlDecodeError);
+                }
+                Ok(CtrlMsg::FenceRequest {
+                    epoch: rd32(1),
+                    target_rank: body[5],
+                    candidate_rank: body[6],
+                })
+            }
+            8 => {
+                if body.len() != FENCE_ACK_LEN - CTRL_CRC_LEN || body[7] > 1 {
+                    return Err(CtrlDecodeError);
+                }
+                Ok(CtrlMsg::FenceAck {
+                    epoch: rd32(1),
+                    target_rank: body[5],
+                    voter_rank: body[6],
+                    granted: body[7] == 1,
+                })
+            }
+            9 => {
+                if body.len() != FENCE_COMMIT_LEN - CTRL_CRC_LEN {
+                    return Err(CtrlDecodeError);
+                }
+                Ok(CtrlMsg::FenceCommit {
+                    epoch: rd32(1),
+                    target_rank: body[5],
+                })
             }
             _ => Err(CtrlDecodeError),
         }
@@ -487,6 +602,7 @@ mod tests {
             CtrlMsg::JoinDone {
                 session: 0xabcd_0001,
                 conns: 3,
+                new_rank: 4,
             },
             CtrlMsg::JoinComplete {
                 session: 0xabcd_0001,
@@ -494,6 +610,68 @@ mod tests {
         ] {
             assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn fence_messages_roundtrip() {
+        for m in [
+            CtrlMsg::FenceRequest {
+                epoch: 7,
+                target_rank: 0,
+                candidate_rank: 1,
+            },
+            CtrlMsg::FenceAck {
+                epoch: 7,
+                target_rank: 0,
+                voter_rank: 2,
+                granted: true,
+            },
+            CtrlMsg::FenceAck {
+                epoch: 8,
+                target_rank: 1,
+                voter_rank: 0,
+                granted: false,
+            },
+            CtrlMsg::FenceCommit {
+                epoch: 7,
+                target_rank: 0,
+            },
+        ] {
+            assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn fence_every_single_bit_flip_rejected() {
+        let wire = CtrlMsg::FenceAck {
+            epoch: 0x0102_0304,
+            target_rank: 3,
+            voter_rank: 1,
+            granted: true,
+        }
+        .encode()
+        .to_vec();
+        for bit in 0..wire.len() * 8 {
+            let mut flipped = wire.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(
+                CtrlMsg::decode(&flipped),
+                Err(CtrlDecodeError),
+                "flipping bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn fence_ack_nonboolean_granted_rejected() {
+        // Forge an ack whose granted byte is 2, with a valid CRC — the
+        // explicit range check must still reject it.
+        let mut b = vec![8u8];
+        b.extend_from_slice(&7u32.to_be_bytes());
+        b.extend_from_slice(&[0, 2, 2]);
+        let crc = crate::wire::crc32(&b);
+        b.extend_from_slice(&crc.to_be_bytes());
+        assert_eq!(CtrlMsg::decode(&b), Err(CtrlDecodeError));
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::heartbeat::{conn_key, unwrap_u32_near, ConnHb, HbPayload, PingReport}
 use crate::linkmon::LinkMonitor;
 use crate::metrics::ServerMetrics;
 use crate::netdetect::{NetFailureDetector, NetObservation};
+use crate::pool::{FenceRound, PeerConn, PoolPeer, PoolState};
 use crate::recover::{ConnSnapshotMsg, CtrlMsg, MAX_FETCH_DATA};
 
 /// The IP protocol number carrying the server-to-server recovery channel.
@@ -81,6 +82,27 @@ pub struct ServerSetup {
     pub isn_salt: u64,
     /// Seed for this server's private randomness.
     pub seed: u64,
+    /// This server's static pool rank (0 = initially active). Unused in
+    /// pair mode.
+    pub rank: u8,
+    /// The other pool members. Empty means classic two-server pair mode;
+    /// non-empty switches the server into N-replica pool mode.
+    pub pool: Vec<PoolPeer>,
+}
+
+/// How an injected byzantine heartbeat lies (testing): the sender's
+/// payloads remain CRC-valid on the wire but are semantically corrupt,
+/// so only the receiver's sanity check can stop them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ByzantineHbMode {
+    /// Re-send the same seqno forever. Receivers must treat the frozen
+    /// payload as stale — counting it as liveness is fine, re-applying
+    /// its counters is not.
+    Freeze,
+    /// Advance the seqno but regress the per-connection cumulative
+    /// counters to impossible values. Receivers must reject the whole
+    /// payload (quarantine) rather than mis-verdict a healthy peer.
+    Regress,
 }
 
 /// How an application crash is injected (Demo 4's two scenarios, plus the
@@ -115,18 +137,6 @@ struct ConnCtl {
     /// Last time the (live) application showed a sign of life — any
     /// callback into it returning. Feeds the optional watchdog.
     last_sign_of_life: SimTime,
-}
-
-/// Peer-side per-connection view, unwrapped to 64 bits.
-#[derive(Debug, Clone, Copy, Default)]
-struct PeerConn {
-    last_byte_received: u64,
-    last_ack_received: u64,
-    last_app_byte_written: u64,
-    last_app_byte_read: u64,
-    fin_or_rst: bool,
-    /// The peer's watchdog self-reported its application failed (sticky).
-    app_suspected: bool,
 }
 
 /// Re-integration join progress on a rebooted server (the *joiner* side).
@@ -194,6 +204,15 @@ pub struct StTcpServer {
     peer_ping: Option<PingReport>,
 
     hb_seq: u32,
+    /// Pair mode: highest heartbeat seqno accepted from the peer
+    /// (staleness filter; pool mode tracks this per member).
+    peer_last_seqno: Option<u32>,
+    /// Pair mode: a byzantine heartbeat was already logged (sticky).
+    byzantine_reported: bool,
+    /// Byzantine heartbeat fault injection, if armed (testing).
+    byz_mode: Option<ByzantineHbMode>,
+    /// N-replica pool state (`None` in pair mode).
+    pool: Option<PoolState>,
     /// Reusable `ConnHb` buffer for heartbeat assembly: taken by
     /// `build_heartbeat`, reclaimed (with its capacity) after encoding,
     /// so the per-period heartbeat allocates no per-connection vector.
@@ -277,6 +296,11 @@ impl StTcpServer {
             net_detect,
             peer_ping: None,
             hb_seq: 0,
+            peer_last_seqno: None,
+            byzantine_reported: false,
+            byz_mode: None,
+            pool: (!setup.pool.is_empty())
+                .then(|| PoolState::new(setup.rank, &setup.pool, hb_timeout, SimTime::ZERO)),
             hb_scratch: Vec::new(),
             took_over: false,
             join: None,
@@ -301,6 +325,17 @@ impl StTcpServer {
     /// clients after construction).
     pub fn add_arp(&mut self, addr: Ipv4Addr, mac: simnet::mac::MacAddr) {
         self.iface.add_arp(addr, mac);
+    }
+
+    /// Wires local serial port `port` to pool member `ip` (topology
+    /// builders, after connecting the null-modem pair). Pool mode only.
+    pub fn add_pool_serial(&mut self, port: SerialPortId, ip: Ipv4Addr) {
+        if let Some(pool) = &mut self.pool {
+            pool.serial_by_port.insert(port, ip);
+            if let Some(m) = pool.members.get_mut(&ip) {
+                m.serial_port = Some(port);
+            }
+        }
     }
 
     /// True when the optional watchdog suspects the local replica on this
@@ -422,6 +457,18 @@ impl StTcpServer {
         !self.powered_off && !self.cold && self.role == Role::Primary
     }
 
+    /// This server's current pool rank (reassigned on rejoin), or its
+    /// static configured rank in pair mode.
+    pub fn pool_rank(&self) -> u8 {
+        self.pool.as_ref().map_or(self.setup.rank, |p| p.my_rank)
+    }
+
+    /// Most recent pool-strength sample: this server plus every live
+    /// non-fenced member. `None` in pair mode.
+    pub fn pool_strength(&self) -> Option<u64> {
+        self.pool.as_ref().map(|_| self.metrics.pool_strength())
+    }
+
     // ----- failure injection ------------------------------------------------
 
     /// Crashes the replica application on this server (Demo 4). Applies to
@@ -458,6 +505,13 @@ impl StTcpServer {
                 }
             }
         }
+    }
+
+    /// Arms byzantine heartbeat corruption on this server: every future
+    /// heartbeat it sends lies per `mode` while remaining CRC-valid.
+    /// Receivers must quarantine the stream, not mis-verdict.
+    pub fn inject_byzantine_hb(&mut self, mode: ByzantineHbMode) {
+        self.byz_mode = Some(mode);
     }
 
     // ----- internal: TCP event handling ------------------------------------
@@ -672,27 +726,98 @@ impl StTcpServer {
         HbPayload {
             seqno: self.hb_seq,
             role: self.role,
+            rank: self.pool.as_ref().map_or(self.setup.rank, |p| p.my_rank),
             conns,
             ping: self.ping.active.then(|| self.ping.report()),
         }
     }
 
     fn send_heartbeats(&mut self, ctx: &mut NodeCtx<'_>) {
-        self.hb_seq = self.hb_seq.wrapping_add(1);
-        let hb = self.build_heartbeat(ctx.now());
+        // A frozen byzantine sender re-uses the last seqno forever;
+        // receivers treat the payload as stale and never re-apply it.
+        if self.byz_mode != Some(ByzantineHbMode::Freeze) {
+            self.hb_seq = self.hb_seq.wrapping_add(1);
+        }
+        let mut hb = self.build_heartbeat(ctx.now());
+        if self.byz_mode == Some(ByzantineHbMode::Regress) {
+            // Cumulative counters can never shrink; a regression is the
+            // canonical semantically-impossible lie.
+            for c in &mut hb.conns {
+                c.last_byte_received = c.last_byte_received.saturating_sub(100_000);
+                c.last_app_byte_read = c.last_app_byte_read.saturating_sub(100_000);
+            }
+        }
         let wire = hb.encode();
         // Reclaim the conn buffer (and its capacity) for the next period.
         self.hb_scratch = hb.conns;
-        if let Some(frame) =
-            self.iface
-                .frame_to(self.setup.peer_private_ip, IpProto::Heartbeat, wire.clone())
-        {
-            ctx.send_frame(self.iface.nic, frame);
+        if let Some(pool) = &self.pool {
+            let dests: Vec<(Ipv4Addr, Option<SerialPortId>)> = pool
+                .members
+                .iter()
+                .map(|(&ip, m)| (ip, m.serial_port))
+                .collect();
+            for (ip, port) in dests {
+                if let Some(frame) = self.iface.frame_to(ip, IpProto::Heartbeat, wire.clone()) {
+                    ctx.send_frame(self.iface.nic, frame);
+                }
+                if let Some(port) = port {
+                    ctx.send_serial(port, wire.clone());
+                }
+            }
+        } else {
+            if let Some(frame) =
+                self.iface
+                    .frame_to(self.setup.peer_private_ip, IpProto::Heartbeat, wire.clone())
+            {
+                ctx.send_frame(self.iface.nic, frame);
+            }
+            ctx.send_serial(self.serial_port, wire);
         }
-        ctx.send_serial(self.serial_port, wire);
+    }
+
+    /// True when `hb`'s per-connection counters regress against what this
+    /// receiver already accepted — semantically impossible for honest
+    /// cumulative counters, so the whole payload is a lie.
+    fn hb_regresses(hb: &HbPayload, known: &BTreeMap<u32, PeerConn>) -> bool {
+        hb.conns.iter().any(|c| {
+            known.get(&c.key).is_some_and(|e| {
+                unwrap_u32_near(c.last_byte_received as u32, e.last_byte_received)
+                    < e.last_byte_received
+                    || unwrap_u32_near(c.last_app_byte_read as u32, e.last_app_byte_read)
+                        < e.last_app_byte_read
+            })
+        })
     }
 
     fn handle_heartbeat(&mut self, now: SimTime, hb: &HbPayload, link: HbLink) {
+        // Staleness filter: the same payload arrives on both links, and
+        // the duplication/reorder faults can replay older frames. A
+        // non-advancing seqno still proves the peer alive (refresh the
+        // link monitor) but its counters must not be re-applied.
+        if let Some(last) = self.peer_last_seqno {
+            if hb.seqno.wrapping_sub(last) as i32 <= 0 {
+                match link {
+                    HbLink::Ip => self.ip_mon.on_heartbeat(now),
+                    HbLink::Serial => self.serial_mon.on_heartbeat(now),
+                }
+                self.metrics.on_heartbeat(link, now);
+                return;
+            }
+        }
+        // Byzantine sanity check: reject the whole payload — including
+        // its liveness value — so a semantically corrupt stream starves
+        // the link monitors and the liar is condemned by row 1, instead
+        // of its lies driving hold-release or lag verdicts.
+        if Self::hb_regresses(hb, &self.peer_conns) {
+            if !self.byzantine_reported {
+                self.byzantine_reported = true;
+                self.events
+                    .push(StTcpEvent::ByzantineHbRejected { at: now });
+            }
+            self.metrics.on_byzantine_rejected();
+            return;
+        }
+        self.peer_last_seqno = Some(hb.seqno);
         match link {
             HbLink::Ip => self.ip_mon.on_heartbeat(now),
             HbLink::Serial => self.serial_mon.on_heartbeat(now),
@@ -726,6 +851,160 @@ impl StTcpServer {
                     if let Some(conn) = self.tcp.conn_mut(sock) {
                         conn.release_hold_until(lbr);
                     }
+                }
+            }
+        }
+        for (sock, key, action) in arb_actions {
+            self.apply_gate_action(now, sock, key, action);
+        }
+    }
+
+    /// Pool-mode heartbeat intake: per-member staleness and byzantine
+    /// filtering, rank tracking, and the pool-wide FIN/hold view.
+    fn pool_handle_heartbeat(&mut self, now: SimTime, hb: &HbPayload, link: HbLink, src: Ipv4Addr) {
+        let hb_timeout = self.setup.sttcp.hb_timeout();
+        let mirror: Option<BTreeMap<u32, PeerConn>>;
+        {
+            let Some(pool) = &mut self.pool else {
+                return;
+            };
+            let Some(m) = pool.members.get_mut(&src) else {
+                return; // not a pool member; drop silently
+            };
+            if m.fenced {
+                if hb.rank == m.rank {
+                    // The fenced incarnation. Nothing it says counts until
+                    // it rejoins under a fresh rank.
+                    return;
+                }
+                // Rank changed ⇒ the member rebooted and re-integrated:
+                // welcome the fresh incarnation back as a backup.
+                m.reset_for_rejoin(hb_timeout, now);
+            } else if hb.rank != m.rank {
+                // Rank reassignment only happens at rejoin, so a changed
+                // rank means a new incarnation even without a fence (the
+                // member rebooted faster than we could condemn it).
+                m.reset_for_rejoin(hb_timeout, now);
+            }
+            m.rank = hb.rank;
+            // A member this server saw serving as Primary now speaks as
+            // a Backup under the same rank: no live incarnation ever
+            // demotes itself, so the host restarted faster than the
+            // liveness timeout. The serving incarnation is gone — mark
+            // the member defunct so fencing can condemn it even though
+            // the reboot keeps its heartbeat links fresh. Checked before
+            // the staleness filter: a fresh boot restarts seqnos, so its
+            // first frames all look stale. Sticky until the member is
+            // fenced and rejoins (or proves itself Primary again).
+            if m.role == Role::Primary && hb.role == Role::Backup && !m.defunct {
+                m.defunct = true;
+                self.events.push(StTcpEvent::DefunctActiveDetected {
+                    rank: m.rank,
+                    at: now,
+                });
+            }
+            // Staleness: duplicated / reordered frames, and the second
+            // copy of every payload (it rides both links). Liveness yes,
+            // counters no.
+            if let Some(last) = m.last_seqno {
+                if hb.seqno.wrapping_sub(last) as i32 <= 0 {
+                    match link {
+                        HbLink::Ip => m.ip_mon.on_heartbeat(now),
+                        HbLink::Serial => m.serial_mon.on_heartbeat(now),
+                    }
+                    self.metrics.on_heartbeat(link, now);
+                    return;
+                }
+            }
+            // Byzantine sanity check, per member: reject the whole
+            // payload — including its liveness value — so the liar's
+            // monitors starve and quorum fencing condemns it.
+            if Self::hb_regresses(hb, &m.conns) {
+                if !m.byzantine_reported {
+                    m.byzantine_reported = true;
+                    self.events
+                        .push(StTcpEvent::ByzantineHbRejected { at: now });
+                }
+                self.metrics.on_byzantine_rejected();
+                return;
+            }
+            m.last_seqno = Some(hb.seqno);
+            match link {
+                HbLink::Ip => m.ip_mon.on_heartbeat(now),
+                HbLink::Serial => m.serial_mon.on_heartbeat(now),
+            }
+            self.metrics.on_heartbeat(link, now);
+            if hb.role == Role::Primary {
+                // Serving again (or a reordered frame from its serving
+                // days): either way the defunct evidence is withdrawn.
+                m.defunct = false;
+            }
+            m.role = hb.role;
+            for c in &hb.conns {
+                let entry = m.conns.entry(c.key).or_default();
+                entry.last_byte_received =
+                    unwrap_u32_near(c.last_byte_received as u32, entry.last_byte_received);
+                entry.last_ack_received =
+                    unwrap_u32_near(c.last_ack_received as u32, entry.last_ack_received);
+                entry.last_app_byte_written =
+                    unwrap_u32_near(c.last_app_byte_written as u32, entry.last_app_byte_written);
+                entry.last_app_byte_read =
+                    unwrap_u32_near(c.last_app_byte_read as u32, entry.last_app_byte_read);
+                entry.fin_or_rst |= c.fin_generated || c.rst_generated;
+                entry.app_suspected |= c.app_suspected;
+            }
+            let m_rank = m.rank;
+            let m_defunct = m.defunct;
+            // Mirror the active member's positions into the pair-mode
+            // slot: recovery fetching, join convergence, and the takeover
+            // gap check all read `peer_conns` and work unchanged.
+            mirror = (hb.role == Role::Primary).then(|| m.conns.clone());
+            if hb.role == Role::Primary {
+                pool.active_rank = m_rank;
+            }
+            // A fence target that speaks a fresh heartbeat is not dead —
+            // unless the speaker is a restarted incarnation standing in
+            // for the dead one (defunct): its liveness must not save the
+            // incarnation the round is condemning.
+            if pool.fence.as_ref().is_some_and(|f| f.target == src) && !m_defunct {
+                pool.fence = None;
+            }
+        }
+        if let Some(conns) = mirror {
+            self.peer_conns = conns;
+        }
+        // FIN arbitration and hold release against the pool-wide view:
+        // a FIN counts once any non-fenced member saw it; the active
+        // releases held bytes only up to the *slowest* non-fenced member
+        // (a member with no entry yet holds everything back).
+        let Some(pool) = &self.pool else {
+            return;
+        };
+        let mut arb_actions: Vec<(SocketId, u32, ArbAction)> = Vec::new();
+        let i_am_active = self.role == Role::Primary;
+        for (&key, &sock) in &self.by_key {
+            let mut fin_or_rst = false;
+            let mut min_lbr = u64::MAX;
+            let mut any_member = false;
+            for m in pool.members.values().filter(|m| !m.fenced) {
+                any_member = true;
+                match m.conns.get(&key) {
+                    Some(e) => {
+                        fin_or_rst |= e.fin_or_rst;
+                        min_lbr = min_lbr.min(e.last_byte_received);
+                    }
+                    None => min_lbr = 0,
+                }
+            }
+            if let Some(ctl) = self.conns.get_mut(&sock) {
+                if let Some(a) = ctl.finarb.on_peer_hb(now, fin_or_rst) {
+                    arb_actions.push((sock, key, a));
+                }
+            }
+            if i_am_active {
+                let release = if any_member { min_lbr } else { u64::MAX };
+                if let Some(conn) = self.tcp.conn_mut(sock) {
+                    conn.release_hold_until(release);
                 }
             }
         }
@@ -784,22 +1063,36 @@ impl StTcpServer {
         self.took_over = true;
         self.events.push(StTcpEvent::TookOver { at: now });
         ctx.trace("backup: taking over client connections".to_string());
+        // Pool mode: other backups may survive the takeover — keep serving
+        // them fault-tolerant (extended receive buffer stays armed). Pair
+        // mode has nobody left to feed.
+        let keep_ft = self
+            .pool
+            .as_ref()
+            .is_some_and(|p| p.members.values().any(|m| !m.fenced));
         // From now on this host speaks for the service: orphan segments
         // (e.g. for a connection reset as unrecoverable) get ordinary
         // RSTs instead of shadow silence.
         self.tcp.set_rst_policy(RstPolicy::Send);
-        // Future connections are served openly, without the hold buffer
-        // (no backup to feed).
+        let mut accept_tcp = self.setup.tcp.clone();
+        if keep_ft {
+            accept_tcp.hold_buf = Some(self.setup.sttcp.hold_buf);
+        }
         self.tcp.listen(
             self.setup.service_port,
             ListenConfig {
-                tcp: self.setup.tcp.clone(),
+                tcp: accept_tcp,
                 egress: EgressMode::Normal,
             },
         );
         let socks: Vec<SocketId> = self.conns.keys().copied().collect();
         for sock in socks {
             self.tcp.set_egress(sock, EgressMode::Normal);
+            if keep_ft {
+                if let Some(conn) = self.tcp.conn_mut(sock) {
+                    conn.enable_hold(self.setup.sttcp.hold_buf);
+                }
+            }
             let (key, action) = match self.conns.get_mut(&sock) {
                 Some(ctl) => (ctl.key, ctl.finarb.on_takeover()),
                 None => continue,
@@ -845,6 +1138,14 @@ impl StTcpServer {
                 }
             }
         }
+        if let Some(pool) = &mut self.pool {
+            pool.active_rank = pool.my_rank;
+            self.ft_mode = keep_ft;
+            self.peer_alive = keep_ft;
+            // The dead active's mirror served the gap check above; from
+            // here the new active's own positions are authoritative.
+            self.peer_conns.clear();
+        }
         self.flush(ctx);
     }
 
@@ -870,6 +1171,13 @@ impl StTcpServer {
         self.metrics.sample_hold(hold);
         if live_conns {
             self.metrics.sample_tcp(cwnd_sum, send_occ, recv_occ);
+        }
+
+        // Pool mode replaces the pairwise detector matrix with per-member
+        // liveness plus quorum fencing.
+        if self.pool.is_some() {
+            self.run_pool_checks(ctx);
+            return;
         }
 
         // Link liveness edges.
@@ -904,47 +1212,7 @@ impl StTcpServer {
             self.serial_was_alive = serial_alive;
         }
 
-        // Post-takeover output-commit check (§4.3): a receive hole with
-        // client data stranded beyond it that the client never refills —
-        // because the dead primary already acked those bytes — makes the
-        // connection unrecoverable. Detect it by hole persistence; a
-        // repairable hole is refilled by a client retransmission well
-        // within `gap_giveup`.
-        if self.took_over {
-            let socks: Vec<SocketId> = self.conns.keys().copied().collect();
-            for sock in socks {
-                let stranded = self
-                    .tcp
-                    .conn(sock)
-                    .map(|c| c.ooo_bytes() > 0 && !matches!(c.state(), TcpState::Closed))
-                    .unwrap_or(false);
-                let Some(ctl) = self.conns.get_mut(&sock) else {
-                    continue;
-                };
-                if ctl.closed || !stranded {
-                    ctl.hole_since = None;
-                    continue;
-                }
-                let since = *ctl.hole_since.get_or_insert(now);
-                if now.saturating_since(since) >= self.setup.sttcp.gap_giveup {
-                    let key = ctl.key;
-                    let missing_from = self.tcp.conn(sock).map(|c| c.bytes_received()).unwrap_or(0);
-                    self.events.push(StTcpEvent::UnrecoverableGap {
-                        conn: key,
-                        missing_from,
-                        at: now,
-                    });
-                    ctx.trace(format!(
-                        "post-takeover: conn {key:08x} hole at {missing_from} never refilled; resetting"
-                    ));
-                    self.tcp.set_fin_gate(sock, FinGate::Open);
-                    self.tcp.abort(now, sock);
-                    if let Some(ctl) = self.conns.get_mut(&sock) {
-                        ctl.closed = true;
-                    }
-                }
-            }
-        }
+        self.check_post_takeover_holes(ctx);
 
         // Re-integration: a joiner catches up (fetching bytes its tap
         // missed while it was down) and completes once converged. This runs
@@ -1089,6 +1357,438 @@ impl StTcpServer {
         }
     }
 
+    /// Post-takeover output-commit check (§4.3): a receive hole with
+    /// client data stranded beyond it that the client never refills —
+    /// because the dead primary already acked those bytes — makes the
+    /// connection unrecoverable. Detect it by hole persistence; a
+    /// repairable hole is refilled by a client retransmission well
+    /// within `gap_giveup`.
+    fn check_post_takeover_holes(&mut self, ctx: &mut NodeCtx<'_>) {
+        if !self.took_over {
+            return;
+        }
+        let now = ctx.now();
+        let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+        for sock in socks {
+            let stranded = self
+                .tcp
+                .conn(sock)
+                .map(|c| c.ooo_bytes() > 0 && !matches!(c.state(), TcpState::Closed))
+                .unwrap_or(false);
+            let Some(ctl) = self.conns.get_mut(&sock) else {
+                continue;
+            };
+            if ctl.closed || !stranded {
+                ctl.hole_since = None;
+                continue;
+            }
+            let since = *ctl.hole_since.get_or_insert(now);
+            if now.saturating_since(since) >= self.setup.sttcp.gap_giveup {
+                let key = ctl.key;
+                let missing_from = self.tcp.conn(sock).map(|c| c.bytes_received()).unwrap_or(0);
+                self.events.push(StTcpEvent::UnrecoverableGap {
+                    conn: key,
+                    missing_from,
+                    at: now,
+                });
+                ctx.trace(format!(
+                    "post-takeover: conn {key:08x} hole at {missing_from} never refilled; resetting"
+                ));
+                self.tcp.set_fin_gate(sock, FinGate::Open);
+                self.tcp.abort(now, sock);
+                if let Some(ctl) = self.conns.get_mut(&sock) {
+                    ctl.closed = true;
+                }
+            }
+        }
+    }
+
+    // ----- internal: pool checks and quorum fencing ---------------------------
+
+    /// The pool-mode check tick. The pairwise detector matrix (app-lag,
+    /// net-detect, watchdog relay, hold-overflow escalation, FIN-mismatch
+    /// verdicts) presumes exactly one peer whose word is final; in a pool
+    /// the only failure verdict is the quorum fence, so none of those run
+    /// here — per-member liveness plus fencing covers host loss, and the
+    /// FIN arbiter self-resolves its deadlines.
+    fn run_pool_checks(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        if let Some(pool) = &self.pool {
+            let strength = pool.strength(now);
+            self.metrics.sample_pool_strength(strength);
+        }
+        self.check_post_takeover_holes(ctx);
+
+        // FIN arbitration deadlines. `DeclarePeerFailed` (the pairwise
+        // FIN-mismatch verdict) is dropped: the arbiter resolves itself
+        // when it fires, and liveness verdicts arrive only via fencing.
+        let mut arb_actions: Vec<(SocketId, u32, ArbAction)> = Vec::new();
+        let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+        for sock in socks {
+            let Some(ctl) = self.conns.get_mut(&sock) else {
+                continue;
+            };
+            if ctl.closed {
+                continue;
+            }
+            let key = ctl.key;
+            if let Some(a) = ctl.finarb.on_check(now) {
+                if a != ArbAction::DeclarePeerFailed {
+                    arb_actions.push((sock, key, a));
+                }
+            }
+        }
+        for (sock, key, action) in arb_actions {
+            self.apply_gate_action(now, sock, key, action);
+        }
+
+        if self.join.is_some() {
+            // A joiner fetches and converges but never fences: until the
+            // join completes it has no say over anyone's life.
+            self.run_recovery(ctx);
+            self.try_finish_join(ctx);
+            return;
+        }
+        if self.role == Role::Backup {
+            self.run_recovery(ctx);
+        }
+        self.fence_tick(ctx);
+    }
+
+    /// Drives this server's fence round: abandon a round whose target
+    /// revived, open a round against a dead member when eligible, and
+    /// (re-)solicit votes every tick until quorum or abandonment.
+    fn fence_tick(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        let mut open_event: Option<(u8, u32)> = None;
+        let mut round_msg: Option<CtrlMsg> = None;
+        let mut voters: Vec<(Ipv4Addr, Option<SerialPortId>)> = Vec::new();
+        {
+            let Some(pool) = &mut self.pool else {
+                return;
+            };
+            if let Some(f) = &pool.fence {
+                // A revived target abandons the round — unless it is a
+                // defunct restart, whose freshness is the new incarnation
+                // speaking, not the condemned one surviving.
+                if pool
+                    .members
+                    .get(&f.target)
+                    .is_some_and(|m| m.alive(now) && !m.defunct)
+                {
+                    pool.fence = None;
+                }
+            }
+            if pool.fence.is_none() {
+                let dead: Vec<(Ipv4Addr, u8)> = pool
+                    .members
+                    .iter()
+                    .filter(|(_, m)| !m.fenced && m.condemnable(now))
+                    .map(|(&ip, m)| (ip, m.rank))
+                    .collect();
+                // The dead active is served first: while it is unfenced
+                // nobody is eligible to condemn a dead backup, and the
+                // takeover it unblocks restores service.
+                let target = dead
+                    .iter()
+                    .find(|&&(_, r)| r == pool.active_rank)
+                    .or_else(|| dead.iter().min_by_key(|&&(_, r)| r))
+                    .copied();
+                if let Some((tip, trank)) = target {
+                    let eligible = if trank == pool.active_rank {
+                        // Rank order: only the lowest-ranked live backup
+                        // campaigns to fence the active (and take over).
+                        self.role == Role::Backup
+                            && !pool.members.values().any(|m| {
+                                !m.fenced
+                                    && !m.defunct
+                                    && m.rank != trank
+                                    && m.alive(now)
+                                    && m.rank < pool.my_rank
+                            })
+                    } else {
+                        // The active fences dead backups.
+                        self.role == Role::Primary
+                    };
+                    if eligible {
+                        pool.epoch = pool.epoch.wrapping_add(1);
+                        let mut votes = BTreeSet::new();
+                        votes.insert(pool.my_rank);
+                        pool.fence = Some(FenceRound {
+                            epoch: pool.epoch,
+                            target: tip,
+                            target_rank: trank,
+                            votes,
+                        });
+                        open_event = Some((trank, pool.epoch));
+                    }
+                }
+            }
+            if let Some(f) = &pool.fence {
+                round_msg = Some(CtrlMsg::FenceRequest {
+                    epoch: f.epoch,
+                    target_rank: f.target_rank,
+                    candidate_rank: pool.my_rank,
+                });
+                let target = f.target;
+                voters = pool
+                    .members
+                    .iter()
+                    .filter(|(&ip, m)| !m.fenced && ip != target)
+                    .map(|(&ip, m)| (ip, m.serial_port))
+                    .collect();
+            }
+        }
+        if let Some((target_rank, epoch)) = open_event {
+            self.events.push(StTcpEvent::FenceRequested {
+                target_rank,
+                epoch,
+                at: now,
+            });
+            ctx.trace(format!(
+                "{}: fence round {epoch} opened against rank {target_rank}",
+                self.role
+            ));
+        }
+        if let Some(msg) = round_msg {
+            for (ip, port) in voters {
+                self.send_ctrl_to(ctx, ip, port, &msg);
+            }
+        }
+        // In a degenerate pool the initiator's own vote is the quorum.
+        self.try_complete_fence(ctx);
+    }
+
+    /// A pool member asks this server to confirm `target_rank` dead so
+    /// that `candidate_rank` may fence it. Grant only when this server's
+    /// own evidence agrees — target silent on both links — and, for a
+    /// takeover fence, only to the best-ranked live candidate.
+    fn handle_fence_request(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        src: Ipv4Addr,
+        epoch: u32,
+        target_rank: u8,
+        candidate_rank: u8,
+    ) {
+        if self.join.is_some() {
+            return; // a joiner has no vote yet
+        }
+        let now = ctx.now();
+        let reply;
+        let port;
+        {
+            let Some(pool) = &self.pool else {
+                return;
+            };
+            let my_rank = pool.my_rank;
+            let candidate_ok = pool
+                .members
+                .get(&src)
+                .is_some_and(|m| !m.fenced && !m.defunct && m.rank == candidate_rank);
+            let target_dead = pool
+                .members
+                .values()
+                .any(|m| !m.fenced && m.rank == target_rank && m.condemnable(now));
+            let mut granted = candidate_ok && target_dead && target_rank != my_rank;
+            if granted && target_rank == pool.active_rank {
+                // Never endorse a worse-ranked candidate while a better
+                // live one exists — including this voter itself.
+                let better_live = my_rank < candidate_rank
+                    || pool.members.values().any(|m| {
+                        !m.fenced
+                            && !m.defunct
+                            && m.rank != target_rank
+                            && m.alive(now)
+                            && m.rank < candidate_rank
+                    });
+                if better_live {
+                    granted = false;
+                }
+            }
+            port = pool.members.get(&src).and_then(|m| m.serial_port);
+            reply = CtrlMsg::FenceAck {
+                epoch,
+                target_rank,
+                voter_rank: my_rank,
+                granted,
+            };
+        }
+        self.send_ctrl_to(ctx, src, port, &reply);
+    }
+
+    /// A vote arrived for this server's fence round.
+    fn handle_fence_ack(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        epoch: u32,
+        target_rank: u8,
+        voter_rank: u8,
+        granted: bool,
+    ) {
+        {
+            let Some(pool) = &mut self.pool else {
+                return;
+            };
+            let Some(f) = &mut pool.fence else {
+                return;
+            };
+            if f.epoch != epoch || f.target_rank != target_rank || !granted {
+                return;
+            }
+            f.votes.insert(voter_rank);
+        }
+        self.try_complete_fence(ctx);
+    }
+
+    /// Completes this server's fence round once a majority of the
+    /// surviving membership confirmed the target dead: fence, STONITH,
+    /// broadcast the commit, and either take over (dead active) or carry
+    /// on with the remaining pool.
+    fn try_complete_fence(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        let fenced;
+        {
+            let Some(pool) = &mut self.pool else {
+                return;
+            };
+            let Some(f) = &pool.fence else {
+                return;
+            };
+            if f.votes.len() < pool.quorum_needed(f.target_rank) {
+                return;
+            }
+            let target = f.target;
+            let target_rank = f.target_rank;
+            let votes = f.votes.len() as u32;
+            let epoch = f.epoch;
+            pool.fence = None;
+            let Some(m) = pool.members.get_mut(&target) else {
+                return;
+            };
+            m.fenced = true;
+            fenced = (target_rank, m.node, epoch, votes);
+        }
+        let (target_rank, target_node, epoch, votes) = fenced;
+        self.events.push(StTcpEvent::FenceQuorumReached {
+            target_rank,
+            votes,
+            at: now,
+        });
+        self.events.push(StTcpEvent::PoolMemberFenced {
+            rank: target_rank,
+            at: now,
+        });
+        self.events.push(StTcpEvent::PeerDeclaredFailed {
+            reason: FailureReason::HbBothLinksDown,
+            at: now,
+        });
+        self.metrics.on_verdict(FailureReason::HbBothLinksDown);
+        ctx.trace(format!(
+            "{}: quorum ({votes}) fenced rank {target_rank}; STONITH",
+            self.role
+        ));
+        // STONITH before touching any connection (no dual-active).
+        ctx.power_off(target_node, self.setup.sttcp.stonith_delay);
+        self.events.push(StTcpEvent::StonithIssued { at: now });
+        let (live_others, was_active, survivors) = {
+            let pool = self.pool.as_ref().expect("pool checked above");
+            let survivors: Vec<(Ipv4Addr, Option<SerialPortId>)> = pool
+                .members
+                .iter()
+                .filter(|(_, m)| !m.fenced)
+                .map(|(&ip, m)| (ip, m.serial_port))
+                .collect();
+            (
+                pool.live_non_fenced(now),
+                target_rank == pool.active_rank,
+                survivors,
+            )
+        };
+        self.ft_mode = live_others > 0;
+        self.peer_alive = live_others > 0;
+        // Tell the survivors: they mark the member fenced without needing
+        // their own quorum, and a losing simultaneous candidate abandons
+        // its round.
+        let commit = CtrlMsg::FenceCommit { epoch, target_rank };
+        for (ip, port) in survivors {
+            self.send_ctrl_to(ctx, ip, port, &commit);
+        }
+        if was_active {
+            // Complete the takeover only after the target is provably
+            // silent (power controller latency).
+            ctx.set_timer(self.setup.sttcp.stonith_delay, TOKEN_TAKEOVER);
+        } else if self.role == Role::Primary && live_others == 0 {
+            // Last member standing: run open, non-fault-tolerant.
+            self.events.push(StTcpEvent::WentNonFt {
+                reason: FailureReason::HbBothLinksDown,
+                at: now,
+            });
+            ctx.trace("active: pool exhausted; running non-fault-tolerant".to_string());
+            self.tcp.listen(
+                self.setup.service_port,
+                ListenConfig {
+                    tcp: self.setup.tcp.clone(),
+                    egress: EgressMode::Normal,
+                },
+            );
+            let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+            for sock in socks {
+                let (key, action) = match self.conns.get_mut(&sock) {
+                    Some(ctl) => (ctl.key, ctl.finarb.on_peer_failed()),
+                    None => continue,
+                };
+                if let Some(a) = action {
+                    self.apply_gate_action(now, sock, key, a);
+                }
+                if let Some(conn) = self.tcp.conn_mut(sock) {
+                    conn.release_hold_until(u64::MAX);
+                }
+            }
+        }
+    }
+
+    /// Another member completed a fence round: adopt its verdict.
+    fn handle_fence_commit(&mut self, ctx: &mut NodeCtx<'_>, target_rank: u8) {
+        let now = ctx.now();
+        let fenced_any;
+        {
+            let Some(pool) = &mut self.pool else {
+                return;
+            };
+            if target_rank == pool.my_rank {
+                // Someone fenced *me*; the STONITH is already in flight
+                // and resolves this incarnation. Nothing to do.
+                return;
+            }
+            let mut any = false;
+            for m in pool.members.values_mut() {
+                if m.rank == target_rank && !m.fenced {
+                    m.fenced = true;
+                    any = true;
+                }
+            }
+            if pool
+                .fence
+                .as_ref()
+                .is_some_and(|f| f.target_rank == target_rank)
+            {
+                pool.fence = None;
+            }
+            fenced_any = any;
+        }
+        if fenced_any {
+            self.events.push(StTcpEvent::PoolMemberFenced {
+                rank: target_rank,
+                at: now,
+            });
+            ctx.trace(format!(
+                "{}: adopted fence commit against rank {target_rank}",
+                self.role
+            ));
+        }
+    }
+
     fn net_observation(&self) -> NetObservation {
         let mut obs = NetObservation {
             my_ping: self.ping.active.then(|| self.ping.report()),
@@ -1170,13 +1870,37 @@ impl StTcpServer {
     /// live connection and announcing the count. Idempotent — a repeated
     /// request (lost snapshot or lost `JoinDone`) re-sends everything; the
     /// joiner skips keys it already installed.
-    fn serve_join(&mut self, ctx: &mut NodeCtx<'_>, session: u32) {
+    fn serve_join(&mut self, ctx: &mut NodeCtx<'_>, src: Ipv4Addr, session: u32) {
         // Only an active primary owns live connections a joiner can copy,
         // and only when re-integration is enabled on this pair.
         if !self.is_active() || !self.setup.sttcp.reintegrate {
             return;
         }
         let now = ctx.now();
+        // Pool mode: assign the joiner a fresh rank behind every original
+        // member (idempotent per join session), reset its member entry for
+        // the new incarnation, and abandon any fence round against it.
+        let mut new_rank = 0u8;
+        let hb_timeout = self.setup.sttcp.hb_timeout();
+        if let Some(pool) = &mut self.pool {
+            if !pool.members.contains_key(&src) {
+                return; // not a pool member; nothing to rejoin
+            }
+            match pool.last_session_served {
+                Some((ip, s, r)) if ip == src && s == session => new_rank = r,
+                _ => {
+                    new_rank = pool.next_rank;
+                    pool.next_rank = pool.next_rank.wrapping_add(1);
+                    pool.last_session_served = Some((src, session, new_rank));
+                    if let Some(m) = pool.members.get_mut(&src) {
+                        m.reset_for_rejoin(hb_timeout, now);
+                    }
+                    if pool.fence.as_ref().is_some_and(|f| f.target == src) {
+                        pool.fence = None;
+                    }
+                }
+            }
+        }
         if self.serving_join != Some(session) {
             self.serving_join = Some(session);
             // A new join session means the peer rebooted: everything known
@@ -1184,6 +1908,8 @@ impl StTcpServer {
             // would otherwise poison verdicts against the new incarnation —
             // is stale.
             self.peer_conns.clear();
+            self.peer_last_seqno = None;
+            self.byzantine_reported = false;
             self.events
                 .push(StTcpEvent::ReintegrationStarted { at: now });
             ctx.trace(format!(
@@ -1217,13 +1943,15 @@ impl StTcpServer {
                 continue;
             };
             announced += 1;
-            self.send_ctrl(ctx, &CtrlMsg::ConnSnapshot(msg));
+            self.send_ctrl_reply(ctx, src, &CtrlMsg::ConnSnapshot(msg));
         }
-        self.send_ctrl(
+        self.send_ctrl_reply(
             ctx,
+            src,
             &CtrlMsg::JoinDone {
                 session,
                 conns: announced,
+                new_rank,
             },
         );
     }
@@ -1379,8 +2107,15 @@ impl StTcpServer {
         }
         // Require at least one post-reboot heartbeat: convergence is judged
         // against the peer's positions, which are meaningless before any
-        // have been heard.
-        if self.ip_mon.last_rx().is_none() && self.serial_mon.last_rx().is_none() {
+        // have been heard. Pool mode hears peers through member monitors.
+        let heard = match &self.pool {
+            Some(pool) => pool
+                .members
+                .values()
+                .any(|m| m.ip_mon.last_rx().is_some() || m.serial_mon.last_rx().is_some()),
+            None => self.ip_mon.last_rx().is_some() || self.serial_mon.last_rx().is_some(),
+        };
+        if !heard {
             return;
         }
         // Converged when every connection the peer reports exists locally
@@ -1425,7 +2160,60 @@ impl StTcpServer {
         self.send_ctrl(ctx, &CtrlMsg::JoinComplete { session });
     }
 
+    /// Sends a control message to one address, over IP and — pool mode,
+    /// when wired — the matching serial link, so fence votes survive an
+    /// IP partition exactly like heartbeats do.
+    fn send_ctrl_to(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        ip: Ipv4Addr,
+        port: Option<SerialPortId>,
+        msg: &CtrlMsg,
+    ) {
+        let wire = msg.encode();
+        if let Some(frame) = self.iface.frame_to(ip, CTRL_PROTO, wire.clone()) {
+            ctx.send_frame(self.iface.nic, frame);
+        }
+        if let Some(port) = port {
+            ctx.send_serial(port, wire);
+        }
+    }
+
+    /// Replies to the sender of a control message.
+    fn send_ctrl_reply(&self, ctx: &mut NodeCtx<'_>, src: Ipv4Addr, msg: &CtrlMsg) {
+        match &self.pool {
+            Some(pool) => {
+                let port = pool.members.get(&src).and_then(|m| m.serial_port);
+                self.send_ctrl_to(ctx, src, port, msg);
+            }
+            None => self.send_ctrl(ctx, msg),
+        }
+    }
+
+    /// Sends a control message toward the active server: the single peer
+    /// in pair mode, the believed-active member in pool mode (broadcast
+    /// to every member while no active is known — e.g. a joiner probing
+    /// mid-takeover).
     fn send_ctrl(&self, ctx: &mut NodeCtx<'_>, msg: &CtrlMsg) {
+        if let Some(pool) = &self.pool {
+            // A joiner's rebuilt pool view may still believe a dead member
+            // active, so it broadcasts until the join completes; only the
+            // active side answers a JoinRequest anyway.
+            match pool.active_ip() {
+                Some(ip) if self.join.is_none() => {
+                    let port = pool.members.get(&ip).and_then(|m| m.serial_port);
+                    self.send_ctrl_to(ctx, ip, port, msg);
+                }
+                _ => {
+                    for (&ip, m) in &pool.members {
+                        if !m.fenced {
+                            self.send_ctrl_to(ctx, ip, m.serial_port, msg);
+                        }
+                    }
+                }
+            }
+            return;
+        }
         if let Some(frame) =
             self.iface
                 .frame_to(self.setup.peer_private_ip, CTRL_PROTO, msg.encode())
@@ -1434,7 +2222,7 @@ impl StTcpServer {
         }
     }
 
-    fn handle_ctrl(&mut self, ctx: &mut NodeCtx<'_>, msg: &CtrlMsg) {
+    fn handle_ctrl(&mut self, ctx: &mut NodeCtx<'_>, src: Ipv4Addr, msg: &CtrlMsg) {
         let now = ctx.now();
         match msg {
             CtrlMsg::FetchRequest { conn, from, max } => {
@@ -1452,7 +2240,7 @@ impl StTcpServer {
                     from: *from,
                     data,
                 };
-                self.send_ctrl(ctx, &reply);
+                self.send_ctrl_reply(ctx, src, &reply);
             }
             CtrlMsg::FetchReply { conn, from, data } => {
                 if data.is_empty() {
@@ -1465,18 +2253,46 @@ impl StTcpServer {
                 self.metrics.on_replay(data.len() as u64);
             }
             CtrlMsg::JoinRequest { session } => {
-                self.serve_join(ctx, *session);
+                self.serve_join(ctx, src, *session);
             }
             CtrlMsg::ConnSnapshot(s) => {
                 self.install_snapshot(ctx, s);
             }
-            CtrlMsg::JoinDone { session, conns } => {
+            CtrlMsg::JoinDone {
+                session,
+                conns,
+                new_rank,
+            } => {
                 if let Some(join) = &mut self.join {
                     if join.session == *session {
                         join.expected = Some(*conns);
+                        // Pool: the active assigned this joiner a fresh
+                        // rank behind every original member. Announcing it
+                        // in our heartbeats is what un-fences us everywhere.
+                        if let Some(pool) = &mut self.pool {
+                            pool.my_rank = *new_rank;
+                        }
                     }
                 }
                 self.try_finish_join(ctx);
+            }
+            CtrlMsg::FenceRequest {
+                epoch,
+                target_rank,
+                candidate_rank,
+            } => {
+                self.handle_fence_request(ctx, src, *epoch, *target_rank, *candidate_rank);
+            }
+            CtrlMsg::FenceAck {
+                epoch,
+                target_rank,
+                voter_rank,
+                granted,
+            } => {
+                self.handle_fence_ack(ctx, *epoch, *target_rank, *voter_rank, *granted);
+            }
+            CtrlMsg::FenceCommit { target_rank, .. } => {
+                self.handle_fence_commit(ctx, *target_rank);
             }
             CtrlMsg::JoinComplete { session } => {
                 if self.serving_join == Some(*session) {
@@ -1562,12 +2378,16 @@ impl StTcpServer {
             }
             IpProto::Heartbeat if pkt.dst == self.setup.private_ip => {
                 if let Ok(hb) = HbPayload::decode(&pkt.payload) {
-                    self.handle_heartbeat(now, &hb, HbLink::Ip);
+                    if self.pool.is_some() {
+                        self.pool_handle_heartbeat(now, &hb, HbLink::Ip, pkt.src);
+                    } else {
+                        self.handle_heartbeat(now, &hb, HbLink::Ip);
+                    }
                 }
             }
             p if p == CTRL_PROTO && pkt.dst == self.setup.private_ip => {
                 if let Ok(msg) = CtrlMsg::decode(&pkt.payload) {
-                    self.handle_ctrl(ctx, &msg);
+                    self.handle_ctrl(ctx, pkt.src, &msg);
                 }
             }
             IpProto::Tcp
@@ -1587,6 +2407,13 @@ impl Node for StTcpServer {
         let hb_timeout = self.setup.sttcp.hb_timeout();
         self.ip_mon = LinkMonitor::new(hb_timeout, now);
         self.serial_mon = LinkMonitor::new(hb_timeout, now);
+        // Pool members get the same startup grace, anchored at boot.
+        if let Some(pool) = &mut self.pool {
+            for m in pool.members.values_mut() {
+                m.ip_mon = LinkMonitor::new(hb_timeout, now);
+                m.serial_mon = LinkMonitor::new(hb_timeout, now);
+            }
+        }
 
         // The primary's accepted connections carry the extended receive
         // buffer; the backup accepts in suppressed mode.
@@ -1622,12 +2449,25 @@ impl Node for StTcpServer {
         self.flush(ctx);
     }
 
-    fn on_serial(&mut self, ctx: &mut NodeCtx<'_>, _port: SerialPortId, data: Bytes) {
+    fn on_serial(&mut self, ctx: &mut NodeCtx<'_>, port: SerialPortId, data: Bytes) {
         if self.cold {
             return;
         }
         let now = ctx.now();
-        if let Ok(hb) = HbPayload::decode(&data) {
+        // Pool mode maps the port to the member on the other end and also
+        // carries control traffic (fence votes) over serial; the CRC in
+        // each format keeps the two decodes from colliding.
+        if let Some(ip) = self
+            .pool
+            .as_ref()
+            .and_then(|p| p.serial_by_port.get(&port).copied())
+        {
+            if let Ok(hb) = HbPayload::decode(&data) {
+                self.pool_handle_heartbeat(now, &hb, HbLink::Serial, ip);
+            } else if let Ok(msg) = CtrlMsg::decode(&data) {
+                self.handle_ctrl(ctx, ip, &msg);
+            }
+        } else if let Ok(hb) = HbPayload::decode(&data) {
             self.handle_heartbeat(now, &hb, HbLink::Serial);
         }
         self.flush(ctx);
@@ -1642,8 +2482,14 @@ impl Node for StTcpServer {
                 // Heartbeats also flow during a re-integration join: the
                 // joiner's positions drive the active side's hold-buffer
                 // release, and the active side's positions define the
-                // joiner's convergence target.
-                if self.ft_mode || self.join.is_some() || self.serving_join.is_some() {
+                // joiner's convergence target. Pool members heartbeat for
+                // as long as they are powered on — per-member liveness is
+                // the fencing evidence.
+                if self.pool.is_some()
+                    || self.ft_mode
+                    || self.join.is_some()
+                    || self.serving_join.is_some()
+                {
                     self.send_heartbeats(ctx);
                 }
                 // A joiner re-requests until the full snapshot set arrives
@@ -1731,6 +2577,9 @@ impl Node for StTcpServer {
             self.peer_ping = None;
             self.ping.active = false;
             self.tcp_timer = None;
+            self.peer_last_seqno = None;
+            self.byzantine_reported = false;
+            self.byz_mode = None;
             ctx.trace(format!(
                 "{}: cold reboot; staying passive standby",
                 self.setup.role
@@ -1765,9 +2614,32 @@ impl Node for StTcpServer {
         self.hb_seq = 0;
         self.hb_scratch = Vec::new();
         self.tcp_timer = None;
+        self.peer_last_seqno = None;
+        self.byzantine_reported = false;
+        self.byz_mode = None;
         let hb_timeout = self.setup.sttcp.hb_timeout();
         self.ip_mon = LinkMonitor::new(hb_timeout, now);
         self.serial_mon = LinkMonitor::new(hb_timeout, now);
+        // Pool: rebuild the member view from scratch (everything pre-crash
+        // is stale), keeping only the physical serial wiring. This boots
+        // with the static rank; `JoinDone` hands over the fresh one.
+        if self.pool.is_some() {
+            let mut fresh = PoolState::new(self.setup.rank, &self.setup.pool, hb_timeout, now);
+            if let Some(old) = &self.pool {
+                fresh.serial_by_port = old.serial_by_port.clone();
+            }
+            let wiring: Vec<(SerialPortId, Ipv4Addr)> = fresh
+                .serial_by_port
+                .iter()
+                .map(|(&port, &ip)| (port, ip))
+                .collect();
+            for (port, ip) in wiring {
+                if let Some(m) = fresh.members.get_mut(&ip) {
+                    m.serial_port = Some(port);
+                }
+            }
+            self.pool = Some(fresh);
+        }
         self.ip_was_alive = true;
         self.serial_was_alive = true;
         self.started_at = now;
@@ -1833,6 +2705,8 @@ mod tests {
             gateway_ip: Ipv4Addr::new(10, 0, 0, 1),
             isn_salt: 42,
             seed: 7,
+            rank: 0,
+            pool: Vec::new(),
         }
     }
 
@@ -1881,6 +2755,7 @@ mod tests {
         let hb = HbPayload {
             seqno: 1,
             role: Role::Backup,
+            rank: 1,
             conns: vec![ConnHb {
                 key: 0xabc,
                 last_byte_received: 1_000,
@@ -1907,6 +2782,7 @@ mod tests {
         let hb_fin = HbPayload {
             seqno: 1,
             role: Role::Backup,
+            rank: 1,
             conns: vec![ConnHb {
                 key: 1,
                 fin_generated: true,
@@ -1917,6 +2793,7 @@ mod tests {
         let hb_nofin = HbPayload {
             seqno: 2,
             role: Role::Backup,
+            rank: 1,
             conns: vec![ConnHb {
                 key: 1,
                 ..Default::default()

@@ -94,12 +94,14 @@ proptest! {
     fn heartbeat_roundtrips(
         seqno: u32,
         primary: bool,
+        rank: u8,
         conns in vec(arb_conn_hb(), 0..50),
         ping in proptest::option::of((any::<u32>(), any::<u32>())),
     ) {
         let hb = HbPayload {
             seqno,
             role: if primary { Role::Primary } else { Role::Backup },
+            rank,
             conns,
             ping: ping.map(|(f, a)| PingReport {
                 consecutive_failures: f,
@@ -116,7 +118,7 @@ proptest! {
         conns in vec(arb_conn_hb(), 0..10),
         cut in 1usize..40,
     ) {
-        let hb = HbPayload { seqno: 1, role: Role::Primary, conns, ping: None };
+        let hb = HbPayload { seqno: 1, role: Role::Primary, rank: 0, conns, ping: None };
         let wire = hb.encode();
         let cut = cut.min(wire.len());
         if cut > 0 {
@@ -140,7 +142,7 @@ proptest! {
         conns in vec(arb_conn_hb(), 0..8),
         flip in any::<u32>(),
     ) {
-        let hb = HbPayload { seqno: 7, role: Role::Primary, conns, ping: None };
+        let hb = HbPayload { seqno: 7, role: Role::Primary, rank: 0, conns, ping: None };
         let mut wire = hb.encode().to_vec();
         let bit = flip as usize % (wire.len() * 8);
         wire[bit / 8] ^= 1 << (bit % 8);
@@ -175,11 +177,12 @@ proptest! {
     fn ctrl_join_msgs_roundtrip(
         session: u32,
         conns: u32,
+        new_rank: u8,
         snap in arb_snapshot_msg(),
     ) {
         for msg in [
             CtrlMsg::JoinRequest { session },
-            CtrlMsg::JoinDone { session, conns },
+            CtrlMsg::JoinDone { session, conns, new_rank },
             CtrlMsg::JoinComplete { session },
             CtrlMsg::ConnSnapshot(snap),
         ] {

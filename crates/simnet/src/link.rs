@@ -138,6 +138,10 @@ pub struct LinkStats {
     pub bytes_delivered: u64,
     /// Frames delivered with an injected payload bit flip.
     pub corrupted: u64,
+    /// Frames transmitted twice by the duplication budget.
+    pub duplicated: u64,
+    /// Frames delivered out of order by the reordering budget.
+    pub reordered: u64,
 }
 
 /// A frame predicate used by [`LinkState::set_filter`]-style fault
@@ -156,6 +160,15 @@ struct DirState {
     drop_next: u64,
     /// Flip one payload bit in each of the next N frames.
     corrupt_next: u64,
+    /// Transmit each of the next N frames twice.
+    dup_next: u64,
+    /// Swap each of the next N frames with the frame that follows it.
+    reorder_next: u64,
+    /// A frame being held back by the reordering budget, with the
+    /// arrival time it was originally scheduled for.
+    held: Option<(SimTime, EthernetFrame)>,
+    /// Per-frame uniform delivery jitter bound in microseconds (0 = off).
+    jitter_max_us: u64,
     /// Serialization queue: time the transmitter is busy until.
     busy_until: SimTime,
     /// Optional targeted drop filter.
@@ -170,6 +183,10 @@ impl fmt::Debug for DirState {
             .field("drop_until", &self.drop_until)
             .field("drop_next", &self.drop_next)
             .field("corrupt_next", &self.corrupt_next)
+            .field("dup_next", &self.dup_next)
+            .field("reorder_next", &self.reorder_next)
+            .field("has_held", &self.held.is_some())
+            .field("jitter_max_us", &self.jitter_max_us)
             .field("busy_until", &self.busy_until)
             .field("has_filter", &self.filter.is_some())
             .finish()
@@ -189,12 +206,26 @@ pub struct LinkState {
 }
 
 /// The outcome of offering a frame to a link for transmission.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxOutcome {
     /// The frame will arrive at the far end at the given time.
     Deliver(SimTime),
     /// The frame was dropped (loss, filter, window, or link down).
     Dropped,
+    /// The frame was held back by the reordering budget; it will be
+    /// released behind the next frame offered in this direction. If no
+    /// further frame is offered, the hold degrades into a single-frame
+    /// loss (retransmission or the next heartbeat releases it in
+    /// practice).
+    Held,
+    /// The offered frame arrives at `at`, and a previously held frame is
+    /// released behind it — the pair arrives in swapped order.
+    DeliverAndRelease {
+        /// Arrival time of the frame just offered.
+        at: SimTime,
+        /// Arrival time and contents of the held frame now released.
+        released: (SimTime, EthernetFrame),
+    },
 }
 
 impl LinkState {
@@ -292,6 +323,41 @@ impl LinkState {
         }
     }
 
+    /// Transmits each of the next `n` frames in `dir` twice (a flapping
+    /// switch port or a mis-mirrored segment; TCP and the checksummed
+    /// control formats must absorb exact duplicates).
+    pub fn set_dup_next(&mut self, dir: LinkDir, n: u64) {
+        self.dirs[dir.index()].dup_next = n;
+    }
+
+    /// Consumes one unit of the duplication budget for `dir`, returning
+    /// whether the caller should transmit the frame it is about to offer
+    /// twice. The world calls this before [`LinkState::transmit`].
+    pub fn consume_dup(&mut self, dir: LinkDir) -> bool {
+        let i = dir.index();
+        if self.dirs[i].dup_next > 0 {
+            self.dirs[i].dup_next -= 1;
+            self.stats[i].duplicated += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Swaps each of the next `n` frames in `dir` with the frame that
+    /// follows it: the budgeted frame is held back and released just
+    /// behind its successor.
+    pub fn set_reorder_next(&mut self, dir: LinkDir, n: u64) {
+        self.dirs[dir.index()].reorder_next = n;
+    }
+
+    /// Sets a per-frame uniform delivery jitter bound for `dir`: each
+    /// delivered frame's arrival is delayed by a seeded random amount in
+    /// `[0, max]`. `SimDuration::ZERO` clears the fault.
+    pub fn set_jitter(&mut self, dir: LinkDir, max: SimDuration) {
+        self.dirs[dir.index()].jitter_max_us = max.as_micros();
+    }
+
     /// Installs a targeted drop filter for `dir`: frames for which the
     /// filter returns `true` are dropped. Replaces any existing filter.
     pub fn set_filter(&mut self, dir: LinkDir, filter: Option<DropFilter>) {
@@ -347,7 +413,32 @@ impl LinkState {
             None => SimDuration::ZERO,
         };
         d.busy_until = start + ser;
-        let arrival = d.busy_until + self.params.latency;
+        let mut arrival = d.busy_until + self.params.latency;
+        if d.jitter_max_us > 0 {
+            arrival += SimDuration::from_micros(rng.range_u64(0, d.jitter_max_us + 1));
+        }
+        if let Some((held_at, held_frame)) = d.held.take() {
+            // A held frame rides out just behind the frame that released
+            // it, strictly after it, so the pair arrives swapped.
+            let release_at = if held_at > arrival {
+                held_at
+            } else {
+                arrival + SimDuration::from_micros(1)
+            };
+            self.stats[i].delivered += 2;
+            self.stats[i].bytes_delivered +=
+                frame.payload.len() as u64 + held_frame.payload.len() as u64;
+            return TxOutcome::DeliverAndRelease {
+                at: arrival,
+                released: (release_at, held_frame),
+            };
+        }
+        if d.reorder_next > 0 {
+            d.reorder_next -= 1;
+            d.held = Some((arrival, frame.clone()));
+            self.stats[i].reordered += 1;
+            return TxOutcome::Held;
+        }
         self.stats[i].delivered += 1;
         self.stats[i].bytes_delivered += frame.payload.len() as u64;
         TxOutcome::Deliver(arrival)
@@ -547,6 +638,90 @@ mod tests {
         assert_eq!(l.dest(LinkDir::AtoB), ep(1));
         assert_eq!(l.dest(LinkDir::BtoA), ep(0));
         assert_eq!(LinkDir::AtoB.flip(), LinkDir::BtoA);
+    }
+
+    #[test]
+    fn dup_budget_decrements_and_counts() {
+        let mut l = link(LinkParams::ideal());
+        l.set_dup_next(LinkDir::AtoB, 2);
+        assert!(l.consume_dup(LinkDir::AtoB));
+        assert!(l.consume_dup(LinkDir::AtoB));
+        assert!(!l.consume_dup(LinkDir::AtoB));
+        assert!(!l.consume_dup(LinkDir::BtoA));
+        assert_eq!(l.stats(LinkDir::AtoB).duplicated, 2);
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_frames() {
+        let mut l = link(LinkParams::ideal().with_latency(SimDuration::from_micros(10)));
+        let mut rng = SimRng::seed_from(1);
+        l.set_reorder_next(LinkDir::AtoB, 1);
+        let first = l.transmit(SimTime::ZERO, LinkDir::AtoB, &frame(10), &mut rng);
+        assert_eq!(first, TxOutcome::Held);
+        let second = l.transmit(SimTime::from_micros(5), LinkDir::AtoB, &frame(20), &mut rng);
+        match second {
+            TxOutcome::DeliverAndRelease { at, released } => {
+                assert!(released.0 > at, "held frame must land after its successor");
+                assert_eq!(released.1.payload.len(), 10);
+            }
+            other => panic!("expected DeliverAndRelease, got {other:?}"),
+        }
+        assert_eq!(l.stats(LinkDir::AtoB).reordered, 1);
+        assert_eq!(l.stats(LinkDir::AtoB).delivered, 2);
+        // Budget exhausted: the next frame flows through normally.
+        assert!(matches!(
+            l.transmit(SimTime::from_micros(9), LinkDir::AtoB, &frame(1), &mut rng),
+            TxOutcome::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn unreleased_held_frame_is_a_single_loss() {
+        let mut l = link(LinkParams::ideal());
+        let mut rng = SimRng::seed_from(1);
+        l.set_reorder_next(LinkDir::AtoB, 1);
+        assert_eq!(
+            l.transmit(SimTime::ZERO, LinkDir::AtoB, &frame(10), &mut rng),
+            TxOutcome::Held
+        );
+        // No successor ever arrives: offered 1, delivered 0.
+        let s = l.stats(LinkDir::AtoB);
+        assert_eq!(s.offered, 1);
+        assert_eq!(s.delivered, 0);
+    }
+
+    #[test]
+    fn jitter_delays_within_bound_and_is_seeded() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut l = link(LinkParams::ideal());
+            l.set_jitter(LinkDir::AtoB, SimDuration::from_micros(100));
+            let mut rng = SimRng::seed_from(seed);
+            (0..32)
+                .map(
+                    |_| match l.transmit(SimTime::ZERO, LinkDir::AtoB, &frame(1), &mut rng) {
+                        TxOutcome::Deliver(at) => at.as_micros(),
+                        other => panic!("unexpected outcome {other:?}"),
+                    },
+                )
+                .collect()
+        };
+        let a = run(42);
+        assert!(a.iter().all(|&t| t <= 100));
+        assert!(a.iter().any(|&t| t > 0));
+        assert_eq!(a, run(42));
+        assert_ne!(a, run(43));
+    }
+
+    #[test]
+    fn zero_jitter_clears_the_fault() {
+        let mut l = link(LinkParams::ideal());
+        let mut rng = SimRng::seed_from(1);
+        l.set_jitter(LinkDir::AtoB, SimDuration::from_micros(50));
+        l.set_jitter(LinkDir::AtoB, SimDuration::ZERO);
+        assert_eq!(
+            l.transmit(SimTime::ZERO, LinkDir::AtoB, &frame(1), &mut rng),
+            TxOutcome::Deliver(SimTime::ZERO)
+        );
     }
 
     #[test]

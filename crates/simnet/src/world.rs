@@ -551,6 +551,13 @@ impl World {
         let dir = self.links[link.0]
             .dir_from(from)
             .expect("endpoint is not on this link");
+        let copies = if self.links[link.0].consume_dup(dir) {
+            self.trace
+                .record(self.now, None, format!("dup: l{} {dir} frame", link.0));
+            2
+        } else {
+            1
+        };
         let frame = if self.links[link.0].consume_corrupt(dir) {
             let frame = corrupt_payload(frame, &mut self.rng);
             self.trace.record(
@@ -562,11 +569,31 @@ impl World {
         } else {
             frame
         };
-        match self.links[link.0].transmit(self.now, dir, &frame, &mut self.rng) {
-            TxOutcome::Deliver(at) => {
-                self.queue.push(at, Ev::LinkArrival { link, dir, frame });
+        for _ in 0..copies {
+            match self.links[link.0].transmit(self.now, dir, &frame, &mut self.rng) {
+                TxOutcome::Deliver(at) => {
+                    let frame = frame.clone();
+                    self.queue.push(at, Ev::LinkArrival { link, dir, frame });
+                }
+                TxOutcome::Dropped => {}
+                TxOutcome::Held => {
+                    self.trace
+                        .record(self.now, None, format!("reorder: l{} {dir} hold", link.0));
+                }
+                TxOutcome::DeliverAndRelease { at, released } => {
+                    let frame = frame.clone();
+                    self.queue.push(at, Ev::LinkArrival { link, dir, frame });
+                    let (rel_at, rel_frame) = released;
+                    self.queue.push(
+                        rel_at,
+                        Ev::LinkArrival {
+                            link,
+                            dir,
+                            frame: rel_frame,
+                        },
+                    );
+                }
             }
-            TxOutcome::Dropped => {}
         }
     }
 
