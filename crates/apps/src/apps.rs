@@ -244,6 +244,173 @@ impl Application for ReqRespApp {
     }
 }
 
+/// A periodic-commit streamer: serves the same `GET <n>\n` protocol as
+/// [`StreamApp`] but flushes its output in bursts, one commit every
+/// `period_ticks` application ticks, instead of a smooth per-tick trickle.
+///
+/// The bursty shape matters to the failure detectors: between commits the
+/// replicas' `LastAppByteWritten` positions sit still, then jump together —
+/// a lag detector that confuses "quiet between commits" with "crashed"
+/// would condemn a healthy peer. The response bytes are the same verified
+/// pattern as [`StreamApp`], so the download client checks integrity
+/// end-to-end unchanged.
+#[derive(Debug, Clone)]
+pub struct CommitStreamApp {
+    /// Bytes flushed per commit.
+    commit_bytes: usize,
+    /// Application ticks between commits.
+    period_ticks: u32,
+    /// Close the connection after finishing the response.
+    close_when_done: bool,
+    /// Ticks observed since the request became active (pacing phase).
+    ticks: u32,
+    requested: Option<u64>,
+    sent: u64,
+    line: Vec<u8>,
+    consumed: u64,
+    finished: bool,
+}
+
+impl CommitStreamApp {
+    /// Creates a streamer committing `commit_bytes` every `period_ticks`
+    /// ticks.
+    pub fn new(commit_bytes: usize, period_ticks: u32, close_when_done: bool) -> CommitStreamApp {
+        CommitStreamApp {
+            commit_bytes,
+            period_ticks: period_ticks.max(1),
+            close_when_done,
+            ticks: 0,
+            requested: None,
+            sent: 0,
+            line: Vec::new(),
+            consumed: 0,
+            finished: false,
+        }
+    }
+
+    /// Bytes of response streamed so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn commit(&mut self) -> Vec<AppAction> {
+        let Some(total) = self.requested else {
+            return Vec::new();
+        };
+        if self.sent >= total {
+            if !self.finished {
+                self.finished = true;
+                if self.close_when_done {
+                    return vec![AppAction::Close];
+                }
+            }
+            return Vec::new();
+        }
+        let n = (total - self.sent).min(self.commit_bytes as u64) as usize;
+        let chunk = pattern_chunk(self.sent, n);
+        self.sent += n as u64;
+        let mut actions = vec![AppAction::Write(chunk)];
+        if self.sent >= total && self.close_when_done {
+            self.finished = true;
+            actions.push(AppAction::Close);
+        }
+        actions
+    }
+}
+
+impl Application for CommitStreamApp {
+    fn on_data(&mut self, data: &[u8]) -> Vec<AppAction> {
+        self.consumed += data.len() as u64;
+        if self.requested.is_some() {
+            return Vec::new();
+        }
+        for &b in data {
+            if b == b'\n' {
+                let line = std::mem::take(&mut self.line);
+                let text = String::from_utf8_lossy(&line);
+                let n = text
+                    .strip_prefix("GET ")
+                    .and_then(|s| s.trim().parse::<u64>().ok())
+                    .unwrap_or(0);
+                self.requested = Some(n);
+                // The first commit goes out with the request; the rest on
+                // the periodic cadence.
+                return self.commit();
+            }
+            self.line.push(b);
+        }
+        Vec::new()
+    }
+
+    fn on_tick(&mut self, _now: SimTime) -> Vec<AppAction> {
+        if self.requested.is_none() {
+            return Vec::new();
+        }
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(self.period_ticks) {
+            self.commit()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_peer_close(&mut self) -> Vec<AppAction> {
+        vec![AppAction::Close]
+    }
+
+    // The tick phase is pacing, not output: two replicas whose commits
+    // are phase-shifted still produce the identical byte stream, so the
+    // digest covers only stream state.
+    fn state_digest(&self) -> u64 {
+        self.consumed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(self.sent)
+            .wrapping_add(self.requested.unwrap_or(u64::MAX))
+    }
+
+    // Layout: flags(1) ‖ requested(8) ‖ sent(8) ‖ consumed(8) ‖ ticks(4) ‖
+    // line_len(4) ‖ line. Commit size/period are factory configuration.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(33 + self.line.len());
+        let mut flags = 0u8;
+        if self.requested.is_some() {
+            flags |= 1;
+        }
+        if self.finished {
+            flags |= 2;
+        }
+        out.push(flags);
+        out.extend_from_slice(&self.requested.unwrap_or(0).to_le_bytes());
+        out.extend_from_slice(&self.sent.to_le_bytes());
+        out.extend_from_slice(&self.consumed.to_le_bytes());
+        out.extend_from_slice(&self.ticks.to_le_bytes());
+        out.extend_from_slice(&(self.line.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.line);
+        Some(out)
+    }
+
+    fn restore(&mut self, state: &[u8]) {
+        if state.len() < 33 {
+            return;
+        }
+        let flags = state[0];
+        let requested = u64::from_le_bytes(state[1..9].try_into().unwrap());
+        let sent = u64::from_le_bytes(state[9..17].try_into().unwrap());
+        let consumed = u64::from_le_bytes(state[17..25].try_into().unwrap());
+        let ticks = u32::from_le_bytes(state[25..29].try_into().unwrap());
+        let line_len = u32::from_le_bytes(state[29..33].try_into().unwrap()) as usize;
+        if state.len() != 33 + line_len || flags & !3 != 0 {
+            return;
+        }
+        self.requested = (flags & 1 != 0).then_some(requested);
+        self.finished = flags & 2 != 0;
+        self.sent = sent;
+        self.consumed = consumed;
+        self.ticks = ticks;
+        self.line = state[33..].to_vec();
+    }
+}
+
 /// A sink: consumes everything, answers nothing (upload workloads).
 #[derive(Debug, Clone, Default)]
 pub struct SinkApp {
@@ -354,6 +521,55 @@ mod tests {
         // Requested parses to 0 ⇒ immediate close, no data.
         assert_eq!(drain_writes(&actions).len(), 0);
         assert!(actions.contains(&AppAction::Close));
+    }
+
+    #[test]
+    fn commit_stream_flushes_on_the_period() {
+        let mut app = CommitStreamApp::new(400, 4, true);
+        let mut got = drain_writes(&app.on_data(b"GET 1000\n"));
+        assert_eq!(got.len(), 400, "first commit rides with the request");
+        let mut quiet_ticks = 0;
+        for _ in 0..12 {
+            let out = drain_writes(&app.on_tick(SimTime::ZERO));
+            if out.is_empty() {
+                quiet_ticks += 1;
+            }
+            got.extend(out);
+        }
+        assert_eq!(got.len(), 1000);
+        assert_eq!(verify_pattern(0, &got), None);
+        assert!(quiet_ticks >= 6, "output must be bursty, not per-tick");
+        assert_eq!(app.sent(), 1000);
+    }
+
+    #[test]
+    fn commit_stream_replicas_lockstep_and_restore() {
+        let mut p = CommitStreamApp::new(300, 3, true);
+        let mut b = CommitStreamApp::new(300, 3, true);
+        assert_eq!(p.on_data(b"GET 900\n"), b.on_data(b"GET 900\n"));
+        for _ in 0..9 {
+            assert_eq!(p.on_tick(SimTime::ZERO), b.on_tick(SimTime::from_secs(2)));
+        }
+        assert_eq!(p.state_digest(), b.state_digest());
+
+        // Snapshot mid-stream (including pacing phase) restores exactly.
+        let mut p = CommitStreamApp::new(300, 3, true);
+        let _ = p.on_data(b"GET 900\n");
+        let _ = p.on_tick(SimTime::ZERO);
+        let mut r = CommitStreamApp::new(300, 3, true);
+        r.restore(&p.snapshot().unwrap());
+        assert_eq!(p.state_digest(), r.state_digest());
+        for _ in 0..8 {
+            assert_eq!(p.on_tick(SimTime::ZERO), r.on_tick(SimTime::ZERO));
+        }
+
+        // Garbage restores are ignored.
+        let mut g = CommitStreamApp::new(300, 3, true);
+        g.restore(b"short");
+        assert_eq!(
+            g.state_digest(),
+            CommitStreamApp::new(300, 3, true).state_digest()
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ use sttcp::events::StTcpEvent;
 use sttcp::invariant::{self, ClientView, Expectation, Outcome, ServerView, Violation};
 use sttcp::server::{AppCrashMode, ByzantineHbMode, StTcpServer};
 
-use crate::apps::StreamApp;
+use crate::apps::{CommitStreamApp, ReqRespApp, StreamApp};
 use crate::client::ClientWorkload;
 use crate::scenario::{Scenario, ScenarioBuilder};
 
@@ -134,6 +134,56 @@ pub enum ChaosAction {
     /// stream; the liar's own inbound evidence stays untouched, so it
     /// must never fire a verdict against its honest peer.
     ByzantineHb(Side, ByzantineHbMode),
+}
+
+impl ChaosAction {
+    /// Every verb in the fault grammar, in [`TimedAction`] display order
+    /// (coverage tables iterate over this).
+    pub const KINDS: [&'static str; 18] = [
+        "crash",
+        "reboot",
+        "nic-down",
+        "nic-up",
+        "cut",
+        "restore",
+        "loss",
+        "loss-end",
+        "drop-tap",
+        "corrupt",
+        "serial-fail",
+        "serial-restore",
+        "app-crash",
+        "dup",
+        "reorder",
+        "jitter",
+        "jitter-end",
+        "byz-hb",
+    ];
+
+    /// The action's verb — its grammar "kind", with side/link/amount
+    /// arguments erased (coverage accounting).
+    pub fn kind(self) -> &'static str {
+        match self {
+            ChaosAction::Crash(_) => "crash",
+            ChaosAction::Reboot(_) => "reboot",
+            ChaosAction::NicDown(_) => "nic-down",
+            ChaosAction::NicUp(_) => "nic-up",
+            ChaosAction::LinkCut(_) => "cut",
+            ChaosAction::LinkRestore(_) => "restore",
+            ChaosAction::LinkLoss(..) => "loss",
+            ChaosAction::LinkLossEnd(_) => "loss-end",
+            ChaosAction::DropTap(_) => "drop-tap",
+            ChaosAction::CorruptFrames(..) => "corrupt",
+            ChaosAction::SerialFail => "serial-fail",
+            ChaosAction::SerialRestore => "serial-restore",
+            ChaosAction::AppCrash(..) => "app-crash",
+            ChaosAction::Dup(..) => "dup",
+            ChaosAction::Reorder(..) => "reorder",
+            ChaosAction::Jitter(..) => "jitter",
+            ChaosAction::JitterEnd(_) => "jitter-end",
+            ChaosAction::ByzantineHb(..) => "byz-hb",
+        }
+    }
 }
 
 /// A fault action with its injection time.
@@ -899,6 +949,60 @@ impl FaultSchedule {
 /// [`FaultSchedule::expectation`]).
 const QUIET_TAP: usize = 30;
 
+/// Which application/traffic pair a chaos or explore case drives — the
+/// first slice of the ROADMAP app zoo. Every workload keeps the client's
+/// end-to-end byte verification: `Download` and `CommitStream` check the
+/// fixed pattern, `ReqResp` checks each response against the known
+/// deterministic transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChaosWorkload {
+    /// Smooth verifying download from [`StreamApp`] (the original chaos
+    /// surface).
+    #[default]
+    Download,
+    /// Interactive request/response against [`ReqRespApp`]: periodic
+    /// request lines, each response verified.
+    ReqResp,
+    /// Bursty download from [`CommitStreamApp`]: the replicas' app
+    /// positions sit still between commits, then jump together.
+    CommitStream,
+}
+
+impl ChaosWorkload {
+    /// Every workload (CLI sweeps, coverage tables).
+    pub const ALL: [ChaosWorkload; 3] = [
+        ChaosWorkload::Download,
+        ChaosWorkload::ReqResp,
+        ChaosWorkload::CommitStream,
+    ];
+
+    /// Stable identifier (CLI values, report keys).
+    pub fn key(self) -> &'static str {
+        match self {
+            ChaosWorkload::Download => "download",
+            ChaosWorkload::ReqResp => "reqresp",
+            ChaosWorkload::CommitStream => "commit-stream",
+        }
+    }
+}
+
+impl fmt::Display for ChaosWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+impl FromStr for ChaosWorkload {
+    type Err = ScheduleParseError;
+
+    fn from_str(s: &str) -> Result<ChaosWorkload, ScheduleParseError> {
+        ChaosWorkload::ALL
+            .into_iter()
+            .find(|w| w.key() == s)
+            .ok_or_else(|| ScheduleParseError(format!("unknown workload {s:?}")))
+    }
+}
+
 /// Knobs for one chaos run.
 #[derive(Debug, Clone)]
 pub struct ChaosOptions {
@@ -917,6 +1021,8 @@ pub struct ChaosOptions {
     /// a cold standby. The invariant checker then allows a second failure
     /// epoch.
     pub reintegrate: bool,
+    /// Which application/traffic pair to run.
+    pub workload: ChaosWorkload,
 }
 
 impl Default for ChaosOptions {
@@ -927,6 +1033,7 @@ impl Default for ChaosOptions {
             trace: false,
             trace_capacity: Some(4096),
             reintegrate: false,
+            workload: ChaosWorkload::Download,
         }
     }
 }
@@ -1021,22 +1128,48 @@ fn powered_off_at(
     }
 }
 
-/// Runs one chaos case: standard topology, verifying download workload,
-/// the given schedule, then the invariant checker. Fully deterministic in
-/// `(seed, schedule, opts)`.
+/// The `(server app factory, client workload)` pair for one chaos
+/// workload. `total_bytes` sizes the download flavours; `ReqResp` derives
+/// a request count from it so every workload scales with the same knob.
+fn workload_pair(
+    workload: ChaosWorkload,
+    total_bytes: u64,
+) -> (crate::scenario::AppMaker, ClientWorkload) {
+    match workload {
+        ChaosWorkload::Download => (
+            Rc::new(|| Box::new(StreamApp::new(4096, false)) as _),
+            ClientWorkload::Download { total: total_bytes },
+        ),
+        ChaosWorkload::ReqResp => (
+            Rc::new(|| Box::new(ReqRespApp::new()) as _),
+            ClientWorkload::ReqResp {
+                period: SimDuration::from_millis(50),
+                // ~1 request per KiB of the download budget, capped so the
+                // run always fits the horizon at the 50ms cadence.
+                count: (total_bytes / 1024).clamp(8, 120) as u32,
+            },
+        ),
+        ChaosWorkload::CommitStream => (
+            // Same long-run rate as the smooth streamer (4096/tick), but
+            // flushed as one 16 KiB commit every 4 ticks.
+            Rc::new(|| Box::new(CommitStreamApp::new(16 * 1024, 4, false)) as _),
+            ClientWorkload::Download { total: total_bytes },
+        ),
+    }
+}
+
+/// Runs one chaos case: standard topology, the selected verifying
+/// workload, the given schedule, then the invariant checker. Fully
+/// deterministic in `(seed, schedule, opts)`.
 pub fn run_chaos_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) -> ChaosReport {
-    let mut s = ScenarioBuilder::new(
-        Rc::new(|| Box::new(StreamApp::new(4096, false)) as _),
-        ClientWorkload::Download {
-            total: opts.total_bytes,
-        },
-    )
-    .seed(seed)
-    .sttcp(StTcpConfig {
-        reintegrate: opts.reintegrate,
-        ..chaos_config()
-    })
-    .build();
+    let (factory, client_workload) = workload_pair(opts.workload, opts.total_bytes);
+    let mut s = ScenarioBuilder::new(factory, client_workload)
+        .seed(seed)
+        .sttcp(StTcpConfig {
+            reintegrate: opts.reintegrate,
+            ..chaos_config()
+        })
+        .build();
 
     if !opts.trace {
         s.world.set_trace_capacity(opts.trace_capacity);

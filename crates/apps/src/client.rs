@@ -26,6 +26,7 @@ use simtcp::conn::TcpConfig;
 use simtcp::endpoint::{EndpointConfig, IsnPolicy, RstPolicy, TcpEndpoint};
 use simtcp::socket::{SocketEvent, SocketId};
 
+use crate::apps::ReqRespApp;
 use crate::pattern::{pattern_chunk, verify_pattern};
 
 const TOKEN_CONNECT: TimerToken = TimerToken(1);
@@ -52,6 +53,17 @@ pub enum ClientWorkload {
         /// Send period.
         period: SimDuration,
         /// Slabs to send.
+        count: u32,
+    },
+    /// Send a deterministic request line every `period` and verify each
+    /// response against [`ReqRespApp::response_for`]; stop after `count`
+    /// round trips. Unlike [`ClientWorkload::Download`], the expected
+    /// byte stream is built request-by-request, so the integrity check
+    /// covers interactive traffic, not the fixed pattern.
+    ReqResp {
+        /// Request period.
+        period: SimDuration,
+        /// Requests to send.
         count: u32,
     },
     /// Connect and stay silent (the quiet-client case that forces the
@@ -181,6 +193,13 @@ pub struct TcpClient {
     chat_sent: u32,
     /// Stream position of the next byte to send in EchoChat.
     chat_tx_pos: u64,
+    /// ReqResp: expected response stream, built as requests are issued.
+    rr_expected: Vec<u8>,
+    /// ReqResp: cumulative end offset of each response (round-trip marks).
+    rr_ends: Vec<u64>,
+    /// ReqResp: unsent tail of the current request line (carry-over when
+    /// the send buffer was full).
+    rr_pending: Vec<u8>,
     tcp_timer: Option<(TimerId, SimTime)>,
     last_progress_at: SimTime,
     log: ClientLog,
@@ -215,6 +234,9 @@ impl TcpClient {
             attempts: 0,
             chat_sent: 0,
             chat_tx_pos: 0,
+            rr_expected: Vec::new(),
+            rr_ends: Vec::new(),
+            rr_pending: Vec::new(),
             tcp_timer: None,
             last_progress_at: SimTime::ZERO,
             log: ClientLog::default(),
@@ -248,7 +270,16 @@ impl TcpClient {
         self.sock = Some(sock);
         // A restarted download begins from scratch.
         self.log.response_pos = 0;
+        self.chat_sent = 0;
+        self.rr_expected.clear();
+        self.rr_ends.clear();
+        self.rr_pending.clear();
         self.last_progress_at = now;
+    }
+
+    /// The deterministic `i`-th request line for the ReqResp workload.
+    fn reqresp_line(i: u32) -> Vec<u8> {
+        format!("q{i:06}-{:08x}\n", i.wrapping_mul(0x9e37_79b9)).into_bytes()
     }
 
     fn on_connected(&mut self, ctx: &mut NodeCtx<'_>) {
@@ -261,7 +292,7 @@ impl TcpClient {
                 let req = format!("GET {total}\n");
                 let _ = self.tcp.send(now, sock, req.as_bytes());
             }
-            ClientWorkload::EchoChat { period, .. } => {
+            ClientWorkload::EchoChat { period, .. } | ClientWorkload::ReqResp { period, .. } => {
                 ctx.set_timer(period, TOKEN_CHAT);
             }
             ClientWorkload::Idle => {}
@@ -276,7 +307,16 @@ impl TcpClient {
             if data.is_empty() {
                 break;
             }
-            if verify_pattern(self.log.response_pos, &data).is_some() {
+            let mismatch = match self.cfg.workload {
+                // ReqResp verifies against the per-request expected
+                // stream; everything else against the fixed pattern.
+                ClientWorkload::ReqResp { .. } => {
+                    let start = self.log.response_pos as usize;
+                    self.rr_expected.get(start..start + data.len()) != Some(&data[..])
+                }
+                _ => verify_pattern(self.log.response_pos, &data).is_some(),
+            };
+            if mismatch {
                 self.log.integrity_violations += 1;
             }
             self.log.response_pos += data.len() as u64;
@@ -300,6 +340,19 @@ impl TcpClient {
                         self.tcp.close(now, sock);
                     }
                 }
+                ClientWorkload::ReqResp { count, .. } => {
+                    let done = self
+                        .rr_ends
+                        .iter()
+                        .take_while(|&&end| end <= self.log.response_pos)
+                        .count();
+                    self.log.echo_roundtrips = done as u32;
+                    if self.chat_sent >= count && done >= count as usize && !self.finished {
+                        self.finished = true;
+                        self.log.finished_at = Some(now);
+                        self.tcp.close(now, sock);
+                    }
+                }
                 ClientWorkload::Idle => {}
             }
         }
@@ -307,6 +360,33 @@ impl TcpClient {
 
     fn on_chat_tick(&mut self, ctx: &mut NodeCtx<'_>) {
         let now = ctx.now();
+        if let ClientWorkload::ReqResp { period, count } = self.cfg.workload {
+            if self.finished {
+                return;
+            }
+            if let Some(sock) = self.sock {
+                if !self.rr_pending.is_empty() {
+                    // Finish handing the previous line to TCP first — a
+                    // request must never interleave with another.
+                    let pending = std::mem::take(&mut self.rr_pending);
+                    let n = self.tcp.send(now, sock, &pending);
+                    self.rr_pending = pending[n..].to_vec();
+                } else if self.chat_sent < count {
+                    let line = Self::reqresp_line(self.chat_sent);
+                    self.chat_sent += 1;
+                    // The whole line will eventually reach the server (via
+                    // the carry-over), so its response joins the expected
+                    // stream now.
+                    let resp = ReqRespApp::response_for(&line[..line.len() - 1]);
+                    self.rr_expected.extend_from_slice(&resp);
+                    self.rr_ends.push(self.rr_expected.len() as u64);
+                    let n = self.tcp.send(now, sock, &line);
+                    self.rr_pending = line[n..].to_vec();
+                }
+            }
+            ctx.set_timer(period, TOKEN_CHAT);
+            return;
+        }
         let ClientWorkload::EchoChat {
             chunk,
             period,

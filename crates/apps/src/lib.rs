@@ -41,6 +41,7 @@
 pub mod apps;
 pub mod chaos;
 pub mod client;
+pub mod explore;
 pub mod pattern;
 pub mod plain;
 pub mod pool;
@@ -48,12 +49,16 @@ pub mod scenario;
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
-    pub use crate::apps::{ReqRespApp, SinkApp, StreamApp};
+    pub use crate::apps::{CommitStreamApp, ReqRespApp, SinkApp, StreamApp};
     pub use crate::chaos::{
-        run_chaos_case, shrink_schedule, ChaosAction, ChaosOptions, ChaosReport, FaultSchedule,
-        LinkSel, ShrinkResult, Side, TimedAction,
+        run_chaos_case, shrink_schedule, ChaosAction, ChaosOptions, ChaosReport, ChaosWorkload,
+        FaultSchedule, LinkSel, ShrinkResult, Side, TimedAction,
     };
     pub use crate::client::{ClientConfig, ClientLog, ClientWorkload, ReconnectPolicy, TcpClient};
+    pub use crate::explore::{
+        build_lattice, explore_case, pair_offsets, probe_milestones, Anchor, AnchorKind,
+        CaseResult, ExploreSummary, GrammarOp, Lattice, ViolationCase,
+    };
     pub use crate::pattern::{fill_pattern, pattern_byte, pattern_chunk, verify_pattern};
     pub use crate::plain::{PlainServer, PlainServerConfig};
     pub use crate::pool::{

@@ -21,6 +21,11 @@
 //!   fencing and rank-ordered takeover under the pool invariants
 //! * `--seed N`           run exactly one seed, verbosely
 //! * `--schedule S`       replay a schedule string (with `--seed`'s seed)
+//! * `--workload W`       verifying workload: `download` (default),
+//!   `reqresp`, or `commit-stream`
+//! * `--grammar`          after the sweep, print the action-grammar
+//!   coverage table: injections per action kind and 2-fault kind
+//!   combos exercised vs possible
 //! * `--verbose`          print every case, not just violations
 //! * `--trace`            dump the world trace to stderr (single-case mode)
 //! * `--json PATH`        write a `MetricsReport` (outcomes + phase
@@ -35,10 +40,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use sttcp::invariant::Outcome;
-use sttcp_apps::chaos::{run_chaos_case, shrink_schedule, ChaosOptions, FaultSchedule};
+use sttcp_apps::chaos::{
+    run_chaos_case, shrink_schedule, ChaosOptions, ChaosWorkload, FaultSchedule,
+};
 use sttcp_apps::pool::run_pool_case;
 use sttcp_bench::hunt::{
-    latest_fault_before, run_pool_sweep, run_sweep, survivor_events, SweepConfig,
+    latest_fault_before, run_pool_sweep, run_sweep, survivor_events, GrammarCoverage, SweepConfig,
 };
 use sttcp_bench::phases::{failover_timeline, takeover_timelines};
 
@@ -52,6 +59,8 @@ struct Args {
     pool: bool,
     one_seed: Option<u64>,
     schedule: Option<String>,
+    workload: Option<ChaosWorkload>,
+    grammar: bool,
     verbose: bool,
     trace: bool,
     json: Option<PathBuf>,
@@ -69,6 +78,8 @@ fn parse_args() -> Args {
         pool: false,
         one_seed: None,
         schedule: None,
+        workload: None,
+        grammar: false,
         verbose: false,
         trace: false,
         json: None,
@@ -78,7 +89,8 @@ fn parse_args() -> Args {
         eprintln!("{msg}");
         eprintln!(
             "usage: chaos_hunt [--seeds N] [--start N] [--threads N] [--quick] [--double] \
-             [--reintegrate] [--pool] [--seed N [--schedule \"...\"]] [--verbose] [--trace] \
+             [--reintegrate] [--pool] [--seed N [--schedule \"...\"]] \
+             [--workload download|reqresp|commit-stream] [--grammar] [--verbose] [--trace] \
              [--json PATH] [--enforce-bounds]"
         );
         std::process::exit(2);
@@ -103,6 +115,14 @@ fn parse_args() -> Args {
             "--pool" => args.pool = true,
             "--seed" => args.one_seed = Some(num("--seed", val("--seed"))),
             "--schedule" => args.schedule = Some(val("--schedule")),
+            "--workload" => {
+                let v = val("--workload");
+                args.workload = Some(
+                    v.parse()
+                        .unwrap_or_else(|e| die(&format!("--workload: {e}"))),
+                );
+            }
+            "--grammar" => args.grammar = true,
             "--verbose" => args.verbose = true,
             "--trace" => args.trace = true,
             "--json" => args.json = Some(PathBuf::from(val("--json"))),
@@ -122,6 +142,10 @@ fn main() -> ExitCode {
     };
     opts.trace = args.trace;
     opts.reintegrate = args.reintegrate;
+    if let Some(w) = args.workload {
+        opts.workload = w;
+    }
+    let mut coverage = GrammarCoverage::default();
 
     // Single-case mode: replay one seed (and optionally a pasted
     // schedule) with full detail.
@@ -222,6 +246,9 @@ fn main() -> ExitCode {
             },
         );
         let summary = run_pool_sweep(args.seeds, args.start, args.threads, &opts, |case| {
+            if args.grammar {
+                coverage.add(&case.schedule);
+            }
             if args.verbose || case.report.outcome == Outcome::Violation {
                 println!(
                     "seed {}: {} — {}",
@@ -246,6 +273,13 @@ fn main() -> ExitCode {
         println!("service-lost             {:>6}", summary.lost);
         println!("VIOLATIONS               {:>6}", summary.violated.len());
         println!("takeovers                {:>6}", summary.takeovers);
+        if args.grammar {
+            println!(
+                "\naction-grammar coverage across {} schedules:\n",
+                args.seeds
+            );
+            print!("{}", coverage.render_table());
+        }
         if !summary.agg.is_empty() {
             println!(
                 "\ntakeover phase latencies across {} failovers:\n",
@@ -300,6 +334,9 @@ fn main() -> ExitCode {
         threads: args.threads,
     };
     let summary = run_sweep(&cfg, &opts, |case| {
+        if args.grammar {
+            coverage.add(&case.schedule);
+        }
         if args.verbose || case.report.outcome == Outcome::Violation {
             println!(
                 "seed {}: {} — {}",
@@ -331,6 +368,14 @@ fn main() -> ExitCode {
     println!("detected-unrecoverable   {:>6}", summary.detected);
     println!("service-lost             {:>6}", summary.lost);
     println!("VIOLATIONS               {:>6}", summary.violated.len());
+
+    if args.grammar {
+        println!(
+            "\naction-grammar coverage across {} schedules:\n",
+            args.seeds
+        );
+        print!("{}", coverage.render_table());
+    }
 
     if !summary.agg.is_empty() {
         println!(

@@ -9,13 +9,17 @@
 //! it — bit-identical across `--threads` settings, which
 //! `tests/chaos.rs` pins as a regression test.
 
+use std::collections::BTreeMap;
+
 use obs::json::Json;
 use obs::report::MetricsReport;
 use simnet::time::SimDuration;
 use simnet::time::SimTime;
 use sttcp::events::StTcpEvent;
 use sttcp::invariant::Outcome;
-use sttcp_apps::chaos::{chaos_config, run_chaos_case, ChaosOptions, ChaosReport, FaultSchedule};
+use sttcp_apps::chaos::{
+    chaos_config, run_chaos_case, ChaosAction, ChaosOptions, ChaosReport, FaultSchedule,
+};
 use sttcp_apps::pool::{run_pool_case, PoolReport};
 
 use crate::parallel::parallel_seeds;
@@ -136,6 +140,82 @@ pub fn detection_clock_start(
         })
         .max();
     Some(link_up.map_or(fault, |up| fault.max(up)))
+}
+
+/// Fault-grammar coverage over a set of generated schedules: which
+/// action kinds, and which unordered 2-fault kind combinations, the
+/// sweep actually exercised versus everything the grammar allows.
+#[derive(Debug, Clone, Default)]
+pub struct GrammarCoverage {
+    /// Injections per action kind (verb), across all folded schedules.
+    pub kinds: BTreeMap<&'static str, u64>,
+    /// Unordered kind pairs co-occurring in one schedule, canonicalized
+    /// (`first <= second` lexicographically).
+    pub pairs: BTreeMap<(&'static str, &'static str), u64>,
+}
+
+impl GrammarCoverage {
+    /// Folds one schedule in.
+    pub fn add(&mut self, schedule: &FaultSchedule) {
+        let kinds: Vec<&'static str> = schedule.actions.iter().map(|a| a.action.kind()).collect();
+        for &k in &kinds {
+            *self.kinds.entry(k).or_insert(0) += 1;
+        }
+        let mut seen: Vec<(&'static str, &'static str)> = Vec::new();
+        for (i, &a) in kinds.iter().enumerate() {
+            for &b in &kinds[i + 1..] {
+                let pair = if a <= b { (a, b) } else { (b, a) };
+                if !seen.contains(&pair) {
+                    seen.push(pair);
+                }
+            }
+        }
+        for pair in seen {
+            *self.pairs.entry(pair).or_insert(0) += 1;
+        }
+    }
+
+    /// All unordered kind pairs the grammar allows (including a kind
+    /// with itself: `crash`+`crash` on different sides is a real
+    /// schedule).
+    pub fn possible_pairs() -> usize {
+        let n = ChaosAction::KINDS.len();
+        n * (n + 1) / 2
+    }
+
+    /// Renders the exercised-vs-possible table the `--grammar` flag
+    /// prints.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<16} {:>10}", "action kind", "injections");
+        for kind in ChaosAction::KINDS {
+            let n = self.kinds.get(kind).copied().unwrap_or(0);
+            let mark = if n == 0 { "  <- never exercised" } else { "" };
+            let _ = writeln!(out, "{kind:<16} {n:>10}{mark}");
+        }
+        let _ = writeln!(
+            out,
+            "\nkinds exercised:        {:>4} / {}",
+            self.kinds.len(),
+            ChaosAction::KINDS.len()
+        );
+        let _ = writeln!(
+            out,
+            "2-fault combos seen:    {:>4} / {} possible",
+            self.pairs.len(),
+            Self::possible_pairs()
+        );
+        let missing: Vec<String> = ChaosAction::KINDS
+            .iter()
+            .filter(|k| !self.kinds.contains_key(*k))
+            .map(|k| (*k).to_string())
+            .collect();
+        if !missing.is_empty() {
+            let _ = writeln!(out, "never exercised:        {}", missing.join(", "));
+        }
+        out
+    }
 }
 
 /// Generates the schedule for `seed` under the sweep's generator

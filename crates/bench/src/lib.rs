@@ -15,6 +15,7 @@
 //! | `temp_netfail` | §4.3 / Table 1 row 5 — temporary network failures |
 //! | `demo6_reintegration` | beyond the paper — backup re-integration after failover |
 //! | `demo7_pool` | beyond the paper — N-replica pool, quorum-fenced rank takeover |
+//! | `state_explore` | beyond the paper — bounded-exhaustive fault-timing lattice |
 //!
 //! Run any of them with `cargo run -p sttcp-bench --bin <name>`; the
 //! Criterion micro-benchmarks (`cargo bench`) cover the per-segment CPU
@@ -24,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod explore;
 pub mod hunt;
 pub mod parallel;
 pub mod phases;

@@ -205,7 +205,11 @@ impl HbPayload {
         if wire.len() != need {
             return Err(HbDecodeError);
         }
-        let stored_crc = u32::from_be_bytes([wire[9], wire[10], wire[11], wire[12]]);
+        // All remaining reads go through the total helpers in
+        // `crate::wire`, so a wrong length precondition degrades into a
+        // decode error instead of a panic.
+        let rd32 = |w: &[u8], p: usize| crate::wire::read_u32_at(w, p).ok_or(HbDecodeError);
+        let stored_crc = rd32(wire, 9)?;
         // Stream the CRC with the on-wire CRC field treated as zero —
         // no zeroed copy of the frame.
         let mut crc = crate::wire::Crc32::new();
@@ -217,25 +221,27 @@ impl HbPayload {
         }
         let mut conns = Vec::with_capacity(n);
         let mut at = HB_HEADER_LEN;
-        let rd32 = |w: &[u8], p: usize| u32::from_be_bytes([w[p], w[p + 1], w[p + 2], w[p + 3]]);
         for _ in 0..n {
-            let flags = wire[at + 20];
+            let flags = wire.get(at + 20).copied().ok_or(HbDecodeError)?;
             conns.push(ConnHb {
-                key: rd32(wire, at),
-                last_byte_received: rd32(wire, at + 4) as u64,
-                last_ack_received: rd32(wire, at + 8) as u64,
-                last_app_byte_written: rd32(wire, at + 12) as u64,
-                last_app_byte_read: rd32(wire, at + 16) as u64,
+                key: rd32(wire, at)?,
+                last_byte_received: rd32(wire, at + 4)? as u64,
+                last_ack_received: rd32(wire, at + 8)? as u64,
+                last_app_byte_written: rd32(wire, at + 12)? as u64,
+                last_app_byte_read: rd32(wire, at + 16)? as u64,
                 fin_generated: flags & 1 != 0,
                 rst_generated: flags & 2 != 0,
                 app_suspected: flags & 4 != 0,
             });
             at += HB_CONN_LEN;
         }
-        let ping = has_ping.then(|| PingReport {
-            consecutive_failures: rd32(wire, at),
-            attempts: rd32(wire, at + 4),
-        });
+        let ping = match has_ping {
+            true => Some(PingReport {
+                consecutive_failures: rd32(wire, at)?,
+                attempts: rd32(wire, at + 4)?,
+            }),
+            false => None,
+        };
         Ok(HbPayload {
             seqno,
             role,

@@ -55,6 +55,7 @@ pub mod heartbeat;
 pub mod invariant;
 pub mod linkmon;
 pub mod metrics;
+pub mod milestone;
 pub mod netdetect;
 pub mod pool;
 pub mod recover;

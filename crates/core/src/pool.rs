@@ -76,6 +76,11 @@ pub(crate) struct MemberState {
     /// Highest heartbeat seqno accepted from this member (staleness
     /// filter against duplicated / reordered frames).
     pub(crate) last_seqno: Option<u32>,
+    /// When `last_seqno` last advanced. Stale frames prove liveness
+    /// only within one heartbeat timeout of this point — a seqno frozen
+    /// for longer is a replayed or insane stream and must starve the
+    /// link monitors instead of refreshing them.
+    pub(crate) seqno_advanced_at: SimTime,
     /// The member has been fenced (quorum-confirmed dead + STONITHed).
     /// Everything it says under its old rank is ignored until it rejoins
     /// under a fresh one.
@@ -119,6 +124,7 @@ impl MemberState {
         self.serial_mon = LinkMonitor::new(hb_timeout, now);
         self.role = Role::Backup;
         self.last_seqno = None;
+        self.seqno_advanced_at = now;
         self.fenced = false;
         self.defunct = false;
         self.byzantine_reported = false;
@@ -192,6 +198,7 @@ impl PoolState {
                             Role::Backup
                         },
                         last_seqno: None,
+                        seqno_advanced_at: now,
                         fenced: false,
                         defunct: false,
                         byzantine_reported: false,

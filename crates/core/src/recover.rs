@@ -348,49 +348,36 @@ impl CtrlMsg {
     /// unknown type byte, an oversized reply length, or a CRC mismatch.
     /// Total: never panics, any input.
     pub fn decode(wire: &[u8]) -> Result<CtrlMsg, CtrlDecodeError> {
-        if wire.len() < CTRL_CRC_LEN + 1 {
-            return Err(CtrlDecodeError);
-        }
-        let body = &wire[..wire.len() - CTRL_CRC_LEN];
-        let stored_crc = u32::from_be_bytes(wire[wire.len() - CTRL_CRC_LEN..].try_into().unwrap());
-        if crate::wire::crc32(body) != stored_crc {
-            return Err(CtrlDecodeError);
-        }
-        let rd32 = |p: usize| u32::from_be_bytes([body[p], body[p + 1], body[p + 2], body[p + 3]]);
-        let rd64 = |p: usize| {
-            u64::from_be_bytes([
-                body[p],
-                body[p + 1],
-                body[p + 2],
-                body[p + 3],
-                body[p + 4],
-                body[p + 5],
-                body[p + 6],
-                body[p + 7],
-            ])
-        };
-        match body[0] {
+        // Every read below goes through the total helpers in
+        // `crate::wire`: a wrong or missing length precondition degrades
+        // into a decode error, never a panic — the control channel
+        // carries whatever the chaos engine mangles it into.
+        let body = crate::wire::checked_crc_frame(wire, 1).ok_or(CtrlDecodeError)?;
+        let rd8 = |p: usize| body.get(p).copied().ok_or(CtrlDecodeError);
+        let rd32 = |p: usize| crate::wire::read_u32_at(body, p).ok_or(CtrlDecodeError);
+        let rd64 = |p: usize| crate::wire::read_u64_at(body, p).ok_or(CtrlDecodeError);
+        match rd8(0)? {
             1 => {
                 if body.len() != FETCH_REQUEST_LEN - CTRL_CRC_LEN {
                     return Err(CtrlDecodeError);
                 }
                 Ok(CtrlMsg::FetchRequest {
-                    conn: rd32(1),
-                    from: rd64(5),
-                    max: rd32(13),
+                    conn: rd32(1)?,
+                    from: rd64(5)?,
+                    max: rd32(13)?,
                 })
             }
             2 => {
                 if body.len() < FETCH_REPLY_HEADER_LEN {
                     return Err(CtrlDecodeError);
                 }
-                let len = rd32(13) as usize;
+                let len = rd32(13)? as usize;
                 if len > MAX_FETCH_DATA || body.len() != FETCH_REPLY_HEADER_LEN + len {
                     return Err(CtrlDecodeError);
                 }
                 Ok(CtrlMsg::FetchReply {
-                    conn: rd32(1),
-                    from: rd64(5),
+                    conn: rd32(1)?,
+                    from: rd64(5)?,
                     data: Bytes::copy_from_slice(&body[FETCH_REPLY_HEADER_LEN..]),
                 })
             }
@@ -398,26 +385,26 @@ impl CtrlMsg {
                 if body.len() != JOIN_SHORT_LEN - CTRL_CRC_LEN {
                     return Err(CtrlDecodeError);
                 }
-                Ok(CtrlMsg::JoinRequest { session: rd32(1) })
+                Ok(CtrlMsg::JoinRequest { session: rd32(1)? })
             }
             4 => {
                 if body.len() < SNAPSHOT_HEADER_LEN {
                     return Err(CtrlDecodeError);
                 }
-                let flags = body[55];
+                let flags = rd8(55)?;
                 if flags & !(SNAP_FLAG_LOCAL_FIN | SNAP_FLAG_PEER_FIN_CONSUMED | SNAP_FLAG_HAS_FIN)
                     != 0
                 {
                     return Err(CtrlDecodeError);
                 }
                 let has_fin = flags & SNAP_FLAG_HAS_FIN != 0;
-                let fin_field = rd64(39);
+                let fin_field = rd64(39)?;
                 if !has_fin && fin_field != 0 {
                     return Err(CtrlDecodeError);
                 }
-                let unacked_len = rd32(56) as usize;
-                let pending_len = rd32(60) as usize;
-                let app_len = rd32(64) as usize;
+                let unacked_len = rd32(56)? as usize;
+                let pending_len = rd32(60)? as usize;
+                let app_len = rd32(64)? as usize;
                 if unacked_len > MAX_FETCH_DATA
                     || pending_len > MAX_FETCH_DATA
                     || app_len > MAX_FETCH_DATA
@@ -429,21 +416,21 @@ impl CtrlMsg {
                 let p0 = u0 + unacked_len;
                 let a0 = p0 + pending_len;
                 Ok(CtrlMsg::ConnSnapshot(ConnSnapshotMsg {
-                    session: rd32(1),
-                    conn: rd32(5),
-                    client_ip: rd32(9),
-                    client_port: u16::from_be_bytes([body[13], body[14]]),
-                    iss: rd32(15),
-                    peer_isn: rd32(19),
-                    snd_una: rd64(23),
-                    rcv_start: rd64(31),
+                    session: rd32(1)?,
+                    conn: rd32(5)?,
+                    client_ip: rd32(9)?,
+                    client_port: u16::from_be_bytes([rd8(13)?, rd8(14)?]),
+                    iss: rd32(15)?,
+                    peer_isn: rd32(19)?,
+                    snd_una: rd64(23)?,
+                    rcv_start: rd64(31)?,
                     fin_offset: has_fin.then_some(fin_field),
                     local_fin: flags & SNAP_FLAG_LOCAL_FIN != 0,
                     peer_fin_consumed: flags & SNAP_FLAG_PEER_FIN_CONSUMED != 0,
-                    app_digest: rd64(47),
-                    unacked: Bytes::copy_from_slice(&body[u0..p0]),
-                    pending: Bytes::copy_from_slice(&body[p0..a0]),
-                    app_state: Bytes::copy_from_slice(&body[a0..]),
+                    app_digest: rd64(47)?,
+                    unacked: Bytes::copy_from_slice(body.get(u0..p0).ok_or(CtrlDecodeError)?),
+                    pending: Bytes::copy_from_slice(body.get(p0..a0).ok_or(CtrlDecodeError)?),
+                    app_state: Bytes::copy_from_slice(body.get(a0..).ok_or(CtrlDecodeError)?),
                 }))
             }
             5 => {
@@ -451,36 +438,36 @@ impl CtrlMsg {
                     return Err(CtrlDecodeError);
                 }
                 Ok(CtrlMsg::JoinDone {
-                    session: rd32(1),
-                    conns: rd32(5),
-                    new_rank: body[9],
+                    session: rd32(1)?,
+                    conns: rd32(5)?,
+                    new_rank: rd8(9)?,
                 })
             }
             6 => {
                 if body.len() != JOIN_SHORT_LEN - CTRL_CRC_LEN {
                     return Err(CtrlDecodeError);
                 }
-                Ok(CtrlMsg::JoinComplete { session: rd32(1) })
+                Ok(CtrlMsg::JoinComplete { session: rd32(1)? })
             }
             7 => {
                 if body.len() != FENCE_REQUEST_LEN - CTRL_CRC_LEN {
                     return Err(CtrlDecodeError);
                 }
                 Ok(CtrlMsg::FenceRequest {
-                    epoch: rd32(1),
-                    target_rank: body[5],
-                    candidate_rank: body[6],
+                    epoch: rd32(1)?,
+                    target_rank: rd8(5)?,
+                    candidate_rank: rd8(6)?,
                 })
             }
             8 => {
-                if body.len() != FENCE_ACK_LEN - CTRL_CRC_LEN || body[7] > 1 {
+                if body.len() != FENCE_ACK_LEN - CTRL_CRC_LEN || rd8(7)? > 1 {
                     return Err(CtrlDecodeError);
                 }
                 Ok(CtrlMsg::FenceAck {
-                    epoch: rd32(1),
-                    target_rank: body[5],
-                    voter_rank: body[6],
-                    granted: body[7] == 1,
+                    epoch: rd32(1)?,
+                    target_rank: rd8(5)?,
+                    voter_rank: rd8(6)?,
+                    granted: rd8(7)? == 1,
                 })
             }
             9 => {
@@ -488,8 +475,8 @@ impl CtrlMsg {
                     return Err(CtrlDecodeError);
                 }
                 Ok(CtrlMsg::FenceCommit {
-                    epoch: rd32(1),
-                    target_rank: body[5],
+                    epoch: rd32(1)?,
+                    target_rank: rd8(5)?,
                 })
             }
             _ => Err(CtrlDecodeError),

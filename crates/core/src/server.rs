@@ -137,6 +137,9 @@ struct ConnCtl {
     /// Last time the (live) application showed a sign of life — any
     /// callback into it returning. Feeds the optional watchdog.
     last_sign_of_life: SimTime,
+    /// The first client data byte has been delivered to the application
+    /// (milestone bookkeeping — emitted once per connection).
+    saw_data: bool,
 }
 
 /// Re-integration join progress on a rebooted server (the *joiner* side).
@@ -207,6 +210,11 @@ pub struct StTcpServer {
     /// Pair mode: highest heartbeat seqno accepted from the peer
     /// (staleness filter; pool mode tracks this per member).
     peer_last_seqno: Option<u32>,
+    /// Pair mode: when `peer_last_seqno` last advanced. Stale frames
+    /// prove liveness only within one heartbeat timeout of this point —
+    /// a seqno frozen for longer is a replayed or insane stream and
+    /// must starve the link monitors instead of refreshing them.
+    peer_seqno_advanced_at: SimTime,
     /// Pair mode: a byzantine heartbeat was already logged (sticky).
     byzantine_reported: bool,
     /// Byzantine heartbeat fault injection, if armed (testing).
@@ -297,6 +305,7 @@ impl StTcpServer {
             peer_ping: None,
             hb_seq: 0,
             peer_last_seqno: None,
+            peer_seqno_advanced_at: SimTime::ZERO,
             byzantine_reported: false,
             byz_mode: None,
             pool: (!setup.pool.is_empty())
@@ -564,8 +573,19 @@ impl StTcpServer {
                 close_issued: false,
                 hole_since: None,
                 last_sign_of_life: now,
+                saw_data: false,
             },
         );
+        self.events
+            .push(StTcpEvent::ConnEstablished { conn: key, at: now });
+        // The accept endpoint arms the extended receive buffer on every
+        // connection it accepts while this server is the active member
+        // (`hold_buf` is set at start-up for a primary and again at
+        // takeover); mirror that condition into the event log.
+        if self.role == Role::Primary {
+            self.events
+                .push(StTcpEvent::HoldArmed { conn: key, at: now });
+        }
         self.apply_app_actions(now, sock, open_actions);
     }
 
@@ -582,7 +602,16 @@ impl StTcpServer {
                 return;
             }
             let actions = match self.conns.get_mut(&sock) {
-                Some(ctl) => ctl.app.on_data(&data),
+                Some(ctl) => {
+                    if !ctl.saw_data {
+                        ctl.saw_data = true;
+                        self.events.push(StTcpEvent::FirstDataDelivered {
+                            conn: ctl.key,
+                            at: now,
+                        });
+                    }
+                    ctl.app.on_data(&data)
+                }
                 None => return,
             };
             self.touch_sign_of_life(now, sock);
@@ -793,14 +822,24 @@ impl StTcpServer {
         // Staleness filter: the same payload arrives on both links, and
         // the duplication/reorder faults can replay older frames. A
         // non-advancing seqno still proves the peer alive (refresh the
-        // link monitor) but its counters must not be re-applied.
+        // link monitor) but its counters must not be re-applied. The
+        // liveness credit is bounded: replay tolerance only justifies
+        // stale frames interleaved with fresh ones, so once the seqno
+        // has been frozen past the heartbeat timeout the stream is
+        // indistinguishable from a replay loop or a frozen byzantine
+        // sender — it must starve the monitors so row 1 condemns the
+        // peer instead of trusting it forever.
         if let Some(last) = self.peer_last_seqno {
             if hb.seqno.wrapping_sub(last) as i32 <= 0 {
-                match link {
-                    HbLink::Ip => self.ip_mon.on_heartbeat(now),
-                    HbLink::Serial => self.serial_mon.on_heartbeat(now),
+                if now.saturating_since(self.peer_seqno_advanced_at)
+                    <= self.setup.sttcp.hb_timeout()
+                {
+                    match link {
+                        HbLink::Ip => self.ip_mon.on_heartbeat(now),
+                        HbLink::Serial => self.serial_mon.on_heartbeat(now),
+                    }
+                    self.metrics.on_heartbeat(link, now);
                 }
-                self.metrics.on_heartbeat(link, now);
                 return;
             }
         }
@@ -818,6 +857,7 @@ impl StTcpServer {
             return;
         }
         self.peer_last_seqno = Some(hb.seqno);
+        self.peer_seqno_advanced_at = now;
         match link {
             HbLink::Ip => self.ip_mon.on_heartbeat(now),
             HbLink::Serial => self.serial_mon.on_heartbeat(now),
@@ -905,14 +945,18 @@ impl StTcpServer {
             }
             // Staleness: duplicated / reordered frames, and the second
             // copy of every payload (it rides both links). Liveness yes,
-            // counters no.
+            // counters no — and only within one heartbeat timeout of the
+            // seqno last advancing, so a frozen stream starves the
+            // monitors and quorum fencing condemns the sender.
             if let Some(last) = m.last_seqno {
                 if hb.seqno.wrapping_sub(last) as i32 <= 0 {
-                    match link {
-                        HbLink::Ip => m.ip_mon.on_heartbeat(now),
-                        HbLink::Serial => m.serial_mon.on_heartbeat(now),
+                    if now.saturating_since(m.seqno_advanced_at) <= hb_timeout {
+                        match link {
+                            HbLink::Ip => m.ip_mon.on_heartbeat(now),
+                            HbLink::Serial => m.serial_mon.on_heartbeat(now),
+                        }
+                        self.metrics.on_heartbeat(link, now);
                     }
-                    self.metrics.on_heartbeat(link, now);
                     return;
                 }
             }
@@ -929,6 +973,7 @@ impl StTcpServer {
                 return;
             }
             m.last_seqno = Some(hb.seqno);
+            m.seqno_advanced_at = now;
             match link {
                 HbLink::Ip => m.ip_mon.on_heartbeat(now),
                 HbLink::Serial => m.serial_mon.on_heartbeat(now),
@@ -1091,6 +1136,12 @@ impl StTcpServer {
             if keep_ft {
                 if let Some(conn) = self.tcp.conn_mut(sock) {
                     conn.enable_hold(self.setup.sttcp.hold_buf);
+                }
+                if let Some(ctl) = self.conns.get(&sock) {
+                    self.events.push(StTcpEvent::HoldArmed {
+                        conn: ctl.key,
+                        at: now,
+                    });
                 }
             }
             let (key, action) = match self.conns.get_mut(&sock) {
@@ -1909,6 +1960,7 @@ impl StTcpServer {
             // is stale.
             self.peer_conns.clear();
             self.peer_last_seqno = None;
+            self.peer_seqno_advanced_at = now;
             self.byzantine_reported = false;
             self.events
                 .push(StTcpEvent::ReintegrationStarted { at: now });
@@ -1938,6 +1990,12 @@ impl StTcpServer {
             // arrives by tap or fetch.
             if let Some(conn) = self.tcp.conn_mut(sock) {
                 conn.enable_hold(self.setup.sttcp.hold_buf);
+            }
+            if let Some(ctl) = self.conns.get(&sock) {
+                self.events.push(StTcpEvent::HoldArmed {
+                    conn: ctl.key,
+                    at: now,
+                });
             }
             let Some(msg) = self.snapshot_conn(session, sock) else {
                 continue;
@@ -2068,6 +2126,9 @@ impl StTcpServer {
                         close_issued: s.local_fin,
                         hole_since: None,
                         last_sign_of_life: now,
+                        // The connection resumed mid-stream: its first
+                        // byte was delivered on the active side long ago.
+                        saw_data: true,
                     },
                 );
                 self.events.push(StTcpEvent::SnapshotInstalled {
@@ -2578,6 +2639,7 @@ impl Node for StTcpServer {
             self.ping.active = false;
             self.tcp_timer = None;
             self.peer_last_seqno = None;
+            self.peer_seqno_advanced_at = ctx.now();
             self.byzantine_reported = false;
             self.byz_mode = None;
             ctx.trace(format!(
@@ -2615,6 +2677,7 @@ impl Node for StTcpServer {
         self.hb_scratch = Vec::new();
         self.tcp_timer = None;
         self.peer_last_seqno = None;
+        self.peer_seqno_advanced_at = now;
         self.byzantine_reported = false;
         self.byz_mode = None;
         let hb_timeout = self.setup.sttcp.hb_timeout();

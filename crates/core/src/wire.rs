@@ -72,6 +72,48 @@ impl Crc32 {
     }
 }
 
+/// Reads a big-endian `u32` at `pos`, or `None` when fewer than four
+/// bytes remain. Total: never panics, any input, any position.
+///
+/// Decoders use this instead of direct indexing so a missing or wrong
+/// length precondition degrades into a decode error instead of a panic —
+/// the control channels carry attacker-grade garbage under chaos, and a
+/// panic in a decoder turns bit rot into a crashed server.
+pub fn read_u32_at(wire: &[u8], pos: usize) -> Option<u32> {
+    let bytes = wire.get(pos..pos.checked_add(4)?)?;
+    Some(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+}
+
+/// Reads a big-endian `u64` at `pos`, or `None` when fewer than eight
+/// bytes remain. Total like [`read_u32_at`].
+pub fn read_u64_at(wire: &[u8], pos: usize) -> Option<u64> {
+    let bytes = wire.get(pos..pos.checked_add(8)?)?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(bytes);
+    Some(u64::from_be_bytes(buf))
+}
+
+/// Splits a message framed as `body ‖ crc32(body):4` into
+/// `(body, stored_crc)`, or `None` when the frame cannot even hold the
+/// CRC tail plus `min_body` bytes of payload. Total: never panics.
+pub fn split_crc_tail(wire: &[u8], min_body: usize) -> Option<(&[u8], u32)> {
+    let body_len = wire.len().checked_sub(4)?;
+    if body_len < min_body {
+        return None;
+    }
+    let (body, tail) = wire.split_at(body_len);
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(tail);
+    Some((body, u32::from_be_bytes(crc_bytes)))
+}
+
+/// [`split_crc_tail`] plus the CRC check: returns the body only when the
+/// stored tail matches `crc32(body)`.
+pub fn checked_crc_frame(wire: &[u8], min_body: usize) -> Option<&[u8]> {
+    let (body, stored) = split_crc_tail(wire, min_body)?;
+    (crc32(body) == stored).then_some(body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +138,44 @@ mod tests {
             crc.update(&data[split..]);
             assert_eq!(crc.finish(), whole, "split at {split}");
         }
+    }
+
+    #[test]
+    fn reads_are_total_at_every_position() {
+        let data: Vec<u8> = (0u8..32).collect();
+        for pos in 0..=data.len() + 8 {
+            let r32 = read_u32_at(&data, pos);
+            let r64 = read_u64_at(&data, pos);
+            assert_eq!(r32.is_some(), pos + 4 <= data.len(), "u32 at {pos}");
+            assert_eq!(r64.is_some(), pos + 8 <= data.len(), "u64 at {pos}");
+        }
+        assert_eq!(read_u32_at(&data, usize::MAX), None);
+        assert_eq!(read_u64_at(&data, usize::MAX - 4), None);
+        assert_eq!(read_u32_at(&data, 0), Some(0x00010203));
+    }
+
+    #[test]
+    fn crc_tail_framing_roundtrips_and_rejects_short_frames() {
+        let body = b"fetch-reply body".to_vec();
+        let mut framed = body.clone();
+        framed.extend_from_slice(&crc32(&body).to_be_bytes());
+        assert_eq!(split_crc_tail(&framed, 1), Some((&body[..], crc32(&body))));
+        assert_eq!(checked_crc_frame(&framed, 1), Some(&body[..]));
+        // A frame shorter than min_body + 4 is rejected, down to empty.
+        for cut in 1..=framed.len() {
+            let short = &framed[..framed.len() - cut];
+            if short.len() < 1 + 4 {
+                assert_eq!(split_crc_tail(short, 1), None);
+            }
+            assert_eq!(checked_crc_frame(short, 1), None, "cut {cut}");
+        }
+        // A corrupted tail or body fails the checked variant.
+        let mut bad = framed.clone();
+        *bad.last_mut().unwrap() ^= 1;
+        assert_eq!(checked_crc_frame(&bad, 1), None);
+        let mut bad = framed;
+        bad[0] ^= 1;
+        assert_eq!(checked_crc_frame(&bad, 1), None);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use sttcp::events::FailureReason;
 use sttcp::finarb::{ArbAction, FinArbiter};
 use sttcp::heartbeat::{unwrap_u32_near, ConnHb, HbPayload, PingReport};
 use sttcp::recover::{ConnSnapshotMsg, CtrlMsg};
+use sttcp::wire;
 
 fn t(ms: u64) -> SimTime {
     SimTime::from_millis(ms)
@@ -194,6 +195,91 @@ proptest! {
     #[test]
     fn ctrl_decode_never_panics(wire in vec(any::<u8>(), 0..2048)) {
         let _ = CtrlMsg::decode(&wire);
+    }
+
+    /// *Any* contiguous subslice of a valid control message — not just
+    /// tail truncations — either errors or round-trips; it never panics.
+    /// Pins the decoders' reads staying total through the shared
+    /// `wire::read_*`/`checked_crc_frame` helpers.
+    #[test]
+    fn ctrl_subslice_never_panics(
+        data in vec(any::<u8>(), 0..256),
+        lo in 0usize..300,
+        hi in 0usize..300,
+    ) {
+        let full = CtrlMsg::FetchReply {
+            conn: 5,
+            from: 99,
+            data: Bytes::from(data),
+        }
+        .encode();
+        let lo = lo.min(full.len());
+        let hi = hi.min(full.len()).max(lo);
+        let _ = CtrlMsg::decode(&full[lo..hi]);
+    }
+
+    /// Same for heartbeats: arbitrary windows into a valid frame are
+    /// rejected or decoded, never a panic.
+    #[test]
+    fn heartbeat_subslice_never_panics(
+        conns in vec(arb_conn_hb(), 0..10),
+        lo in 0usize..300,
+        hi in 0usize..300,
+    ) {
+        let hb = HbPayload { seqno: 3, role: Role::Backup, rank: 1, conns, ping: None };
+        let full = hb.encode();
+        let lo = lo.min(full.len());
+        let hi = hi.min(full.len()).max(lo);
+        let _ = HbPayload::decode(&full[lo..hi]);
+    }
+
+    /// The total read helpers agree with direct big-endian reads exactly
+    /// when in bounds, and return `None` (never panic) otherwise.
+    #[test]
+    fn wire_read_helpers_are_total_and_exact(
+        data in vec(any::<u8>(), 0..64),
+        pos in 0usize..80,
+    ) {
+        match wire::read_u32_at(&data, pos) {
+            Some(v) => {
+                prop_assert!(pos + 4 <= data.len());
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&data[pos..pos + 4]);
+                prop_assert_eq!(v, u32::from_be_bytes(b));
+            }
+            None => prop_assert!(pos + 4 > data.len()),
+        }
+        match wire::read_u64_at(&data, pos) {
+            Some(v) => {
+                prop_assert!(pos + 8 <= data.len());
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&data[pos..pos + 8]);
+                prop_assert_eq!(v, u64::from_be_bytes(b));
+            }
+            None => prop_assert!(pos + 8 > data.len()),
+        }
+    }
+
+    /// CRC-tail framing: a well-formed frame splits and verifies; every
+    /// truncation of it (and every min_body above the payload) is
+    /// rejected without panicking.
+    #[test]
+    fn crc_tail_framing_is_total(
+        body in vec(any::<u8>(), 0..128),
+        cut in 0usize..140,
+        min_body in 0usize..140,
+    ) {
+        let mut framed = body.clone();
+        framed.extend_from_slice(&wire::crc32(&body).to_be_bytes());
+        prop_assert_eq!(wire::checked_crc_frame(&framed, body.len()), Some(&body[..]));
+        if min_body > body.len() {
+            prop_assert_eq!(wire::checked_crc_frame(&framed, min_body), None);
+        }
+        let cut = cut.min(framed.len());
+        if cut > 0 {
+            let short = &framed[..framed.len() - cut];
+            prop_assert_eq!(wire::checked_crc_frame(short, body.len()), None);
+        }
     }
 
     /// Any truncation of an encoded snapshot is rejected — the decoder

@@ -440,7 +440,16 @@ impl TcpEndpoint {
         if let Some(e) = self.socks.get_mut(&id) {
             e.fin_gate = FinGate::Open;
             if e.conn.rst_generated() {
+                // Mutation seam: `inject_held_rst` re-introduces the PR-1
+                // held-RST bug (gate swallows the one-shot RST and release
+                // forgets to re-send it — the client hangs forever). Built
+                // only so the bounded-exhaustive explorer can prove it
+                // re-discovers and shrinks the bug; never enable it in a
+                // real build.
+                #[cfg(not(feature = "inject_held_rst"))]
                 e.conn.reissue_rst(now);
+                #[cfg(feature = "inject_held_rst")]
+                let _ = now;
             } else if e.conn.fin_generated() {
                 e.conn.force_retransmit(now);
             }
