@@ -1023,6 +1023,13 @@ pub struct ChaosOptions {
     pub reintegrate: bool,
     /// Which application/traffic pair to run.
     pub workload: ChaosWorkload,
+    /// Capture a flight-recorder snapshot into the report even when no
+    /// invariant was violated (demos attach a dump unconditionally; the
+    /// hunt only pays for snapshots on violations).
+    pub flight_always: bool,
+    /// Tail window for captured flight snapshots, in milliseconds
+    /// (`None` keeps everything the per-host rings retained).
+    pub flight_window_ms: Option<u64>,
 }
 
 impl Default for ChaosOptions {
@@ -1034,6 +1041,8 @@ impl Default for ChaosOptions {
             trace_capacity: Some(4096),
             reintegrate: false,
             workload: ChaosWorkload::Download,
+            flight_always: false,
+            flight_window_ms: Some(2_000),
         }
     }
 }
@@ -1068,6 +1077,12 @@ pub struct ChaosReport {
     /// Every injected fault, as `(time, description)` in injection order
     /// (from the world's uncapped fault-episode log).
     pub faults: Vec<(SimTime, String)>,
+    /// Flight-recorder snapshot, captured when the run violated an
+    /// invariant (or unconditionally under
+    /// [`ChaosOptions::flight_always`]). Deliberately excluded from
+    /// [`ChaosReport::fingerprint`]: the fingerprint digests protocol
+    /// observables, and the flight tail is derived from them.
+    pub flight: Option<simnet::flight::FlightSnapshot>,
 }
 
 impl ChaosReport {
@@ -1217,6 +1232,12 @@ pub fn run_chaos_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) 
     let mut expectation = schedule.expectation();
     expectation.reintegrate = opts.reintegrate;
     let report = invariant::check(&p_view, &b_view, &client, &expectation);
+    // The recorder is always on; the *snapshot* is taken only when a
+    // violation makes the tail worth shipping (or when asked to).
+    let flight = (report.outcome == Outcome::Violation || opts.flight_always).then(|| {
+        s.world
+            .flight_snapshot(opts.flight_window_ms.map(SimDuration::from_millis))
+    });
     ChaosReport {
         outcome: report.outcome,
         violations: report.violations,
@@ -1225,6 +1246,7 @@ pub fn run_chaos_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) 
         backup_events: b_events,
         stall_window: log.longest_stall_window(from, to),
         faults: s.world.faults().to_vec(),
+        flight,
     }
 }
 
@@ -1234,8 +1256,13 @@ pub struct ShrinkResult {
     /// The minimized schedule (still violating, unless the input never
     /// violated in the first place).
     pub schedule: FaultSchedule,
-    /// Chaos runs spent shrinking.
+    /// Chaos runs spent shrinking (including the final replay that
+    /// captures `flight`).
     pub runs: usize,
+    /// Flight-recorder tail of the shrunk reproducer's violation, so a
+    /// minimized repro ships with its trace. `None` when the input
+    /// never violated.
+    pub flight: Option<simnet::flight::FlightSnapshot>,
 }
 
 /// Greedy delta-debugging over an arbitrary "still failing" predicate:
@@ -1296,7 +1323,14 @@ pub fn shrink_schedule(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions)
     let (schedule, runs) = shrink_with(schedule, |cand| {
         run_chaos_case(seed, cand, opts).outcome == Outcome::Violation
     });
-    ShrinkResult { schedule, runs }
+    // One replay of the minimized schedule captures the trace that
+    // ships with the repro.
+    let flight = run_chaos_case(seed, &schedule, opts).flight;
+    ShrinkResult {
+        schedule,
+        runs: runs + 1,
+        flight,
+    }
 }
 
 #[cfg(test)]

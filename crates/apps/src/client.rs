@@ -16,14 +16,17 @@
 use bytes::Bytes;
 use std::net::Ipv4Addr;
 
+use simnet::flight::{FlightKind, SpanId};
 use simnet::frame::EthernetFrame;
 use simnet::ip::IpProto;
 use simnet::iplayer::IpInterface;
 use simnet::node::{NicId, Node, NodeCtx, SerialPortId, TimerId, TimerToken};
+use simnet::profile::Component;
 use simnet::time::{SimDuration, SimTime};
 
 use simtcp::conn::TcpConfig;
 use simtcp::endpoint::{EndpointConfig, IsnPolicy, RstPolicy, TcpEndpoint};
+use simtcp::segment::{peek_segment, SegmentPeek};
 use simtcp::socket::{SocketEvent, SocketId};
 
 use crate::apps::ReqRespApp;
@@ -463,8 +466,48 @@ impl TcpClient {
         any
     }
 
+    /// Records a datapath segment in the flight recorder. Both ends of
+    /// the wire derive the same span from the header fields, so client
+    /// sends pair with server delivers in the dump (and vice versa).
+    fn flight_segment(ctx: &mut NodeCtx<'_>, h: &SegmentPeek, outbound: bool) {
+        let span = SpanId::segment(h.src_port, h.dst_port, h.seq, h.flags);
+        if h.is_pure_ack() {
+            ctx.flight(
+                span,
+                SpanId::NONE,
+                FlightKind::SegAck {
+                    conn: h.conn_tag(),
+                    ack: h.ack,
+                },
+            );
+        } else if outbound {
+            ctx.flight(
+                span,
+                SpanId::NONE,
+                FlightKind::SegSend {
+                    conn: h.conn_tag(),
+                    seq: h.seq,
+                    len: h.data_len,
+                    flags: h.flags,
+                },
+            );
+        } else {
+            ctx.flight(
+                span,
+                SpanId::NONE,
+                FlightKind::SegDeliver {
+                    conn: h.conn_tag(),
+                    seq: h.seq,
+                    len: h.data_len,
+                    flags: h.flags,
+                },
+            );
+        }
+    }
+
     fn flush(&mut self, ctx: &mut NodeCtx<'_>) {
         let now = ctx.now();
+        ctx.profile_enter(Component::Tcp);
         loop {
             let had = self.drain_events(ctx);
             let pkts = self.tcp.poll_packets(now);
@@ -472,11 +515,17 @@ impl TcpClient {
                 break;
             }
             for pkt in pkts {
+                if pkt.proto == IpProto::Tcp {
+                    if let Some(h) = peek_segment(&pkt.payload) {
+                        Self::flight_segment(ctx, &h, true);
+                    }
+                }
                 if let Some(frame) = self.iface.encap(&pkt) {
                     ctx.send_frame(self.iface.nic, frame);
                 }
             }
         }
+        ctx.profile_exit();
         let want = self.tcp.next_deadline();
         match (want, self.tcp_timer) {
             (Some(d), Some((_, at))) if d == at => {}
@@ -513,7 +562,12 @@ impl Node for TcpClient {
                     let _ = self.iface.handle_icmp(ctx, &pkt);
                 }
                 IpProto::Tcp if self.iface.accepts(pkt.dst) => {
+                    if let Some(h) = peek_segment(&pkt.payload) {
+                        Self::flight_segment(ctx, &h, false);
+                    }
+                    ctx.profile_enter(Component::Tcp);
                     self.tcp.on_packet(ctx.now(), &pkt);
+                    ctx.profile_exit();
                 }
                 _ => {}
             }

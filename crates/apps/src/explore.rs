@@ -74,7 +74,7 @@ use sttcp::server::{AppCrashMode, ByzantineHbMode};
 
 use crate::chaos::{
     chaos_config, run_chaos_case, shrink_schedule, ChaosAction, ChaosOptions, ChaosReport,
-    FaultSchedule, LinkSel, Side,
+    FaultSchedule, LinkSel, ShrinkResult, Side,
 };
 
 /// Schema identifier stamped into every coverage report this explorer
@@ -482,6 +482,9 @@ pub struct ViolationCase {
     pub shrunk: FaultSchedule,
     /// Chaos runs the shrinker spent.
     pub shrink_runs: usize,
+    /// Flight-recorder tail from replaying the shrunk reproducer — the
+    /// trace that ships with the repro.
+    pub flight: Option<simnet::flight::FlightSnapshot>,
 }
 
 /// Order-sensitive fold of an exploration — build it by calling
@@ -526,7 +529,7 @@ impl ExploreSummary {
         index: usize,
         schedule: &FaultSchedule,
         case: &CaseResult,
-        shrink: &mut dyn FnMut(&FaultSchedule) -> (FaultSchedule, usize),
+        shrink: &mut dyn FnMut(&FaultSchedule) -> ShrinkResult,
     ) {
         self.points += 1;
         *self.outcomes.entry(outcome_key(case.outcome)).or_insert(0) += 1;
@@ -544,13 +547,14 @@ impl ExploreSummary {
             invariants.sort_unstable();
             invariants.dedup();
             if !self.violations.iter().any(|v| v.invariants == invariants) {
-                let (shrunk, shrink_runs) = shrink(schedule);
+                let r = shrink(schedule);
                 self.violations.push(ViolationCase {
                     index,
                     schedule: schedule.clone(),
                     invariants,
-                    shrunk,
-                    shrink_runs,
+                    shrunk: r.schedule,
+                    shrink_runs: r.runs,
+                    flight: r.flight,
                 });
             }
         }
@@ -559,13 +563,8 @@ impl ExploreSummary {
 
 /// The real shrinker for [`ExploreSummary::add`]: delta-debug the
 /// schedule under the same `(seed, opts)` that exposed it.
-pub fn shrink_point(
-    seed: u64,
-    opts: &ChaosOptions,
-    schedule: &FaultSchedule,
-) -> (FaultSchedule, usize) {
-    let r = shrink_schedule(seed, schedule, opts);
-    (r.schedule, r.runs)
+pub fn shrink_point(seed: u64, opts: &ChaosOptions, schedule: &FaultSchedule) -> ShrinkResult {
+    shrink_schedule(seed, schedule, opts)
 }
 
 /// A deterministic stride subset of `total` lattice indices with at
@@ -836,7 +835,11 @@ mod tests {
             verdicts: vec!["hb_both_links_down", "hb_both_links_down"],
             violated: vec!["client-completion"],
         };
-        let mut stub = |s: &FaultSchedule| (s.clone(), 0usize);
+        let mut stub = |s: &FaultSchedule| ShrinkResult {
+            schedule: s.clone(),
+            runs: 0,
+            flight: None,
+        };
         s.add(0, &sched, &case, &mut stub);
         s.add(1, &sched, &case, &mut stub);
         assert_eq!(s.points, 2);

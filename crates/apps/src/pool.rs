@@ -204,6 +204,13 @@ impl PoolScenarioBuilder {
             }
         }
 
+        // Profiler attribution: client is application load, members are
+        // the pool protocol machinery.
+        world.set_node_component(client_id, simnet::profile::Component::App);
+        for &sid in &server_ids {
+            world.set_node_component(sid, simnet::profile::Component::Pool);
+        }
+
         world.start();
         PoolScenario {
             world,
@@ -498,6 +505,10 @@ pub struct PoolReport {
     pub stall_window: Option<(SimTime, SimTime)>,
     /// Every injected fault, as `(time, description)` in injection order.
     pub faults: Vec<(SimTime, String)>,
+    /// Flight-recorder tail, captured when the run violated an
+    /// invariant (or when [`ChaosOptions::flight_always`] asked for
+    /// it). Deliberately excluded from [`PoolReport::fingerprint`].
+    pub flight: Option<simnet::flight::FlightSnapshot>,
 }
 
 impl PoolReport {
@@ -613,6 +624,10 @@ pub fn run_pool_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) -
     };
 
     let report = invariant::check_pool(&views, &client, &pool_expectation(schedule));
+    let flight = (report.outcome == Outcome::Violation || opts.flight_always).then(|| {
+        s.world
+            .flight_snapshot(opts.flight_window_ms.map(SimDuration::from_millis))
+    });
     PoolReport {
         outcome: report.outcome,
         violations: report.violations,
@@ -622,6 +637,7 @@ pub fn run_pool_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) -
         active_at_end,
         stall_window: log.longest_stall_window(from, to),
         faults: s.world.faults().to_vec(),
+        flight,
     }
 }
 

@@ -19,6 +19,7 @@ use simnet::iplayer::IpInterface;
 use simnet::link::{LinkDir, LinkId, LinkParams, SwitchId};
 use simnet::mac::MacAddr;
 use simnet::node::{NicId, NodeId};
+use simnet::profile::Component;
 use simnet::serial::{SerialId, SerialParams};
 use simnet::time::{SimDuration, SimTime};
 use simnet::world::World;
@@ -286,6 +287,14 @@ impl ScenarioBuilder {
             .node_mut::<StTcpServer>(backup_id)
             .expect("backup type")
             .set_serial_port(sp_backup);
+
+        // Profiler attribution: client hosts are application load, the
+        // servers are the ST-TCP protocol machinery.
+        for &id in &clients {
+            world.set_node_component(id, Component::App);
+        }
+        world.set_node_component(primary_id, Component::Sttcp);
+        world.set_node_component(backup_id, Component::Sttcp);
 
         world.start();
         Scenario {

@@ -39,6 +39,7 @@ use std::time::Instant;
 
 use obs::json::Json;
 use obs::report::MetricsReport;
+use simnet::profile::Component;
 use simnet::time::SimTime;
 use sttcp_apps::apps::StreamApp;
 use sttcp_apps::chaos::ChaosOptions;
@@ -162,6 +163,44 @@ fn steady_state(total: u64) -> SteadyState {
     }
 }
 
+/// A second, *profiled* steady-state run: per-component wall-clock
+/// attribution (simnet/tcp/sttcp/pool/app buckets) plus heartbeat
+/// bandwidth accounting. Kept separate from [`steady_state`] so
+/// profiler overhead never touches the numbers the `--check` gate
+/// compares. Returns the `profile` and `hb_bandwidth` report sections.
+fn profiled_sections(total: u64) -> (Json, Json) {
+    let mut s = ScenarioBuilder::new(
+        Rc::new(|| Box::new(StreamApp::new(4096, false)) as _),
+        ClientWorkload::Download { total },
+    )
+    .seed(1)
+    .build();
+    s.world.set_profiling(true);
+    let horizon = SimTime::from_millis(10_000 + total / 100);
+    let step = SimTime::from_millis(500);
+    let mut until = step;
+    while !s.client_finished() && until <= horizon {
+        s.world.run_until(until);
+        until = SimTime::from_micros(until.as_micros() + step.as_micros());
+    }
+    assert!(s.client_finished(), "profiled download did not finish");
+
+    let p = s.world.profiler();
+    let mut profile = Json::obj();
+    for c in Component::ALL {
+        let st = p.stats(c);
+        let mut o = Json::obj();
+        o.set("scopes", Json::U64(st.scopes));
+        o.set("self_us", Json::U64(st.self_ns / 1_000));
+        o.set("total_us", Json::U64(st.total_ns / 1_000));
+        profile.set(c.key(), o);
+    }
+    profile.set("total_self_us", Json::U64(p.total_self_ns() / 1_000));
+
+    let hb = s.server(s.primary).metrics().hb_bandwidth().to_json();
+    (profile, hb)
+}
+
 struct ChaosRate {
     wall_us: u64,
     seeds_per_sec: f64,
@@ -267,10 +306,19 @@ fn main() {
     }
 
     println!(
-        "bench_suite: steady-state download ({} bytes)...",
+        "bench_suite: steady-state download ({} bytes, best of 3)...",
         args.download_bytes
     );
-    let steady = steady_state(args.download_bytes);
+    // Best of 3, mirroring --check: the snapshot this writes is the
+    // gate's baseline, so both sides must tolerate machine noise the
+    // same way — a cold single-run baseline would weaken the gate.
+    let mut steady = steady_state(args.download_bytes);
+    for _ in 0..2 {
+        let s = steady_state(args.download_bytes);
+        if s.events_per_sec > steady.events_per_sec {
+            steady = s;
+        }
+    }
     println!(
         "  {} events in {:.3} s — {:.0} events/s, {:.0} bytes/s",
         steady.events,
@@ -302,6 +350,9 @@ fn main() {
         chaos_mt.seeds_per_sec / chaos_1t.seeds_per_sec.max(1e-9),
     );
 
+    println!("bench_suite: profiled steady-state run (attribution only)...");
+    let (profile, hb_bandwidth) = profiled_sections(args.download_bytes);
+
     let mut report = MetricsReport::new("bench_suite");
     let mut config = Json::obj();
     config.set("download_bytes", Json::U64(args.download_bytes));
@@ -329,6 +380,8 @@ fn main() {
         Json::F64(chaos_mt.seeds_per_sec / chaos_1t.seeds_per_sec.max(1e-9)),
     );
     current.set("chaos", ch);
+    current.set("profile", profile);
+    current.set("hb_bandwidth", hb_bandwidth);
     report.set("current", current);
 
     if args.baseline_events_per_sec.is_some()

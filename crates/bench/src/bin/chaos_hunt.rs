@@ -44,10 +44,36 @@ use sttcp_apps::chaos::{
     run_chaos_case, shrink_schedule, ChaosOptions, ChaosWorkload, FaultSchedule,
 };
 use sttcp_apps::pool::run_pool_case;
+use sttcp_bench::flight::{dumps_to_json, flight_dir_for, write_flight_dump, FlightDumpPaths};
 use sttcp_bench::hunt::{
     latest_fault_before, run_pool_sweep, run_sweep, survivor_events, GrammarCoverage, SweepConfig,
 };
 use sttcp_bench::phases::{failover_timeline, takeover_timelines};
+
+/// Writes the violation's flight-recorder dump pair and prints where it
+/// went; returns the paths for the `--json` report's `flight_dumps`
+/// section. Failures are reported but never fail the hunt.
+fn dump_flight(
+    dir: &std::path::Path,
+    stem: &str,
+    snap: &simnet::flight::FlightSnapshot,
+) -> Option<FlightDumpPaths> {
+    match write_flight_dump(dir, stem, snap) {
+        Ok(w) => {
+            println!(
+                "  flight dump: {} ({} events; open {} in ui.perfetto.dev)",
+                w.dump.display(),
+                w.events,
+                w.trace.display()
+            );
+            Some(w)
+        }
+        Err(e) => {
+            eprintln!("  failed to write flight dump {stem}: {e}");
+            None
+        }
+    }
+}
 
 struct Args {
     seeds: u64,
@@ -63,6 +89,7 @@ struct Args {
     grammar: bool,
     verbose: bool,
     trace: bool,
+    flight_always: bool,
     json: Option<PathBuf>,
     enforce_bounds: bool,
 }
@@ -82,6 +109,7 @@ fn parse_args() -> Args {
         grammar: false,
         verbose: false,
         trace: false,
+        flight_always: false,
         json: None,
         enforce_bounds: false,
     };
@@ -91,7 +119,7 @@ fn parse_args() -> Args {
             "usage: chaos_hunt [--seeds N] [--start N] [--threads N] [--quick] [--double] \
              [--reintegrate] [--pool] [--seed N [--schedule \"...\"]] \
              [--workload download|reqresp|commit-stream] [--grammar] [--verbose] [--trace] \
-             [--json PATH] [--enforce-bounds]"
+             [--flight-always] [--json PATH] [--enforce-bounds]"
         );
         std::process::exit(2);
     }
@@ -125,6 +153,7 @@ fn parse_args() -> Args {
             "--grammar" => args.grammar = true,
             "--verbose" => args.verbose = true,
             "--trace" => args.trace = true,
+            "--flight-always" => args.flight_always = true,
             "--json" => args.json = Some(PathBuf::from(val("--json"))),
             "--enforce-bounds" => args.enforce_bounds = true,
             other => die(&format!("unknown option {other:?}")),
@@ -141,6 +170,7 @@ fn main() -> ExitCode {
         ChaosOptions::default()
     };
     opts.trace = args.trace;
+    opts.flight_always = args.flight_always;
     opts.reintegrate = args.reintegrate;
     if let Some(w) = args.workload {
         opts.workload = w;
@@ -193,6 +223,13 @@ fn main() -> ExitCode {
             for v in &report.violations {
                 println!("VIOLATION [{}]: {}", v.invariant, v.detail);
             }
+            if let Some(snap) = &report.flight {
+                dump_flight(
+                    &flight_dir_for(args.json.as_deref()),
+                    &format!("seed{seed}"),
+                    snap,
+                );
+            }
             return if report.outcome == Outcome::Violation {
                 ExitCode::from(1)
             } else {
@@ -223,6 +260,13 @@ fn main() -> ExitCode {
         for v in &report.violations {
             println!("VIOLATION [{}]: {}", v.invariant, v.detail);
         }
+        if let Some(snap) = &report.flight {
+            dump_flight(
+                &flight_dir_for(args.json.as_deref()),
+                &format!("seed{seed}"),
+                snap,
+            );
+        }
         return if report.outcome == Outcome::Violation {
             ExitCode::from(1)
         } else {
@@ -245,6 +289,8 @@ fn main() -> ExitCode {
                 String::new()
             },
         );
+        let flight_dir = flight_dir_for(args.json.as_deref());
+        let mut flight_dumps: Vec<FlightDumpPaths> = Vec::new();
         let summary = run_pool_sweep(args.seeds, args.start, args.threads, &opts, |case| {
             if args.grammar {
                 coverage.add(&case.schedule);
@@ -264,6 +310,13 @@ fn main() -> ExitCode {
                      --pool --seed {} --schedule \"{}\"",
                     case.seed, case.schedule
                 );
+                if let Some(snap) = &case.report.flight {
+                    flight_dumps.extend(dump_flight(
+                        &flight_dir,
+                        &format!("seed{}", case.seed),
+                        snap,
+                    ));
+                }
             }
         });
         println!();
@@ -288,7 +341,8 @@ fn main() -> ExitCode {
             print!("{}", summary.agg.render_table());
         }
         if let Some(path) = &args.json {
-            let report = summary.to_report(args.seeds, args.start, args.quick);
+            let mut report = summary.to_report(args.seeds, args.start, args.quick);
+            report.set("flight_dumps", dumps_to_json(&flight_dumps));
             if let Err(e) = report.write_to(path) {
                 eprintln!("failed to write {}: {e}", path.display());
                 return ExitCode::from(1);
@@ -333,6 +387,8 @@ fn main() -> ExitCode {
         reintegrate: args.reintegrate,
         threads: args.threads,
     };
+    let flight_dir = flight_dir_for(args.json.as_deref());
+    let mut flight_dumps: Vec<FlightDumpPaths> = Vec::new();
     let summary = run_sweep(&cfg, &opts, |case| {
         if args.grammar {
             coverage.add(&case.schedule);
@@ -359,6 +415,16 @@ fn main() -> ExitCode {
                  --seed {} --schedule \"{}\"",
                 case.seed, shrunk.schedule
             );
+            // The shrunk reproducer's trace is the one worth keeping;
+            // fall back to the original run's tail if shrinking lost
+            // the violation (it shouldn't — replay is deterministic).
+            if let Some(snap) = shrunk.flight.as_ref().or(case.report.flight.as_ref()) {
+                flight_dumps.extend(dump_flight(
+                    &flight_dir,
+                    &format!("seed{}", case.seed),
+                    snap,
+                ));
+            }
         }
     });
 
@@ -401,7 +467,8 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.json {
-        let report = summary.to_report(&cfg, args.enforce_bounds);
+        let mut report = summary.to_report(&cfg, args.enforce_bounds);
+        report.set("flight_dumps", dumps_to_json(&flight_dumps));
         if let Err(e) = report.write_to(path) {
             eprintln!("failed to write {}: {e}", path.display());
             return ExitCode::from(1);

@@ -15,6 +15,7 @@ use std::process::exit;
 
 use simnet::time::SimDuration;
 use sttcp_bench::experiments::{run_baseline_failover, run_failover};
+use sttcp_bench::flight::{dumps_to_json, flight_dir_for, write_flight_dump};
 use sttcp_bench::report::{render_series, Table};
 
 fn parse_args() -> Option<PathBuf> {
@@ -48,7 +49,7 @@ fn main() {
     let json_path = parse_args();
 
     println!("Demo 1 — client-transparent seamless failover\n");
-    let r = run_failover(1, 200, TOTAL, CRASH_MS);
+    let mut r = run_failover(1, 200, TOTAL, CRASH_MS);
     println!("ST-TCP client progress (x: time, y: bytes; primary crashed at t={CRASH_MS}ms):\n");
     print!("{}", render_series(&r.progress, 72, 12));
     println!();
@@ -110,6 +111,20 @@ fn main() {
     );
 
     if let Some(path) = json_path {
+        // Ship the causal trace of the failover alongside the report:
+        // crash → heartbeat silence → verdict → STONITH → takeover.
+        match write_flight_dump(&flight_dir_for(Some(&path)), "demo1", &r.flight) {
+            Ok(w) => {
+                println!(
+                    "\nflight dump: {} ({} events; open {} in ui.perfetto.dev)",
+                    w.dump.display(),
+                    w.events,
+                    w.trace.display()
+                );
+                r.report.set("flight_dumps", dumps_to_json(&[w]));
+            }
+            Err(e) => eprintln!("failed to write flight dump: {e}"),
+        }
         if let Err(e) = r.report.write_to(&path) {
             eprintln!("failed to write {}: {e}", path.display());
             exit(1);

@@ -29,6 +29,7 @@ use sttcp::events::StTcpEvent;
 use sttcp_apps::apps::StreamApp;
 use sttcp_apps::client::ClientWorkload;
 use sttcp_apps::pool::PoolScenarioBuilder;
+use sttcp_bench::flight::{dumps_to_json, flight_dir_for, write_flight_dump};
 use sttcp_bench::phases::failover_timeline;
 use sttcp_bench::report::{render_series, Table};
 
@@ -306,6 +307,25 @@ fn main() {
             );
         }
         report.set("phases", phases);
+
+        // Both quorum-fenced takeovers, as a causal trace: heartbeat
+        // silence → fence request/acks → commit → verdict → takeover.
+        match write_flight_dump(
+            &flight_dir_for(Some(&path)),
+            "demo7",
+            &s.world.flight_snapshot(None),
+        ) {
+            Ok(w) => {
+                println!(
+                    "flight dump: {} ({} events; open {} in ui.perfetto.dev)",
+                    w.dump.display(),
+                    w.events,
+                    w.trace.display()
+                );
+                report.set("flight_dumps", dumps_to_json(&[w]));
+            }
+            Err(e) => eprintln!("failed to write flight dump: {e}"),
+        }
 
         if let Err(e) = report.write_to(&path) {
             eprintln!("failed to write {}: {e}", path.display());

@@ -26,6 +26,7 @@ use std::process::ExitCode;
 
 use sttcp_apps::chaos::{ChaosOptions, ChaosWorkload};
 use sttcp_bench::explore::{run_explore, ExploreConfig};
+use sttcp_bench::flight::{dumps_to_json, flight_dir_for, write_flight_dump, FlightDumpPaths};
 
 struct Args {
     workload: ChaosWorkload,
@@ -113,6 +114,8 @@ fn main() -> ExitCode {
         },
     );
 
+    let flight_dir = flight_dir_for(args.json.as_deref());
+    let mut flight_dumps: Vec<FlightDumpPaths> = Vec::new();
     let run = run_explore(&cfg, &opts, |v| {
         println!(
             "VIOLATION class [{}] at lattice point {}: {}",
@@ -130,6 +133,22 @@ fn main() -> ExitCode {
              --seed {} --schedule \"{}\"",
             args.seed, v.shrunk
         );
+        // The shrinker replays the minimized schedule once, so every
+        // new violation class ships with its flight-recorder trace.
+        if let Some(snap) = &v.flight {
+            match write_flight_dump(&flight_dir, &format!("point{}", v.index), snap) {
+                Ok(w) => {
+                    println!(
+                        "  flight dump: {} ({} events; open {} in ui.perfetto.dev)",
+                        w.dump.display(),
+                        w.events,
+                        w.trace.display()
+                    );
+                    flight_dumps.push(w);
+                }
+                Err(e) => eprintln!("  failed to write flight dump for point {}: {e}", v.index),
+            }
+        }
     });
 
     let lat = &run.lattice;
@@ -167,7 +186,8 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.json {
-        let report = run.to_report(&cfg);
+        let mut report = run.to_report(&cfg);
+        report.set("flight_dumps", dumps_to_json(&flight_dumps));
         if let Err(e) = report.write_to(path) {
             eprintln!("failed to write {}: {e}", path.display());
             return ExitCode::from(1);

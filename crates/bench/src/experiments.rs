@@ -168,6 +168,10 @@ pub struct FailoverRun {
     /// Full metrics report: simnet/tcp/core sections plus the client and
     /// phase data above.
     pub report: MetricsReport,
+    /// The always-on flight recorder's tail at end of run — the causal
+    /// trace of the crash → detection → takeover chain, ready for
+    /// [`crate::flight::write_flight_dump`].
+    pub flight: simnet::flight::FlightSnapshot,
 }
 
 /// Runs one primary-crash failover with the given heartbeat period.
@@ -228,6 +232,7 @@ pub fn run_failover(seed: u64, hb_ms: u64, total: u64, crash_ms: u64) -> Failove
     }
 
     FailoverRun {
+        flight: s.world.flight_snapshot(None),
         hb_period: SimDuration::from_millis(hb_ms),
         crash_at: crash,
         detection,

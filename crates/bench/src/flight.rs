@@ -1,0 +1,143 @@
+//! Flight-recorder dump files for the experiment CLIs.
+//!
+//! A [`FlightSnapshot`] captured by a chaos run (or replayed from a
+//! shrunk reproducer) is written as **two** files: the schema-versioned
+//! JSON dump ([`obs::flightdump::snapshot_to_json`]) and a Chrome
+//! trace-event export loadable in `ui.perfetto.dev`
+//! ([`obs::flightdump::snapshot_to_chrome_trace`]). File names derive
+//! only from the caller-chosen stem (seed, lattice index, demo name) —
+//! never wall time — so reruns overwrite rather than accumulate and the
+//! `--json` reports that embed the paths stay byte-identical at any
+//! `--threads` setting.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use obs::flightdump::{snapshot_to_chrome_trace, snapshot_to_json};
+use obs::json::Json;
+use simnet::flight::FlightSnapshot;
+
+/// File paths of one written dump pair.
+#[derive(Debug, Clone)]
+pub struct FlightDumpPaths {
+    /// The stem the files were named from.
+    pub stem: String,
+    /// The schema-versioned flight-recorder dump.
+    pub dump: PathBuf,
+    /// The Chrome trace-event export (open in `ui.perfetto.dev`).
+    pub trace: PathBuf,
+    /// Events in the snapshot (a quick triage signal in reports).
+    pub events: usize,
+}
+
+/// Where a CLI's dumps go: next to its `--json` report (sibling
+/// directory `<report-stem>_flight/`), or `flight_dumps/` in the
+/// working directory when no report path was given.
+pub fn flight_dir_for(json_path: Option<&Path>) -> PathBuf {
+    match json_path {
+        Some(p) => {
+            let stem = p.file_stem().map_or_else(
+                || "report".to_string(),
+                |s| s.to_string_lossy().into_owned(),
+            );
+            p.parent()
+                .unwrap_or_else(|| Path::new("."))
+                .join(format!("{stem}_flight"))
+        }
+        None => PathBuf::from("flight_dumps"),
+    }
+}
+
+/// Writes `snap` into `dir` as `<stem>.flight.json` plus
+/// `<stem>.trace.json`, creating `dir` as needed.
+pub fn write_flight_dump(
+    dir: &Path,
+    stem: &str,
+    snap: &FlightSnapshot,
+) -> io::Result<FlightDumpPaths> {
+    fs::create_dir_all(dir)?;
+    let dump = dir.join(format!("{stem}.flight.json"));
+    let trace = dir.join(format!("{stem}.trace.json"));
+    fs::write(&dump, format!("{}\n", snapshot_to_json(snap)))?;
+    fs::write(&trace, format!("{}\n", snapshot_to_chrome_trace(snap)))?;
+    Ok(FlightDumpPaths {
+        stem: stem.to_string(),
+        dump,
+        trace,
+        events: snap.events.len(),
+    })
+}
+
+/// The `flight_dumps` section a CLI attaches to its `--json` report:
+/// one `{stem, dump, trace, events}` object per written dump, in write
+/// order (which callers keep deterministic — seed order, lattice
+/// order).
+pub fn dumps_to_json(written: &[FlightDumpPaths]) -> Json {
+    Json::Arr(
+        written
+            .iter()
+            .map(|w| {
+                let mut o = Json::obj();
+                o.set("stem", Json::Str(w.stem.clone()));
+                o.set("dump", Json::Str(w.dump.display().to_string()));
+                o.set("trace", Json::Str(w.trace.display().to_string()));
+                o.set("events", Json::U64(w.events as u64));
+                o
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::flight::{FlightEvent, FlightKind, SpanId};
+    use simnet::node::NodeId;
+    use simnet::time::SimTime;
+
+    fn sample_snapshot() -> FlightSnapshot {
+        FlightSnapshot {
+            events: vec![FlightEvent {
+                seq: 1,
+                time: SimTime::from_millis(5),
+                node: Some(NodeId(0)),
+                span: SpanId::heartbeat(0, 0, 1),
+                parent: SpanId::NONE,
+                kind: FlightKind::HbEmit {
+                    seqno: 1,
+                    link: 0,
+                    bytes: 34,
+                    conns: 1,
+                },
+            }],
+            hosts: vec!["primary".to_string()],
+            window_ms: Some(2_000),
+        }
+    }
+
+    #[test]
+    fn dump_pair_written_and_valid() {
+        let dir = std::env::temp_dir().join("bench_flight_test");
+        let snap = sample_snapshot();
+        let w = write_flight_dump(&dir, "seed7", &snap).unwrap();
+        let raw = std::fs::read_to_string(&w.dump).unwrap();
+        let parsed = Json::parse(&raw).unwrap();
+        obs::flightdump::validate(&parsed).unwrap();
+        let trace = std::fs::read_to_string(&w.trace).unwrap();
+        assert!(trace.contains("traceEvents"));
+        assert_eq!(w.events, 1);
+        let arr = dumps_to_json(&[w]);
+        let s = arr.to_string();
+        assert!(s.contains("seed7.flight.json"));
+        assert!(s.contains("seed7.trace.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_dir_tracks_report_path() {
+        let d = flight_dir_for(Some(Path::new("out/chaos.json")));
+        assert_eq!(d, PathBuf::from("out/chaos_flight"));
+        assert_eq!(flight_dir_for(None), PathBuf::from("flight_dumps"));
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod experiments;
 pub mod explore;
+pub mod flight;
 pub mod hunt;
 pub mod parallel;
 pub mod phases;

@@ -50,11 +50,65 @@ impl HbLinkMetrics {
     }
 }
 
+/// Heartbeat bandwidth totals: what the primary's state announcements
+/// cost on the wire, split into per-connection payload and framing
+/// (header + optional ping trailer) overhead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HbBandwidth {
+    /// Emit rounds (one per heartbeat timer tick that sent state).
+    pub rounds: u64,
+    /// Heartbeat frames sent (rounds × destinations × links).
+    pub frames: u64,
+    /// Per-connection entry bytes summed over every frame.
+    pub payload_bytes: u64,
+    /// Header and ping-trailer bytes summed over every frame.
+    pub framing_bytes: u64,
+    /// Connection entries summed over every frame.
+    pub conn_entries: u64,
+}
+
+impl HbBandwidth {
+    /// Total bytes on the wire (payload + framing).
+    pub fn total_bytes(&self) -> u64 {
+        self.payload_bytes + self.framing_bytes
+    }
+
+    /// Average wire bytes per emit round (integer, 0 when idle).
+    pub fn bytes_per_round(&self) -> u64 {
+        self.total_bytes().checked_div(self.rounds).unwrap_or(0)
+    }
+
+    /// Average payload bytes per announced connection entry (integer,
+    /// 0 when no entries were sent).
+    pub fn bytes_per_conn(&self) -> u64 {
+        self.payload_bytes
+            .checked_div(self.conn_entries)
+            .unwrap_or(0)
+    }
+
+    /// This accounting as a JSON object (nested under
+    /// `heartbeat.bandwidth` in the server's metrics slice).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("rounds", Json::U64(self.rounds));
+        o.set("frames", Json::U64(self.frames));
+        o.set("payload_bytes", Json::U64(self.payload_bytes));
+        o.set("framing_bytes", Json::U64(self.framing_bytes));
+        o.set("total_bytes", Json::U64(self.total_bytes()));
+        o.set("conn_entries", Json::U64(self.conn_entries));
+        o.set("bytes_per_round", Json::U64(self.bytes_per_round()));
+        o.set("bytes_per_conn", Json::U64(self.bytes_per_conn()));
+        o
+    }
+}
+
 /// Counters, gauges, and histograms fed from the ST-TCP hot paths.
 #[derive(Debug, Clone)]
 pub struct ServerMetrics {
     hb_ip: HbLinkMetrics,
     hb_serial: HbLinkMetrics,
+    /// Outbound heartbeat bandwidth accounting.
+    hb_bandwidth: HbBandwidth,
     /// Hold-buffer (extended receive buffer) occupancy high-water mark.
     hold: Gauge,
     /// Bytes this primary served to the backup's fetch requests.
@@ -90,6 +144,7 @@ impl ServerMetrics {
         ServerMetrics {
             hb_ip: HbLinkMetrics::new(),
             hb_serial: HbLinkMetrics::new(),
+            hb_bandwidth: HbBandwidth::default(),
             hold: Gauge::new(),
             fetch_bytes_served: Counter::new(),
             replay_bytes: Counter::new(),
@@ -120,6 +175,29 @@ impl ServerMetrics {
     /// The most recent pool-strength sample (0 in pair mode).
     pub fn pool_strength(&self) -> u64 {
         self.pool_strength.get()
+    }
+
+    /// Records one emit round of outbound heartbeat state: `frames`
+    /// frames carrying `conn_entries` connection entries in total,
+    /// split into `payload_bytes` of entry data and `framing_bytes` of
+    /// header/trailer overhead.
+    pub fn on_hb_round(
+        &mut self,
+        frames: u64,
+        conn_entries: u64,
+        payload_bytes: u64,
+        framing_bytes: u64,
+    ) {
+        self.hb_bandwidth.rounds += 1;
+        self.hb_bandwidth.frames += frames;
+        self.hb_bandwidth.conn_entries += conn_entries;
+        self.hb_bandwidth.payload_bytes += payload_bytes;
+        self.hb_bandwidth.framing_bytes += framing_bytes;
+    }
+
+    /// The outbound heartbeat bandwidth accounting so far.
+    pub fn hb_bandwidth(&self) -> HbBandwidth {
+        self.hb_bandwidth
     }
 
     /// Records a heartbeat arriving on `link`.
@@ -209,6 +287,7 @@ impl ServerMetrics {
         let mut hb = Json::obj();
         hb.set("ip", self.hb_ip.to_json());
         hb.set("serial", self.hb_serial.to_json());
+        hb.set("bandwidth", self.hb_bandwidth.to_json());
         o.set("heartbeat", hb);
         o.set("hold_high_water_bytes", Json::U64(self.hold.high_water()));
         o.set(
@@ -291,6 +370,25 @@ mod tests {
         let j = m.to_json().to_string();
         assert!(j.contains("\"send_occupancy_high_water\":2920"));
         assert!(j.contains("\"recv_occupancy_high_water\":4096"));
+    }
+
+    #[test]
+    fn hb_bandwidth_accumulates_and_averages() {
+        let mut m = ServerMetrics::new();
+        assert_eq!(m.hb_bandwidth(), HbBandwidth::default());
+        // Two rounds, two frames each (IP + serial), one conn of 21B
+        // payload behind 13B of header per frame.
+        m.on_hb_round(2, 2, 42, 26);
+        m.on_hb_round(2, 2, 42, 26);
+        let bw = m.hb_bandwidth();
+        assert_eq!(bw.rounds, 2);
+        assert_eq!(bw.frames, 4);
+        assert_eq!(bw.total_bytes(), 136);
+        assert_eq!(bw.bytes_per_round(), 68);
+        assert_eq!(bw.bytes_per_conn(), 21);
+        let j = m.to_json().to_string();
+        assert!(j.contains("\"bandwidth\":{\"rounds\":2"));
+        assert!(j.contains("\"bytes_per_conn\":21"));
     }
 
     #[test]

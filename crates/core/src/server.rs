@@ -19,16 +19,19 @@ use bytes::Bytes;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
+use simnet::flight::{FlightKind, SpanId};
 use simnet::frame::EthernetFrame;
 use simnet::ip::{IpProto, Ipv4Packet};
 use simnet::iplayer::IpInterface;
 use simnet::node::{NicId, Node, NodeCtx, NodeId, SerialPortId, TimerId, TimerToken};
+use simnet::profile::Component;
 use simnet::time::{SimDuration, SimTime};
 
 use simtcp::conn::{ConnStats, TcpConfig, TcpConn, TcpSnapshot, TcpState};
 use simtcp::endpoint::{
     EgressMode, EndpointConfig, FinGate, IsnPolicy, ListenConfig, RstPolicy, TcpEndpoint,
 };
+use simtcp::segment::peek_segment;
 use simtcp::seq::SeqNum;
 use simtcp::socket::{FourTuple, SocketEvent, SocketId};
 
@@ -37,7 +40,7 @@ use crate::applag::AppLagDetector;
 use crate::config::{Role, StTcpConfig};
 use crate::events::{FailureReason, HbLink, StTcpEvent};
 use crate::finarb::{ArbAction, FinArbiter};
-use crate::heartbeat::{conn_key, unwrap_u32_near, ConnHb, HbPayload, PingReport};
+use crate::heartbeat::{conn_key, unwrap_u32_near, ConnHb, HbPayload, PingReport, HB_CONN_LEN};
 use crate::linkmon::LinkMonitor;
 use crate::metrics::ServerMetrics;
 use crate::netdetect::{NetFailureDetector, NetObservation};
@@ -46,6 +49,23 @@ use crate::recover::{ConnSnapshotMsg, CtrlMsg, MAX_FETCH_DATA};
 
 /// The IP protocol number carrying the server-to-server recovery channel.
 pub const CTRL_PROTO: IpProto = IpProto::Other(254);
+
+/// The wire role byte both heartbeat endpoints derive span ids from.
+fn role_byte(role: Role) -> u8 {
+    match role {
+        Role::Primary => 0,
+        Role::Backup => 1,
+    }
+}
+
+/// The stable numeric code a verdict's [`FailureReason`] gets in flight
+/// events (the index into [`FailureReason::ALL`]).
+pub fn reason_code(reason: FailureReason) -> u32 {
+    FailureReason::ALL
+        .iter()
+        .position(|&r| r == reason)
+        .unwrap() as u32
+}
 
 const TOKEN_HB: TimerToken = TimerToken(1);
 const TOKEN_CHECK: TimerToken = TimerToken(2);
@@ -217,6 +237,12 @@ pub struct StTcpServer {
     peer_seqno_advanced_at: SimTime,
     /// Pair mode: a byzantine heartbeat was already logged (sticky).
     byzantine_reported: bool,
+    /// Span of the last heartbeat this server received — the evidence a
+    /// later failure verdict is causally parented to.
+    last_hb_rx_span: SpanId,
+    /// Span of this server's failure verdict; the STONITH and takeover
+    /// flight events join it so the whole failover reads as one chain.
+    verdict_span: SpanId,
     /// Byzantine heartbeat fault injection, if armed (testing).
     byz_mode: Option<ByzantineHbMode>,
     /// N-replica pool state (`None` in pair mode).
@@ -307,6 +333,8 @@ impl StTcpServer {
             peer_last_seqno: None,
             peer_seqno_advanced_at: SimTime::ZERO,
             byzantine_reported: false,
+            last_hb_rx_span: SpanId::NONE,
+            verdict_span: SpanId::NONE,
             byz_mode: None,
             pool: (!setup.pool.is_empty())
                 .then(|| PoolState::new(setup.rank, &setup.pool, hb_timeout, SimTime::ZERO)),
@@ -777,8 +805,15 @@ impl StTcpServer {
             }
         }
         let wire = hb.encode();
+        // Both endpoints derive the same span from wire-observable
+        // fields, so emit and receive link up without any wire change.
+        let span = SpanId::heartbeat(role_byte(hb.role), hb.rank, hb.seqno);
+        let seqno = hb.seqno;
+        let conns = hb.conns.len() as u32;
+        let wire_bytes = wire.len() as u32;
         // Reclaim the conn buffer (and its capacity) for the next period.
         self.hb_scratch = hb.conns;
+        let mut frames = 0u64;
         if let Some(pool) = &self.pool {
             let dests: Vec<(Ipv4Addr, Option<SerialPortId>)> = pool
                 .members
@@ -788,9 +823,31 @@ impl StTcpServer {
             for (ip, port) in dests {
                 if let Some(frame) = self.iface.frame_to(ip, IpProto::Heartbeat, wire.clone()) {
                     ctx.send_frame(self.iface.nic, frame);
+                    ctx.flight(
+                        span,
+                        SpanId::NONE,
+                        FlightKind::HbEmit {
+                            seqno,
+                            link: 0,
+                            bytes: wire_bytes,
+                            conns,
+                        },
+                    );
+                    frames += 1;
                 }
                 if let Some(port) = port {
                     ctx.send_serial(port, wire.clone());
+                    ctx.flight(
+                        span,
+                        SpanId::NONE,
+                        FlightKind::HbEmit {
+                            seqno,
+                            link: 1,
+                            bytes: wire_bytes,
+                            conns,
+                        },
+                    );
+                    frames += 1;
                 }
             }
         } else {
@@ -799,9 +856,41 @@ impl StTcpServer {
                     .frame_to(self.setup.peer_private_ip, IpProto::Heartbeat, wire.clone())
             {
                 ctx.send_frame(self.iface.nic, frame);
+                ctx.flight(
+                    span,
+                    SpanId::NONE,
+                    FlightKind::HbEmit {
+                        seqno,
+                        link: 0,
+                        bytes: wire_bytes,
+                        conns,
+                    },
+                );
+                frames += 1;
             }
             ctx.send_serial(self.serial_port, wire);
+            ctx.flight(
+                span,
+                SpanId::NONE,
+                FlightKind::HbEmit {
+                    seqno,
+                    link: 1,
+                    bytes: wire_bytes,
+                    conns,
+                },
+            );
+            frames += 1;
         }
+        // Bandwidth accounting: connection entries are the payload; the
+        // header and optional ping trailer are framing overhead.
+        let payload_per_frame = conns as u64 * HB_CONN_LEN as u64;
+        let framing_per_frame = (wire_bytes as u64).saturating_sub(payload_per_frame);
+        self.metrics.on_hb_round(
+            frames,
+            conns as u64 * frames,
+            payload_per_frame * frames,
+            framing_per_frame * frames,
+        );
     }
 
     /// True when `hb`'s per-connection counters regress against what this
@@ -1070,10 +1159,29 @@ impl StTcpServer {
         self.events
             .push(StTcpEvent::PeerDeclaredFailed { reason, at: now });
         self.metrics.on_verdict(reason);
+        // The verdict is causally parented to the last heartbeat this
+        // server accepted — the final evidence before it condemned the
+        // peer; the STONITH joins the verdict's span.
+        let vspan = SpanId::verdict(ctx.node_id().0 as u64, now.as_micros());
+        self.verdict_span = vspan;
+        ctx.flight(
+            vspan,
+            self.last_hb_rx_span,
+            FlightKind::Verdict {
+                reason: reason_code(reason),
+            },
+        );
         ctx.trace(format!("{}: peer declared failed: {reason}", self.role));
         // STONITH before touching the connection (no dual-active).
         ctx.power_off(self.setup.peer_node, self.setup.sttcp.stonith_delay);
         self.events.push(StTcpEvent::StonithIssued { at: now });
+        ctx.flight(
+            vspan,
+            self.last_hb_rx_span,
+            FlightKind::Stonith {
+                target: self.setup.peer_node.0 as u32,
+            },
+        );
 
         match self.role {
             Role::Backup => {
@@ -1107,6 +1215,20 @@ impl StTcpServer {
         self.role = Role::Primary;
         self.took_over = true;
         self.events.push(StTcpEvent::TookOver { at: now });
+        // The takeover joins the verdict's span: the dump reads as one
+        // chain, heartbeat evidence → verdict → STONITH → takeover.
+        let tspan = if self.verdict_span.is_none() {
+            SpanId::verdict(ctx.node_id().0 as u64, now.as_micros())
+        } else {
+            self.verdict_span
+        };
+        ctx.flight(
+            tspan,
+            self.last_hb_rx_span,
+            FlightKind::Takeover {
+                conns: self.conns.len() as u32,
+            },
+        );
         ctx.trace("backup: taking over client connections".to_string());
         // Pool mode: other backups may survive the takeover — keep serving
         // them fault-tolerant (extended receive buffer stays armed). Pair
@@ -1503,7 +1625,9 @@ impl StTcpServer {
         if self.role == Role::Backup {
             self.run_recovery(ctx);
         }
+        ctx.profile_enter(Component::Pool);
         self.fence_tick(ctx);
+        ctx.profile_exit();
     }
 
     /// Drives this server's fence round: abandon a round whose target
@@ -1596,6 +1720,16 @@ impl StTcpServer {
                 epoch,
                 at: now,
             });
+            // The round's span is shared by every member: request,
+            // votes, and commit all derive it from (epoch, target).
+            ctx.flight(
+                SpanId::fence(u64::from(epoch), target_rank),
+                self.last_hb_rx_span,
+                FlightKind::FenceRequest {
+                    epoch: u64::from(epoch),
+                    target_rank,
+                },
+            );
             ctx.trace(format!(
                 "{}: fence round {epoch} opened against rank {target_rank}",
                 self.role
@@ -1626,6 +1760,14 @@ impl StTcpServer {
             return; // a joiner has no vote yet
         }
         let now = ctx.now();
+        ctx.flight(
+            SpanId::fence(u64::from(epoch), target_rank),
+            SpanId::NONE,
+            FlightKind::FenceRequest {
+                epoch: u64::from(epoch),
+                target_rank,
+            },
+        );
         let reply;
         let port;
         {
@@ -1664,6 +1806,16 @@ impl StTcpServer {
                 voter_rank: my_rank,
                 granted,
             };
+            ctx.flight(
+                SpanId::fence(u64::from(epoch), target_rank),
+                SpanId::NONE,
+                FlightKind::FenceAck {
+                    epoch: u64::from(epoch),
+                    target_rank,
+                    voter_rank: my_rank,
+                    granted,
+                },
+            );
         }
         self.send_ctrl_to(ctx, src, port, &reply);
     }
@@ -1677,6 +1829,16 @@ impl StTcpServer {
         voter_rank: u8,
         granted: bool,
     ) {
+        ctx.flight(
+            SpanId::fence(u64::from(epoch), target_rank),
+            SpanId::NONE,
+            FlightKind::FenceAck {
+                epoch: u64::from(epoch),
+                target_rank,
+                voter_rank,
+                granted,
+            },
+        );
         {
             let Some(pool) = &mut self.pool else {
                 return;
@@ -1735,6 +1897,26 @@ impl StTcpServer {
             at: now,
         });
         self.metrics.on_verdict(FailureReason::HbBothLinksDown);
+        // Quorum: the commit closes the fence span, and the pool-mode
+        // verdict is parented to the round that produced it.
+        let fspan = SpanId::fence(u64::from(epoch), target_rank);
+        ctx.flight(
+            fspan,
+            SpanId::NONE,
+            FlightKind::FenceCommit {
+                epoch: u64::from(epoch),
+                target_rank,
+            },
+        );
+        let vspan = SpanId::verdict(ctx.node_id().0 as u64, now.as_micros());
+        self.verdict_span = vspan;
+        ctx.flight(
+            vspan,
+            fspan,
+            FlightKind::Verdict {
+                reason: reason_code(FailureReason::HbBothLinksDown),
+            },
+        );
         ctx.trace(format!(
             "{}: quorum ({votes}) fenced rank {target_rank}; STONITH",
             self.role
@@ -1742,6 +1924,13 @@ impl StTcpServer {
         // STONITH before touching any connection (no dual-active).
         ctx.power_off(target_node, self.setup.sttcp.stonith_delay);
         self.events.push(StTcpEvent::StonithIssued { at: now });
+        ctx.flight(
+            vspan,
+            fspan,
+            FlightKind::Stonith {
+                target: target_node.0 as u32,
+            },
+        );
         let (live_others, was_active, survivors) = {
             let pool = self.pool.as_ref().expect("pool checked above");
             let survivors: Vec<(Ipv4Addr, Option<SerialPortId>)> = pool
@@ -2342,7 +2531,9 @@ impl StTcpServer {
                 target_rank,
                 candidate_rank,
             } => {
+                ctx.profile_enter(Component::Pool);
                 self.handle_fence_request(ctx, src, *epoch, *target_rank, *candidate_rank);
+                ctx.profile_exit();
             }
             CtrlMsg::FenceAck {
                 epoch,
@@ -2350,10 +2541,22 @@ impl StTcpServer {
                 voter_rank,
                 granted,
             } => {
+                ctx.profile_enter(Component::Pool);
                 self.handle_fence_ack(ctx, *epoch, *target_rank, *voter_rank, *granted);
+                ctx.profile_exit();
             }
-            CtrlMsg::FenceCommit { target_rank, .. } => {
+            CtrlMsg::FenceCommit { epoch, target_rank } => {
+                ctx.flight(
+                    SpanId::fence(u64::from(*epoch), *target_rank),
+                    SpanId::NONE,
+                    FlightKind::FenceCommit {
+                        epoch: u64::from(*epoch),
+                        target_rank: *target_rank,
+                    },
+                );
+                ctx.profile_enter(Component::Pool);
                 self.handle_fence_commit(ctx, *target_rank);
+                ctx.profile_exit();
             }
             CtrlMsg::JoinComplete { session } => {
                 if self.serving_join == Some(*session) {
@@ -2383,6 +2586,7 @@ impl StTcpServer {
 
     fn flush(&mut self, ctx: &mut NodeCtx<'_>) {
         let now = ctx.now();
+        ctx.profile_enter(Component::Tcp);
         loop {
             let had_events = self.drain_tcp_events(now);
             // Acknowledgments may have freed send-buffer space: drain any
@@ -2401,11 +2605,38 @@ impl StTcpServer {
                 break;
             }
             for pkt in pkts {
+                if pkt.proto == IpProto::Tcp {
+                    if let Some(h) = peek_segment(&pkt.payload) {
+                        let span = SpanId::segment(h.src_port, h.dst_port, h.seq, h.flags);
+                        if h.is_pure_ack() {
+                            ctx.flight(
+                                span,
+                                SpanId::NONE,
+                                FlightKind::SegAck {
+                                    conn: h.conn_tag(),
+                                    ack: h.ack,
+                                },
+                            );
+                        } else {
+                            ctx.flight(
+                                span,
+                                SpanId::NONE,
+                                FlightKind::SegSend {
+                                    conn: h.conn_tag(),
+                                    seq: h.seq,
+                                    len: h.data_len,
+                                    flags: h.flags,
+                                },
+                            );
+                        }
+                    }
+                }
                 if let Some(frame) = self.iface.encap(&pkt) {
                     ctx.send_frame(self.iface.nic, frame);
                 }
             }
         }
+        ctx.profile_exit();
         // Re-arm the TCP deadline timer if it moved.
         let want = self.tcp.next_deadline();
         match (want, self.tcp_timer) {
@@ -2439,8 +2670,20 @@ impl StTcpServer {
             }
             IpProto::Heartbeat if pkt.dst == self.setup.private_ip => {
                 if let Ok(hb) = HbPayload::decode(&pkt.payload) {
+                    let span = SpanId::heartbeat(role_byte(hb.role), hb.rank, hb.seqno);
+                    ctx.flight(
+                        span,
+                        SpanId::NONE,
+                        FlightKind::HbRecv {
+                            seqno: hb.seqno,
+                            link: 0,
+                        },
+                    );
+                    self.last_hb_rx_span = span;
                     if self.pool.is_some() {
+                        ctx.profile_enter(Component::Pool);
                         self.pool_handle_heartbeat(now, &hb, HbLink::Ip, pkt.src);
+                        ctx.profile_exit();
                     } else {
                         self.handle_heartbeat(now, &hb, HbLink::Ip);
                     }
@@ -2454,7 +2697,33 @@ impl StTcpServer {
             IpProto::Tcp
                 if pkt.dst == self.setup.service_ip || pkt.dst == self.setup.private_ip =>
             {
+                if let Some(h) = peek_segment(&pkt.payload) {
+                    let span = SpanId::segment(h.src_port, h.dst_port, h.seq, h.flags);
+                    if h.is_pure_ack() {
+                        ctx.flight(
+                            span,
+                            SpanId::NONE,
+                            FlightKind::SegAck {
+                                conn: h.conn_tag(),
+                                ack: h.ack,
+                            },
+                        );
+                    } else {
+                        ctx.flight(
+                            span,
+                            SpanId::NONE,
+                            FlightKind::SegDeliver {
+                                conn: h.conn_tag(),
+                                seq: h.seq,
+                                len: h.data_len,
+                                flags: h.flags,
+                            },
+                        );
+                    }
+                }
+                ctx.profile_enter(Component::Tcp);
                 self.tcp.on_packet(now, pkt);
+                ctx.profile_exit();
             }
             _ => {}
         }
@@ -2524,11 +2793,33 @@ impl Node for StTcpServer {
             .and_then(|p| p.serial_by_port.get(&port).copied())
         {
             if let Ok(hb) = HbPayload::decode(&data) {
+                let span = SpanId::heartbeat(role_byte(hb.role), hb.rank, hb.seqno);
+                ctx.flight(
+                    span,
+                    SpanId::NONE,
+                    FlightKind::HbRecv {
+                        seqno: hb.seqno,
+                        link: 1,
+                    },
+                );
+                self.last_hb_rx_span = span;
+                ctx.profile_enter(Component::Pool);
                 self.pool_handle_heartbeat(now, &hb, HbLink::Serial, ip);
+                ctx.profile_exit();
             } else if let Ok(msg) = CtrlMsg::decode(&data) {
                 self.handle_ctrl(ctx, ip, &msg);
             }
         } else if let Ok(hb) = HbPayload::decode(&data) {
+            let span = SpanId::heartbeat(role_byte(hb.role), hb.rank, hb.seqno);
+            ctx.flight(
+                span,
+                SpanId::NONE,
+                FlightKind::HbRecv {
+                    seqno: hb.seqno,
+                    link: 1,
+                },
+            );
+            self.last_hb_rx_span = span;
             self.handle_heartbeat(now, &hb, HbLink::Serial);
         }
         self.flush(ctx);

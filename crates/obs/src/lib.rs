@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flightdump;
 pub mod json;
 pub mod metrics;
 pub mod report;
@@ -28,6 +29,7 @@ pub mod timeline;
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
+    pub use crate::flightdump::FLIGHT_SCHEMA_VERSION;
     pub use crate::json::Json;
     pub use crate::metrics::{Counter, Gauge, Histogram};
     pub use crate::report::MetricsReport;

@@ -3,11 +3,65 @@
 //! The histogram is the one primitive that takes arbitrary input on the
 //! hot path, so it gets the adversarial treatment: any bounds, any
 //! values (including 0 and `u64::MAX`) must never panic, must conserve
-//! counts, and must merge associatively.
+//! counts, and must merge associatively. The flight-dump codec gets the
+//! same: any well-formed snapshot must survive
+//! `to_json → validate → from_json` unchanged.
 
 use obs::metrics::Histogram;
 use proptest::collection::vec;
 use proptest::prelude::*;
+
+use simnet::flight::{FlightEvent, FlightKind, SpanId};
+use simnet::node::NodeId;
+use simnet::time::SimTime;
+
+/// Any of the twelve flight-event kinds with arbitrary field values.
+fn kind_strategy() -> impl Strategy<Value = FlightKind> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u8>()).prop_map(
+            |(conn, seq, len, flags)| FlightKind::SegSend {
+                conn,
+                seq,
+                len,
+                flags
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u8>()).prop_map(
+            |(conn, seq, len, flags)| FlightKind::SegDeliver {
+                conn,
+                seq,
+                len,
+                flags
+            }
+        ),
+        (any::<u32>(), any::<u32>()).prop_map(|(conn, ack)| FlightKind::SegAck { conn, ack }),
+        (any::<u32>(), any::<u8>(), any::<u32>(), any::<u32>()).prop_map(
+            |(seqno, link, bytes, conns)| FlightKind::HbEmit {
+                seqno,
+                link,
+                bytes,
+                conns
+            }
+        ),
+        (any::<u32>(), any::<u8>()).prop_map(|(seqno, link)| FlightKind::HbRecv { seqno, link }),
+        (any::<u64>(), any::<u8>())
+            .prop_map(|(epoch, target_rank)| FlightKind::FenceRequest { epoch, target_rank }),
+        (any::<u64>(), any::<u8>(), any::<u8>(), any::<bool>()).prop_map(
+            |(epoch, target_rank, voter_rank, granted)| FlightKind::FenceAck {
+                epoch,
+                target_rank,
+                voter_rank,
+                granted,
+            }
+        ),
+        (any::<u64>(), any::<u8>())
+            .prop_map(|(epoch, target_rank)| FlightKind::FenceCommit { epoch, target_rank }),
+        any::<u32>().prop_map(|index| FlightKind::Fault { index }),
+        any::<u32>().prop_map(|reason| FlightKind::Verdict { reason }),
+        any::<u32>().prop_map(|target| FlightKind::Stonith { target }),
+        any::<u32>().prop_map(|conns| FlightKind::Takeover { conns }),
+    ]
+}
 
 fn filled(bounds: &[u64], values: &[u64]) -> Histogram {
     let mut h = Histogram::new(bounds.to_vec());
@@ -80,6 +134,49 @@ proptest! {
         // Merging equals observing the concatenation.
         let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
         prop_assert_eq!(&left, &filled(&bounds, &all));
+    }
+
+    #[test]
+    fn flight_dump_round_trips_any_snapshot(
+        raw in vec(
+            (
+                any::<u64>(),                 // time offset (µs)
+                proptest::option::of(0usize..4), // node (4 hosts)
+                1u64..=u64::MAX,              // span (0 is reserved for NONE)
+                any::<u64>(),                 // parent (0 = no parent is legal)
+                kind_strategy(),
+            ),
+            0..40,
+        ),
+        window_ms in proptest::option::of(any::<u64>()),
+    ) {
+        let hosts: Vec<String> =
+            (0..4).map(|i| format!("host{i}")).collect();
+        let events: Vec<FlightEvent> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (us, node, span, parent, kind))| FlightEvent {
+                // The schema requires strictly increasing seqs; times
+                // need not be monotone (rings merge by seq, not time).
+                seq: i as u64 + 1,
+                time: SimTime::from_micros(us),
+                node: node.map(NodeId),
+                span: SpanId(span),
+                parent: SpanId(parent),
+                kind,
+            })
+            .collect();
+        let dump = obs::flightdump::to_json(&events, &hosts, window_ms);
+        prop_assert!(obs::flightdump::validate(&dump).is_ok(),
+            "generated dump fails validation: {:?}",
+            obs::flightdump::validate(&dump));
+        let (back_events, back_hosts) =
+            obs::flightdump::from_json(&dump).expect("from_json");
+        prop_assert_eq!(back_events, events);
+        prop_assert_eq!(back_hosts, hosts);
+        // And the textual form reparses to the same JSON value.
+        let reparsed = obs::json::Json::parse(&dump.to_string()).expect("reparse");
+        prop_assert_eq!(reparsed, dump);
     }
 
     #[test]

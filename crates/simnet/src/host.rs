@@ -8,6 +8,7 @@
 
 use crate::link::LinkId;
 use crate::mac::MacAddr;
+use crate::profile::Component;
 use crate::serial::SerialId;
 
 /// Hardware state of one NIC.
@@ -47,6 +48,9 @@ pub(crate) struct NodeSlot {
     /// Incremented on every power-off so that timers armed in a previous
     /// power epoch never fire after a reboot.
     pub epoch: u64,
+    /// Profiler bucket this node's dispatch time is attributed to
+    /// (scenario builders set it; defaults to `Other`).
+    pub component: Component,
 }
 
 impl NodeSlot {
@@ -58,6 +62,7 @@ impl NodeSlot {
             serial_ports: Vec::new(),
             powered: true,
             epoch: 0,
+            component: Component::Other,
         }
     }
 }

@@ -253,6 +253,8 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         let mut effects = Vec::new();
         let mut next = 0u64;
+        let mut flight = crate::flight::FlightRecorder::new();
+        let mut profiler = crate::profile::Profiler::new();
         let r = {
             let mut ctx = NodeCtx {
                 now: SimTime::ZERO,
@@ -260,6 +262,8 @@ mod tests {
                 rng: &mut rng,
                 effects: &mut effects,
                 next_timer_id: &mut next,
+                flight: &mut flight,
+                profiler: &mut profiler,
             };
             f(&mut ctx)
         };

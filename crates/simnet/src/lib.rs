@@ -19,7 +19,10 @@
 //! * [`mac`] / [`frame`] / [`link`] / [`switch`] / [`serial`] — layer 2.
 //! * [`ip`] / [`iplayer`] — layer 3 (IPv4-lite, static ARP, ICMP echo).
 //! * [`node`] / [`host`] / [`world`] — hosts and the event loop.
-//! * [`fault`] / [`trace`] — fault injection and observability.
+//! * [`fault`] / [`trace`] / [`flight`] / [`profile`] — fault injection
+//!   and observability: the human-readable trace, the causal flight
+//!   recorder (both on the shared [`ring`] abstraction), and the
+//!   per-component wall-clock profiler.
 //!
 //! ## Example
 //!
@@ -58,6 +61,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod flight;
 pub mod frame;
 pub mod host;
 pub mod ip;
@@ -65,6 +69,8 @@ pub mod iplayer;
 pub mod link;
 pub mod mac;
 pub mod node;
+pub mod profile;
+pub mod ring;
 pub mod rng;
 pub mod serial;
 pub mod switch;
@@ -74,12 +80,14 @@ pub mod world;
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
+    pub use crate::flight::{FlightEvent, FlightKind, FlightRecorder, SpanId};
     pub use crate::frame::{EtherType, EthernetFrame};
     pub use crate::ip::{IcmpMessage, IpProto, Ipv4Packet};
     pub use crate::iplayer::IpInterface;
     pub use crate::link::{LinkDir, LinkId, LinkParams, SwitchId};
     pub use crate::mac::MacAddr;
     pub use crate::node::{NicId, Node, NodeCtx, NodeId, SerialPortId, TimerId, TimerToken};
+    pub use crate::profile::Component;
     pub use crate::rng::SimRng;
     pub use crate::serial::{SerialId, SerialParams};
     pub use crate::time::{SimDuration, SimTime};

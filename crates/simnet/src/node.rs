@@ -11,7 +11,9 @@
 use bytes::Bytes;
 use core::fmt;
 
+use crate::flight::{FlightKind, FlightRecorder, SpanId};
 use crate::frame::EthernetFrame;
+use crate::profile::{Component, Profiler};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -77,6 +79,8 @@ pub struct NodeCtx<'a> {
     pub(crate) rng: &'a mut SimRng,
     pub(crate) effects: &'a mut Vec<Effect>,
     pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) flight: &'a mut FlightRecorder,
+    pub(crate) profiler: &'a mut Profiler,
 }
 
 impl fmt::Debug for NodeCtx<'_> {
@@ -148,6 +152,27 @@ impl NodeCtx<'_> {
     pub fn trace(&mut self, msg: impl Into<String>) {
         self.effects.push(Effect::Trace(msg.into()));
     }
+
+    /// Records a causal event in this node's flight-recorder ring.
+    /// Zero-allocation: the event is `Copy` and the ring is
+    /// pre-reserved, so this is safe on the hottest datapath.
+    pub fn flight(&mut self, span: SpanId, parent: SpanId, kind: FlightKind) {
+        self.flight
+            .record(Some(self.node), self.now, span, parent, kind);
+    }
+
+    /// Opens a profiler sub-scope attributed to `comp` (for refining a
+    /// dispatch's attribution, e.g. the TCP work inside a server
+    /// callback). Must be balanced with [`NodeCtx::profile_exit`]
+    /// before the callback returns. No-op when profiling is disabled.
+    pub fn profile_enter(&mut self, comp: Component) {
+        self.profiler.enter(comp);
+    }
+
+    /// Closes the innermost profiler sub-scope.
+    pub fn profile_exit(&mut self) {
+        self.profiler.exit();
+    }
 }
 
 /// A participant in the simulation.
@@ -196,12 +221,16 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         let mut effects = Vec::new();
         let mut next = 0u64;
+        let mut flight = FlightRecorder::new();
+        let mut profiler = Profiler::new();
         let mut ctx = NodeCtx {
             now: SimTime::from_millis(5),
             node: NodeId(3),
             rng: &mut rng,
             effects: &mut effects,
             next_timer_id: &mut next,
+            flight: &mut flight,
+            profiler: &mut profiler,
         };
         let a = ctx.set_timer(SimDuration::from_millis(1), TimerToken(10));
         let b = ctx.set_timer(SimDuration::from_millis(2), TimerToken(11));
@@ -223,12 +252,16 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         let mut effects = Vec::new();
         let mut next = 0u64;
+        let mut flight = FlightRecorder::new();
+        let mut profiler = Profiler::new();
         let mut ctx = NodeCtx {
             now: SimTime::ZERO,
             node: NodeId(0),
             rng: &mut rng,
             effects: &mut effects,
             next_timer_id: &mut next,
+            flight: &mut flight,
+            profiler: &mut profiler,
         };
         ctx.trace("first");
         ctx.power_off(NodeId(1), SimDuration::ZERO);
@@ -237,5 +270,33 @@ mod tests {
         assert!(matches!(effects[0], Effect::Trace(_)));
         assert!(matches!(effects[1], Effect::PowerOff { .. }));
         assert!(matches!(effects[2], Effect::Trace(_)));
+    }
+
+    #[test]
+    fn ctx_flight_records_into_the_node_ring() {
+        let mut rng = SimRng::seed_from(1);
+        let mut effects = Vec::new();
+        let mut next = 0u64;
+        let mut flight = FlightRecorder::new();
+        flight.add_host();
+        let mut profiler = Profiler::new();
+        let span = SpanId::heartbeat(1, 0, 9);
+        {
+            let mut ctx = NodeCtx {
+                now: SimTime::from_millis(7),
+                node: NodeId(0),
+                rng: &mut rng,
+                effects: &mut effects,
+                next_timer_id: &mut next,
+                flight: &mut flight,
+                profiler: &mut profiler,
+            };
+            ctx.flight(span, SpanId::NONE, FlightKind::HbRecv { seqno: 9, link: 0 });
+        }
+        let snap = flight.snapshot(None);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].node, Some(NodeId(0)));
+        assert_eq!(snap[0].span, span);
+        assert_eq!(snap[0].time, SimTime::from_millis(7));
     }
 }

@@ -1,0 +1,185 @@
+//! The one bounded-ring abstraction shared by every in-sim log.
+//!
+//! Both the human-readable trace ([`crate::trace::Trace`]) and the
+//! flight recorder ([`crate::flight::FlightRecorder`]) need the same
+//! thing: an append-only log that, once a capacity is set, keeps the
+//! *newest* records, counts what it evicted, and never reallocates on
+//! the hot path. [`Ring`] is that abstraction — storage is reserved up
+//! front when a capacity is set, and a push at capacity pops the oldest
+//! record before appending, so a bounded ring's backing buffer never
+//! grows after construction.
+
+use std::collections::VecDeque;
+
+/// A bounded (or unbounded) append-only ring that keeps the newest
+/// items and counts evictions.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    items: VecDeque<T>,
+    /// Maximum items kept; `None` means unbounded.
+    capacity: Option<usize>,
+    /// Items evicted to honour the capacity.
+    dropped: u64,
+}
+
+impl<T> Default for Ring<T> {
+    fn default() -> Ring<T> {
+        Ring::new()
+    }
+}
+
+impl<T> Ring<T> {
+    /// Creates an empty, unbounded ring.
+    pub fn new() -> Ring<T> {
+        Ring {
+            items: VecDeque::new(),
+            capacity: None,
+            dropped: 0,
+        }
+    }
+
+    /// Creates an empty ring bounded to `capacity` items, with the
+    /// backing storage reserved up front so pushes never reallocate.
+    pub fn bounded(capacity: usize) -> Ring<T> {
+        Ring {
+            items: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Bounds (or unbounds, with `None`) the ring; excess oldest items
+    /// are evicted immediately and the backing storage is reserved so
+    /// subsequent pushes stay allocation-free.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        if let Some(cap) = capacity {
+            while self.items.len() > cap {
+                self.items.pop_front();
+                self.dropped += 1;
+            }
+            self.items.reserve(cap - self.items.len());
+        }
+    }
+
+    /// The configured bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Items evicted so far to honour the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an item, evicting the oldest first when at capacity.
+    /// A bounded ring performs no allocation here.
+    pub fn push(&mut self, item: T) {
+        match self.capacity {
+            Some(0) => self.dropped += 1,
+            Some(cap) => {
+                if self.items.len() == cap {
+                    self.items.pop_front();
+                    self.dropped += 1;
+                }
+                self.items.push_back(item);
+            }
+            None => self.items.push_back(item),
+        }
+    }
+
+    /// The retained items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.items.iter()
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no items are retained.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Discards every retained item (the eviction counter is kept).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut r = Ring::new();
+        for i in 0..100u32 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.capacity(), None);
+    }
+
+    #[test]
+    fn wraparound_at_capacity_keeps_newest_and_counts() {
+        let mut r = Ring::bounded(3);
+        for i in 0..10u32 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn bounded_ring_never_grows_its_buffer() {
+        let mut r = Ring::bounded(8);
+        let before = r.items.capacity();
+        for i in 0..1000u32 {
+            r.push(i);
+        }
+        assert_eq!(r.items.capacity(), before, "push reallocated at capacity");
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn capacity_can_be_tightened_and_removed_live() {
+        let mut r = Ring::new();
+        for i in 0..5u32 {
+            r.push(i);
+        }
+        r.set_capacity(Some(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![3, 4]);
+        r.set_capacity(None);
+        for i in 5..20u32 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 17);
+        assert_eq!(r.dropped(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut r = Ring::bounded(0);
+        r.push(1u32);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_the_eviction_counter() {
+        let mut r = Ring::bounded(2);
+        for i in 0..4u32 {
+            r.push(i);
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2);
+    }
+}

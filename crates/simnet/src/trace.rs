@@ -8,12 +8,13 @@
 //! soak and chaos sweeps cap it with [`Trace::set_capacity`]: the trace
 //! becomes a ring buffer that keeps the newest records and counts what
 //! it evicted, so a 2000-seed hunt doesn't accumulate gigabytes of
-//! `String`s.
+//! `String`s. The bounded behaviour is [`crate::ring::Ring`] — the
+//! same abstraction the flight recorder uses.
 
 use core::fmt;
-use std::collections::VecDeque;
 
 use crate::node::NodeId;
+use crate::ring::Ring;
 use crate::time::SimTime;
 
 /// One recorded trace line.
@@ -36,14 +37,11 @@ impl fmt::Display for TraceRecord {
     }
 }
 
-/// An append-only log of [`TraceRecord`]s, optionally bounded.
+/// An append-only log of [`TraceRecord`]s, optionally bounded — a thin
+/// domain wrapper over [`Ring`].
 #[derive(Debug, Default)]
 pub struct Trace {
-    records: VecDeque<TraceRecord>,
-    /// Maximum records kept; `None` means unbounded.
-    capacity: Option<usize>,
-    /// Records evicted to honour the capacity.
-    dropped: u64,
+    ring: Ring<TraceRecord>,
 }
 
 impl Trace {
@@ -55,73 +53,59 @@ impl Trace {
     /// Creates an empty trace bounded to `capacity` records.
     pub fn with_capacity(capacity: usize) -> Trace {
         Trace {
-            capacity: Some(capacity),
-            ..Trace::default()
+            ring: Ring::bounded(capacity),
         }
     }
 
     /// Bounds (or unbounds, with `None`) the trace; excess oldest records
     /// are evicted immediately.
     pub fn set_capacity(&mut self, capacity: Option<usize>) {
-        self.capacity = capacity;
-        self.trim();
+        self.ring.set_capacity(capacity);
     }
 
     /// The configured bound, if any.
     pub fn capacity(&self) -> Option<usize> {
-        self.capacity
+        self.ring.capacity()
     }
 
     /// Records evicted so far to honour the bound.
     pub fn dropped(&self) -> u64 {
-        self.dropped
-    }
-
-    fn trim(&mut self) {
-        if let Some(cap) = self.capacity {
-            while self.records.len() > cap {
-                self.records.pop_front();
-                self.dropped += 1;
-            }
-        }
+        self.ring.dropped()
     }
 
     /// Appends a record, evicting the oldest if the trace is at its
     /// bound.
     pub fn record(&mut self, time: SimTime, node: Option<NodeId>, message: impl Into<String>) {
-        self.records.push_back(TraceRecord {
+        self.ring.push(TraceRecord {
             time,
             node,
             message: message.into(),
         });
-        self.trim();
     }
 
     /// The retained records, oldest first.
     pub fn records(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
-        self.records.iter()
+        self.ring.iter()
     }
 
     /// Iterates over records whose message contains `needle`.
     pub fn containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
-        self.records
-            .iter()
-            .filter(move |r| r.message.contains(needle))
+        self.ring.iter().filter(move |r| r.message.contains(needle))
     }
 
     /// The first retained record whose message contains `needle`, if any.
     pub fn first_containing(&self, needle: &str) -> Option<&TraceRecord> {
-        self.records.iter().find(|r| r.message.contains(needle))
+        self.ring.iter().find(|r| r.message.contains(needle))
     }
 
     /// Number of retained records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.ring.len()
     }
 
     /// True if no records are retained.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.ring.is_empty()
     }
 }
 

@@ -34,11 +34,13 @@ use std::any::Any;
 use std::collections::{HashMap, HashSet};
 
 use crate::event::{Ev, EventQueue};
+use crate::flight::{FlightKind, FlightRecorder, SpanId};
 use crate::frame::EthernetFrame;
 use crate::host::{NicState, NodeSlot};
 use crate::link::{Endpoint, LinkId, LinkParams, LinkState, SwitchId, TxOutcome};
 use crate::mac::MacAddr;
 use crate::node::{Effect, NicId, Node, NodeCtx, NodeId, SerialPortId, TimerId};
+use crate::profile::{Component, Profiler};
 use crate::rng::SimRng;
 use crate::serial::{SerialId, SerialParams, SerialState, SerialTxOutcome};
 use crate::switch::SwitchState;
@@ -78,6 +80,8 @@ pub struct World {
     pub(crate) serials: Vec<SerialState>,
     rng: SimRng,
     trace: Trace,
+    flight: FlightRecorder,
+    profiler: Profiler,
     faults: Vec<(SimTime, String)>,
     next_timer_id: u64,
     cancelled_timers: HashSet<TimerId>,
@@ -112,6 +116,8 @@ impl World {
             serials: Vec::new(),
             rng: SimRng::seed_from(seed),
             trace: Trace::new(),
+            flight: FlightRecorder::new(),
+            profiler: Profiler::new(),
             faults: Vec::new(),
             next_timer_id: 0,
             cancelled_timers: HashSet::new(),
@@ -128,6 +134,7 @@ impl World {
     pub fn add_node(&mut self, name: &str, logic: Box<dyn Node>) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(NodeSlot::new(name.to_string(), logic));
+        self.flight.add_host();
         id
     }
 
@@ -244,6 +251,50 @@ impl World {
         self.trace.set_capacity(capacity);
     }
 
+    /// The flight recorder (per-host causal event rings).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Sets the per-host flight-recorder ring capacity.
+    pub fn set_flight_capacity(&mut self, capacity: usize) {
+        self.flight.set_capacity(capacity);
+    }
+
+    /// Captures a flight-recorder snapshot: the last `window` of
+    /// causally-linked events (everything retained when `None`), plus
+    /// the host names the events' node ids index.
+    pub fn flight_snapshot(&self, window: Option<SimDuration>) -> crate::flight::FlightSnapshot {
+        crate::flight::FlightSnapshot {
+            events: self.flight.snapshot(window),
+            hosts: self.nodes.iter().map(|n| n.name.clone()).collect(),
+            window_ms: window.map(|w| w.as_millis()),
+        }
+    }
+
+    /// The per-component wall-clock profiler.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Enables or disables per-component wall-clock profiling.
+    /// Observational only: toggling this never changes simulation
+    /// behavior, so determinism is unaffected.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiler.set_enabled(on);
+    }
+
+    /// Attributes `node`'s dispatch time to profiler bucket `comp`
+    /// (scenario builders call this; the default bucket is `Other`).
+    pub fn set_node_component(&mut self, node: NodeId, comp: Component) {
+        self.nodes[node.0].component = comp;
+    }
+
+    /// Number of nodes in the world.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Records a fault injection: a `inject: {msg}` trace line plus an
     /// entry in the fault-episode log, which is never capped, so metrics
     /// can attribute symptoms to faults even when the trace ring buffer
@@ -252,6 +303,16 @@ impl World {
         let message = message.into();
         self.trace
             .record(self.now, None, format!("inject: {message}"));
+        let index = self.faults.len() as u64;
+        self.flight.record(
+            None,
+            self.now,
+            SpanId::fault(index),
+            SpanId::NONE,
+            FlightKind::Fault {
+                index: index as u32,
+            },
+        );
         self.faults.push((self.now, message));
     }
 
@@ -410,6 +471,17 @@ impl World {
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.events_processed += 1;
+        // Everything outside node callbacks is kernel time; dispatch
+        // opens a nested per-component scope for the callback itself.
+        self.profiler.enter(Component::Kernel);
+        self.step_event(ev);
+        self.profiler.exit();
+        true
+    }
+
+    /// The body of one event, factored out of [`World::step`] so the
+    /// profiler scope wraps every early return uniformly.
+    fn step_event(&mut self, ev: Ev) {
         match ev {
             Ev::LinkArrival { link, dir, frame } => {
                 let dest = self.links[link.0].dest(dir);
@@ -421,7 +493,7 @@ impl World {
             Ev::SerialArrival { serial, dir, data } => {
                 let (node, port) = self.serials[serial.0].dest(dir);
                 if self.serials[serial.0].is_down() {
-                    return true; // channel died while in flight
+                    return; // channel died while in flight
                 }
                 if self.nodes[node.0].powered {
                     self.dispatch(node, |logic, ctx| logic.on_serial(ctx, port, data));
@@ -434,11 +506,11 @@ impl World {
                 epoch,
             } => {
                 if self.cancelled_timers.remove(&id) {
-                    return true;
+                    return;
                 }
                 let slot = &self.nodes[node.0];
                 if !slot.powered || slot.epoch != epoch {
-                    return true;
+                    return;
                 }
                 self.dispatch(node, |logic, ctx| logic.on_timer(ctx, token));
             }
@@ -450,7 +522,6 @@ impl World {
                 }
             }
         }
-        true
     }
 
     // ----- internal plumbing ----------------------------------------------
@@ -465,6 +536,8 @@ impl World {
             Some(l) => l,
             None => return, // re-entrant dispatch is impossible; defensive
         };
+        let comp = self.nodes[node.0].component;
+        self.profiler.enter(comp);
         let mut effects = Vec::new();
         {
             let mut ctx = NodeCtx {
@@ -473,9 +546,12 @@ impl World {
                 rng: &mut self.rng,
                 effects: &mut effects,
                 next_timer_id: &mut self.next_timer_id,
+                flight: &mut self.flight,
+                profiler: &mut self.profiler,
             };
             f(logic.as_mut(), &mut ctx);
         }
+        self.profiler.exit();
         self.nodes[node.0].logic = Some(logic);
         self.apply_effects(node, effects);
     }

@@ -122,6 +122,65 @@ impl fmt::Display for TcpFlags {
     }
 }
 
+/// A zero-allocation fixed-offset view of an encoded segment's header.
+///
+/// The flight recorder derives causal span ids from wire-observable
+/// header fields on the hottest datapath; a full [`TcpSegment::decode`]
+/// would copy the payload and verify the checksum, both wasted work for
+/// observability. `peek_segment` reads only the fixed header offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentPeek {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Raw sequence number.
+    pub seq: u32,
+    /// Raw acknowledgment number.
+    pub ack: u32,
+    /// The raw flag byte ([`TcpFlags::to_bits`] encoding).
+    pub flags: u8,
+    /// Payload bytes after the header.
+    pub data_len: u32,
+}
+
+impl SegmentPeek {
+    /// A direction-independent connection tag (the two ports, sorted),
+    /// identical for both flows of one connection on every host.
+    pub fn conn_tag(&self) -> u32 {
+        let lo = self.src_port.min(self.dst_port) as u32;
+        let hi = self.src_port.max(self.dst_port) as u32;
+        lo | (hi << 16)
+    }
+
+    /// True for a bare acknowledgment: no payload and no SYN/FIN/RST.
+    pub fn is_pure_ack(&self) -> bool {
+        self.data_len == 0 && self.flags & 0x07 == 0 && self.flags & 0x10 != 0
+    }
+}
+
+/// Peeks an encoded segment's header without copying the payload or
+/// verifying the checksum. Returns `None` on truncation or a bad data
+/// offset; corrupt-but-well-formed input is the checksum's job at the
+/// real decode site, not the observer's.
+pub fn peek_segment(wire: &[u8]) -> Option<SegmentPeek> {
+    if wire.len() < TCP_HEADER_LEN {
+        return None;
+    }
+    let doff = (wire[12] >> 4) as usize * 4;
+    if doff < TCP_HEADER_LEN || wire.len() < doff {
+        return None;
+    }
+    Some(SegmentPeek {
+        src_port: u16::from_be_bytes([wire[0], wire[1]]),
+        dst_port: u16::from_be_bytes([wire[2], wire[3]]),
+        seq: u32::from_be_bytes([wire[4], wire[5], wire[6], wire[7]]),
+        ack: u32::from_be_bytes([wire[8], wire[9], wire[10], wire[11]]),
+        flags: wire[13],
+        data_len: (wire.len() - doff) as u32,
+    })
+}
+
 /// A TCP segment: header fields plus payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TcpSegment {
@@ -365,6 +424,34 @@ mod tests {
         for bits in 0..32u8 {
             assert_eq!(TcpFlags::from_bits(bits).to_bits(), bits & 0x1f);
         }
+    }
+
+    #[test]
+    fn peek_matches_full_decode() {
+        let s = sample();
+        let wire = s.encode(ip(1), ip(2));
+        let h = peek_segment(&wire).unwrap();
+        assert_eq!(h.src_port, s.src_port);
+        assert_eq!(h.dst_port, s.dst_port);
+        assert_eq!(h.seq, s.seq.0);
+        assert_eq!(h.ack, s.ack.0);
+        assert_eq!(h.flags, s.flags.to_bits());
+        assert_eq!(h.data_len as usize, s.payload.len());
+        assert!(!h.is_pure_ack(), "carries payload");
+        assert!(peek_segment(&wire[..10]).is_none());
+    }
+
+    #[test]
+    fn peek_conn_tag_is_direction_independent() {
+        let fwd = sample().encode(ip(1), ip(2));
+        let mut rev = sample();
+        std::mem::swap(&mut rev.src_port, &mut rev.dst_port);
+        rev.payload = Bytes::new();
+        let rev = rev.encode(ip(2), ip(1));
+        let f = peek_segment(&fwd).unwrap();
+        let r = peek_segment(&rev).unwrap();
+        assert_eq!(f.conn_tag(), r.conn_tag());
+        assert!(r.is_pure_ack(), "no payload, ACK set, no SYN/FIN/RST");
     }
 
     #[test]

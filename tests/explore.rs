@@ -125,6 +125,16 @@ fn explorer_rediscovers_the_held_rst_bug() {
         "shrunk reproducer {} lost the app crash",
         v.shrunk
     );
+    // The shrunk reproducer ships with its flight-recorder trace: the
+    // tail of the minimal schedule's violating replay, ready to dump.
+    let flight = v
+        .flight
+        .as_ref()
+        .expect("violation carries no flight snapshot");
+    assert!(
+        !flight.events.is_empty(),
+        "shrunk reproducer's flight snapshot is empty"
+    );
 }
 
 /// Mirror of the rediscovery gate: the identical lattice slice is

@@ -4,7 +4,8 @@
 //! property tests: the [`proptest!`] macro (supporting both `name: Type`
 //! and `name in strategy` parameters and `#![proptest_config(..)]`),
 //! `any::<T>()`, range and tuple strategies, `prop_map`,
-//! `collection::vec`, `option::of`, and the `prop_assert*` family.
+//! [`prop_oneof!`] unions, `collection::vec`, `option::of`, and the
+//! `prop_assert*` family.
 //!
 //! Inputs are generated from a fixed seed so runs are deterministic.
 //! Unlike upstream there is no shrinking: on failure the offending input
@@ -58,6 +59,28 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, _rng: &mut Rng) -> T {
             self.0.clone()
+        }
+    }
+
+    /// Strategy built by [`prop_oneof!`]: draws uniformly from one of
+    /// several alternatives yielding the same value type.
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Builds a union over the given boxed alternatives.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!arms.is_empty(), "empty prop_oneof!");
+            Union { arms }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
         }
     }
 
@@ -389,7 +412,20 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Draws uniformly from one of several strategies that all yield the
+/// same value type (the upstream macro's unweighted form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($arm),)+
+        ])
+    };
 }
 
 /// Asserts a condition inside a `proptest!` body, failing the case (not
@@ -567,6 +603,28 @@ mod tests {
         fn assume_rejects(v in 0u8..10) {
             prop_assume!(v != 3);
             prop_assert_ne!(v, 3);
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(
+            picks in crate::collection::vec(
+                prop_oneof![
+                    (0u32..10).prop_map(|v| ("low", v)),
+                    (100u32..110).prop_map(|v| ("high", v)),
+                ],
+                200..201,
+            ),
+        ) {
+            for (tag, v) in &picks {
+                match *tag {
+                    "low" => prop_assert!(*v < 10),
+                    "high" => prop_assert!((100..110).contains(v)),
+                    _ => prop_assert!(false, "unknown arm {}", tag),
+                }
+            }
+            // 200 uniform draws over two arms hit both (p(miss) ~ 2^-199).
+            prop_assert!(picks.iter().any(|(t, _)| *t == "low"));
+            prop_assert!(picks.iter().any(|(t, _)| *t == "high"));
         }
     }
 
