@@ -1030,6 +1030,10 @@ pub struct ChaosOptions {
     /// Tail window for captured flight snapshots, in milliseconds
     /// (`None` keeps everything the per-host rings retained).
     pub flight_window_ms: Option<u64>,
+    /// Run the servers with [`StTcpConfig::hb_delta`] set: heartbeats
+    /// carry only connections whose counters changed since the last
+    /// acknowledged frame, with full-state resync on epoch mismatch.
+    pub hb_delta: bool,
 }
 
 impl Default for ChaosOptions {
@@ -1043,6 +1047,7 @@ impl Default for ChaosOptions {
             workload: ChaosWorkload::Download,
             flight_always: false,
             flight_window_ms: Some(2_000),
+            hb_delta: false,
         }
     }
 }
@@ -1182,6 +1187,7 @@ pub fn run_chaos_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) 
         .seed(seed)
         .sttcp(StTcpConfig {
             reintegrate: opts.reintegrate,
+            hb_delta: opts.hb_delta,
             ..chaos_config()
         })
         .build();

@@ -89,6 +89,7 @@ pub struct ScenarioBuilder {
     connect_at: SimDuration,
     link: LinkParams,
     serial: SerialParams,
+    serial_links: usize,
     addressing: Addressing,
 }
 
@@ -105,15 +106,16 @@ impl ScenarioBuilder {
             connect_at: SimDuration::from_millis(100),
             link: LinkParams::lan(),
             serial: SerialParams::rs232(),
+            serial_links: 1,
             addressing: Addressing::default(),
         }
     }
 
     /// Adds additional client hosts, each with its own workload against
-    /// the same service (own IP `10.0.0.10+i`, own switch port). All
-    /// clients share the multicast-tap ARP entry, so the backup replicates
-    /// every connection; the heartbeat then carries one record per
-    /// connection.
+    /// the same service (own IP `10.0.(1+i/240).(10+i%240)`, own switch
+    /// port). All clients share the multicast-tap ARP entry, so the
+    /// backup replicates every connection; the heartbeat then carries
+    /// one record per connection.
     pub fn extra_clients(mut self, workloads: Vec<ClientWorkload>) -> Self {
         self.extra_clients = workloads;
         self
@@ -146,6 +148,16 @@ impl ScenarioBuilder {
     /// Sets the serial channel parameters.
     pub fn serial(mut self, params: SerialParams) -> Self {
         self.serial = params;
+        self
+    }
+
+    /// Sets the number of parallel serial heartbeat links between the
+    /// servers (default 1). With `n` links, connection heartbeat records
+    /// are sharded `conn_key % n` across them; link 0 is the classic
+    /// null-modem cable.
+    pub fn serial_links(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one serial link is required");
+        self.serial_links = n;
         self
     }
 
@@ -230,11 +242,17 @@ impl ScenarioBuilder {
         assert_eq!(world.add_node("primary", Box::new(primary)), primary_id);
         assert_eq!(world.add_node("backup", Box::new(backup)), backup_id);
 
-        // Extra client hosts at 10.0.0.10+i.
+        // Extra client hosts at 10.0.(1+i/240).(10+i%240): a fresh third
+        // octet every 240 hosts keeps thousands of clients clear of the
+        // fixed 10.0.0.x plan (gateway, servers, service IP).
+        assert!(
+            self.extra_clients.len() <= 240 * 250,
+            "extra-client addressing plan exhausted"
+        );
         let mut clients = vec![client_id];
         let mut extra_macs = Vec::new();
         for (i, workload) in self.extra_clients.iter().enumerate() {
-            let ip = Ipv4Addr::new(10, 0, 0, 10 + i as u8);
+            let ip = Ipv4Addr::new(10, 0, 1 + (i / 240) as u8, 10 + (i % 240) as u8);
             let mac = MacAddr::unicast(10 + i as u32);
             let mut iface = IpInterface::new(NicId(0), mac, ip);
             iface.add_arp(a.service_ip, a.multi_ea);
@@ -277,6 +295,12 @@ impl ScenarioBuilder {
             let nic = world.add_nic(*id, *mac);
             world.connect_to_switch(*id, nic, switch, 3 + port_off, self.link);
         }
+        // The tap group: client frames to the service multicast EA reach
+        // exactly the two server ports (IGMP-snooping membership) instead
+        // of flooding to every client port — same tap semantics, O(1)
+        // per frame regardless of client count.
+        world.join_multicast(switch, a.multi_ea, 1);
+        world.join_multicast(switch, a.multi_ea, 2);
         let (serial, sp_primary, sp_backup) =
             world.connect_serial(primary_id, backup_id, self.serial);
         world
@@ -287,6 +311,17 @@ impl ScenarioBuilder {
             .node_mut::<StTcpServer>(backup_id)
             .expect("backup type")
             .set_serial_port(sp_backup);
+        for _ in 1..self.serial_links {
+            let (_, spp, spb) = world.connect_serial(primary_id, backup_id, self.serial);
+            world
+                .node_mut::<StTcpServer>(primary_id)
+                .expect("primary type")
+                .add_serial_link(spp);
+            world
+                .node_mut::<StTcpServer>(backup_id)
+                .expect("backup type")
+                .add_serial_link(spb);
+        }
 
         // Profiler attribution: client hosts are application load, the
         // servers are the ST-TCP protocol machinery.

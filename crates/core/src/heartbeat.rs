@@ -252,6 +252,232 @@ impl HbPayload {
     }
 }
 
+/// Fixed header length of the v2 (delta-capable) heartbeat wire format,
+/// excluding the per-link ack array.
+pub const HB_V2_HEADER_LEN: usize = 25;
+/// Version byte that opens every v2 frame.
+pub const HB_V2_VERSION: u8 = 2;
+
+/// What a v2 frame's connection list means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HbFrameKind {
+    /// Full-state resync: every live connection is present. Sent until the
+    /// peer's ack epoch matches ours, and again after takeover/join/reboot.
+    Full,
+    /// Delta: only connections whose counters changed since the last
+    /// heartbeat the peer acknowledged (dirty-until-acked).
+    Delta,
+}
+
+/// A v2 heartbeat frame: the v1 payload plus the delta-protocol envelope.
+///
+/// Layout: `ver:1 kind:1 role:1 rank:1 flags:1 | seqno:4 epoch:4 |
+/// link:1 nlinks:1 conn_count:2 | ack_epoch:4 | crc:4 | [ack:4]*nlinks |
+/// conn records | ping?`. The CRC-32 covers the whole message with the
+/// CRC field zeroed, exactly like v1.
+///
+/// `epoch` identifies the sender's boot incarnation; acks from a previous
+/// incarnation are ignored, which forces full-state frames after any
+/// reboot, takeover, or join until the peer has echoed the new epoch.
+/// `acks[i]` is the highest seqno this sender has *applied* from the
+/// peer on link `i` (0 = IP, `1+i` = serial link `i`; 0 means nothing
+/// received), and `ack_epoch` is the peer epoch those acks refer to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HbFrame {
+    /// Full resync or delta.
+    pub kind: HbFrameKind,
+    /// Sender's boot incarnation.
+    pub epoch: u32,
+    /// Which link this frame was built for (0 = IP, 1+i = serial i).
+    /// Serial deltas carry only their conn shard; the link id lets the
+    /// receiver account acks per link.
+    pub link: u8,
+    /// Epoch of the *peer* that `acks` refers to.
+    pub ack_epoch: u32,
+    /// Per-link cumulative acks of the peer's frames (index 0 = IP).
+    pub acks: Vec<u32>,
+    /// The embedded v1-shaped payload (seqno, role, rank, conns, ping).
+    pub hb: HbPayload,
+}
+
+/// Result of decoding a heartbeat of either wire version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnyHb {
+    /// Legacy full-state frame.
+    V1(HbPayload),
+    /// Delta-capable v2 frame.
+    V2(HbFrame),
+}
+
+/// Decodes a heartbeat of either version. v2 is tried first (its leading
+/// version byte plus independent CRC placement keeps the two formats from
+/// colliding), then v1.
+///
+/// # Errors
+///
+/// Returns [`HbDecodeError`] if the input parses as neither version.
+pub fn decode_any(wire: &[u8]) -> Result<AnyHb, HbDecodeError> {
+    if wire.first() == Some(&HB_V2_VERSION) {
+        if let Ok(f) = HbFrame::decode(wire) {
+            return Ok(AnyHb::V2(f));
+        }
+    }
+    HbPayload::decode(wire).map(AnyHb::V1)
+}
+
+impl HbFrame {
+    /// Serializes the frame. See the type docs for the layout.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_len());
+        b.put_u8(HB_V2_VERSION);
+        b.put_u8(match self.kind {
+            HbFrameKind::Full => 0,
+            HbFrameKind::Delta => 1,
+        });
+        b.put_u8(match self.hb.role {
+            Role::Primary => 0,
+            Role::Backup => 1,
+        });
+        b.put_u8(self.hb.rank);
+        b.put_u8(self.hb.ping.is_some() as u8);
+        b.put_u32(self.hb.seqno);
+        b.put_u32(self.epoch);
+        b.put_u8(self.link);
+        b.put_u8(self.acks.len() as u8);
+        b.put_u16(self.hb.conns.len() as u16);
+        b.put_u32(self.ack_epoch);
+        b.put_u32(0); // CRC placeholder, patched below.
+        for &a in &self.acks {
+            b.put_u32(a);
+        }
+        for c in &self.hb.conns {
+            b.put_u32(c.key);
+            b.put_u32(c.last_byte_received as u32);
+            b.put_u32(c.last_ack_received as u32);
+            b.put_u32(c.last_app_byte_written as u32);
+            b.put_u32(c.last_app_byte_read as u32);
+            b.put_u8(
+                (c.fin_generated as u8)
+                    | (c.rst_generated as u8) << 1
+                    | (c.app_suspected as u8) << 2,
+            );
+        }
+        if let Some(p) = self.hb.ping {
+            b.put_u32(p.consecutive_failures);
+            b.put_u32(p.attempts);
+        }
+        let crc = crate::wire::crc32(&b);
+        b[21..25].copy_from_slice(&crc.to_be_bytes());
+        b.freeze()
+    }
+
+    /// The encoded size in bytes.
+    pub fn wire_len(&self) -> usize {
+        HB_V2_HEADER_LEN
+            + self.acks.len() * 4
+            + self.hb.conns.len() * HB_CONN_LEN
+            + if self.hb.ping.is_some() {
+                HB_PING_LEN
+            } else {
+                0
+            }
+    }
+
+    /// Parses a v2 frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HbDecodeError`] on a wrong version byte, truncation,
+    /// trailing garbage, bad enum bytes, or a CRC mismatch. Total: never
+    /// panics, any input.
+    pub fn decode(wire: &[u8]) -> Result<HbFrame, HbDecodeError> {
+        if wire.len() < HB_V2_HEADER_LEN || wire[0] != HB_V2_VERSION {
+            return Err(HbDecodeError);
+        }
+        let kind = match wire[1] {
+            0 => HbFrameKind::Full,
+            1 => HbFrameKind::Delta,
+            _ => return Err(HbDecodeError),
+        };
+        let role = match wire[2] {
+            0 => Role::Primary,
+            1 => Role::Backup,
+            _ => return Err(HbDecodeError),
+        };
+        let rank = wire[3];
+        let has_ping = match wire[4] {
+            0 => false,
+            1 => true,
+            _ => return Err(HbDecodeError),
+        };
+        let rd32 = |w: &[u8], p: usize| crate::wire::read_u32_at(w, p).ok_or(HbDecodeError);
+        let seqno = rd32(wire, 5)?;
+        let epoch = rd32(wire, 9)?;
+        let link = wire[13];
+        let nlinks = wire[14] as usize;
+        let n = u16::from_be_bytes([wire[15], wire[16]]) as usize;
+        let ack_epoch = rd32(wire, 17)?;
+        let need = HB_V2_HEADER_LEN
+            + nlinks * 4
+            + n * HB_CONN_LEN
+            + if has_ping { HB_PING_LEN } else { 0 };
+        // Exact length, like v1: trailing bytes mean corruption.
+        if wire.len() != need {
+            return Err(HbDecodeError);
+        }
+        let stored_crc = rd32(wire, 21)?;
+        let mut crc = crate::wire::Crc32::new();
+        crc.update(&wire[..21]);
+        crc.update(&[0u8; 4]);
+        crc.update(&wire[25..]);
+        if crc.finish() != stored_crc {
+            return Err(HbDecodeError);
+        }
+        let mut at = HB_V2_HEADER_LEN;
+        let mut acks = Vec::with_capacity(nlinks);
+        for _ in 0..nlinks {
+            acks.push(rd32(wire, at)?);
+            at += 4;
+        }
+        let mut conns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let flags = wire.get(at + 20).copied().ok_or(HbDecodeError)?;
+            conns.push(ConnHb {
+                key: rd32(wire, at)?,
+                last_byte_received: rd32(wire, at + 4)? as u64,
+                last_ack_received: rd32(wire, at + 8)? as u64,
+                last_app_byte_written: rd32(wire, at + 12)? as u64,
+                last_app_byte_read: rd32(wire, at + 16)? as u64,
+                fin_generated: flags & 1 != 0,
+                rst_generated: flags & 2 != 0,
+                app_suspected: flags & 4 != 0,
+            });
+            at += HB_CONN_LEN;
+        }
+        let ping = match has_ping {
+            true => Some(PingReport {
+                consecutive_failures: rd32(wire, at)?,
+                attempts: rd32(wire, at + 4)?,
+            }),
+            false => None,
+        };
+        Ok(HbFrame {
+            kind,
+            epoch,
+            link,
+            ack_epoch,
+            acks,
+            hb: HbPayload {
+                seqno,
+                role,
+                rank,
+                conns,
+                ping,
+            },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +621,90 @@ mod tests {
         let on_primary = conn_key(tuple(40_000));
         let on_backup = conn_key(tuple(40_000));
         assert_eq!(on_primary, on_backup);
+    }
+
+    fn sample_v2(kind: HbFrameKind) -> HbFrame {
+        HbFrame {
+            kind,
+            epoch: 0xdead_beef,
+            link: 2,
+            ack_epoch: 0x0bad_cafe,
+            acks: vec![41, 40, 39],
+            hb: sample(),
+        }
+    }
+
+    #[test]
+    fn v2_roundtrip() {
+        for kind in [HbFrameKind::Full, HbFrameKind::Delta] {
+            let f = sample_v2(kind);
+            assert_eq!(HbFrame::decode(&f.encode()).unwrap(), f);
+            assert_eq!(f.encode().len(), f.wire_len());
+        }
+    }
+
+    #[test]
+    fn v2_roundtrip_empty() {
+        // A steady-state delta with nothing dirty: header + acks only.
+        let f = HbFrame {
+            kind: HbFrameKind::Delta,
+            epoch: 1,
+            link: 0,
+            ack_epoch: 0,
+            acks: vec![0, 0],
+            hb: HbPayload {
+                seqno: 1,
+                role: Role::Primary,
+                rank: 0,
+                conns: vec![],
+                ping: None,
+            },
+        };
+        assert_eq!(HbFrame::decode(&f.encode()).unwrap(), f);
+        assert_eq!(f.wire_len(), HB_V2_HEADER_LEN + 8);
+    }
+
+    #[test]
+    fn v2_truncation_rejected() {
+        let wire = sample_v2(HbFrameKind::Delta).encode();
+        assert_eq!(HbFrame::decode(&wire[..4]), Err(HbDecodeError));
+        assert_eq!(HbFrame::decode(&wire[..wire.len() - 1]), Err(HbDecodeError));
+    }
+
+    #[test]
+    fn v2_trailing_garbage_rejected() {
+        let mut wire = sample_v2(HbFrameKind::Full).encode().to_vec();
+        wire.push(0);
+        assert_eq!(HbFrame::decode(&wire), Err(HbDecodeError));
+    }
+
+    #[test]
+    fn v2_every_single_bit_flip_rejected() {
+        let wire = sample_v2(HbFrameKind::Delta).encode().to_vec();
+        for bit in 0..wire.len() * 8 {
+            let mut flipped = wire.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(
+                HbFrame::decode(&flipped),
+                Err(HbDecodeError),
+                "flipping bit {bit} went undetected"
+            );
+            // Nor may corruption smuggle a v2 frame through the dual
+            // decoder as a valid v1 heartbeat (or anything else).
+            assert_eq!(
+                decode_any(&flipped),
+                Err(HbDecodeError),
+                "flipping bit {bit} survived decode_any"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_any_distinguishes_versions() {
+        let v1 = sample();
+        let v2 = sample_v2(HbFrameKind::Delta);
+        assert_eq!(decode_any(&v1.encode()).unwrap(), AnyHb::V1(v1));
+        assert_eq!(decode_any(&v2.encode()).unwrap(), AnyHb::V2(v2));
     }
 
     #[test]

@@ -54,6 +54,11 @@ pub(crate) struct PeerConn {
     pub(crate) fin_or_rst: bool,
     /// The peer's watchdog self-reported its application failed (sticky).
     pub(crate) app_suspected: bool,
+    /// Delta (v2) heartbeats only: seqno of the frame that last updated
+    /// this record — per-connection ordering, since sharded multi-link
+    /// frames can legitimately arrive out of order across links. 0 means
+    /// never updated by a v2 frame; the v1 path ignores it.
+    pub(crate) last_update_seq: u32,
 }
 
 /// Everything this server tracks about one other pool member.

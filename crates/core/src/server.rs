@@ -40,7 +40,10 @@ use crate::applag::AppLagDetector;
 use crate::config::{Role, StTcpConfig};
 use crate::events::{FailureReason, HbLink, StTcpEvent};
 use crate::finarb::{ArbAction, FinArbiter};
-use crate::heartbeat::{conn_key, unwrap_u32_near, ConnHb, HbPayload, PingReport, HB_CONN_LEN};
+use crate::heartbeat::{
+    conn_key, decode_any, unwrap_u32_near, AnyHb, ConnHb, HbFrame, HbFrameKind, HbPayload,
+    PingReport, HB_CONN_LEN,
+};
 use crate::linkmon::LinkMonitor;
 use crate::metrics::ServerMetrics;
 use crate::netdetect::{NetFailureDetector, NetObservation};
@@ -56,6 +59,20 @@ fn role_byte(role: Role) -> u8 {
         Role::Primary => 0,
         Role::Backup => 1,
     }
+}
+
+/// Derives a boot-incarnation epoch for the delta-heartbeat protocol from
+/// the boot instant: deterministic (replay-stable), distinct across
+/// reboots within one run, and never 0 — a zero epoch always means "none
+/// seen yet".
+fn epoch_from(now: SimTime) -> u32 {
+    let n = now.as_micros();
+    ((n ^ (n >> 32)) as u32) | 1
+}
+
+/// Wrapping seqno comparison: true when `a` is strictly newer than `b`.
+fn seq_newer(a: u32, b: u32) -> bool {
+    a.wrapping_sub(b) as i32 > 0
 }
 
 /// The stable numeric code a verdict's [`FailureReason`] gets in flight
@@ -200,11 +217,46 @@ impl PingCampaign {
     }
 }
 
+/// Last-sent heartbeat record for one connection (delta mode): the value
+/// the peer will converge on, and the seqno of the frame that first
+/// carried it. The connection rides every frame until the peer's
+/// cumulative ack covers `changed_at`.
+#[derive(Debug, Clone, Copy)]
+struct HbCacheEntry {
+    rec: ConnHb,
+    changed_at: u32,
+}
+
 /// The ST-TCP server node. See the [module docs](self).
 pub struct StTcpServer {
     setup: ServerSetup,
     iface: IpInterface,
     serial_port: SerialPortId,
+    /// Additional pair-mode serial heartbeat links. The shard map assigns
+    /// connection `key` to serial link `key % n` where link 0 is
+    /// `serial_port` and link `1+i` is `extra_serial_ports[i]`.
+    extra_serial_ports: Vec<SerialPortId>,
+    /// Per-serial-link monitors (index 0 = `serial_port`). `serial_mon`
+    /// stays the aggregate any-serial-link view the detector matrix
+    /// consumes, so N=1 behavior is bit-for-bit unchanged.
+    serial_link_mons: Vec<LinkMonitor>,
+
+    // ----- delta heartbeat (v2 wire format) state; hb_delta only -----
+    /// This boot incarnation; acks from a previous incarnation are void.
+    hb_epoch: u32,
+    /// Last record sent per connection with the seqno it changed at.
+    hb_cache: BTreeMap<u32, HbCacheEntry>,
+    /// Peer's cumulative acks of *my* frames, per link (0 = IP).
+    peer_hb_acks: Vec<u32>,
+    /// My epoch the peer's acks refer to; full-state frames are sent
+    /// until this matches `hb_epoch`.
+    peer_ack_epoch: u32,
+    /// Highest seqno applied from the peer, per link (0 = IP) — echoed
+    /// back as acks, and the per-link staleness filter.
+    rx_link_seq: Vec<u32>,
+    /// The peer epoch `rx_link_seq` refers to (0 = none seen yet).
+    rx_peer_epoch: u32,
+
     tcp: TcpEndpoint,
     app_factory: Box<dyn AppFactory>,
     app_crashed: bool,
@@ -315,6 +367,14 @@ impl StTcpServer {
             tcp: TcpEndpoint::new(tcp_cfg),
             iface,
             serial_port: SerialPortId(0),
+            extra_serial_ports: Vec::new(),
+            serial_link_mons: Vec::new(),
+            hb_epoch: 1,
+            hb_cache: BTreeMap::new(),
+            peer_hb_acks: Vec::new(),
+            peer_ack_epoch: 0,
+            rx_link_seq: Vec::new(),
+            rx_peer_epoch: 0,
             app_factory,
             app_crashed: false,
             role,
@@ -356,6 +416,26 @@ impl StTcpServer {
     /// builder after node construction).
     pub fn set_serial_port(&mut self, port: SerialPortId) {
         self.serial_port = port;
+    }
+
+    /// Adds an extra pair-mode serial heartbeat link (conn→link sharding
+    /// for beyond-one-link connection counts). Shard `key % n` maps to
+    /// link `serial_port` for shard 0 and `extra_serial_ports[s-1]`
+    /// otherwise.
+    pub fn add_serial_link(&mut self, port: SerialPortId) {
+        self.extra_serial_ports.push(port);
+    }
+
+    /// Number of heartbeat links to the pair peer: IP plus every serial
+    /// link.
+    fn hb_nlinks(&self) -> usize {
+        2 + self.extra_serial_ports.len()
+    }
+
+    /// The serial shard (0-based serial-link index) a connection key maps
+    /// to.
+    fn shard_of(&self, key: u32) -> usize {
+        key as usize % (1 + self.extra_serial_ports.len())
     }
 
     /// Adds a static ARP entry (topology builders registering additional
@@ -790,6 +870,12 @@ impl StTcpServer {
     }
 
     fn send_heartbeats(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Delta mode (pair only): the v2 wire format with dirty-set
+        // records. Pool members always speak v1 full-state.
+        if self.setup.sttcp.hb_delta && self.pool.is_none() {
+            self.send_heartbeats_v2(ctx);
+            return;
+        }
         // A frozen byzantine sender re-uses the last seqno forever;
         // receivers treat the payload as stale and never re-apply it.
         if self.byz_mode != Some(ByzantineHbMode::Freeze) {
@@ -815,6 +901,7 @@ impl StTcpServer {
         self.hb_scratch = hb.conns;
         let mut frames = 0u64;
         if let Some(pool) = &self.pool {
+            ctx.profile_enter(Component::Pool);
             let dests: Vec<(Ipv4Addr, Option<SerialPortId>)> = pool
                 .members
                 .iter()
@@ -850,6 +937,7 @@ impl StTcpServer {
                     frames += 1;
                 }
             }
+            ctx.profile_exit();
         } else {
             if let Some(frame) =
                 self.iface
@@ -956,6 +1044,347 @@ impl StTcpServer {
         let mut arb_actions: Vec<(SocketId, u32, ArbAction)> = Vec::new();
         for c in &hb.conns {
             let entry = self.peer_conns.entry(c.key).or_default();
+            entry.last_byte_received =
+                unwrap_u32_near(c.last_byte_received as u32, entry.last_byte_received);
+            entry.last_ack_received =
+                unwrap_u32_near(c.last_ack_received as u32, entry.last_ack_received);
+            entry.last_app_byte_written =
+                unwrap_u32_near(c.last_app_byte_written as u32, entry.last_app_byte_written);
+            entry.last_app_byte_read =
+                unwrap_u32_near(c.last_app_byte_read as u32, entry.last_app_byte_read);
+            entry.fin_or_rst |= c.fin_generated || c.rst_generated;
+            entry.app_suspected |= c.app_suspected;
+            let fin_or_rst = entry.fin_or_rst;
+            let lbr = entry.last_byte_received;
+
+            if let Some(&sock) = self.by_key.get(&c.key) {
+                if let Some(ctl) = self.conns.get_mut(&sock) {
+                    if let Some(a) = ctl.finarb.on_peer_hb(now, fin_or_rst) {
+                        arb_actions.push((sock, c.key, a));
+                    }
+                }
+                // The primary releases held bytes the backup has confirmed.
+                if self.role == Role::Primary {
+                    if let Some(conn) = self.tcp.conn_mut(sock) {
+                        conn.release_hold_until(lbr);
+                    }
+                }
+            }
+        }
+        for (sock, key, action) in arb_actions {
+            self.apply_gate_action(now, sock, key, action);
+        }
+    }
+
+    /// True when the peer's acknowledged state already covers a record
+    /// changed at `changed_at`: the IP link's cumulative ack (IP frames
+    /// carry every in-flight record) or the record's serial-shard link's
+    /// ack has reached it, in the peer's view of this boot incarnation.
+    fn ack_covers(&self, key: u32, changed_at: u32) -> bool {
+        if self.peer_ack_epoch != self.hb_epoch {
+            return false;
+        }
+        let ip_ack = self.peer_hb_acks.first().copied().unwrap_or(0);
+        let shard_ack = self
+            .peer_hb_acks
+            .get(1 + self.shard_of(key))
+            .copied()
+            .unwrap_or(0);
+        !seq_newer(changed_at, ip_ack) || !seq_newer(changed_at, shard_ack)
+    }
+
+    /// Delta-mode (v2) heartbeat emission: dirty-until-acked connection
+    /// records, sharded `key % n` across the serial links, full-state
+    /// resync frames until the peer has acknowledged this boot
+    /// incarnation (covering loss, takeover, reboot, and join without
+    /// any extra signalling).
+    fn send_heartbeats_v2(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        if self.byz_mode != Some(ByzantineHbMode::Freeze) {
+            self.hb_seq = self.hb_seq.wrapping_add(1);
+        }
+        let seq = self.hb_seq;
+        let nserial = 1 + self.extra_serial_ports.len();
+        let regress = self.byz_mode == Some(ByzantineHbMode::Regress);
+        // No valid acks for this incarnation yet — or a byzantine sender,
+        // which must lie about every connection to match v1 detection
+        // semantics — forces full-state frames.
+        let full = self.peer_ack_epoch != self.hb_epoch || regress;
+        // Refresh the record cache. The candidate set is the endpoint's
+        // touched list plus every record still awaiting an ack, so idle
+        // connections cost nothing per heartbeat period. The optional
+        // watchdog is the one signal that changes with *time* rather
+        // than socket activity, so enabling it falls back to the full
+        // scan.
+        let touched = self.tcp.drain_touched();
+        let scan_all = full || self.setup.sttcp.watchdog_timeout.is_some();
+        let mut candidates: BTreeSet<u32> = BTreeSet::new();
+        if scan_all {
+            candidates.extend(self.by_key.keys().copied());
+            let by_key = &self.by_key;
+            self.hb_cache.retain(|k, _| by_key.contains_key(k));
+        } else {
+            for sock in touched {
+                if let Some(ctl) = self.conns.get(&sock) {
+                    candidates.insert(ctl.key);
+                }
+            }
+            for (&key, e) in &self.hb_cache {
+                if !self.ack_covers(key, e.changed_at) {
+                    candidates.insert(key);
+                }
+            }
+        }
+        for key in candidates {
+            let Some(&sock) = self.by_key.get(&key) else {
+                self.hb_cache.remove(&key);
+                continue;
+            };
+            let Some(conn) = self.tcp.conn(sock) else {
+                self.hb_cache.remove(&key);
+                continue;
+            };
+            let rec = ConnHb {
+                key,
+                last_byte_received: conn.bytes_received(),
+                last_ack_received: conn.last_ack_received(),
+                last_app_byte_written: conn.app_bytes_written(),
+                last_app_byte_read: conn.app_bytes_read(),
+                fin_generated: conn.fin_generated(),
+                rst_generated: conn.rst_generated(),
+                app_suspected: self.watchdog_suspects(now, sock),
+            };
+            match self.hb_cache.get_mut(&key) {
+                Some(e) if e.rec == rec => {}
+                Some(e) => {
+                    e.rec = rec;
+                    e.changed_at = seq;
+                }
+                None => {
+                    self.hb_cache.insert(
+                        key,
+                        HbCacheEntry {
+                            rec,
+                            changed_at: seq,
+                        },
+                    );
+                }
+            }
+        }
+        // Select the records still in flight toward the peer.
+        let mut ip_conns: Vec<ConnHb> = Vec::new();
+        let mut serial_conns: Vec<Vec<ConnHb>> = vec![Vec::new(); nserial];
+        for (&key, e) in &self.hb_cache {
+            if !full && self.ack_covers(key, e.changed_at) {
+                continue;
+            }
+            let mut rec = e.rec;
+            if regress {
+                rec.last_byte_received = rec.last_byte_received.saturating_sub(100_000);
+                rec.last_app_byte_read = rec.last_app_byte_read.saturating_sub(100_000);
+            }
+            ip_conns.push(rec);
+            serial_conns[key as usize % nserial].push(rec);
+        }
+        let kind = match full {
+            true => HbFrameKind::Full,
+            false => HbFrameKind::Delta,
+        };
+        let role = self.role;
+        let rank = self.setup.rank;
+        let ping = self.ping.active.then(|| self.ping.report());
+        let acks = self.rx_link_seq.clone();
+        let ack_epoch = self.rx_peer_epoch;
+        let span = SpanId::heartbeat(role_byte(role), rank, seq);
+        let mut frames = 0u64;
+        let mut conn_entries = 0u64;
+        let mut payload_bytes = 0u64;
+        let mut framing_bytes = 0u64;
+        let mut account = |wire_len: usize, nconns: usize| {
+            frames += 1;
+            conn_entries += nconns as u64;
+            let payload = nconns as u64 * HB_CONN_LEN as u64;
+            payload_bytes += payload;
+            framing_bytes += (wire_len as u64).saturating_sub(payload);
+        };
+        // IP frame: every in-flight record (full cross-link redundancy).
+        let nconns = ip_conns.len();
+        let f = HbFrame {
+            kind,
+            epoch: self.hb_epoch,
+            link: 0,
+            ack_epoch,
+            acks: acks.clone(),
+            hb: HbPayload {
+                seqno: seq,
+                role,
+                rank,
+                conns: ip_conns,
+                ping,
+            },
+        };
+        let wire = f.encode();
+        if let Some(frame) =
+            self.iface
+                .frame_to(self.setup.peer_private_ip, IpProto::Heartbeat, wire.clone())
+        {
+            ctx.send_frame(self.iface.nic, frame);
+            ctx.flight(
+                span,
+                SpanId::NONE,
+                FlightKind::HbEmit {
+                    seqno: seq,
+                    link: 0,
+                    bytes: wire.len() as u32,
+                    conns: nconns as u32,
+                },
+            );
+            account(wire.len(), nconns);
+        }
+        // Serial frames: each link carries only its shard.
+        for (s, conns) in serial_conns.into_iter().enumerate() {
+            let port = match s {
+                0 => self.serial_port,
+                _ => self.extra_serial_ports[s - 1],
+            };
+            let nconns = conns.len();
+            let f = HbFrame {
+                kind,
+                epoch: self.hb_epoch,
+                link: (1 + s) as u8,
+                ack_epoch,
+                acks: acks.clone(),
+                hb: HbPayload {
+                    seqno: seq,
+                    role,
+                    rank,
+                    conns,
+                    ping,
+                },
+            };
+            let wire = f.encode();
+            ctx.send_serial(port, wire.clone());
+            ctx.flight(
+                span,
+                SpanId::NONE,
+                FlightKind::HbEmit {
+                    seqno: seq,
+                    link: (1 + s) as u8,
+                    bytes: wire.len() as u32,
+                    conns: nconns as u32,
+                },
+            );
+            account(wire.len(), nconns);
+        }
+        self.metrics
+            .on_hb_round(frames, conn_entries, payload_bytes, framing_bytes);
+    }
+
+    /// v2 (delta) heartbeat intake: per-link staleness (each link sees
+    /// each seqno once, and serial frames carry only their shard),
+    /// per-connection ordering for counter application (cross-link
+    /// reorder legitimately delivers older frames late), and ack/epoch
+    /// bookkeeping for the return direction. Detection semantics match
+    /// `handle_heartbeat` exactly: stale frames earn only bounded
+    /// liveness credit, and regressing counters poison the whole frame.
+    fn handle_heartbeat_v2(&mut self, now: SimTime, f: &HbFrame, link: usize) {
+        let hb = &f.hb;
+        let hblink = match link {
+            0 => HbLink::Ip,
+            _ => HbLink::Serial,
+        };
+        // A new peer incarnation voids all per-link and per-connection
+        // ordering state; its acks of our frames restart from nothing, so
+        // full frames flow both ways until re-acknowledged.
+        if f.epoch != self.rx_peer_epoch {
+            self.rx_peer_epoch = f.epoch;
+            self.rx_link_seq = vec![0; self.hb_nlinks()];
+            for p in self.peer_conns.values_mut() {
+                p.last_update_seq = 0;
+            }
+            self.peer_hb_acks = vec![0; self.hb_nlinks()];
+            self.peer_ack_epoch = 0;
+        }
+        let last = self.rx_link_seq.get(link).copied().unwrap_or(0);
+        if last != 0 && !seq_newer(hb.seqno, last) {
+            // Replayed or frozen on this link: bounded liveness credit,
+            // exactly like the v1 staleness path.
+            if now.saturating_since(self.peer_seqno_advanced_at) <= self.setup.sttcp.hb_timeout() {
+                match hblink {
+                    HbLink::Ip => self.ip_mon.on_heartbeat(now),
+                    HbLink::Serial => {
+                        self.serial_mon.on_heartbeat(now);
+                        if let Some(m) = self.serial_link_mons.get_mut(link.saturating_sub(1)) {
+                            m.on_heartbeat(now);
+                        }
+                    }
+                }
+                self.metrics.on_heartbeat(hblink, now);
+            }
+            return;
+        }
+        // Byzantine sanity check, against per-connection ordering: only
+        // records this frame would actually update can regress; records
+        // an older cross-link frame legitimately repeats are skipped.
+        let regressing = hb.conns.iter().any(|c| {
+            self.peer_conns.get(&c.key).is_some_and(|e| {
+                (e.last_update_seq == 0 || !seq_newer(e.last_update_seq, hb.seqno))
+                    && (unwrap_u32_near(c.last_byte_received as u32, e.last_byte_received)
+                        < e.last_byte_received
+                        || unwrap_u32_near(c.last_app_byte_read as u32, e.last_app_byte_read)
+                            < e.last_app_byte_read)
+            })
+        });
+        if regressing {
+            if !self.byzantine_reported {
+                self.byzantine_reported = true;
+                self.events
+                    .push(StTcpEvent::ByzantineHbRejected { at: now });
+            }
+            self.metrics.on_byzantine_rejected();
+            return;
+        }
+        if let Some(s) = self.rx_link_seq.get_mut(link) {
+            *s = hb.seqno;
+        }
+        let glob_fresh = self.peer_last_seqno.is_none_or(|l| seq_newer(hb.seqno, l));
+        if glob_fresh {
+            self.peer_last_seqno = Some(hb.seqno);
+            self.peer_seqno_advanced_at = now;
+            self.peer_ping = hb.ping;
+        }
+        match hblink {
+            HbLink::Ip => self.ip_mon.on_heartbeat(now),
+            HbLink::Serial => {
+                self.serial_mon.on_heartbeat(now);
+                if let Some(m) = self.serial_link_mons.get_mut(link.saturating_sub(1)) {
+                    m.on_heartbeat(now);
+                }
+            }
+        }
+        self.metrics.on_heartbeat(hblink, now);
+        // The peer's cumulative acks of our frames, valid only while they
+        // refer to this boot incarnation.
+        if f.ack_epoch == self.hb_epoch {
+            self.peer_ack_epoch = f.ack_epoch;
+            for (i, &a) in f.acks.iter().enumerate() {
+                if let Some(slot) = self.peer_hb_acks.get_mut(i) {
+                    if a != 0 && (*slot == 0 || seq_newer(a, *slot)) {
+                        *slot = a;
+                    }
+                }
+            }
+        }
+        // Apply records under per-connection ordering: equal seqno is the
+        // same tick's frame on the other link and reapplies identical
+        // values; strictly older frames are skipped per record.
+        let mut arb_actions: Vec<(SocketId, u32, ArbAction)> = Vec::new();
+        for c in &hb.conns {
+            let entry = self.peer_conns.entry(c.key).or_default();
+            if entry.last_update_seq != 0 && seq_newer(entry.last_update_seq, hb.seqno) {
+                continue;
+            }
+            entry.last_update_seq = hb.seqno;
             entry.last_byte_received =
                 unwrap_u32_near(c.last_byte_received as u32, entry.last_byte_received);
             entry.last_ack_received =
@@ -1319,6 +1748,10 @@ impl StTcpServer {
             // here the new active's own positions are authoritative.
             self.peer_conns.clear();
         }
+        // Delta mode: the dead peer's acks are void; a future joiner is
+        // served full-state frames until it acknowledges this epoch.
+        self.peer_hb_acks = vec![0; self.hb_nlinks()];
+        self.peer_ack_epoch = 0;
         self.flush(ctx);
     }
 
@@ -1349,7 +1782,9 @@ impl StTcpServer {
         // Pool mode replaces the pairwise detector matrix with per-member
         // liveness plus quorum fencing.
         if self.pool.is_some() {
+            ctx.profile_enter(Component::Pool);
             self.run_pool_checks(ctx);
+            ctx.profile_exit();
             return;
         }
 
@@ -1625,9 +2060,7 @@ impl StTcpServer {
         if self.role == Role::Backup {
             self.run_recovery(ctx);
         }
-        ctx.profile_enter(Component::Pool);
         self.fence_tick(ctx);
-        ctx.profile_exit();
     }
 
     /// Drives this server's fence round: abandon a round whose target
@@ -2100,7 +2533,10 @@ impl StTcpServer {
             });
         }
         for req in requests {
-            self.send_ctrl(ctx, &req);
+            let CtrlMsg::FetchRequest { conn, .. } = req else {
+                unreachable!()
+            };
+            self.send_ctrl_conn(ctx, conn, &req);
         }
     }
 
@@ -2151,6 +2587,13 @@ impl StTcpServer {
             self.peer_last_seqno = None;
             self.peer_seqno_advanced_at = now;
             self.byzantine_reported = false;
+            // Delta mode: the old incarnation's acks are void — send
+            // full-state frames until the joiner acknowledges, and track
+            // its new links/epoch from scratch.
+            self.peer_hb_acks = vec![0; self.hb_nlinks()];
+            self.peer_ack_epoch = 0;
+            self.rx_link_seq = vec![0; self.hb_nlinks()];
+            self.rx_peer_epoch = 0;
             self.events
                 .push(StTcpEvent::ReintegrationStarted { at: now });
             ctx.trace(format!(
@@ -2472,6 +2915,26 @@ impl StTcpServer {
         }
     }
 
+    /// Sends a per-connection control message (fetch traffic) toward the
+    /// peer, shard-aware: the IP path always carries it, and when the IP
+    /// heartbeat link is down in a multi-link pair, the connection's shard
+    /// serial link carries a redundant copy so recovery survives an IP
+    /// partition without flooding every serial line.
+    fn send_ctrl_conn(&self, ctx: &mut NodeCtx<'_>, key: u32, msg: &CtrlMsg) {
+        self.send_ctrl(ctx, msg);
+        if self.pool.is_some() || self.extra_serial_ports.is_empty() {
+            return;
+        }
+        if self.ip_mon.is_alive(ctx.now()) {
+            return;
+        }
+        let port = match self.shard_of(key) {
+            0 => self.serial_port,
+            s => self.extra_serial_ports[s - 1],
+        };
+        ctx.send_serial(port, msg.encode());
+    }
+
     fn handle_ctrl(&mut self, ctx: &mut NodeCtx<'_>, src: Ipv4Addr, msg: &CtrlMsg) {
         let now = ctx.now();
         match msg {
@@ -2669,7 +3132,11 @@ impl StTcpServer {
                 }
             }
             IpProto::Heartbeat if pkt.dst == self.setup.private_ip => {
-                if let Ok(hb) = HbPayload::decode(&pkt.payload) {
+                if let Ok(any) = decode_any(&pkt.payload) {
+                    let hb = match &any {
+                        AnyHb::V1(hb) => hb,
+                        AnyHb::V2(f) => &f.hb,
+                    };
                     let span = SpanId::heartbeat(role_byte(hb.role), hb.rank, hb.seqno);
                     ctx.flight(
                         span,
@@ -2680,12 +3147,17 @@ impl StTcpServer {
                         },
                     );
                     self.last_hb_rx_span = span;
-                    if self.pool.is_some() {
-                        ctx.profile_enter(Component::Pool);
-                        self.pool_handle_heartbeat(now, &hb, HbLink::Ip, pkt.src);
-                        ctx.profile_exit();
-                    } else {
-                        self.handle_heartbeat(now, &hb, HbLink::Ip);
+                    match &any {
+                        AnyHb::V1(hb) if self.pool.is_some() => {
+                            ctx.profile_enter(Component::Pool);
+                            self.pool_handle_heartbeat(now, hb, HbLink::Ip, pkt.src);
+                            ctx.profile_exit();
+                        }
+                        AnyHb::V1(hb) => self.handle_heartbeat(now, hb, HbLink::Ip),
+                        // Pool members never speak v2; a v2 frame in pool
+                        // mode is dropped rather than misapplied.
+                        AnyHb::V2(_) if self.pool.is_some() => {}
+                        AnyHb::V2(f) => self.handle_heartbeat_v2(now, f, 0),
                     }
                 }
             }
@@ -2737,6 +3209,12 @@ impl Node for StTcpServer {
         let hb_timeout = self.setup.sttcp.hb_timeout();
         self.ip_mon = LinkMonitor::new(hb_timeout, now);
         self.serial_mon = LinkMonitor::new(hb_timeout, now);
+        self.serial_link_mons = (0..1 + self.extra_serial_ports.len())
+            .map(|_| LinkMonitor::new(hb_timeout, now))
+            .collect();
+        self.hb_epoch = epoch_from(now);
+        self.rx_link_seq = vec![0; self.hb_nlinks()];
+        self.peer_hb_acks = vec![0; self.hb_nlinks()];
         // Pool members get the same startup grace, anchored at boot.
         if let Some(pool) = &mut self.pool {
             for m in pool.members.values_mut() {
@@ -2809,18 +3287,39 @@ impl Node for StTcpServer {
             } else if let Ok(msg) = CtrlMsg::decode(&data) {
                 self.handle_ctrl(ctx, ip, &msg);
             }
-        } else if let Ok(hb) = HbPayload::decode(&data) {
+        } else if let Ok(any) = decode_any(&data) {
+            // Pair mode: serial link index 0 is `serial_port`, further
+            // links follow `extra_serial_ports` order.
+            let link_ix = match port == self.serial_port {
+                true => 0,
+                false => match self.extra_serial_ports.iter().position(|&p| p == port) {
+                    Some(i) => 1 + i,
+                    None => 0,
+                },
+            };
+            let hb = match &any {
+                AnyHb::V1(hb) => hb,
+                AnyHb::V2(f) => &f.hb,
+            };
             let span = SpanId::heartbeat(role_byte(hb.role), hb.rank, hb.seqno);
             ctx.flight(
                 span,
                 SpanId::NONE,
                 FlightKind::HbRecv {
                     seqno: hb.seqno,
-                    link: 1,
+                    link: (1 + link_ix) as u8,
                 },
             );
             self.last_hb_rx_span = span;
-            self.handle_heartbeat(now, &hb, HbLink::Serial);
+            match &any {
+                AnyHb::V1(hb) => self.handle_heartbeat(now, hb, HbLink::Serial),
+                AnyHb::V2(f) => self.handle_heartbeat_v2(now, f, 1 + link_ix),
+            }
+        } else if let Ok(msg) = CtrlMsg::decode(&data) {
+            // Pair mode carries shard-routed fetch requests over serial
+            // when the IP link is down; the CRC in each format keeps the
+            // decodes from colliding.
+            self.handle_ctrl(ctx, self.setup.peer_private_ip, &msg);
         }
         self.flush(ctx);
     }
@@ -2971,9 +3470,20 @@ impl Node for StTcpServer {
         self.peer_seqno_advanced_at = now;
         self.byzantine_reported = false;
         self.byz_mode = None;
+        // Delta mode: a fresh boot incarnation — the peer's receivers see
+        // the epoch change and reset their side; ours starts empty.
+        self.hb_epoch = epoch_from(now);
+        self.hb_cache.clear();
+        self.peer_hb_acks = vec![0; self.hb_nlinks()];
+        self.peer_ack_epoch = 0;
+        self.rx_link_seq = vec![0; self.hb_nlinks()];
+        self.rx_peer_epoch = 0;
         let hb_timeout = self.setup.sttcp.hb_timeout();
         self.ip_mon = LinkMonitor::new(hb_timeout, now);
         self.serial_mon = LinkMonitor::new(hb_timeout, now);
+        self.serial_link_mons = (0..1 + self.extra_serial_ports.len())
+            .map(|_| LinkMonitor::new(hb_timeout, now))
+            .collect();
         // Pool: rebuild the member view from scratch (everything pre-crash
         // is stale), keeping only the physical serial wiring. This boots
         // with the static rank; `JoinDone` hands over the fresh one.

@@ -21,6 +21,11 @@ pub struct SwitchState {
     ports: Vec<Option<LinkId>>,
     /// MAC learning table: source address → port last seen on.
     table: HashMap<MacAddr, usize>,
+    /// Static multicast membership (IGMP-snooping style): when a
+    /// multicast destination has a registered group, the frame is
+    /// delivered only to its member ports instead of flooding. Keeps a
+    /// many-client tap O(servers) per frame instead of O(ports).
+    groups: HashMap<MacAddr, Vec<usize>>,
 }
 
 impl SwitchState {
@@ -28,6 +33,7 @@ impl SwitchState {
         SwitchState {
             ports: vec![None; port_count],
             table: HashMap::new(),
+            groups: HashMap::new(),
         }
     }
 
@@ -61,6 +67,21 @@ impl SwitchState {
         self.table.get(&mac).copied()
     }
 
+    /// Registers `port` as a member of the multicast group `mac`.
+    /// Frames addressed to a registered group go only to its members;
+    /// unregistered multicast destinations still flood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` is not a multicast address.
+    pub fn join_group(&mut self, mac: MacAddr, port: usize) {
+        assert!(mac.is_multicast(), "{mac:?} is not a multicast address");
+        let members = self.groups.entry(mac).or_default();
+        if !members.contains(&port) {
+            members.push(port);
+        }
+    }
+
     /// Processes a frame arriving on `in_port`, returning the output links
     /// the frame must be transmitted on.
     ///
@@ -73,6 +94,13 @@ impl SwitchState {
             self.table.insert(frame.src, in_port);
         }
         if frame.dst.is_multicast() {
+            if let Some(members) = self.groups.get(&frame.dst) {
+                return members
+                    .iter()
+                    .filter(|&&p| p != in_port)
+                    .filter_map(|&p| self.link_at(p))
+                    .collect();
+            }
             return self.flood(in_port);
         }
         match self.table.get(&frame.dst) {
@@ -179,6 +207,30 @@ mod tests {
         s.flush_table();
         let out = s.forward(0, &frame(MacAddr::unicast(1), MacAddr::unicast(2)));
         assert_eq!(out, vec![LinkId(11), LinkId(12)]);
+    }
+
+    #[test]
+    fn registered_group_delivers_only_to_members() {
+        let mut s = switch3();
+        let multi = MacAddr::multicast(5);
+        s.join_group(multi, 1);
+        // Duplicate joins are idempotent.
+        s.join_group(multi, 1);
+        let out = s.forward(0, &frame(MacAddr::unicast(1), multi));
+        assert_eq!(out, vec![LinkId(11)]);
+        // Ingress membership is excluded, like flooding.
+        let out = s.forward(1, &frame(MacAddr::unicast(2), multi));
+        assert!(out.is_empty());
+        // Other multicast groups still flood.
+        let out = s.forward(0, &frame(MacAddr::unicast(1), MacAddr::multicast(6)));
+        assert_eq!(out, vec![LinkId(11), LinkId(12)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multicast address")]
+    fn join_group_rejects_unicast() {
+        let mut s = switch3();
+        s.join_group(MacAddr::unicast(1), 0);
     }
 
     #[test]

@@ -352,6 +352,12 @@ impl World {
         &self.switches[id.0]
     }
 
+    /// Registers a static multicast group membership on a switch port
+    /// (IGMP-snooping style). See [`SwitchState::join_group`].
+    pub fn join_multicast(&mut self, id: SwitchId, mac: MacAddr, port: usize) {
+        self.switches[id.0].join_group(mac, port);
+    }
+
     /// The name a node was created with.
     pub fn node_name(&self, id: NodeId) -> &str {
         &self.nodes[id.0].name

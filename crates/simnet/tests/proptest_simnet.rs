@@ -12,6 +12,23 @@ use simnet::ip::{internet_checksum, IcmpMessage, IpProto, Ipv4Packet};
 use simnet::mac::MacAddr;
 use simnet::time::{SimDuration, SimTime};
 
+/// Textbook scalar RFC 1071 checksum: two bytes at a time, fold at the
+/// end — the reference the optimized accumulator is pinned against.
+fn scalar_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(*last) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
 proptest! {
     // ------------------------------------------------------------------
     // Internet checksum algebra
@@ -35,6 +52,25 @@ proptest! {
         let i = bit % (data.len() * 8);
         corrupted[i / 8] ^= 1 << (i % 8);
         prop_assert_ne!(internet_checksum(&corrupted), original);
+    }
+
+    // Differential pin: the word-at-a-time (8-byte chunked) accumulator
+    // must be byte-identical to the textbook scalar RFC 1071 walk for
+    // every input length, alignment, and slice split.
+    #[test]
+    fn checksum_word_at_a_time_matches_scalar_reference(
+        data in vec(any::<u8>(), 0..1024),
+        split in 0usize..1024,
+    ) {
+        let reference = scalar_checksum(&data);
+        prop_assert_eq!(internet_checksum(&data), reference);
+        // Split the input at an arbitrary point (odd splits exercise the
+        // byte-parity carry) and accumulate in two pushes.
+        let mid = split % (data.len() + 1);
+        let mut acc = simnet::ip::ChecksumAccumulator::new();
+        acc.push(&data[..mid]);
+        acc.push(&data[mid..]);
+        prop_assert_eq!(acc.finish(), reference);
     }
 
     // ------------------------------------------------------------------

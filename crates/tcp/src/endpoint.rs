@@ -135,6 +135,10 @@ struct ConnEntry {
     egress: EgressMode,
     fin_gate: FinGate,
     shim: ShimStats,
+    /// In `touched_list` (activity since the last `drain_touched`).
+    touched: bool,
+    /// In `poll_list` (may have segments pending since the last poll).
+    pollable: bool,
 }
 
 /// A host's TCP stack. See the [module docs](self).
@@ -148,6 +152,14 @@ pub struct TcpEndpoint {
     next_id: u64,
     events: VecDeque<(SocketId, SocketEvent)>,
     raw_out: VecDeque<(FourTuple, TcpSegment)>,
+    /// Sockets with activity since the last [`TcpEndpoint::drain_touched`]
+    /// — the intrusive dirty list behind ST-TCP's delta heartbeats: idle
+    /// connections are never visited when building a heartbeat.
+    touched_list: Vec<SocketId>,
+    /// Sockets that may have outbound segments pending. Every path that
+    /// can make a connection emit a segment marks it, so
+    /// [`TcpEndpoint::poll_packets`] visits only active connections.
+    poll_list: Vec<SocketId>,
 }
 
 impl TcpEndpoint {
@@ -163,7 +175,36 @@ impl TcpEndpoint {
             next_id: 0,
             events: VecDeque::new(),
             raw_out: VecDeque::new(),
+            touched_list: Vec::new(),
+            poll_list: Vec::new(),
         }
+    }
+
+    /// Marks a socket active: it joins the touched set (drained by the
+    /// ST-TCP server's delta-heartbeat builder) and the poll set.
+    fn touch(&mut self, id: SocketId) {
+        if let Some(e) = self.socks.get_mut(&id) {
+            if !e.touched {
+                e.touched = true;
+                self.touched_list.push(id);
+            }
+            if !e.pollable {
+                e.pollable = true;
+                self.poll_list.push(id);
+            }
+        }
+    }
+
+    /// Drains the set of sockets with any activity (segments, timers,
+    /// application I/O, control-plane mutation) since the last drain.
+    /// Order is first-touch order; each socket appears at most once.
+    pub fn drain_touched(&mut self) -> Vec<SocketId> {
+        for id in &self.touched_list {
+            if let Some(e) = self.socks.get_mut(id) {
+                e.touched = false;
+            }
+        }
+        std::mem::take(&mut self.touched_list)
     }
 
     // ----- listeners and opens ------------------------------------------
@@ -210,8 +251,11 @@ impl TcpEndpoint {
                 egress,
                 fin_gate: FinGate::Open,
                 shim: ShimStats::default(),
+                touched: false,
+                pollable: false,
             },
         );
+        self.touch(id);
         id
     }
 
@@ -234,6 +278,7 @@ impl TcpEndpoint {
             if let Some(entry) = self.socks.get_mut(&id) {
                 entry.conn.on_segment(now, &seg);
                 self.collect_events(id);
+                self.touch(id);
                 return;
             }
         }
@@ -267,6 +312,7 @@ impl TcpEndpoint {
                 entry.conn.on_timer(now);
             }
             self.collect_events(id);
+            self.touch(id);
         }
     }
 
@@ -285,7 +331,15 @@ impl TcpEndpoint {
         while let Some((tuple, seg)) = self.raw_out.pop_front() {
             out.push(wrap(tuple, &seg));
         }
-        for (&id, entry) in self.socks.iter_mut() {
+        // Only sockets with activity since the last poll can have pending
+        // segments; idle connections are not visited (O(active), not
+        // O(connections) — the scale bench depends on this).
+        let pollable = std::mem::take(&mut self.poll_list);
+        for id in pollable {
+            let Some(entry) = self.socks.get_mut(&id) else {
+                continue;
+            };
+            entry.pollable = false;
             while let Some(seg) = entry.conn.poll_segment() {
                 match entry.egress {
                     EgressMode::Suppress => {
@@ -300,7 +354,6 @@ impl TcpEndpoint {
                 }
                 out.push(wrap(entry.conn.tuple(), &seg));
             }
-            let _ = id;
         }
         out
     }
@@ -346,15 +399,20 @@ impl TcpEndpoint {
             None => 0,
         };
         self.collect_events(id);
+        self.touch(id);
         n
     }
 
     /// Reads up to `max` in-order bytes from a socket.
     pub fn recv(&mut self, id: SocketId, max: usize) -> Bytes {
-        match self.socks.get_mut(&id) {
+        let data = match self.socks.get_mut(&id) {
             Some(e) => e.conn.recv(max),
             None => Bytes::new(),
+        };
+        if !data.is_empty() {
+            self.touch(id);
         }
+        data
     }
 
     /// Closes the sending side of a socket.
@@ -363,6 +421,7 @@ impl TcpEndpoint {
             e.conn.close(now);
         }
         self.collect_events(id);
+        self.touch(id);
     }
 
     /// Aborts a socket with an RST.
@@ -371,6 +430,7 @@ impl TcpEndpoint {
             e.conn.abort(now);
         }
         self.collect_events(id);
+        self.touch(id);
     }
 
     /// Installs a connection rebuilt from a re-integration snapshot
@@ -397,8 +457,10 @@ impl TcpEndpoint {
     }
 
     /// Mutable access to a socket's connection (ST-TCP hold/injection
-    /// control).
+    /// control). Marks the socket touched: the caller may mutate state
+    /// that feeds heartbeats or produces segments.
     pub fn conn_mut(&mut self, id: SocketId) -> Option<&mut TcpConn> {
+        self.touch(id);
         self.socks.get_mut(&id).map(|e| &mut e.conn)
     }
 
@@ -455,6 +517,7 @@ impl TcpEndpoint {
             }
         }
         self.collect_events(id);
+        self.touch(id);
     }
 
     /// Shim counters for a socket.
@@ -477,6 +540,7 @@ impl TcpEndpoint {
             e.conn.inject_in_order(off, data);
         }
         self.collect_events(id);
+        self.touch(id);
     }
 }
 
@@ -863,6 +927,43 @@ mod tests {
         let d = n.a.next_deadline().unwrap();
         n.advance(d);
         assert_eq!(n.a.conn(ca).unwrap().state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn drain_touched_tracks_activity_and_resets() {
+        let (mut n, ca, sb) = connected_pair();
+        // The handshake touched both sockets; drain to a clean slate.
+        assert!(n.a.drain_touched().contains(&ca));
+        assert!(n.b.drain_touched().contains(&sb));
+        assert!(n.a.drain_touched().is_empty());
+        assert!(n.b.drain_touched().is_empty());
+        // Idle sockets stay untouched; data flow touches both ends.
+        let _ = n.a.send(n.now, ca, b"ping");
+        n.pump();
+        assert_eq!(n.a.drain_touched(), vec![ca]);
+        assert_eq!(n.b.drain_touched(), vec![sb]);
+        // Each socket appears at most once per drain even when touched
+        // repeatedly.
+        let _ = n.a.send(n.now, ca, b"a");
+        let _ = n.a.send(n.now, ca, b"b");
+        assert_eq!(n.a.drain_touched(), vec![ca]);
+    }
+
+    #[test]
+    fn idle_connections_are_not_polled() {
+        let (mut n, ca, sb) = connected_pair();
+        n.pump();
+        // Steady state: nothing pending, polling returns nothing and the
+        // poll list stays empty until new activity arrives.
+        assert!(n.a.poll_packets(n.now).is_empty());
+        let _ = n.a.send(n.now, ca, b"x");
+        let pkts = n.a.poll_packets(n.now);
+        assert!(!pkts.is_empty());
+        for p in pkts {
+            n.b.on_packet(n.now, &p);
+        }
+        n.pump();
+        assert_eq!(n.b.recv(sb, 10).as_ref(), b"x");
     }
 
     #[test]

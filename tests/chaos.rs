@@ -292,6 +292,80 @@ fn reintegrate_sweep_is_deterministic_and_clean() {
     );
 }
 
+/// Delta heartbeats are a wire optimisation, not a behaviour change.
+/// Two contracts, both over 64 seeds:
+///
+/// 1. A delta-mode sweep folds to a byte-identical metrics report at 1
+///    and 4 threads — the same determinism contract full-state mode
+///    already pins.
+/// 2. Every seed's semantic verdict matches between delta and
+///    full-state mode: outcome class, violated invariants, client
+///    integrity, and which servers took over / fenced. Raw fingerprints
+///    legitimately diverge across modes (delta frames are smaller, so
+///    every microsecond timestamp downstream of a heartbeat shifts);
+///    what must not change is any protocol *decision*.
+#[test]
+fn delta_heartbeat_sweep_matches_full_state_semantics() {
+    use sttcp_bench::hunt::{run_sweep, SweepConfig};
+
+    let delta_opts = ChaosOptions {
+        hb_delta: true,
+        ..ChaosOptions::quick()
+    };
+
+    // Contract 1: delta mode is deterministic and thread-invariant.
+    let reports: Vec<String> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let cfg = SweepConfig {
+                seeds: 64,
+                start: 0,
+                quick: true,
+                double: false,
+                reintegrate: false,
+                threads,
+            };
+            run_sweep(&cfg, &delta_opts, |_| {})
+                .to_report(&cfg, true)
+                .to_json()
+        })
+        .collect();
+    assert_eq!(
+        reports[0], reports[1],
+        "delta sweep report differs between 1 and 4 threads"
+    );
+
+    // Contract 2: per-seed verdict equivalence against full-state mode.
+    let project = |r: &sttcp_apps::chaos::ChaosReport| {
+        let took_over =
+            |evs: &[StTcpEvent]| evs.iter().any(|e| matches!(e, StTcpEvent::TookOver { .. }));
+        let stonith = |evs: &[StTcpEvent]| {
+            evs.iter()
+                .any(|e| matches!(e, StTcpEvent::StonithIssued { .. }))
+        };
+        (
+            r.outcome,
+            r.violations.iter().map(|v| v.invariant).collect::<Vec<_>>(),
+            r.client.finished,
+            r.client.integrity_violations,
+            took_over(&r.primary_events),
+            took_over(&r.backup_events),
+            stonith(&r.primary_events),
+            stonith(&r.backup_events),
+        )
+    };
+    for seed in 0..64 {
+        let schedule = FaultSchedule::generate(seed);
+        let full = run_chaos_case(seed, &schedule, &quick());
+        let delta = run_chaos_case(seed, &schedule, &delta_opts);
+        assert_eq!(
+            project(&full),
+            project(&delta),
+            "seed {seed} ({schedule}): delta mode changed the verdict"
+        );
+    }
+}
+
 /// `--threads` must be invisible in the results: a 64-seed sweep run on
 /// a 4-worker pool folds to a byte-identical metrics report (outcome
 /// counters, phase percentiles, bound checks — everything) as the same

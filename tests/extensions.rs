@@ -247,3 +247,129 @@ fn primary_crash_during_recovery_resets_connection_not_hangs() {
     assert_eq!(log.integrity_violations, 0);
     assert_eq!(s.server(s.backup).role(), Role::Primary);
 }
+
+// ---------------------------------------------------------------------
+// Delta (v2) heartbeats and parallel serial links
+// ---------------------------------------------------------------------
+
+fn delta_cfg() -> StTcpConfig {
+    StTcpConfig {
+        hb_delta: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn delta_heartbeats_serve_clients_failure_free() {
+    let mut s = ScenarioBuilder::new(
+        stream_app(4096),
+        ClientWorkload::Download { total: 128 * 1024 },
+    )
+    .extra_clients(vec![
+        ClientWorkload::Download { total: 64 * 1024 },
+        ClientWorkload::Idle,
+        ClientWorkload::Idle,
+    ])
+    .seed(230)
+    .sttcp(delta_cfg())
+    .serial_links(3)
+    .build();
+    s.world.run_until(t(15_000));
+    for &c in s.clients.clone().iter() {
+        let log = s.log_of(c);
+        assert_eq!(log.integrity_violations, 0);
+        assert_eq!(log.connects.len(), 1, "client {c:?}: {log:?}");
+    }
+    assert!(s.finished(s.client));
+    assert_eq!(s.server(s.primary).conn_keys().len(), 4);
+    assert_eq!(s.server(s.backup).conn_keys().len(), 4);
+    for key in s.server(s.primary).conn_keys() {
+        assert_eq!(
+            s.server(s.primary).app_digest(key),
+            s.server(s.backup).app_digest(key),
+            "replica divergence on conn {key:08x}"
+        );
+    }
+}
+
+#[test]
+fn delta_heartbeats_survive_primary_crash() {
+    let mut s = ScenarioBuilder::new(
+        stream_app(4096),
+        ClientWorkload::Download { total: 512 * 1024 },
+    )
+    .extra_clients(vec![
+        ClientWorkload::Download { total: 384 * 1024 },
+        ClientWorkload::Idle,
+    ])
+    .seed(231)
+    .sttcp(delta_cfg())
+    .serial_links(2)
+    .build();
+    s.crash_primary_at(t(800));
+    s.world.run_until(t(60_000));
+    assert!(s.server(s.backup).took_over_at().is_some());
+    for c in [s.client, s.clients[1]] {
+        let log = s.log_of(c);
+        assert!(s.finished(c), "client {c:?} unfinished: {log:?}");
+        assert_eq!(log.integrity_violations, 0, "client {c:?} corrupted");
+        assert_eq!(log.resets, 0, "client {c:?} reset");
+        assert_eq!(log.connects.len(), 1, "client {c:?} reconnected");
+    }
+}
+
+#[test]
+fn delta_idle_steady_state_sends_empty_frames() {
+    // Once every connection's counters are acknowledged, delta frames
+    // carry zero records — the O(active) promise on an idle pair.
+    let mut s = ScenarioBuilder::new(echo_app(), ClientWorkload::Idle)
+        .extra_clients(vec![ClientWorkload::Idle; 8])
+        .seed(232)
+        .sttcp(delta_cfg())
+        .serial_links(2)
+        .build();
+    s.world.run_until(t(5_000));
+    let before = s.server(s.primary).metrics().hb_bandwidth();
+    s.world.run_until(t(25_000));
+    let after = s.server(s.primary).metrics().hb_bandwidth();
+    let rounds = after.rounds - before.rounds;
+    let entries = after.conn_entries - before.conn_entries;
+    assert!(rounds >= 90, "expected ~100 idle rounds, got {rounds}");
+    assert_eq!(
+        entries, 0,
+        "idle delta rounds must carry no connection records"
+    );
+    // And the pair still converged on all 9 connections.
+    assert_eq!(s.server(s.primary).conn_keys().len(), 9);
+    assert_eq!(s.server(s.backup).conn_keys().len(), 9);
+}
+
+#[test]
+fn delta_serial_shards_survive_ip_heartbeat_loss() {
+    // Kill the primary's NIC: only the sharded serial links remain, and
+    // the net-lag detector must still fire through them (the IP frame
+    // carried every record; serial shard s carries only conns with
+    // key % nserial == s, so liveness and per-conn state both flow).
+    let mut s = ScenarioBuilder::new(
+        stream_app(4096),
+        ClientWorkload::Download { total: 512 * 1024 },
+    )
+    .extra_clients(vec![ClientWorkload::Download { total: 256 * 1024 }])
+    .seed(233)
+    .sttcp(delta_cfg())
+    .serial_links(3)
+    .build();
+    s.fail_nic_at(s.primary, t(900));
+    s.world.run_until(t(60_000));
+    assert!(
+        s.server(s.backup).took_over_at().is_some(),
+        "backup never took over after NIC failure: {:?}",
+        s.server(s.backup).events()
+    );
+    for &c in s.clients.clone().iter() {
+        let log = s.log_of(c);
+        assert!(s.finished(c), "client {c:?} unfinished: {log:?}");
+        assert_eq!(log.integrity_violations, 0);
+        assert_eq!(log.connects.len(), 1);
+    }
+}
