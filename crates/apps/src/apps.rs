@@ -105,6 +105,14 @@ impl Application for StreamApp {
         self.emit()
     }
 
+    // Ticks matter only from the GET until the stream (and its closing
+    // action) has drained; before the request and after completion the
+    // app is purely reactive.
+    fn wants_tick(&self) -> bool {
+        self.requested
+            .is_some_and(|total| self.sent < total || !self.finished)
+    }
+
     fn on_peer_close(&mut self) -> Vec<AppAction> {
         vec![AppAction::Close]
     }
@@ -206,6 +214,11 @@ impl Application for ReqRespApp {
             }
         }
         actions
+    }
+
+    // Request/response is purely reactive; ticks are never needed.
+    fn wants_tick(&self) -> bool {
+        false
     }
 
     fn on_peer_close(&mut self) -> Vec<AppAction> {
@@ -354,6 +367,14 @@ impl Application for CommitStreamApp {
         }
     }
 
+    // Ticks pace commits only while the stream is live; the tick counter
+    // is pacing state, not output (see `state_digest`), so freezing it
+    // when the stream is done is unobservable.
+    fn wants_tick(&self) -> bool {
+        self.requested
+            .is_some_and(|total| self.sent < total || !self.finished)
+    }
+
     fn on_peer_close(&mut self) -> Vec<AppAction> {
         vec![AppAction::Close]
     }
@@ -433,6 +454,11 @@ impl Application for SinkApp {
     fn on_data(&mut self, data: &[u8]) -> Vec<AppAction> {
         self.consumed += data.len() as u64;
         Vec::new()
+    }
+
+    // Swallowing bytes is purely reactive; ticks are never needed.
+    fn wants_tick(&self) -> bool {
+        false
     }
 
     fn on_peer_close(&mut self) -> Vec<AppAction> {

@@ -1034,6 +1034,10 @@ pub struct ChaosOptions {
     /// carry only connections whose counters changed since the last
     /// acknowledged frame, with full-state resync on epoch mismatch.
     pub hb_delta: bool,
+    /// Run the servers with [`StTcpConfig::hb_batch`] set: heartbeat
+    /// rounds larger than this many connection records are split into
+    /// multi-part v3 batch envelopes (`0` keeps single-frame rounds).
+    pub hb_batch: usize,
 }
 
 impl Default for ChaosOptions {
@@ -1048,6 +1052,7 @@ impl Default for ChaosOptions {
             flight_always: false,
             flight_window_ms: Some(2_000),
             hb_delta: false,
+            hb_batch: 0,
         }
     }
 }
@@ -1188,6 +1193,7 @@ pub fn run_chaos_case(seed: u64, schedule: &FaultSchedule, opts: &ChaosOptions) 
         .sttcp(StTcpConfig {
             reintegrate: opts.reintegrate,
             hb_delta: opts.hb_delta,
+            hb_batch: opts.hb_batch,
             ..chaos_config()
         })
         .build();

@@ -242,17 +242,26 @@ impl ScenarioBuilder {
         assert_eq!(world.add_node("primary", Box::new(primary)), primary_id);
         assert_eq!(world.add_node("backup", Box::new(backup)), backup_id);
 
-        // Extra client hosts at 10.0.(1+i/240).(10+i%240): a fresh third
-        // octet every 240 hosts keeps thousands of clients clear of the
-        // fixed 10.0.0.x plan (gateway, servers, service IP).
+        // Extra client hosts at 10.(i/60000).(1+(i%60000)/240).(10+i%240):
+        // a fresh third octet every 240 hosts keeps clients clear of the
+        // fixed 10.0.0.x plan (gateway, servers, service IP), and a fresh
+        // second octet every 60 000 hosts (240 hosts x 250 subnets) lets
+        // the 100k-connection scale ramp address every client. The first
+        // 60 000 addresses are identical to the old single-plane plan.
         assert!(
-            self.extra_clients.len() <= 240 * 250,
+            self.extra_clients.len() <= 240 * 250 * 255,
             "extra-client addressing plan exhausted"
         );
         let mut clients = vec![client_id];
         let mut extra_macs = Vec::new();
         for (i, workload) in self.extra_clients.iter().enumerate() {
-            let ip = Ipv4Addr::new(10, 0, 1 + (i / 240) as u8, 10 + (i % 240) as u8);
+            let r = i % 60_000;
+            let ip = Ipv4Addr::new(
+                10,
+                (i / 60_000) as u8,
+                1 + (r / 240) as u8,
+                10 + (r % 240) as u8,
+            );
             let mac = MacAddr::unicast(10 + i as u32);
             let mut iface = IpInterface::new(NicId(0), mac, ip);
             iface.add_arp(a.service_ip, a.multi_ea);

@@ -36,7 +36,7 @@
 //!   record the `scale` section (budget-gated: exits 1 if HB bytes/conn
 //!   exceeds the budget or failover stalls unbounded)
 //! * `--scale-conns LIST`             comma-separated connection counts for
-//!   `--scale` (default `100,1000,10000`)
+//!   `--scale` (default `100,1000,10000,100000`)
 //! * `--scale-smoke N`                CI smoke: run ONLY the `N`-connection
 //!   ramp point, assert the budget and bounded failover stall, write
 //!   nothing
@@ -84,7 +84,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("BENCH_simperf.json"),
         check: None,
         scale: false,
-        scale_conns: vec![100, 1000, 10_000],
+        scale_conns: vec![100, 1000, 10_000, 100_000],
         scale_smoke: None,
         download_bytes: 4 * 1024 * 1024,
         chaos_seeds: 64,
@@ -305,6 +305,16 @@ fn chaos_rate(seeds: u64, threads: usize) -> ChaosRate {
 const SCALE_BUDGET_BYTES_PER_CONN: f64 = 8.0;
 /// Upper bound on the post-crash takeover stall at any ramp size.
 const SCALE_MAX_STALL_US: u64 = 5_000_000;
+/// Records per batched heartbeat part at scale: rounds touching more
+/// connections than this split into multi-part v3 envelopes, so a
+/// resync burst never serializes one giant frame.
+const SCALE_HB_BATCH: usize = 1_024;
+/// Connection-establishment floor at the 10k ramp point, wall-clock
+/// conns/sec. Set at 5x the pre-wheel snapshot (541/s measured before
+/// O(active) tick scheduling landed) so the scale gate locks the win
+/// in: a change that quietly reintroduces an O(n)-per-tick walk fails
+/// here long before the budget gates notice.
+const SCALE_MIN_CONNS_PER_SEC_10K: f64 = 2_705.0;
 
 struct ScalePoint {
     conns: u64,
@@ -318,7 +328,7 @@ struct ScalePoint {
 
 /// One ramp point: `total_conns` clients (1 ms connect stagger, an
 /// idle-heavy mix with one downloader per 500 connections) against a
-/// delta-heartbeat pair with 4 sharded serial links. Measures the
+/// batched delta-heartbeat pair with 4 sharded serial links. Measures the
 /// connection-establishment rate, the steady-state heartbeat cost once
 /// every counter is acknowledged, and the takeover stall after a
 /// primary crash.
@@ -336,6 +346,7 @@ fn scale_point(total_conns: u64) -> ScalePoint {
         .collect();
     let cfg = StTcpConfig {
         hb_delta: true,
+        hb_batch: SCALE_HB_BATCH,
         ..Default::default()
     };
     let mut s = ScenarioBuilder::new(
@@ -396,7 +407,7 @@ fn scale_point(total_conns: u64) -> ScalePoint {
 fn run_scale(counts: &[u64]) -> (Json, bool) {
     let mut points = Vec::new();
     let mut ok = true;
-    println!("bench_suite: scale ramp (delta heartbeats, 4 serial links)...");
+    println!("bench_suite: scale ramp (batched delta heartbeats, 4 serial links)...");
     println!("  conns     live  conns/s   HB B/round  HB B/conn  stall_ms");
     for &n in counts {
         let p = scale_point(n);
@@ -425,6 +436,13 @@ fn run_scale(counts: &[u64]) -> (Json, bool) {
             );
             ok = false;
         }
+        if p.conns == 10_000 && p.conns_per_sec < SCALE_MIN_CONNS_PER_SEC_10K {
+            eprintln!(
+                "SCALE RAMP REGRESSION: {:.0} conns/s at {} conns (floor {:.0})",
+                p.conns_per_sec, p.conns, SCALE_MIN_CONNS_PER_SEC_10K
+            );
+            ok = false;
+        }
         points.push(p);
     }
     let mut section = Json::obj();
@@ -434,6 +452,11 @@ fn run_scale(counts: &[u64]) -> (Json, bool) {
     );
     section.set("max_stall_us", Json::U64(SCALE_MAX_STALL_US));
     section.set("serial_links", Json::U64(4));
+    section.set("hb_batch", Json::U64(SCALE_HB_BATCH as u64));
+    section.set(
+        "min_conns_per_sec_10k",
+        Json::F64(SCALE_MIN_CONNS_PER_SEC_10K),
+    );
     section.set(
         "points",
         Json::Arr(

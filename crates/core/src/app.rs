@@ -45,6 +45,17 @@ pub trait Application: 'static {
         Vec::new()
     }
 
+    /// True while this application needs periodic [`Application::on_tick`]
+    /// callbacks. The server skips ticking applications that return
+    /// `false`, so idle connections cost nothing per tick — the contract
+    /// is that `on_tick` must be a no-op whenever this returns `false`.
+    /// Re-evaluated after every callback into the application, so state
+    /// changed by `on_open`/`on_data`/`on_peer_close` (or a previous tick)
+    /// can switch ticking on or off. Defaults to `true` (always ticked).
+    fn wants_tick(&self) -> bool {
+        true
+    }
+
     /// Called when the client closes its sending side.
     fn on_peer_close(&mut self) -> Vec<AppAction> {
         Vec::new()
@@ -114,6 +125,11 @@ impl Application for EchoApp {
     fn on_data(&mut self, data: &[u8]) -> Vec<AppAction> {
         self.bytes_seen += data.len() as u64;
         vec![AppAction::Write(Bytes::copy_from_slice(data))]
+    }
+
+    /// Echoing is purely reactive; ticks are never needed.
+    fn wants_tick(&self) -> bool {
+        false
     }
 
     fn on_peer_close(&mut self) -> Vec<AppAction> {

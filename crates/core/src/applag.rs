@@ -160,6 +160,15 @@ impl AppLagDetector {
         self.read = LagTrack::default();
         self.write = LagTrack::default();
     }
+
+    /// True while periodic re-checks can change the verdict with no new
+    /// position movement: some watermark is aging, i.e. the peer was
+    /// behind at the last check. A detector with no outstanding lag only
+    /// reacts to position changes, so the server may skip its checks
+    /// until local or peer positions move again.
+    pub fn needs_check(&self) -> bool {
+        !self.read.watermarks.is_empty() || !self.write.watermarks.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,13 @@ impl FinArbiter {
         self.holding
     }
 
+    /// True while periodic [`FinArbiter::on_check`] calls can still do
+    /// something: an unresolved arbiter with an armed deadline. Everything
+    /// else only reacts to events, so the server may skip its checks.
+    pub fn needs_check(&self) -> bool {
+        !self.resolved && (self.hold_deadline.is_some() || self.mismatch_deadline.is_some())
+    }
+
     /// The local application (or its OS cleanup) is about to close/abort
     /// the connection. Returns the gate decision. Call *before* the
     /// close/abort is issued to TCP so the gate is in place first.

@@ -257,6 +257,11 @@ impl HbPayload {
 pub const HB_V2_HEADER_LEN: usize = 25;
 /// Version byte that opens every v2 frame.
 pub const HB_V2_VERSION: u8 = 2;
+/// Fixed header length of the v3 (batched) heartbeat wire format: the
+/// v2 header plus `part:2 parts:2` inserted before the CRC.
+pub const HB_V3_HEADER_LEN: usize = 29;
+/// Version byte that opens every v3 (multi-part batch) frame.
+pub const HB_V3_VERSION: u8 = 3;
 
 /// What a v2 frame's connection list means.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,12 +274,22 @@ pub enum HbFrameKind {
     Delta,
 }
 
-/// A v2 heartbeat frame: the v1 payload plus the delta-protocol envelope.
+/// A v2/v3 heartbeat frame: the v1 payload plus the delta-protocol
+/// envelope, optionally split into a multi-part batch.
 ///
-/// Layout: `ver:1 kind:1 role:1 rank:1 flags:1 | seqno:4 epoch:4 |
-/// link:1 nlinks:1 conn_count:2 | ack_epoch:4 | crc:4 | [ack:4]*nlinks |
-/// conn records | ping?`. The CRC-32 covers the whole message with the
-/// CRC field zeroed, exactly like v1.
+/// v2 (single) layout: `ver:1 kind:1 role:1 rank:1 flags:1 | seqno:4
+/// epoch:4 | link:1 nlinks:1 conn_count:2 | ack_epoch:4 | crc:4 |
+/// [ack:4]*nlinks | conn records | ping?`. The CRC-32 covers the whole
+/// message with the CRC field zeroed, exactly like v1.
+///
+/// v3 (batch) layout is identical except the version byte is 3 and
+/// `part:2 parts:2` sits between `ack_epoch` and the CRC. A round whose
+/// record list exceeds the configured batch size is coalesced into
+/// ⌈records/batch⌉ parts sharing one `seqno`; every part repeats the
+/// envelope (CRC-framed independently, so one corrupt part costs one
+/// part). Encoding is canonical: `parts <= 1` always emits v2 bytes,
+/// multi-part frames always emit v3, and the decoder rejects a v3 frame
+/// claiming `parts < 2` — one frame, one valid encoding.
 ///
 /// `epoch` identifies the sender's boot incarnation; acks from a previous
 /// incarnation are ignored, which forces full-state frames after any
@@ -294,6 +309,12 @@ pub struct HbFrame {
     pub link: u8,
     /// Epoch of the *peer* that `acks` refers to.
     pub ack_epoch: u32,
+    /// Batch part index, 0-based. Single-frame rounds are `part: 0,
+    /// parts: 1`.
+    pub part: u16,
+    /// Total parts in this round's batch on this link (>= 1). The
+    /// receiver acks the round's `seqno` only once all parts arrived.
+    pub parts: u16,
     /// Per-link cumulative acks of the peer's frames (index 0 = IP).
     pub acks: Vec<u32>,
     /// The embedded v1-shaped payload (seqno, role, rank, conns, ping).
@@ -305,19 +326,19 @@ pub struct HbFrame {
 pub enum AnyHb {
     /// Legacy full-state frame.
     V1(HbPayload),
-    /// Delta-capable v2 frame.
+    /// Delta-capable v2 (single) or v3 (batch) frame.
     V2(HbFrame),
 }
 
-/// Decodes a heartbeat of either version. v2 is tried first (its leading
-/// version byte plus independent CRC placement keeps the two formats from
-/// colliding), then v1.
+/// Decodes a heartbeat of any version. v2/v3 are tried first (their
+/// leading version byte plus independent CRC placement keeps the
+/// formats from colliding), then v1.
 ///
 /// # Errors
 ///
-/// Returns [`HbDecodeError`] if the input parses as neither version.
+/// Returns [`HbDecodeError`] if the input parses as no version.
 pub fn decode_any(wire: &[u8]) -> Result<AnyHb, HbDecodeError> {
-    if wire.first() == Some(&HB_V2_VERSION) {
+    if wire.first() == Some(&HB_V2_VERSION) || wire.first() == Some(&HB_V3_VERSION) {
         if let Ok(f) = HbFrame::decode(wire) {
             return Ok(AnyHb::V2(f));
         }
@@ -326,10 +347,17 @@ pub fn decode_any(wire: &[u8]) -> Result<AnyHb, HbDecodeError> {
 }
 
 impl HbFrame {
-    /// Serializes the frame. See the type docs for the layout.
+    /// Serializes the frame. See the type docs for the layout. Emits v2
+    /// bytes for a single-part frame (`parts <= 1`) and v3 bytes for a
+    /// multi-part one — the canonical encoding the decoder enforces.
     pub fn encode(&self) -> Bytes {
+        let batched = self.parts > 1;
         let mut b = BytesMut::with_capacity(self.wire_len());
-        b.put_u8(HB_V2_VERSION);
+        b.put_u8(if batched {
+            HB_V3_VERSION
+        } else {
+            HB_V2_VERSION
+        });
         b.put_u8(match self.kind {
             HbFrameKind::Full => 0,
             HbFrameKind::Delta => 1,
@@ -346,6 +374,11 @@ impl HbFrame {
         b.put_u8(self.acks.len() as u8);
         b.put_u16(self.hb.conns.len() as u16);
         b.put_u32(self.ack_epoch);
+        if batched {
+            b.put_u16(self.part);
+            b.put_u16(self.parts);
+        }
+        let crc_at = b.len();
         b.put_u32(0); // CRC placeholder, patched below.
         for &a in &self.acks {
             b.put_u32(a);
@@ -367,13 +400,18 @@ impl HbFrame {
             b.put_u32(p.attempts);
         }
         let crc = crate::wire::crc32(&b);
-        b[21..25].copy_from_slice(&crc.to_be_bytes());
+        b[crc_at..crc_at + 4].copy_from_slice(&crc.to_be_bytes());
         b.freeze()
     }
 
     /// The encoded size in bytes.
     pub fn wire_len(&self) -> usize {
-        HB_V2_HEADER_LEN
+        let header = if self.parts > 1 {
+            HB_V3_HEADER_LEN
+        } else {
+            HB_V2_HEADER_LEN
+        };
+        header
             + self.acks.len() * 4
             + self.hb.conns.len() * HB_CONN_LEN
             + if self.hb.ping.is_some() {
@@ -383,15 +421,21 @@ impl HbFrame {
             }
     }
 
-    /// Parses a v2 frame.
+    /// Parses a v2 or v3 frame (dispatching on the version byte).
     ///
     /// # Errors
     ///
     /// Returns [`HbDecodeError`] on a wrong version byte, truncation,
-    /// trailing garbage, bad enum bytes, or a CRC mismatch. Total: never
-    /// panics, any input.
+    /// trailing garbage, bad enum bytes, a non-canonical batch header
+    /// (`parts < 2` or `part >= parts` in a v3 frame), or a CRC
+    /// mismatch. Total: never panics, any input.
     pub fn decode(wire: &[u8]) -> Result<HbFrame, HbDecodeError> {
-        if wire.len() < HB_V2_HEADER_LEN || wire[0] != HB_V2_VERSION {
+        let header_len = match wire.first() {
+            Some(&HB_V2_VERSION) => HB_V2_HEADER_LEN,
+            Some(&HB_V3_VERSION) => HB_V3_HEADER_LEN,
+            _ => return Err(HbDecodeError),
+        };
+        if wire.len() < header_len {
             return Err(HbDecodeError);
         }
         let kind = match wire[1] {
@@ -417,23 +461,34 @@ impl HbFrame {
         let nlinks = wire[14] as usize;
         let n = u16::from_be_bytes([wire[15], wire[16]]) as usize;
         let ack_epoch = rd32(wire, 17)?;
-        let need = HB_V2_HEADER_LEN
-            + nlinks * 4
-            + n * HB_CONN_LEN
-            + if has_ping { HB_PING_LEN } else { 0 };
+        let (part, parts) = if header_len == HB_V3_HEADER_LEN {
+            let part = u16::from_be_bytes([wire[21], wire[22]]);
+            let parts = u16::from_be_bytes([wire[23], wire[24]]);
+            // Canonical encoding: a one-part round must be v2 bytes, and
+            // a part index past the count is nonsense.
+            if parts < 2 || part >= parts {
+                return Err(HbDecodeError);
+            }
+            (part, parts)
+        } else {
+            (0, 1)
+        };
+        let need =
+            header_len + nlinks * 4 + n * HB_CONN_LEN + if has_ping { HB_PING_LEN } else { 0 };
         // Exact length, like v1: trailing bytes mean corruption.
         if wire.len() != need {
             return Err(HbDecodeError);
         }
-        let stored_crc = rd32(wire, 21)?;
+        let crc_at = header_len - 4;
+        let stored_crc = rd32(wire, crc_at)?;
         let mut crc = crate::wire::Crc32::new();
-        crc.update(&wire[..21]);
+        crc.update(&wire[..crc_at]);
         crc.update(&[0u8; 4]);
-        crc.update(&wire[25..]);
+        crc.update(&wire[header_len..]);
         if crc.finish() != stored_crc {
             return Err(HbDecodeError);
         }
-        let mut at = HB_V2_HEADER_LEN;
+        let mut at = header_len;
         let mut acks = Vec::with_capacity(nlinks);
         for _ in 0..nlinks {
             acks.push(rd32(wire, at)?);
@@ -466,6 +521,8 @@ impl HbFrame {
             epoch,
             link,
             ack_epoch,
+            part,
+            parts,
             acks,
             hb: HbPayload {
                 seqno,
@@ -629,8 +686,18 @@ mod tests {
             epoch: 0xdead_beef,
             link: 2,
             ack_epoch: 0x0bad_cafe,
+            part: 0,
+            parts: 1,
             acks: vec![41, 40, 39],
             hb: sample(),
+        }
+    }
+
+    fn sample_v3(kind: HbFrameKind) -> HbFrame {
+        HbFrame {
+            part: 1,
+            parts: 3,
+            ..sample_v2(kind)
         }
     }
 
@@ -651,6 +718,8 @@ mod tests {
             epoch: 1,
             link: 0,
             ack_epoch: 0,
+            part: 0,
+            parts: 1,
             acks: vec![0, 0],
             hb: HbPayload {
                 seqno: 1,
@@ -703,8 +772,89 @@ mod tests {
     fn decode_any_distinguishes_versions() {
         let v1 = sample();
         let v2 = sample_v2(HbFrameKind::Delta);
+        let v3 = sample_v3(HbFrameKind::Delta);
         assert_eq!(decode_any(&v1.encode()).unwrap(), AnyHb::V1(v1));
         assert_eq!(decode_any(&v2.encode()).unwrap(), AnyHb::V2(v2));
+        assert_eq!(decode_any(&v3.encode()).unwrap(), AnyHb::V2(v3));
+    }
+
+    #[test]
+    fn v3_roundtrip() {
+        for kind in [HbFrameKind::Full, HbFrameKind::Delta] {
+            let f = sample_v3(kind);
+            let wire = f.encode();
+            assert_eq!(wire[0], HB_V3_VERSION);
+            assert_eq!(HbFrame::decode(&wire).unwrap(), f);
+            assert_eq!(wire.len(), f.wire_len());
+        }
+    }
+
+    #[test]
+    fn single_part_frames_keep_the_v2_encoding() {
+        // The interop guarantee: a sender whose batch knob is off (or
+        // whose round fits one frame) emits bytes a pre-batch receiver
+        // accepts — `parts: 1` and the v2 wire format are the same
+        // thing, not merely compatible.
+        let f = sample_v2(HbFrameKind::Delta);
+        let wire = f.encode();
+        assert_eq!(wire[0], HB_V2_VERSION);
+        assert_eq!(
+            wire.len(),
+            HB_V2_HEADER_LEN + 3 * 4 + 2 * HB_CONN_LEN + HB_PING_LEN
+        );
+        let back = HbFrame::decode(&wire).unwrap();
+        assert_eq!((back.part, back.parts), (0, 1));
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn v3_truncation_and_trailing_garbage_rejected() {
+        let wire = sample_v3(HbFrameKind::Delta).encode();
+        assert_eq!(HbFrame::decode(&wire[..4]), Err(HbDecodeError));
+        assert_eq!(HbFrame::decode(&wire[..wire.len() - 1]), Err(HbDecodeError));
+        let mut extended = wire.to_vec();
+        extended.push(0);
+        assert_eq!(HbFrame::decode(&extended), Err(HbDecodeError));
+    }
+
+    #[test]
+    fn v3_non_canonical_batch_headers_rejected() {
+        // Re-CRC a v3 frame with out-of-bounds part fields: the frame is
+        // otherwise pristine, so only the canonical-batch check can
+        // reject it.
+        let good = sample_v3(HbFrameKind::Delta).encode().to_vec();
+        for (part, parts) in [(3u16, 3u16), (7, 3), (0, 1), (0, 0), (1, 1)] {
+            let mut wire = good.clone();
+            wire[21..23].copy_from_slice(&part.to_be_bytes());
+            wire[23..25].copy_from_slice(&parts.to_be_bytes());
+            wire[25..29].copy_from_slice(&[0; 4]);
+            let crc = crate::wire::crc32(&wire);
+            wire[25..29].copy_from_slice(&crc.to_be_bytes());
+            assert_eq!(
+                HbFrame::decode(&wire),
+                Err(HbDecodeError),
+                "part {part}/{parts} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_every_single_bit_flip_rejected() {
+        let wire = sample_v3(HbFrameKind::Delta).encode().to_vec();
+        for bit in 0..wire.len() * 8 {
+            let mut flipped = wire.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(
+                HbFrame::decode(&flipped),
+                Err(HbDecodeError),
+                "flipping bit {bit} went undetected"
+            );
+            assert_eq!(
+                decode_any(&flipped),
+                Err(HbDecodeError),
+                "flipping bit {bit} survived decode_any"
+            );
+        }
     }
 
     #[test]

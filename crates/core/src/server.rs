@@ -75,6 +75,56 @@ fn seq_newer(a: u32, b: u32) -> bool {
     a.wrapping_sub(b) as i32 > 0
 }
 
+/// Splits one link's heartbeat round into wire frames. With `batch == 0`
+/// (or a round that fits), the whole record list rides a single frame —
+/// bit-for-bit the single-frame v2 encoding. Otherwise the records are
+/// chunked into `⌈n/chunk⌉` parts sharing one seqno (the v3 batch
+/// envelope); the ping report rides part 0 only, the ack vector repeats
+/// on every part so loss of any one part cannot strand acks. Chunk size
+/// is clamped so no part overflows the u16 `conn_count` field — a round
+/// beyond 65 535 records splits even when batching is "off".
+#[allow(clippy::too_many_arguments)]
+fn build_link_frames(
+    kind: HbFrameKind,
+    epoch: u32,
+    link: u8,
+    ack_epoch: u32,
+    acks: &[u32],
+    seq: u32,
+    role: Role,
+    rank: u8,
+    ping: Option<PingReport>,
+    conns: Vec<ConnHb>,
+    batch: usize,
+) -> Vec<HbFrame> {
+    let cap = u16::MAX as usize;
+    let mut chunk = if batch == 0 { cap } else { batch.min(cap) };
+    chunk = chunk.max(conns.len().div_ceil(cap)).max(1);
+    let parts = conns.len().div_ceil(chunk).max(1);
+    let mut out = Vec::with_capacity(parts);
+    let mut iter = conns.into_iter();
+    for part in 0..parts {
+        let part_conns: Vec<ConnHb> = iter.by_ref().take(chunk).collect();
+        out.push(HbFrame {
+            kind,
+            epoch,
+            link,
+            ack_epoch,
+            acks: acks.to_vec(),
+            part: part as u16,
+            parts: parts as u16,
+            hb: HbPayload {
+                seqno: seq,
+                role,
+                rank,
+                conns: part_conns,
+                ping: if part == 0 { ping } else { None },
+            },
+        });
+    }
+    out
+}
+
 /// The stable numeric code a verdict's [`FailureReason`] gets in flight
 /// events (the index into [`FailureReason::ALL`]).
 pub fn reason_code(reason: FailureReason) -> u32 {
@@ -227,6 +277,19 @@ struct HbCacheEntry {
     changed_at: u32,
 }
 
+/// Per-link receive state for batched (v3) heartbeat rounds: which round
+/// is open and which part must arrive next. Parts of one round share a
+/// seqno and must arrive in order on their link (serial links and the
+/// simulated LAN both preserve per-link order); the link's cumulative ack
+/// advances only when the final part lands, so a lost part means no ack
+/// and the records ride again next round.
+#[derive(Debug, Clone, Copy, Default)]
+struct RxBatch {
+    seqno: u32,
+    parts: u16,
+    next: u16,
+}
+
 /// The ST-TCP server node. See the [module docs](self).
 pub struct StTcpServer {
     setup: ServerSetup,
@@ -254,6 +317,8 @@ pub struct StTcpServer {
     /// Highest seqno applied from the peer, per link (0 = IP) — echoed
     /// back as acks, and the per-link staleness filter.
     rx_link_seq: Vec<u32>,
+    /// In-progress batched (v3) round per link: part-ordering state.
+    rx_link_batch: Vec<RxBatch>,
     /// The peer epoch `rx_link_seq` refers to (0 = none seen yet).
     rx_peer_epoch: u32,
 
@@ -268,6 +333,21 @@ pub struct StTcpServer {
     conns: BTreeMap<SocketId, ConnCtl>,
     by_key: BTreeMap<u32, SocketId>,
     peer_conns: BTreeMap<u32, PeerConn>,
+    /// Connections with application output blocked on a full send buffer
+    /// — the only ones the flush loops must revisit.
+    out_blocked: BTreeSet<SocketId>,
+    /// Connections whose application currently wants `on_tick` callbacks
+    /// (see [`Application::wants_tick`]); the app-tick timer visits only
+    /// these unless the watchdog needs the full sign-of-life walk.
+    tick_socks: BTreeSet<SocketId>,
+    /// Connections the per-connection detector walk must visit: recent
+    /// local/peer activity, or an armed FIN-arbitration deadline or lag
+    /// tracker that must keep aging. Everything else is provably inert
+    /// for the detectors and is skipped.
+    check_socks: BTreeSet<SocketId>,
+    /// Latched when any peer heartbeat record reported `app_suspected`
+    /// — replaces an every-check scan of `peer_conns`.
+    peer_app_suspected: bool,
 
     ip_mon: LinkMonitor,
     serial_mon: LinkMonitor,
@@ -374,6 +454,7 @@ impl StTcpServer {
             peer_hb_acks: Vec::new(),
             peer_ack_epoch: 0,
             rx_link_seq: Vec::new(),
+            rx_link_batch: Vec::new(),
             rx_peer_epoch: 0,
             app_factory,
             app_crashed: false,
@@ -383,6 +464,10 @@ impl StTcpServer {
             conns: BTreeMap::new(),
             by_key: BTreeMap::new(),
             peer_conns: BTreeMap::new(),
+            out_blocked: BTreeSet::new(),
+            tick_socks: BTreeSet::new(),
+            check_socks: BTreeSet::new(),
+            peer_app_suspected: false,
             ip_mon: LinkMonitor::new(hb_timeout, SimTime::ZERO),
             serial_mon: LinkMonitor::new(hb_timeout, SimTime::ZERO),
             ip_was_alive: true,
@@ -728,6 +813,7 @@ impl StTcpServer {
     }
 
     fn on_client_fin(&mut self, now: SimTime, sock: SocketId) {
+        self.check_socks.insert(sock);
         let Some(ctl) = self.conns.get_mut(&sock) else {
             return;
         };
@@ -788,30 +874,62 @@ impl StTcpServer {
             }
         }
         self.flush_pending(now, sock);
+        // Any callback into the application may change its detector-visible
+        // state or its appetite for ticks.
+        self.check_socks.insert(sock);
+        self.refresh_tick(sock);
+    }
+
+    /// Re-evaluates whether `sock`'s application needs periodic `on_tick`
+    /// callbacks. Called after every callback into the app, since tick
+    /// appetite changes with application state.
+    fn refresh_tick(&mut self, sock: SocketId) {
+        let wants = self
+            .conns
+            .get(&sock)
+            .is_some_and(|c| c.app_alive && !c.closed && c.app.wants_tick());
+        if wants {
+            self.tick_socks.insert(sock);
+        } else {
+            self.tick_socks.remove(&sock);
+        }
     }
 
     fn flush_pending(&mut self, now: SimTime, sock: SocketId) {
-        loop {
-            let Some(front) = self
-                .conns
-                .get_mut(&sock)
-                .and_then(|c| c.pending_out.first().cloned())
-            else {
-                return;
-            };
+        let mut wrote = false;
+        while let Some(front) = self
+            .conns
+            .get_mut(&sock)
+            .and_then(|c| c.pending_out.first().cloned())
+        {
             let n = self.tcp.send(now, sock, &front);
             let Some(ctl) = self.conns.get_mut(&sock) else {
-                return;
+                break;
             };
             if n == 0 {
-                return; // send buffer full; retry on a later tick
+                break; // send buffer full; retry on a later tick
             }
+            wrote = true;
             if n == front.len() {
                 ctl.pending_out.remove(0);
             } else {
                 ctl.pending_out[0] = front.slice(n..);
-                return;
+                break;
             }
+        }
+        // Writing advances the app position the lag detector compares.
+        if wrote {
+            self.check_socks.insert(sock);
+        }
+        // Track blocked output so flush loops revisit only these.
+        if self
+            .conns
+            .get(&sock)
+            .is_some_and(|c| !c.pending_out.is_empty())
+        {
+            self.out_blocked.insert(sock);
+        } else {
+            self.out_blocked.remove(&sock);
         }
     }
 
@@ -1054,10 +1172,15 @@ impl StTcpServer {
                 unwrap_u32_near(c.last_app_byte_read as u32, entry.last_app_byte_read);
             entry.fin_or_rst |= c.fin_generated || c.rst_generated;
             entry.app_suspected |= c.app_suspected;
+            if entry.app_suspected {
+                self.peer_app_suspected = true;
+            }
             let fin_or_rst = entry.fin_or_rst;
             let lbr = entry.last_byte_received;
 
             if let Some(&sock) = self.by_key.get(&c.key) {
+                // Fresh peer positions: the lag detector must look again.
+                self.check_socks.insert(sock);
                 if let Some(ctl) = self.conns.get_mut(&sock) {
                     if let Some(a) = ctl.finarb.on_peer_hb(now, fin_or_rst) {
                         arb_actions.push((sock, c.key, a));
@@ -1207,39 +1330,41 @@ impl StTcpServer {
             payload_bytes += payload;
             framing_bytes += (wire_len as u64).saturating_sub(payload);
         };
-        // IP frame: every in-flight record (full cross-link redundancy).
-        let nconns = ip_conns.len();
-        let f = HbFrame {
+        let batch = self.setup.sttcp.hb_batch;
+        // IP frames: every in-flight record (full cross-link redundancy),
+        // split into batch parts when the round exceeds the batch knob.
+        for f in build_link_frames(
             kind,
-            epoch: self.hb_epoch,
-            link: 0,
+            self.hb_epoch,
+            0,
             ack_epoch,
-            acks: acks.clone(),
-            hb: HbPayload {
-                seqno: seq,
-                role,
-                rank,
-                conns: ip_conns,
-                ping,
-            },
-        };
-        let wire = f.encode();
-        if let Some(frame) =
-            self.iface
-                .frame_to(self.setup.peer_private_ip, IpProto::Heartbeat, wire.clone())
-        {
-            ctx.send_frame(self.iface.nic, frame);
-            ctx.flight(
-                span,
-                SpanId::NONE,
-                FlightKind::HbEmit {
-                    seqno: seq,
-                    link: 0,
-                    bytes: wire.len() as u32,
-                    conns: nconns as u32,
-                },
-            );
-            account(wire.len(), nconns);
+            &acks,
+            seq,
+            role,
+            rank,
+            ping,
+            ip_conns,
+            batch,
+        ) {
+            let nconns = f.hb.conns.len();
+            let wire = f.encode();
+            if let Some(frame) =
+                self.iface
+                    .frame_to(self.setup.peer_private_ip, IpProto::Heartbeat, wire.clone())
+            {
+                ctx.send_frame(self.iface.nic, frame);
+                ctx.flight(
+                    span,
+                    SpanId::NONE,
+                    FlightKind::HbEmit {
+                        seqno: seq,
+                        link: 0,
+                        bytes: wire.len() as u32,
+                        conns: nconns as u32,
+                    },
+                );
+                account(wire.len(), nconns);
+            }
         }
         // Serial frames: each link carries only its shard.
         for (s, conns) in serial_conns.into_iter().enumerate() {
@@ -1247,34 +1372,34 @@ impl StTcpServer {
                 0 => self.serial_port,
                 _ => self.extra_serial_ports[s - 1],
             };
-            let nconns = conns.len();
-            let f = HbFrame {
+            for f in build_link_frames(
                 kind,
-                epoch: self.hb_epoch,
-                link: (1 + s) as u8,
+                self.hb_epoch,
+                (1 + s) as u8,
                 ack_epoch,
-                acks: acks.clone(),
-                hb: HbPayload {
-                    seqno: seq,
-                    role,
-                    rank,
-                    conns,
-                    ping,
-                },
-            };
-            let wire = f.encode();
-            ctx.send_serial(port, wire.clone());
-            ctx.flight(
-                span,
-                SpanId::NONE,
-                FlightKind::HbEmit {
-                    seqno: seq,
-                    link: (1 + s) as u8,
-                    bytes: wire.len() as u32,
-                    conns: nconns as u32,
-                },
-            );
-            account(wire.len(), nconns);
+                &acks,
+                seq,
+                role,
+                rank,
+                ping,
+                conns,
+                batch,
+            ) {
+                let nconns = f.hb.conns.len();
+                let wire = f.encode();
+                ctx.send_serial(port, wire.clone());
+                ctx.flight(
+                    span,
+                    SpanId::NONE,
+                    FlightKind::HbEmit {
+                        seqno: seq,
+                        link: (1 + s) as u8,
+                        bytes: wire.len() as u32,
+                        conns: nconns as u32,
+                    },
+                );
+                account(wire.len(), nconns);
+            }
         }
         self.metrics
             .on_hb_round(frames, conn_entries, payload_bytes, framing_bytes);
@@ -1299,6 +1424,7 @@ impl StTcpServer {
         if f.epoch != self.rx_peer_epoch {
             self.rx_peer_epoch = f.epoch;
             self.rx_link_seq = vec![0; self.hb_nlinks()];
+            self.rx_link_batch = vec![RxBatch::default(); self.hb_nlinks()];
             for p in self.peer_conns.values_mut() {
                 p.last_update_seq = 0;
             }
@@ -1323,6 +1449,21 @@ impl StTcpServer {
             }
             return;
         }
+        // Batched (v3) rounds: parts share a seqno and must arrive in
+        // order on their link. Part 0 opens a round (discarding any
+        // half-finished predecessor); any other part is accepted only if
+        // it is exactly the next part of the open round. An out-of-order
+        // part means an earlier part was lost — the round can never
+        // complete, so drop it and let the unacked records ride again.
+        if f.parts > 1 {
+            let ok = f.part == 0
+                || self.rx_link_batch.get(link).is_some_and(|st| {
+                    st.seqno == hb.seqno && st.parts == f.parts && st.next == f.part
+                });
+            if !ok {
+                return;
+            }
+        }
         // Byzantine sanity check, against per-connection ordering: only
         // records this frame would actually update can regress; records
         // an older cross-link frame legitimately repeats are skipped.
@@ -1344,8 +1485,23 @@ impl StTcpServer {
             self.metrics.on_byzantine_rejected();
             return;
         }
-        if let Some(s) = self.rx_link_seq.get_mut(link) {
-            *s = hb.seqno;
+        // The link's cumulative ack advances only once the whole round is
+        // in hand: single-frame rounds immediately, batched rounds on
+        // their final part. A poisoned or lost part never completes the
+        // round, so the sender keeps resending the records.
+        if f.parts > 1 {
+            if let Some(st) = self.rx_link_batch.get_mut(link) {
+                *st = RxBatch {
+                    seqno: hb.seqno,
+                    parts: f.parts,
+                    next: f.part + 1,
+                };
+            }
+        }
+        if f.parts <= 1 || f.part + 1 == f.parts {
+            if let Some(s) = self.rx_link_seq.get_mut(link) {
+                *s = hb.seqno;
+            }
         }
         let glob_fresh = self.peer_last_seqno.is_none_or(|l| seq_newer(hb.seqno, l));
         if glob_fresh {
@@ -1395,10 +1551,15 @@ impl StTcpServer {
                 unwrap_u32_near(c.last_app_byte_read as u32, entry.last_app_byte_read);
             entry.fin_or_rst |= c.fin_generated || c.rst_generated;
             entry.app_suspected |= c.app_suspected;
+            if entry.app_suspected {
+                self.peer_app_suspected = true;
+            }
             let fin_or_rst = entry.fin_or_rst;
             let lbr = entry.last_byte_received;
 
             if let Some(&sock) = self.by_key.get(&c.key) {
+                // Fresh peer positions: the lag detector must look again.
+                self.check_socks.insert(sock);
                 if let Some(ctl) = self.conns.get_mut(&sock) {
                     if let Some(a) = ctl.finarb.on_peer_hb(now, fin_or_rst) {
                         arb_actions.push((sock, c.key, a));
@@ -1747,6 +1908,7 @@ impl StTcpServer {
             // The dead active's mirror served the gap check above; from
             // here the new active's own positions are authoritative.
             self.peer_conns.clear();
+            self.peer_app_suspected = false;
         }
         // Delta mode: the dead peer's acks are void; a future joiner is
         // served full-state frames until it acknowledges this epoch.
@@ -1765,6 +1927,7 @@ impl StTcpServer {
         let mut send_occ = 0u64;
         let mut recv_occ = 0u64;
         let mut live_conns = false;
+        let mut hold_overflow_any = false;
         for &sock in self.by_key.values() {
             if let Some(c) = self.tcp.conn(sock) {
                 live_conns = true;
@@ -1772,6 +1935,7 @@ impl StTcpServer {
                 cwnd_sum += c.cwnd();
                 send_occ += c.send_occupancy() as u64;
                 recv_occ += c.recv_occupancy() as u64;
+                hold_overflow_any |= c.hold_overflow();
             }
         }
         self.metrics.sample_hold(hold);
@@ -1804,6 +1968,22 @@ impl StTcpServer {
                 }
             });
             self.ip_was_alive = ip_alive;
+            if ip_alive {
+                // Link restored: lag that formed (or persisted, frozen)
+                // while the IP heartbeat was down produced no activity to
+                // mark connections with, so give every connection one
+                // evaluation to re-establish detector baselines.
+                self.check_socks.extend(self.conns.keys().copied());
+            } else {
+                // With the IP heartbeat down, app lag is a symptom of the
+                // network fault, not an app crash. The detector loop below
+                // only visits active connections, so quiesce every lag
+                // tracker once at the edge — stale watermarks must not
+                // produce a verdict when the link returns.
+                for ctl in self.conns.values_mut() {
+                    ctl.applag.reset();
+                }
+            }
         }
         if serial_alive != self.serial_was_alive {
             self.events.push(if serial_alive {
@@ -1880,12 +2060,18 @@ impl StTcpServer {
 
         let mut verdict: Option<FailureReason> = None;
         let mut arb_actions: Vec<(SocketId, u32, ArbAction)> = Vec::new();
-        let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+        // Only connections with recent activity or an armed detector need
+        // the walk; a connection leaves the set once both its arbiters are
+        // provably inert (no deadline, no lag) and re-enters on any local
+        // or peer-reported movement.
+        let socks: Vec<SocketId> = self.check_socks.iter().copied().collect();
         for sock in socks {
             let Some(ctl) = self.conns.get_mut(&sock) else {
+                self.check_socks.remove(&sock);
                 continue;
             };
             if ctl.closed {
+                self.check_socks.remove(&sock);
                 continue;
             }
             let key = ctl.key;
@@ -1905,6 +2091,9 @@ impl StTcpServer {
             if !ip_alive {
                 if let Some(ctl) = self.conns.get_mut(&sock) {
                     ctl.applag.reset();
+                    if !ctl.finarb.needs_check() {
+                        self.check_socks.remove(&sock);
+                    }
                 }
                 continue;
             }
@@ -1928,6 +2117,13 @@ impl StTcpServer {
                     }
                 }
             }
+            let inert = self
+                .conns
+                .get(&sock)
+                .is_some_and(|c| !c.finarb.needs_check() && !c.applag.needs_check());
+            if inert {
+                self.check_socks.remove(&sock);
+            }
         }
         for (sock, key, action) in arb_actions {
             self.apply_gate_action(now, sock, key, action);
@@ -1940,23 +2136,16 @@ impl StTcpServer {
         // §4.2.2 extension: the peer's own watchdog reported its replica
         // dead. A self-report is actionable even on an idle connection —
         // exactly the case the transport-layer detectors cannot see.
-        if self.peer_conns.values().any(|p| p.app_suspected) {
+        if self.peer_app_suspected {
             self.declare_peer_failed(ctx, FailureReason::WatchdogReport);
             return;
         }
 
         // Row 5 escalation: the primary's hold buffer overflowed — the
-        // backup cannot catch up.
-        if self.role == Role::Primary {
-            let overflow = self
-                .by_key
-                .values()
-                .filter_map(|&s| self.tcp.conn(s))
-                .any(|c| c.hold_overflow());
-            if overflow {
-                self.declare_peer_failed(ctx, FailureReason::HoldOverflow);
-                return;
-            }
+        // backup cannot catch up. (Computed in the sampling walk above.)
+        if self.role == Role::Primary && hold_overflow_any {
+            self.declare_peer_failed(ctx, FailureReason::HoldOverflow);
+            return;
         }
 
         // Row 5: the backup fetches bytes it missed.
@@ -2584,6 +2773,7 @@ impl StTcpServer {
             // would otherwise poison verdicts against the new incarnation —
             // is stale.
             self.peer_conns.clear();
+            self.peer_app_suspected = false;
             self.peer_last_seqno = None;
             self.peer_seqno_advanced_at = now;
             self.byzantine_reported = false;
@@ -2593,6 +2783,7 @@ impl StTcpServer {
             self.peer_hb_acks = vec![0; self.hb_nlinks()];
             self.peer_ack_epoch = 0;
             self.rx_link_seq = vec![0; self.hb_nlinks()];
+            self.rx_link_batch = vec![RxBatch::default(); self.hb_nlinks()];
             self.rx_peer_epoch = 0;
             self.events
                 .push(StTcpEvent::ReintegrationStarted { at: now });
@@ -2763,6 +2954,8 @@ impl StTcpServer {
                         saw_data: true,
                     },
                 );
+                self.refresh_tick(sock);
+                self.check_socks.insert(sock);
                 self.events.push(StTcpEvent::SnapshotInstalled {
                     conn: s.conn,
                     at: now,
@@ -2844,6 +3037,9 @@ impl StTcpServer {
         self.join = None;
         self.ft_mode = true;
         self.peer_alive = true;
+        // Detectors resume against a fresh peer: give every connection one
+        // evaluation so first-observation baselines are established.
+        self.check_socks.extend(self.conns.keys().copied());
         self.events
             .push(StTcpEvent::ReintegrationCompleted { at: now });
         ctx.trace(format!(
@@ -3026,6 +3222,7 @@ impl StTcpServer {
                     self.serving_join = None;
                     self.ft_mode = true;
                     self.peer_alive = true;
+                    self.check_socks.extend(self.conns.keys().copied());
                     self.events
                         .push(StTcpEvent::ReintegrationCompleted { at: now });
                     ctx.trace(format!(
@@ -3054,16 +3251,13 @@ impl StTcpServer {
             let had_events = self.drain_tcp_events(now);
             // Acknowledgments may have freed send-buffer space: drain any
             // application output that was blocked on it.
-            let blocked: Vec<SocketId> = self
-                .conns
-                .iter()
-                .filter(|(_, c)| !c.pending_out.is_empty())
-                .map(|(&s, _)| s)
-                .collect();
+            let blocked: Vec<SocketId> = self.out_blocked.iter().copied().collect();
             for sock in blocked {
                 self.flush_pending(now, sock);
             }
+            ctx.profile_enter(Component::TcpPoll);
             let pkts = self.tcp.poll_packets(now);
+            ctx.profile_exit();
             if !had_events && pkts.is_empty() {
                 break;
             }
@@ -3100,8 +3294,13 @@ impl StTcpServer {
             }
         }
         ctx.profile_exit();
-        // Re-arm the TCP deadline timer if it moved.
+        // Re-arm the TCP deadline timer if it moved. The deadline query
+        // is where the timer wheel does its per-flush work (syncing
+        // dirty socket deadlines, scanning occupied slots), so it is
+        // attributed to the wheel bucket alongside due-timer dispatch.
+        ctx.profile_enter(Component::TcpWheel);
         let want = self.tcp.next_deadline();
+        ctx.profile_exit();
         match (want, self.tcp_timer) {
             (Some(d), Some((_, at))) if d == at => {}
             (Some(d), prev) => {
@@ -3214,6 +3413,7 @@ impl Node for StTcpServer {
             .collect();
         self.hb_epoch = epoch_from(now);
         self.rx_link_seq = vec![0; self.hb_nlinks()];
+        self.rx_link_batch = vec![RxBatch::default(); self.hb_nlinks()];
         self.peer_hb_acks = vec![0; self.hb_nlinks()];
         // Pool members get the same startup grace, anchored at boot.
         if let Some(pool) = &mut self.pool {
@@ -3341,7 +3541,9 @@ impl Node for StTcpServer {
                     || self.join.is_some()
                     || self.serving_join.is_some()
                 {
+                    ctx.profile_enter(Component::HbEncode);
                     self.send_heartbeats(ctx);
+                    ctx.profile_exit();
                 }
                 // A joiner re-requests until the full snapshot set arrives
                 // (any of the join messages may have been lost).
@@ -3361,7 +3563,7 @@ impl Node for StTcpServer {
                 // Opportunistically drain app output that was blocked on a
                 // full send buffer.
                 let now = ctx.now();
-                let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+                let socks: Vec<SocketId> = self.out_blocked.iter().copied().collect();
                 for sock in socks {
                     self.flush_pending(now, sock);
                 }
@@ -3369,15 +3571,28 @@ impl Node for StTcpServer {
             }
             TOKEN_TCP => {
                 self.tcp_timer = None;
+                ctx.profile_enter(Component::TcpWheel);
                 self.tcp.on_time(ctx.now());
+                ctx.profile_exit();
             }
             TOKEN_APP_TICK => {
                 let now = ctx.now();
-                let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+                // The watchdog is the one consumer that needs every live
+                // application's sign of life refreshed each tick; with it
+                // off, only applications that asked for ticks are visited,
+                // so idle connections cost nothing per round.
+                let socks: Vec<SocketId> = if self.setup.sttcp.watchdog_timeout.is_some() {
+                    self.conns.keys().copied().collect()
+                } else {
+                    self.tick_socks.iter().copied().collect()
+                };
                 for sock in socks {
                     let actions = match self.conns.get_mut(&sock) {
                         Some(ctl) if ctl.app_alive && !ctl.closed => ctl.app.on_tick(now),
-                        _ => continue,
+                        _ => {
+                            self.tick_socks.remove(&sock);
+                            continue;
+                        }
                     };
                     self.touch_sign_of_life(now, sock);
                     self.apply_app_actions(now, sock, actions);
@@ -3425,6 +3640,7 @@ impl Node for StTcpServer {
             self.conns.clear();
             self.by_key.clear();
             self.peer_conns.clear();
+            self.peer_app_suspected = false;
             self.peer_ping = None;
             self.ping.active = false;
             self.tcp_timer = None;
@@ -3457,6 +3673,7 @@ impl Node for StTcpServer {
         self.conns.clear();
         self.by_key.clear();
         self.peer_conns.clear();
+        self.peer_app_suspected = false;
         self.peer_ping = None;
         self.ping = PingCampaign {
             id: (self.setup.seed & 0xffff) as u16,
@@ -3477,6 +3694,7 @@ impl Node for StTcpServer {
         self.peer_hb_acks = vec![0; self.hb_nlinks()];
         self.peer_ack_epoch = 0;
         self.rx_link_seq = vec![0; self.hb_nlinks()];
+        self.rx_link_batch = vec![RxBatch::default(); self.hb_nlinks()];
         self.rx_peer_epoch = 0;
         let hb_timeout = self.setup.sttcp.hb_timeout();
         self.ip_mon = LinkMonitor::new(hb_timeout, now);

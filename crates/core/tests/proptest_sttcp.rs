@@ -172,6 +172,8 @@ proptest! {
             epoch,
             link,
             ack_epoch,
+            part: 0,
+            parts: 1,
             acks,
             hb: HbPayload {
                 seqno,
@@ -205,6 +207,8 @@ proptest! {
             epoch: 9,
             link: 0,
             ack_epoch: 3,
+            part: 0,
+            parts: 1,
             acks,
             hb: HbPayload { seqno: 1, role: Role::Primary, rank: 0, conns, ping: None },
         };
@@ -238,6 +242,8 @@ proptest! {
             epoch: 5,
             link: 1,
             ack_epoch: 5,
+            part: 0,
+            parts: 1,
             acks,
             hb: HbPayload { seqno: 7, role: Role::Primary, rank: 0, conns, ping: None },
         };

@@ -30,18 +30,28 @@ pub enum Component {
     Pool,
     /// Application logic (clients, echo/download apps).
     App,
+    /// TCP deadline scheduling: timer-wheel maintenance (deadline
+    /// sync + next-deadline scans) and due-socket timer dispatch.
+    TcpWheel,
+    /// TCP egress polling: draining pending segments from endpoints.
+    TcpPoll,
+    /// Heartbeat frame construction and encoding.
+    HbEncode,
     /// Anything not otherwise attributed.
     Other,
 }
 
 impl Component {
     /// Every bucket, in report order.
-    pub const ALL: [Component; 6] = [
+    pub const ALL: [Component; 9] = [
         Component::Kernel,
         Component::Tcp,
         Component::Sttcp,
         Component::Pool,
         Component::App,
+        Component::TcpWheel,
+        Component::TcpPoll,
+        Component::HbEncode,
         Component::Other,
     ];
 
@@ -53,6 +63,9 @@ impl Component {
             Component::Sttcp => "sttcp",
             Component::Pool => "pool",
             Component::App => "app",
+            Component::TcpWheel => "tcp_wheel",
+            Component::TcpPoll => "tcp_poll",
+            Component::HbEncode => "hb_encode",
             Component::Other => "other",
         }
     }
@@ -64,7 +77,10 @@ impl Component {
             Component::Sttcp => 2,
             Component::Pool => 3,
             Component::App => 4,
-            Component::Other => 5,
+            Component::TcpWheel => 5,
+            Component::TcpPoll => 6,
+            Component::HbEncode => 7,
+            Component::Other => 8,
         }
     }
 }
@@ -91,7 +107,7 @@ struct Frame {
 #[derive(Debug, Default)]
 pub struct Profiler {
     enabled: bool,
-    stats: [ComponentStats; 6],
+    stats: [ComponentStats; 9],
     stack: Vec<Frame>,
 }
 
@@ -160,7 +176,7 @@ impl Profiler {
 
     /// Clears every measurement (the enabled flag is kept).
     pub fn reset(&mut self) {
-        self.stats = [ComponentStats::default(); 6];
+        self.stats = [ComponentStats::default(); 9];
         self.stack.clear();
     }
 }
@@ -230,7 +246,20 @@ mod tests {
     #[test]
     fn component_keys_are_stable_and_distinct() {
         let keys: Vec<&str> = Component::ALL.iter().map(|c| c.key()).collect();
-        assert_eq!(keys, vec!["simnet", "tcp", "sttcp", "pool", "app", "other"]);
+        assert_eq!(
+            keys,
+            vec![
+                "simnet",
+                "tcp",
+                "sttcp",
+                "pool",
+                "app",
+                "tcp_wheel",
+                "tcp_poll",
+                "hb_encode",
+                "other"
+            ]
+        );
         for (i, c) in Component::ALL.iter().enumerate() {
             assert_eq!(c.index(), i);
         }

@@ -31,6 +31,7 @@ use crate::conn::{ConnEvent, TcpConfig, TcpConn, TcpState};
 use crate::segment::{TcpFlags, TcpSegment};
 use crate::seq::SeqNum;
 use crate::socket::{FourTuple, SocketEvent, SocketId};
+use crate::wheel::DeadlineWheel;
 
 /// How initial sequence numbers are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +140,13 @@ struct ConnEntry {
     touched: bool,
     /// In `poll_list` (may have segments pending since the last poll).
     pollable: bool,
+    /// In `deadline_dirty` (the timer registration may be stale).
+    dirty_deadline: bool,
+    /// The deadline this socket last registered in the timer wheel
+    /// (`None` = no live registration). A wheel entry is valid only
+    /// while it matches; rescheduling just strands the old entry as a
+    /// tombstone the pop path discards.
+    wheel_at: Option<SimTime>,
 }
 
 /// A host's TCP stack. See the [module docs](self).
@@ -160,6 +168,19 @@ pub struct TcpEndpoint {
     /// can make a connection emit a segment marks it, so
     /// [`TcpEndpoint::poll_packets`] visits only active connections.
     poll_list: Vec<SocketId>,
+    /// Sockets whose wheel registration may no longer match their
+    /// connection's `next_deadline` (touched, or polled — emitting a
+    /// segment can arm the retransmit/persist timers). Reconciled
+    /// lazily by [`TcpEndpoint::sync_deadlines`] before any timer query.
+    deadline_dirty: Vec<SocketId>,
+    /// Per-connection timer deadlines, ordered. Replaces the flat
+    /// every-socket deadline scan: timer queries cost O(active), so
+    /// idle connections cost zero CPU per tick. The scan it replaced
+    /// survives as the differential oracle (`scan_due`,
+    /// `scan_next_deadline`) asserted against on every debug-build
+    /// query and driven hard by the proptest at the bottom of this
+    /// file.
+    wheel: DeadlineWheel,
 }
 
 impl TcpEndpoint {
@@ -177,6 +198,8 @@ impl TcpEndpoint {
             raw_out: VecDeque::new(),
             touched_list: Vec::new(),
             poll_list: Vec::new(),
+            deadline_dirty: Vec::new(),
+            wheel: DeadlineWheel::new(),
         }
     }
 
@@ -191,6 +214,30 @@ impl TcpEndpoint {
             if !e.pollable {
                 e.pollable = true;
                 self.poll_list.push(id);
+            }
+            if !e.dirty_deadline {
+                e.dirty_deadline = true;
+                self.deadline_dirty.push(id);
+            }
+        }
+    }
+
+    /// Reconciles the timer wheel with every dirty socket's current
+    /// deadline. Lazy on purpose: `conn_mut` touches *before* handing
+    /// out `&mut`, so the registration must be refreshed after the
+    /// mutation — at the next timer query — not at touch time.
+    fn sync_deadlines(&mut self) {
+        for id in std::mem::take(&mut self.deadline_dirty) {
+            let Some(e) = self.socks.get_mut(&id) else {
+                continue;
+            };
+            e.dirty_deadline = false;
+            let d = e.conn.next_deadline();
+            if e.wheel_at != d {
+                e.wheel_at = d;
+                if let Some(t) = d {
+                    self.wheel.push(t, id);
+                }
             }
         }
     }
@@ -253,6 +300,8 @@ impl TcpEndpoint {
                 shim: ShimStats::default(),
                 touched: false,
                 pollable: false,
+                dirty_deadline: false,
+                wheel_at: None,
             },
         );
         self.touch(id);
@@ -300,14 +349,38 @@ impl TcpEndpoint {
     }
 
     /// Fires all timers due at `now`.
+    ///
+    /// O(due), not O(connections): the wheel yields exactly the sockets
+    /// whose registered deadline is `<= now`. Firing order is ascending
+    /// `SocketId` — the order the replaced `BTreeMap` scan produced —
+    /// so simulation runs are bit-identical to the scan implementation
+    /// (the debug assertion and the differential proptest below pin
+    /// this).
     pub fn on_time(&mut self, now: SimTime) {
-        let ids: Vec<SocketId> = self
-            .socks
-            .iter()
-            .filter(|(_, e)| e.conn.next_deadline().is_some_and(|d| d <= now))
-            .map(|(&id, _)| id)
-            .collect();
-        for id in ids {
+        self.sync_deadlines();
+        let mut due: Vec<SocketId> = Vec::new();
+        while let Some((t, id)) = self.wheel.peek() {
+            if t > now {
+                break;
+            }
+            let _ = self.wheel.pop();
+            // Valid only if this entry is the socket's live registration;
+            // rescheduled/cancelled deadlines left tombstones behind.
+            if let Some(e) = self.socks.get_mut(&id) {
+                if e.wheel_at == Some(t) {
+                    e.wheel_at = None;
+                    due.push(id);
+                }
+            }
+        }
+        due.sort_unstable();
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            due,
+            self.scan_due(now),
+            "wheel due-set diverged from the scan oracle"
+        );
+        for id in due {
             if let Some(entry) = self.socks.get_mut(&id) {
                 entry.conn.on_timer(now);
             }
@@ -317,7 +390,47 @@ impl TcpEndpoint {
     }
 
     /// The earliest timer deadline across all connections.
-    pub fn next_deadline(&self) -> Option<SimTime> {
+    ///
+    /// O(active): answered from the wheel (which may cascade slots,
+    /// hence `&mut`), discarding stale tombstones on the way.
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        self.sync_deadlines();
+        let next = loop {
+            match self.wheel.peek() {
+                None => break None,
+                Some((t, id)) => {
+                    if self.socks.get(&id).is_some_and(|e| e.wheel_at == Some(t)) {
+                        break Some(t);
+                    }
+                    let _ = self.wheel.pop();
+                }
+            }
+        };
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            next,
+            self.scan_next_deadline(),
+            "wheel next_deadline diverged from the scan oracle"
+        );
+        next
+    }
+
+    /// The replaced O(n) due-set scan, kept as the differential oracle:
+    /// trivially correct by inspection, asserted bit-identical to the
+    /// wheel on every debug-build `on_time`.
+    #[cfg(any(test, debug_assertions))]
+    fn scan_due(&self, now: SimTime) -> Vec<SocketId> {
+        self.socks
+            .iter()
+            .filter(|(_, e)| e.conn.next_deadline().is_some_and(|d| d <= now))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// The replaced O(n) min-deadline scan, kept as the differential
+    /// oracle for [`TcpEndpoint::next_deadline`].
+    #[cfg(any(test, debug_assertions))]
+    fn scan_next_deadline(&self) -> Option<SimTime> {
         self.socks
             .values()
             .filter_map(|e| e.conn.next_deadline())
@@ -353,6 +466,12 @@ impl TcpEndpoint {
                     continue;
                 }
                 out.push(wrap(entry.conn.tuple(), &seg));
+            }
+            // Emitting segments can arm the retransmit/persist/TIME-WAIT
+            // timers; refresh this socket's wheel registration lazily.
+            if !entry.dirty_deadline {
+                entry.dirty_deadline = true;
+                self.deadline_dirty.push(id);
             }
         }
         out
@@ -964,6 +1083,91 @@ mod tests {
         }
         n.pump();
         assert_eq!(n.b.recv(sb, 10).as_ref(), b"x");
+    }
+
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone, Copy)]
+    enum EpOp {
+        /// Accept a fresh connection (arms SYN/handshake timers).
+        Open,
+        /// Write bytes on a random socket (arms the retransmit timer).
+        Send(u8, u8),
+        /// Close a random socket (FIN + TIME-WAIT timers).
+        Close(u8),
+        /// Jump both endpoints to the earliest deadline and fire it.
+        AdvanceNext,
+        /// Jump forward an arbitrary amount (fires batches of timers).
+        AdvanceBy(u32),
+        /// Shuttle packets (polling arms timers outside `touch` paths).
+        Pump,
+    }
+
+    fn ep_op_strategy() -> impl Strategy<Value = EpOp> {
+        prop_oneof![
+            Just(EpOp::Open),
+            (any::<u8>(), 1u8..=250).prop_map(|(s, len)| EpOp::Send(s, len)),
+            any::<u8>().prop_map(EpOp::Close),
+            Just(EpOp::AdvanceNext),
+            (1u32..2_000_000).prop_map(EpOp::AdvanceBy),
+            Just(EpOp::Pump),
+        ]
+    }
+
+    proptest! {
+        /// Differential test: the wheel-scheduled timer path produces
+        /// exactly the due-sets and min-deadlines of the O(n) scan it
+        /// replaced, under arbitrary interleavings of connection
+        /// activity. `on_time` additionally asserts the due-set (in
+        /// firing order) against the scan oracle internally, so every
+        /// `advance` here also diffs the firing path.
+        #[test]
+        fn wheel_scheduling_matches_scan_oracle(
+            ops in proptest::collection::vec(ep_op_strategy(), 0..80),
+        ) {
+            let mut n = Net::new();
+            n.b.listen(80, ListenConfig::default());
+            let mut socks: Vec<SocketId> = Vec::new();
+            let mut next_port = 40_000u16;
+            for op in ops {
+                match op {
+                    EpOp::Open => {
+                        socks.push(n.a.connect(n.now, (ip(1), next_port), (ip(2), 80)));
+                        next_port += 1;
+                    }
+                    EpOp::Send(which, len) => {
+                        if !socks.is_empty() {
+                            let s = socks[which as usize % socks.len()];
+                            let data = vec![0x5a; len as usize];
+                            let _ = n.a.send(n.now, s, &data);
+                        }
+                    }
+                    EpOp::Close(which) => {
+                        if !socks.is_empty() {
+                            let s = socks[which as usize % socks.len()];
+                            n.a.close(n.now, s);
+                        }
+                    }
+                    EpOp::AdvanceNext => {
+                        let da = n.a.next_deadline();
+                        let db = n.b.next_deadline();
+                        if let Some(d) = [da, db].into_iter().flatten().min() {
+                            let to = d.max(n.now);
+                            n.advance(to);
+                        }
+                    }
+                    EpOp::AdvanceBy(us) => {
+                        let to = n.now + simnet::time::SimDuration::from_micros(us as u64);
+                        n.advance(to);
+                    }
+                    EpOp::Pump => n.pump(),
+                }
+                // Explicit diff (the internal debug assertions cover
+                // debug builds; this also pins `--release` test runs).
+                prop_assert_eq!(n.a.next_deadline(), n.a.scan_next_deadline());
+                prop_assert_eq!(n.b.next_deadline(), n.b.scan_next_deadline());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! A hierarchical timing wheel for per-connection retransmit deadlines.
+//!
+//! [`TcpEndpoint`](crate::endpoint::TcpEndpoint) used to answer "which
+//! connections have a deadline ≤ now?" and "what is the earliest
+//! deadline?" by scanning every socket — O(n) per timer round, which
+//! dominates once an endpoint carries tens of thousands of mostly-idle
+//! connections. This wheel makes both queries O(active): connections
+//! register their next deadline once when it changes, idle connections
+//! are never visited.
+//!
+//! The structure is the same 6-level × 64-slot hashed wheel as the
+//! simulator's event queue (`simnet::event`), with the same exact-order
+//! contract: entries pop in `(time, insertion sequence)` order, the
+//! highest differing 6-bit group of `time ^ cursor` picks the level, a
+//! per-level occupancy bitmap finds the next slot, and two escape
+//! hatches (an *overdue* heap for entries pushed behind the cursor, an
+//! *overflow* heap for entries beyond the 2^36 µs span) keep ordering
+//! exact rather than approximate. See the `simnet::event` module docs
+//! for the full invariant walk-through; the differential proptest at
+//! the bottom of this file pins this copy to a `BinaryHeap` oracle the
+//! same way.
+//!
+//! Entries are *lazy*: the wheel never removes a rescheduled or
+//! cancelled deadline. The endpoint stores the deadline it last
+//! registered per socket and discards popped entries that no longer
+//! match ([`crate::endpoint::TcpEndpoint::on_time`]), so a connection
+//! whose timer moved simply leaves a stale tombstone behind. Stale
+//! entries cost O(log n) heap work at most once each.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::socket::SocketId;
+use simnet::time::SimTime;
+
+/// One registered deadline.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    sock: SocketId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Bits per wheel level (64 slots).
+const BITS: usize = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Wheel levels.
+const LEVELS: usize = 6;
+/// The wheel's span in µs: times at or beyond `elapsed ^ SPAN` overflow.
+const SPAN: u64 = 1 << (BITS * LEVELS);
+
+/// A min-queue of `(deadline, socket)` pairs ordered by
+/// `(time, insertion order)`.
+#[derive(Debug)]
+pub(crate) struct DeadlineWheel {
+    /// The wheel cursor (µs): every wheel/pending/overflow entry is at
+    /// `>= elapsed`, every overdue entry is at `< elapsed`. Never
+    /// decreases.
+    elapsed: u64,
+    slots: Vec<Vec<Vec<Entry>>>,
+    /// Per-level bitmap of non-empty slots.
+    occupied: [u64; LEVELS],
+    /// Entries at exactly `elapsed`, in seq order.
+    pending: VecDeque<Entry>,
+    /// Entries pushed behind the cursor.
+    overdue: BinaryHeap<Entry>,
+    /// Entries beyond the wheel's span.
+    overflow: BinaryHeap<Entry>,
+    seq: u64,
+    len: usize,
+}
+
+impl DeadlineWheel {
+    pub(crate) fn new() -> DeadlineWheel {
+        DeadlineWheel {
+            elapsed: 0,
+            slots: vec![vec![Vec::new(); SLOTS]; LEVELS],
+            occupied: [0; LEVELS],
+            pending: VecDeque::new(),
+            overdue: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, sock: SocketId) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        self.route(Entry { at, seq, sock });
+    }
+
+    /// Files one entry into the container the cursor says it belongs in.
+    fn route(&mut self, e: Entry) {
+        let at = e.at.as_micros();
+        if at < self.elapsed {
+            self.overdue.push(e);
+        } else if at == self.elapsed {
+            self.pending.push_back(e);
+        } else {
+            let x = at ^ self.elapsed;
+            if x >= SPAN {
+                self.overflow.push(e);
+            } else {
+                // x > 0 and below SPAN: the highest set bit picks the level.
+                let level = (63 - x.leading_zeros() as usize) / BITS;
+                let slot = ((at >> (BITS * level)) & (SLOTS as u64 - 1)) as usize;
+                self.slots[level][slot].push(e);
+                self.occupied[level] |= 1 << slot;
+            }
+        }
+    }
+
+    /// Advances the cursor until the earliest entry sits in `overdue`
+    /// or `pending` (or the wheel is empty): cascades higher-level
+    /// slots downward and migrates an overflow block into the wheel
+    /// when it drains.
+    fn settle(&mut self) {
+        loop {
+            if !self.overdue.is_empty() || !self.pending.is_empty() {
+                return;
+            }
+            let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) else {
+                // Wheel empty: migrate the overflow's next 2^36 µs block.
+                let Some(top) = self.overflow.peek() else {
+                    return;
+                };
+                let base = top.at.as_micros() & !(SPAN - 1);
+                debug_assert!(base >= self.elapsed, "overflow block behind cursor");
+                self.elapsed = base;
+                while let Some(top) = self.overflow.peek() {
+                    if top.at.as_micros() ^ self.elapsed >= SPAN {
+                        break;
+                    }
+                    // Heap pop order is (time, seq), so same-µs entries
+                    // append to their slot in seq order.
+                    let e = self.overflow.pop().expect("peeked");
+                    self.route(e);
+                }
+                continue;
+            };
+            // Occupied slots are strictly after the cursor's slot, so the
+            // lowest set bit is the next slot in time.
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            self.occupied[level] &= !(1 << slot);
+            let mut items = std::mem::take(&mut self.slots[level][slot]);
+            if level == 0 {
+                // One exact µs tick, already in (time, seq) order.
+                self.elapsed = items[0].at.as_micros();
+                debug_assert!(items.iter().all(|e| e.at.as_micros() == self.elapsed));
+                self.pending.extend(items.drain(..));
+            } else {
+                // Advance to the slot's base and spread its entries over
+                // the lower levels (in stored order, which re-appends
+                // same-time entries without reordering them).
+                let width = BITS * level;
+                let block = 1u64 << (width + BITS);
+                let base = (self.elapsed & !(block - 1)) | ((slot as u64) << width);
+                debug_assert!(base > self.elapsed, "cascade must advance the cursor");
+                self.elapsed = base;
+                for e in items.drain(..) {
+                    self.route(e);
+                }
+            }
+            // Hand the (now empty) slot vector its capacity back.
+            self.slots[level][slot] = items;
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, SocketId)> {
+        self.settle();
+        // Overdue entries are strictly behind the cursor, pending entries
+        // exactly at it — overdue first, in heap (time, seq) order.
+        let e = match self.overdue.pop() {
+            Some(e) => e,
+            None => self.pending.pop_front()?,
+        };
+        self.len -= 1;
+        Some((e.at, e.sock))
+    }
+
+    /// The earliest registered deadline. Exact (not a lower bound);
+    /// computing it may cascade wheel slots, hence `&mut`.
+    pub(crate) fn peek(&mut self) -> Option<(SimTime, SocketId)> {
+        self.settle();
+        match self.overdue.peek() {
+            Some(e) => Some((e.at, e.sock)),
+            None => self.pending.front().map(|e| (e.at, e.sock)),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The trivially-correct oracle: a plain `(time, seq)` min-heap.
+    struct HeapOracle {
+        heap: BinaryHeap<Entry>,
+        seq: u64,
+    }
+
+    impl HeapOracle {
+        fn new() -> HeapOracle {
+            HeapOracle {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }
+        }
+
+        fn push(&mut self, at: SimTime, sock: SocketId) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Entry { at, seq, sock });
+        }
+
+        fn pop(&mut self) -> Option<(SimTime, SocketId)> {
+            self.heap.pop().map(|e| (e.at, e.sock))
+        }
+
+        fn peek(&self) -> Option<(SimTime, SocketId)> {
+            self.heap.peek().map(|e| (e.at, e.sock))
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order_with_seq_tiebreak() {
+        let mut w = DeadlineWheel::new();
+        w.push(SimTime::from_millis(3), SocketId(3));
+        w.push(SimTime::from_millis(1), SocketId(1));
+        w.push(SimTime::from_millis(1), SocketId(9));
+        w.push(SimTime::from_millis(2), SocketId(2));
+        let order: Vec<(u64, SocketId)> = std::iter::from_fn(|| w.pop())
+            .map(|(t, s)| (t.as_millis(), s))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (1, SocketId(1)),
+                (1, SocketId(9)),
+                (2, SocketId(2)),
+                (3, SocketId(3)),
+            ]
+        );
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn far_future_and_behind_cursor_entries_keep_exact_order() {
+        let mut w = DeadlineWheel::new();
+        w.push(SimTime::from_micros(2 * SPAN + 9), SocketId(4));
+        w.push(SimTime::from_micros(10_000), SocketId(1));
+        // Peeking advances the cursor to 10 000 µs...
+        assert_eq!(w.peek(), Some((SimTime::from_micros(10_000), SocketId(1))));
+        // ...and pushes behind it must still pop first, in (time, seq) order.
+        w.push(SimTime::from_micros(500), SocketId(2));
+        w.push(SimTime::from_micros(200), SocketId(3));
+        let order: Vec<(u64, SocketId)> = std::iter::from_fn(|| w.pop())
+            .map(|(t, s)| (t.as_micros(), s))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (200, SocketId(3)),
+                (500, SocketId(2)),
+                (10_000, SocketId(1)),
+                (2 * SPAN + 9, SocketId(4)),
+            ]
+        );
+    }
+
+    /// Deterministic heavy churn across every wheel level plus the
+    /// overflow heap, diffed against the heap oracle pop for pop.
+    #[test]
+    fn storm_matches_heap_oracle() {
+        let mut wheel = DeadlineWheel::new();
+        let mut oracle = HeapOracle::new();
+        let mut lcg: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut rand = || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 11
+        };
+        let mut floor = 0u64;
+        let mut tag = 0u64;
+        for round in 0..50_000u64 {
+            let r = rand();
+            if r % 3 != 0 {
+                let at = match r % 7 {
+                    0 => floor,
+                    1 => floor + r % 64,
+                    2 => floor + r % 4_096,
+                    3 => floor + r % 1_000_000,
+                    4 => floor + r % (SPAN / 2),
+                    _ => floor + r % (3 * SPAN),
+                };
+                let t = SimTime::from_micros(at);
+                wheel.push(t, SocketId(tag));
+                oracle.push(t, SocketId(tag));
+                tag += 1;
+            } else {
+                let got = wheel.pop();
+                let want = oracle.pop();
+                assert_eq!(got, want, "divergence at round {round}");
+                if let Some((t, _)) = got {
+                    floor = t.as_micros();
+                }
+            }
+        }
+        loop {
+            let got = wheel.pop();
+            let want = oracle.pop();
+            assert_eq!(got, want, "divergence during drain");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Push(u64),
+        Pop,
+        Peek,
+    }
+
+    /// Half the draws are pushes (spread over same-tick, per-level, and
+    /// overflow time scales), a third pops, the rest peeks.
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u8..9, 0u64..u64::MAX).prop_map(|(kind, raw)| match kind {
+            0 => Op::Push(raw % 64),
+            1 => Op::Push(raw % 4_096),
+            2 => Op::Push(raw % 1_000_000),
+            3 => Op::Push(raw % SPAN),
+            4 => Op::Push(raw % (4 * SPAN)),
+            5..=7 => Op::Pop,
+            _ => Op::Peek,
+        })
+    }
+
+    proptest! {
+        /// Differential test: the wheel and the heap oracle agree on
+        /// every peek and every pop — time *and* insertion order — for
+        /// arbitrary interleaved workloads, including pushes at
+        /// arbitrary (past) times that drive the overdue path hard.
+        #[test]
+        fn wheel_matches_heap_oracle(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+            let mut wheel = DeadlineWheel::new();
+            let mut oracle = HeapOracle::new();
+            let mut tag = 0u64;
+            for op in ops {
+                match op {
+                    Op::Push(at) => {
+                        let t = SimTime::from_micros(at);
+                        wheel.push(t, SocketId(tag));
+                        oracle.push(t, SocketId(tag));
+                        tag += 1;
+                    }
+                    Op::Pop => {
+                        prop_assert_eq!(wheel.pop(), oracle.pop());
+                    }
+                    Op::Peek => {
+                        prop_assert_eq!(wheel.peek(), oracle.peek());
+                    }
+                }
+            }
+            loop {
+                let got = wheel.pop();
+                let want = oracle.pop();
+                prop_assert_eq!(&got, &want);
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -366,6 +366,85 @@ fn delta_heartbeat_sweep_matches_full_state_semantics() {
     }
 }
 
+/// Batched heartbeat envelopes (v3 multi-part frames) are a framing
+/// optimisation, not a behaviour change. Same two contracts as the
+/// delta sweep, both over 64 seeds:
+///
+/// 1. A batch-mode sweep folds to a byte-identical metrics report at 1
+///    and 4 threads.
+/// 2. Every seed's semantic verdict matches between batch-on (tiny
+///    2-record parts, so multi-part rounds actually occur under chaos
+///    load) and batch-off runs of the same schedule. Raw fingerprints
+///    legitimately diverge (different frame sizes shift downstream
+///    timestamps); protocol *decisions* must not.
+#[test]
+fn batch_heartbeat_sweep_matches_single_frame_semantics() {
+    use sttcp_bench::hunt::{run_sweep, SweepConfig};
+
+    let batch_opts = ChaosOptions {
+        hb_delta: true,
+        hb_batch: 2,
+        ..ChaosOptions::quick()
+    };
+
+    // Contract 1: batch mode is deterministic and thread-invariant.
+    let reports: Vec<String> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let cfg = SweepConfig {
+                seeds: 64,
+                start: 0,
+                quick: true,
+                double: false,
+                reintegrate: false,
+                threads,
+            };
+            run_sweep(&cfg, &batch_opts, |_| {})
+                .to_report(&cfg, true)
+                .to_json()
+        })
+        .collect();
+    assert_eq!(
+        reports[0], reports[1],
+        "batch sweep report differs between 1 and 4 threads"
+    );
+
+    // Contract 2: per-seed verdict equivalence against single-frame mode.
+    let single_opts = ChaosOptions {
+        hb_delta: true,
+        hb_batch: 0,
+        ..ChaosOptions::quick()
+    };
+    let project = |r: &sttcp_apps::chaos::ChaosReport| {
+        let took_over =
+            |evs: &[StTcpEvent]| evs.iter().any(|e| matches!(e, StTcpEvent::TookOver { .. }));
+        let stonith = |evs: &[StTcpEvent]| {
+            evs.iter()
+                .any(|e| matches!(e, StTcpEvent::StonithIssued { .. }))
+        };
+        (
+            r.outcome,
+            r.violations.iter().map(|v| v.invariant).collect::<Vec<_>>(),
+            r.client.finished,
+            r.client.integrity_violations,
+            took_over(&r.primary_events),
+            took_over(&r.backup_events),
+            stonith(&r.primary_events),
+            stonith(&r.backup_events),
+        )
+    };
+    for seed in 0..64 {
+        let schedule = FaultSchedule::generate(seed);
+        let single = run_chaos_case(seed, &schedule, &single_opts);
+        let batch = run_chaos_case(seed, &schedule, &batch_opts);
+        assert_eq!(
+            project(&single),
+            project(&batch),
+            "seed {seed} ({schedule}): batch framing changed the verdict"
+        );
+    }
+}
+
 /// `--threads` must be invisible in the results: a 64-seed sweep run on
 /// a 4-worker pool folds to a byte-identical metrics report (outcome
 /// counters, phase percentiles, bound checks — everything) as the same

@@ -531,3 +531,42 @@ fn reqresp_workload_survives_primary_crash() {
     assert!(s.server(s.backup).took_over_at().is_some());
     assert!(!s.world.is_powered(s.primary));
 }
+
+#[test]
+fn profiler_attributes_tick_scheduler_buckets() {
+    // The profiled bench run reports per-component wall-clock
+    // attribution; the tick-scheduler rework split the old monolithic
+    // `tcp` bucket into wheel-advance, egress-poll, and HB-encode
+    // scopes. A download with heartbeats on must exercise every one of
+    // them — a zero-scope bucket means an instrumentation site was
+    // dropped and the `profile` section of BENCH_simperf.json would
+    // silently report the work under `other`.
+    use simnet::profile::Component;
+    let mut s = ScenarioBuilder::new(stream_app(4096, false), download(256 * 1024))
+        .seed(5)
+        .sttcp(StTcpConfig {
+            hb_delta: true,
+            hb_batch: 4,
+            ..Default::default()
+        })
+        .build();
+    s.world.set_profiling(true);
+    s.world.run_until(t(20_000));
+    assert!(s.client_finished(), "profiled download did not finish");
+    let p = s.world.profiler();
+    for c in [
+        Component::Kernel,
+        Component::Tcp,
+        Component::Sttcp,
+        Component::App,
+        Component::TcpWheel,
+        Component::TcpPoll,
+        Component::HbEncode,
+    ] {
+        assert!(
+            p.stats(c).scopes > 0,
+            "component {:?} recorded no scopes in a profiled download",
+            c
+        );
+    }
+}
